@@ -1,0 +1,26 @@
+//! Criterion benches for the §2 deadline-scheduling substrate (E12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pas_core::deadline::{avr, oa, yds, DeadlineInstance};
+use std::hint::black_box;
+
+fn bench_deadline_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deadline");
+    group.sample_size(15);
+    for &n in &[16usize, 32, 64] {
+        let instance = DeadlineInstance::random(n, n as f64, (0.5, 6.0), (0.2, 2.0), 42);
+        group.bench_with_input(BenchmarkId::new("yds", n), &n, |b, _| {
+            b.iter(|| yds(black_box(&instance)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("avr", n), &n, |b, _| {
+            b.iter(|| avr(black_box(&instance)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("oa", n), &n, |b, _| {
+            b.iter(|| oa(black_box(&instance)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deadline_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benches for the §4 flow solver (experiments E6–E8).
+//!
+//! Measures the inner Theorem-1 fixed point and the full laptop solve
+//! (outer bisection included) as `n` grows, plus the Theorem-8 witness
+//! verification at several tolerances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pas_core::flow::{hardness, solver};
+use pas_workload::generators;
+use std::hint::black_box;
+
+fn bench_flow_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow");
+    group.sample_size(20);
+    for &n in &[16usize, 64, 256] {
+        let instance = generators::equal_work_poisson(n, 1.0, 1.0, 42);
+        let budget = 2.0 * instance.total_work();
+        group.bench_with_input(BenchmarkId::new("solve_for_u", n), &n, |b, _| {
+            b.iter(|| solver::solve_for_u(black_box(&instance), 3.0, 1.0).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("laptop", n), &n, |b, _| {
+            b.iter(|| solver::laptop(black_box(&instance), 3.0, budget, 1e-9).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_witness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hardness_witness");
+    group.sample_size(20);
+    for &tol in &[1e-6, 1e-12] {
+        group.bench_with_input(
+            BenchmarkId::new("verify", format!("{tol:e}")),
+            &tol,
+            |b, &tol| b.iter(|| hardness::verify_witness(black_box(tol)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_solver, bench_witness);
+criterion_main!(benches);

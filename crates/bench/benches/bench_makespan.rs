@@ -1,0 +1,67 @@
+//! Criterion benches for the §3 makespan solvers (experiments E4/E5).
+//!
+//! The claims under test: `IncMerge` and the frontier build are linear
+//! in `n` (after sorting), MoveRight is quadratic, and the §3.1 DP is
+//! slower still. Criterion reports per-size timings; the shape to check
+//! is the growth factor per doubling (≈2 / ≈4 / ≈8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pas_core::makespan::{dp, incmerge, moveright, Frontier};
+use pas_power::PolyPower;
+use pas_workload::generators;
+use std::hint::black_box;
+
+fn bench_makespan_solvers(c: &mut Criterion) {
+    let model = PolyPower::CUBE;
+    let mut group = c.benchmark_group("makespan");
+    group.sample_size(20);
+
+    for &n in &[256usize, 1024, 4096] {
+        let instance = generators::uniform(n, n as f64, (0.2, 2.0), 42);
+        let budget = 2.0 * instance.total_work();
+        group.bench_with_input(BenchmarkId::new("incmerge", n), &n, |b, _| {
+            b.iter(|| incmerge::laptop(black_box(&instance), &model, budget).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("frontier_build", n), &n, |b, _| {
+            b.iter(|| Frontier::build(black_box(&instance), &model))
+        });
+    }
+
+    for &n in &[256usize, 512, 1024] {
+        let instance = generators::uniform(n, n as f64, (0.2, 2.0), 42);
+        let deadline = instance.last_release() + 0.1 * n as f64;
+        group.bench_with_input(BenchmarkId::new("moveright", n), &n, |b, _| {
+            b.iter(|| {
+                moveright::server_moveright(black_box(&instance), &model, deadline).unwrap()
+            })
+        });
+    }
+
+    for &n in &[64usize, 128, 256] {
+        let instance = generators::uniform(n, n as f64, (0.2, 2.0), 42);
+        let budget = 2.0 * instance.total_work();
+        group.bench_with_input(BenchmarkId::new("dp", n), &n, |b, _| {
+            b.iter(|| dp::laptop_dp(black_box(&instance), &model, budget).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontier_queries(c: &mut Criterion) {
+    let model = PolyPower::CUBE;
+    let instance = generators::uniform(4096, 4096.0, (0.2, 2.0), 42);
+    let frontier = Frontier::build(&instance, &model);
+    let budget = 2.0 * instance.total_work();
+    let mut group = c.benchmark_group("frontier_queries");
+    group.bench_function("makespan_at_energy", |b| {
+        b.iter(|| frontier.makespan(&model, black_box(budget)).unwrap())
+    });
+    let t = frontier.makespan(&model, budget).unwrap();
+    group.bench_function("energy_for_makespan", |b| {
+        b.iter(|| frontier.energy_for_makespan(&model, black_box(t)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_makespan_solvers, bench_frontier_queries);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benches for the §5 multiprocessor algorithms (E9–E11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pas_core::multi::{flow, makespan, partition};
+use pas_power::PolyPower;
+use pas_workload::{generators, Instance};
+use std::hint::black_box;
+
+fn equal_work_instance(n: usize) -> Instance {
+    let raw = generators::poisson(n, 1.0, (1.0, 1.0), 42);
+    let releases: Vec<f64> = raw.jobs().iter().map(|j| j.release).collect();
+    Instance::equal_work(&releases, 1.0).expect("valid")
+}
+
+fn bench_multi_solvers(c: &mut Criterion) {
+    let model = PolyPower::CUBE;
+    let mut group = c.benchmark_group("multi");
+    group.sample_size(15);
+    for &(n, m) in &[(32usize, 2usize), (64, 4), (128, 8)] {
+        let instance = equal_work_instance(n);
+        let budget = 2.0 * instance.total_work();
+        group.bench_with_input(
+            BenchmarkId::new("makespan", format!("n{n}_m{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    makespan::laptop(black_box(&instance), &model, m, budget, 1e-9).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flow", format!("n{n}_m{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| flow::laptop(black_box(&instance), 3.0, m, budget, 1e-9).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_partition_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    for &n in &[12usize, 16, 20] {
+        let works: Vec<f64> = (0..n).map(|k| 0.5 + (k as f64 * 0.77) % 3.0).collect();
+        group.bench_with_input(BenchmarkId::new("bb_exact", n), &n, |b, _| {
+            b.iter(|| partition::min_norm_assignment(black_box(&works), 3, 3.0))
+        });
+        group.bench_with_input(BenchmarkId::new("lpt", n), &n, |b, _| {
+            b.iter(|| partition::lpt_assignment(black_box(&works), 3, 3.0))
+        });
+    }
+    // Subset-sum DP scales with the value range.
+    for &half in &[100u64, 1000, 10000] {
+        let values = generators::partition_yes_instance(8, half, 3);
+        group.bench_with_input(
+            BenchmarkId::new("subset_sum_dp", half),
+            &half,
+            |b, _| b.iter(|| partition::partition_witness(black_box(&values))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_solvers, bench_partition_solvers);
+criterion_main!(benches);

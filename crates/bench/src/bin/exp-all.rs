@@ -1,0 +1,12 @@
+//! Regenerate every experiment table under `results/`.
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new("results");
+    let tables = pas_bench::experiments::run_all();
+    for table in &tables {
+        table.write_to(dir).expect("write CSV");
+        println!("wrote results/{}.csv ({} rows)", table.name, table.rows.len());
+    }
+    println!("{} tables total", tables.len());
+}

@@ -1,0 +1,7 @@
+//! Print the `bounded_speed` experiment tables as CSV to stdout.
+fn main() {
+    for table in pas_bench::experiments::bounded_speed::run() {
+        table.print();
+        println!();
+    }
+}

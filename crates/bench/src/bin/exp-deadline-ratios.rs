@@ -1,0 +1,7 @@
+//! Print the `deadline_ratios` experiment tables as CSV to stdout.
+fn main() {
+    for table in pas_bench::experiments::deadline_ratios::run() {
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,7 @@
+//! Print the `discrete_levels` experiment tables as CSV to stdout.
+fn main() {
+    for table in pas_bench::experiments::discrete_levels::run() {
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,7 @@
+//! Print the `figures` experiment tables as CSV to stdout.
+fn main() {
+    for table in pas_bench::experiments::figures::run() {
+        table.print();
+        println!();
+    }
+}

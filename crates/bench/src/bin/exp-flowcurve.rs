@@ -1,0 +1,7 @@
+//! Print the `flowcurve` experiment tables as CSV to stdout.
+fn main() {
+    for table in pas_bench::experiments::flowcurve::run() {
+        table.print();
+        println!();
+    }
+}

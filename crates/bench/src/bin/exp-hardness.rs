@@ -1,0 +1,7 @@
+//! Print the `hardness` experiment tables as CSV to stdout.
+fn main() {
+    for table in pas_bench::experiments::hardness::run() {
+        table.print();
+        println!();
+    }
+}

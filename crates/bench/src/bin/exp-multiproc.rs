@@ -1,0 +1,7 @@
+//! Print the `multiproc` experiment tables as CSV to stdout.
+fn main() {
+    for table in pas_bench::experiments::multiproc::run() {
+        table.print();
+        println!();
+    }
+}

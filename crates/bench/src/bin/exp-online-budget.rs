@@ -1,0 +1,7 @@
+//! Print the `online_budget` experiment tables as CSV to stdout.
+fn main() {
+    for table in pas_bench::experiments::online_budget::run() {
+        table.print();
+        println!();
+    }
+}

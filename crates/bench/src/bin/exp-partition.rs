@@ -1,0 +1,7 @@
+//! Print the `partition` experiment tables as CSV to stdout.
+fn main() {
+    for table in pas_bench::experiments::partition::run() {
+        table.print();
+        println!();
+    }
+}

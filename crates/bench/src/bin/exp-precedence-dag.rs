@@ -1,0 +1,7 @@
+//! Print the `precedence_dag` experiment tables as CSV to stdout.
+fn main() {
+    for table in pas_bench::experiments::precedence_dag::run() {
+        table.print();
+        println!();
+    }
+}

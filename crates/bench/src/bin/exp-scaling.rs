@@ -1,0 +1,7 @@
+//! Print the `scaling` experiment tables as CSV to stdout.
+fn main() {
+    for table in pas_bench::experiments::scaling::run() {
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,7 @@
+//! Print the `temperature` experiment tables as CSV to stdout.
+fn main() {
+    for table in pas_bench::experiments::temperature::run() {
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,79 @@
+//! E18: speed bounds (§6's "minimum and/or maximum speeds").
+//!
+//! Sweeps the server-problem deadline on the paper instance under a
+//! bounded model and records the bounded-optimal energy against the
+//! unbounded optimum. Shapes: the curves coincide while the bounds are
+//! inactive; a maximum speed makes tight deadlines infeasible (empty
+//! cells); a minimum speed floors the energy at `W·g(σ_min)` for lazy
+//! deadlines — the regime where Lemma 4 (no idle time) genuinely fails.
+
+use crate::harness::{fmt, CsvTable};
+use pas_core::makespan::{bounded, incmerge};
+use pas_power::{BoundedPower, PolyPower};
+use pas_workload::Instance;
+
+/// Produce the bounded-speed table.
+pub fn run() -> Vec<CsvTable> {
+    let instance = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)])
+        .expect("paper instance");
+    let model = PolyPower::CUBE;
+    let bounds = BoundedPower::new(model, 0.75, 1.75);
+    let mut table = CsvTable::new(
+        "bounded_speed_server",
+        &[
+            "deadline",
+            "unbounded_energy",
+            "bounded_energy",
+            "bounded_feasible",
+            "min_clamped",
+        ],
+    );
+    for k in 0..=24 {
+        let t = 6.2 + 0.4 * k as f64;
+        let unbounded = incmerge::server(&instance, &model, t)
+            .expect("deadline after last release")
+            .energy(&model);
+        match bounded::server_bounded(&instance, &bounds, t) {
+            Ok(sol) => table.push_row(vec![
+                fmt(t),
+                fmt(unbounded),
+                fmt(sol.energy),
+                "true".into(),
+                sol.clamped_to_min.to_string(),
+            ]),
+            Err(_) => table.push_row(vec![
+                fmt(t),
+                fmt(unbounded),
+                String::new(),
+                "false".into(),
+                String::new(),
+            ]),
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn regimes_appear_in_order() {
+        let tables = super::run();
+        let rows = &tables[0].rows;
+        // Early (tight) deadlines: infeasible under the speed cap.
+        assert_eq!(rows[0][3], "false", "{:?}", rows[0]);
+        // Some middle row: feasible, not clamped, equal to unbounded.
+        let exact = rows.iter().find(|r| r[3] == "true" && r[4] == "false");
+        let exact = exact.expect("an unconstrained regime exists");
+        let unb: f64 = exact[1].parse().unwrap();
+        let bnd: f64 = exact[2].parse().unwrap();
+        assert!((unb - bnd).abs() < 1e-6 * unb, "{exact:?}");
+        // Late rows: clamped to the minimum speed, energy floored at
+        // W·g(0.75) = 8·0.5625 = 4.5 > unbounded.
+        let last = rows.last().unwrap();
+        assert_eq!(last[4], "true", "{last:?}");
+        let bnd_last: f64 = last[2].parse().unwrap();
+        assert!((bnd_last - 4.5).abs() < 1e-9, "{last:?}");
+        let unb_last: f64 = last[1].parse().unwrap();
+        assert!(bnd_last > unb_last);
+    }
+}

@@ -1,0 +1,63 @@
+//! E12: empirical competitive ratios of AVR and Optimal Available.
+//!
+//! The paper's §2 quotes the analytic bounds — AVR at most
+//! `2^{α−1}·α^α` (Yao et al.), OA at most `α^α` (Bansal–Kimbrel–Pruhs).
+//! This experiment measures the ratios on random deadline workloads for
+//! several α: the shape to check is `1 ≤ ratio ≪ bound`, with OA
+//! consistently at or below AVR.
+
+use crate::harness::{fmt, CsvTable};
+use pas_core::deadline::{avr, oa, yds, DeadlineInstance};
+use pas_power::PolyPower;
+use pas_sim::metrics;
+
+/// Produce the competitive-ratio table.
+pub fn run() -> Vec<CsvTable> {
+    let mut table = CsvTable::new(
+        "deadline_competitive_ratios",
+        &[
+            "alpha",
+            "seed",
+            "avr_ratio",
+            "oa_ratio",
+            "avr_bound",
+            "oa_bound",
+        ],
+    );
+    for &alpha in &[1.5f64, 2.0, 3.0] {
+        let model = PolyPower::new(alpha);
+        let avr_bound = 2f64.powf(alpha - 1.0) * alpha.powf(alpha);
+        let oa_bound = alpha.powf(alpha);
+        for seed in 0..8u64 {
+            let inst = DeadlineInstance::random(20, 18.0, (0.5, 6.0), (0.2, 2.0), seed);
+            let opt = metrics::energy(&yds(&inst).expect("feasible").schedule, &model);
+            let a = metrics::energy(&avr(&inst).expect("feasible"), &model);
+            let o = metrics::energy(&oa(&inst).expect("feasible"), &model);
+            table.push_row(vec![
+                fmt(alpha),
+                seed.to_string(),
+                fmt(a / opt),
+                fmt(o / opt),
+                fmt(avr_bound),
+                fmt(oa_bound),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ratios_between_one_and_bound() {
+        let tables = super::run();
+        for row in &tables[0].rows {
+            let avr: f64 = row[2].parse().unwrap();
+            let oa: f64 = row[3].parse().unwrap();
+            let avr_bound: f64 = row[4].parse().unwrap();
+            let oa_bound: f64 = row[5].parse().unwrap();
+            assert!(avr >= 1.0 - 1e-6 && avr <= avr_bound, "{row:?}");
+            assert!(oa >= 1.0 - 1e-6 && oa <= oa_bound, "{row:?}");
+        }
+    }
+}

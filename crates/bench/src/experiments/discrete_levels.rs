@@ -1,0 +1,110 @@
+//! E14/E15: discrete speed ladders and switching overhead (§6).
+//!
+//! E14 rounds the continuous optimum of a random instance onto uniform
+//! ladders of increasing size and records the energy overhead — the
+//! shape: overhead ≥ 1, monotonically shrinking toward 1 (quadratically
+//! in the level spacing, by convexity). The Athlon-64 three-level table
+//! from the paper's introduction is included. E15 sweeps the per-switch
+//! stall δ and reports makespan inflation for the continuous and
+//! emulated schedules.
+
+use crate::harness::{fmt, CsvTable};
+use pas_core::discrete::emulate;
+use pas_core::makespan;
+use pas_power::{DiscreteSpeeds, PolyPower};
+use pas_sim::metrics;
+use pas_workload::generators;
+
+/// Produce the ladder-overhead and switch-overhead tables.
+pub fn run() -> Vec<CsvTable> {
+    let model = PolyPower::CUBE;
+    let instance = generators::uniform(20, 20.0, (0.5, 2.0), 11);
+    let budget = 2.0 * instance.total_work();
+    let blocks = makespan::laptop(&instance, &model, budget).expect("solvable");
+    let continuous = blocks.to_schedule(&instance);
+    let max_speed = blocks
+        .blocks()
+        .iter()
+        .map(|b| b.speed)
+        .fold(0.0f64, f64::max);
+
+    let mut levels = CsvTable::new(
+        "discrete_level_overhead",
+        &["levels", "energy_overhead", "switches", "timing_exact"],
+    );
+    for &k in &[2usize, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128] {
+        let ladder = DiscreteSpeeds::uniform(model, k, max_speed * 1.05);
+        let report = emulate(&continuous, &ladder).expect("emulation runs");
+        levels.push_row(vec![
+            k.to_string(),
+            fmt(report.overhead),
+            report.switches.to_string(),
+            report.timing_exact.to_string(),
+        ]);
+    }
+
+    // The paper's Athlon 64 table, on an instance scaled to its range.
+    let mut athlon = CsvTable::new(
+        "discrete_athlon64",
+        &["ladder", "energy_overhead", "timing_exact"],
+    );
+    let small = pas_workload::Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)])
+        .expect("paper instance");
+    let paper_blocks = makespan::laptop(&small, &model, 14.0).expect("solvable");
+    let ladder = DiscreteSpeeds::new(model, pas_power::discrete::ATHLON64_GHZ.to_vec());
+    let report = emulate(&paper_blocks.to_schedule(&small), &ladder).expect("runs");
+    athlon.push_row(vec![
+        "athlon64 [0.8; 1.8; 2.0] GHz".into(),
+        fmt(report.overhead),
+        report.timing_exact.to_string(),
+    ]);
+
+    // E15: switch overhead sweep on continuous vs 4-level emulation.
+    let mut switches = CsvTable::new(
+        "switch_overhead_sweep",
+        &[
+            "delta",
+            "continuous_makespan",
+            "emulated_makespan",
+            "continuous_switches",
+            "emulated_switches",
+        ],
+    );
+    let ladder4 = DiscreteSpeeds::uniform(model, 4, max_speed * 1.05);
+    let emu = emulate(&continuous, &ladder4).expect("runs");
+    for &delta in &[0.0, 0.01, 0.05, 0.1, 0.25] {
+        switches.push_row(vec![
+            fmt(delta),
+            fmt(metrics::makespan_with_switch_overhead(
+                &continuous,
+                delta,
+                1e-9,
+            )),
+            fmt(metrics::makespan_with_switch_overhead(
+                &emu.schedule,
+                delta,
+                1e-9,
+            )),
+            metrics::switch_count(&continuous, 1e-9).to_string(),
+            metrics::switch_count(&emu.schedule, 1e-9).to_string(),
+        ]);
+    }
+
+    vec![levels, athlon, switches]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn overhead_monotone_toward_one() {
+        let tables = super::run();
+        let mut prev = f64::INFINITY;
+        for row in &tables[0].rows {
+            let overhead: f64 = row[1].parse().unwrap();
+            assert!(overhead >= 1.0 - 1e-9, "{row:?}");
+            assert!(overhead <= prev + 1e-9, "{row:?}");
+            prev = overhead;
+        }
+        assert!(prev < 1.01, "128 levels should be near-continuous: {prev}");
+    }
+}

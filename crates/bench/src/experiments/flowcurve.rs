@@ -1,0 +1,74 @@
+//! E7/E8: the flow↔energy tradeoff curve and Theorem-1 residual audit.
+//!
+//! E7 samples the curve for the hardness instance (the flow analog of
+//! Figure 1, including the boundary-configuration window the paper's §4
+//! discusses) and locates the configuration-change energies. E8 runs the
+//! flow solver over random equal-work instances and reports worst-case
+//! KKT residuals — the evidence that the solver's output profiles are
+//! the Theorem-1 optima.
+
+use crate::harness::{fmt, CsvTable};
+use pas_core::flow::{curve, solver};
+use pas_workload::{generators, Instance};
+
+/// Produce the curve and residual tables.
+pub fn run() -> Vec<CsvTable> {
+    let instance =
+        Instance::equal_work(&[0.0, 0.0, 1.0], 1.0).expect("hardness instance");
+
+    let mut curve_table = CsvTable::new(
+        "flow_energy_curve",
+        &["energy", "flow", "u", "configuration"],
+    );
+    let energies: Vec<f64> = (0..=120).map(|k| 5.0 + 10.0 * k as f64 / 120.0).collect();
+    for pt in curve::tradeoff_curve(&instance, 3.0, &energies, 1e-10).expect("solvable") {
+        curve_table.push_row(vec![
+            fmt(pt.energy),
+            fmt(pt.flow),
+            fmt(pt.u),
+            pt.signature,
+        ]);
+    }
+
+    let mut changes = CsvTable::new(
+        "flow_configuration_changes",
+        &["change_energy", "closed_form"],
+    );
+    let found = curve::configuration_changes(&instance, 3.0, 5.0, 20.0, 1e-6)
+        .expect("solvable");
+    let (lo, hi) = pas_core::flow::hardness::measured_boundary_window();
+    for (e, want) in found.iter().zip([lo, hi]) {
+        changes.push_row(vec![fmt(*e), fmt(want)]);
+    }
+
+    let mut residuals = CsvTable::new(
+        "flow_kkt_residuals",
+        &["seed", "n", "budget", "max_residual", "configuration"],
+    );
+    for seed in 0..10u64 {
+        let inst = generators::equal_work_poisson(14, 1.2, 1.0, seed);
+        for &scale in &[0.5, 1.5, 4.0] {
+            let budget = scale * inst.total_work();
+            let sol = solver::laptop(&inst, 3.0, budget, 1e-10).expect("solvable");
+            residuals.push_row(vec![
+                seed.to_string(),
+                inst.len().to_string(),
+                fmt(budget),
+                format!("{:e}", sol.kkt.max_residual),
+                sol.kkt.signature(),
+            ]);
+        }
+    }
+
+    vec![curve_table, changes, residuals]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn flow_tables_build() {
+        let tables = super::run();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[1].rows.len(), 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! All experiments, one module per EXPERIMENTS.md entry.
+//!
+//! | Module | Experiments | Reproduces |
+//! |--------|-------------|------------|
+//! | [`figures`] | E1–E3 | paper Figures 1, 2, 3 |
+//! | [`scaling`] | E4, E5 | §3 linear-time claim vs DP / MoveRight |
+//! | [`hardness`] | E6 | Theorem 8 witness (+ measured correction) |
+//! | [`flowcurve`] | E7, E8 | §4 flow↔energy curve and Theorem-1 residuals |
+//! | [`multiproc`] | E9, E10 | Theorem 10, multiprocessor makespan/flow |
+//! | [`partition`] | E11 | Theorem 11 reduction, B&B vs heuristics |
+//! | [`deadline_ratios`] | E12 | AVR / OA empirical competitive ratios |
+//! | [`online_budget`] | E13 | §6 online policies vs offline frontier |
+//! | [`discrete_levels`] | E14, E15 | §6 discrete speeds and switch overhead |
+//! | [`precedence_dag`] | E16 | §2 precedence-constrained makespan heuristic vs bounds |
+//! | [`temperature`] | E17 | §2 thermal objective (Bansal–Kimbrel–Pruhs model) |
+//! | [`bounded_speed`] | E18 | §6 minimum/maximum speed regimes |
+
+pub mod bounded_speed;
+pub mod deadline_ratios;
+pub mod discrete_levels;
+pub mod figures;
+pub mod flowcurve;
+pub mod hardness;
+pub mod multiproc;
+pub mod online_budget;
+pub mod partition;
+pub mod precedence_dag;
+pub mod scaling;
+pub mod temperature;
+
+use crate::harness::CsvTable;
+
+/// Run every experiment (used by `exp-all`).
+pub fn run_all() -> Vec<CsvTable> {
+    let mut tables = Vec::new();
+    tables.extend(figures::run());
+    tables.extend(scaling::run());
+    tables.extend(hardness::run());
+    tables.extend(flowcurve::run());
+    tables.extend(multiproc::run());
+    tables.extend(partition::run());
+    tables.extend(deadline_ratios::run());
+    tables.extend(online_budget::run());
+    tables.extend(discrete_levels::run());
+    tables.extend(precedence_dag::run());
+    tables.extend(temperature::run());
+    tables.extend(bounded_speed::run());
+    tables
+}

@@ -1,0 +1,94 @@
+//! E9/E10: multiprocessor equal-work scheduling.
+//!
+//! E9 verifies Theorem 10 by brute force on small instances (cyclic
+//! assignment never loses) and shows makespan scaling with the fleet
+//! size. E10 does the same for total flow and records the shared-`u`
+//! structure (Observation 2).
+
+use crate::harness::{fmt, CsvTable};
+use pas_core::multi::cyclic::all_assignments;
+use pas_core::multi::{flow, makespan};
+use pas_power::PolyPower;
+use pas_workload::{generators, Instance};
+
+/// Produce the multiprocessor tables.
+pub fn run() -> Vec<CsvTable> {
+    let model = PolyPower::CUBE;
+
+    // E9a: brute-force optimality of the cyclic assignment.
+    let mut brute = CsvTable::new(
+        "multi_cyclic_vs_bruteforce",
+        &["releases", "metric", "cyclic", "best_of_all", "gap"],
+    );
+    for releases in [
+        vec![0.0, 0.0, 0.0, 0.0],
+        vec![0.0, 0.5, 1.0, 1.5],
+        vec![0.0, 0.1, 2.0, 2.1, 2.2],
+    ] {
+        let inst = Instance::equal_work(&releases, 1.0).expect("valid");
+        let budget = 2.0 * inst.total_work();
+        let cyc = makespan::laptop(&inst, &model, 2, budget, 1e-11).expect("solvable");
+        let mut best = f64::INFINITY;
+        for a in all_assignments(inst.len(), 2) {
+            if let Ok(sol) = makespan::laptop_with_assignment(&inst, &model, &a, budget, 1e-11)
+            {
+                best = best.min(sol.makespan);
+            }
+        }
+        brute.push_row(vec![
+            format!("{releases:?}").replace(',', ";"),
+            "makespan".into(),
+            fmt(cyc.makespan),
+            fmt(best),
+            fmt(cyc.makespan - best),
+        ]);
+        let cyc_f = flow::laptop(&inst, 3.0, 2, budget, 1e-10).expect("solvable");
+        let mut best_f = f64::INFINITY;
+        for a in all_assignments(inst.len(), 2) {
+            if let Ok(sol) = flow::laptop_with_assignment(&inst, 3.0, &a, budget, 1e-10) {
+                best_f = best_f.min(sol.total_flow);
+            }
+        }
+        brute.push_row(vec![
+            format!("{releases:?}").replace(',', ";"),
+            "total_flow".into(),
+            fmt(cyc_f.total_flow),
+            fmt(best_f),
+            fmt(cyc_f.total_flow - best_f),
+        ]);
+    }
+
+    // E9b/E10: fleet-size scaling on a bursty workload.
+    let raw = generators::bursty(3, 8, 5.0, 1.0, (1.0, 1.0), 42);
+    let releases: Vec<f64> = raw.jobs().iter().map(|j| j.release).collect();
+    let inst = Instance::equal_work(&releases, 1.0).expect("valid");
+    let budget = 40.0;
+    let mut fleet = CsvTable::new(
+        "multi_fleet_scaling",
+        &["machines", "makespan", "total_flow", "shared_u"],
+    );
+    for m in [1usize, 2, 3, 4, 6, 8] {
+        let mk = makespan::laptop(&inst, &model, m, budget, 1e-10).expect("solvable");
+        let fl = flow::laptop(&inst, 3.0, m, budget, 1e-10).expect("solvable");
+        fleet.push_row(vec![
+            m.to_string(),
+            fmt(mk.makespan),
+            fmt(fl.total_flow),
+            fmt(fl.u),
+        ]);
+    }
+
+    vec![brute, fleet]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cyclic_never_loses_in_tables() {
+        let tables = super::run();
+        for row in &tables[0].rows {
+            let gap: f64 = row[4].parse().unwrap();
+            assert!(gap < 1e-5, "cyclic lost: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! E13: the §6 open problem, measured — online budgeted policies vs the
+//! offline frontier.
+//!
+//! For each arrival pattern and each policy, the table records the
+//! empirical competitive ratio (policy makespan over offline-optimal
+//! makespan at the same budget). The shape: hedged policies stay within
+//! small constants; spend-all collapses on multi-burst inputs (the exact
+//! tension §6 describes); the clairvoyant constant-speed baseline is
+//! near 1 on dense inputs but pays for idle gaps.
+
+use crate::harness::{fmt, CsvTable};
+use pas_core::online::{compare_online, AdaptiveRate, ConstantSpeed, FractionalSpend, SpendAll};
+use pas_power::PolyPower;
+use pas_sim::online::OnlinePolicy;
+use pas_workload::{generators, Instance};
+
+/// Produce the policy-ratio table.
+pub fn run() -> Vec<CsvTable> {
+    let model = PolyPower::CUBE;
+    let mut table = CsvTable::new(
+        "online_budget_ratios",
+        &["workload", "seed", "policy", "ratio", "energy_used", "budget"],
+    );
+    for seed in 0..5u64 {
+        let workloads: Vec<(&str, Instance)> = vec![
+            ("poisson", generators::poisson(18, 0.7, (0.5, 1.5), seed)),
+            (
+                "bursty",
+                generators::bursty(3, 6, 10.0, 0.5, (0.5, 1.5), seed),
+            ),
+        ];
+        for (name, instance) in workloads {
+            let budget = 1.5 * instance.total_work();
+            let mut policies: Vec<Box<dyn OnlinePolicy>> = vec![
+                Box::new(SpendAll::new(model, budget)),
+                Box::new(FractionalSpend::new(model, budget, 0.3)),
+                Box::new(FractionalSpend::new(model, budget, 0.6)),
+                Box::new(AdaptiveRate::new(model, budget, 10.0)),
+                Box::new(
+                    ConstantSpeed::for_budget(&model, instance.total_work(), budget)
+                        .expect("solvable"),
+                ),
+            ];
+            for policy in policies.iter_mut() {
+                let report = compare_online(&instance, &model, budget, policy.as_mut())
+                    .expect("simulation runs");
+                table.push_row(vec![
+                    name.to_string(),
+                    seed.to_string(),
+                    policy.name(),
+                    fmt(report.ratio),
+                    fmt(report.energy),
+                    fmt(budget),
+                ]);
+            }
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ratios_at_least_one() {
+        let tables = super::run();
+        for row in &tables[0].rows {
+            let ratio: f64 = row[3].parse().unwrap();
+            assert!(ratio >= 1.0 - 1e-6, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! E11: the Theorem-11 reduction at work.
+//!
+//! Two tables: decision agreement between the subset-sum oracle and the
+//! scheduling-side exact solver on yes/no Partition families, and the
+//! quality gap of the LPT / local-search heuristics against the exact
+//! `L_α`-norm branch and bound (the §5 PTAS remark made quantitative:
+//! the heuristic gap is what a PTAS would drive to `1+ε`).
+
+use crate::harness::{fmt, CsvTable};
+use pas_core::multi::partition;
+use pas_workload::generators;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Produce the reduction and heuristic tables.
+pub fn run() -> Vec<CsvTable> {
+    let alpha = 3.0;
+
+    let mut decisions = CsvTable::new(
+        "partition_decisions",
+        &["values", "subset_sum", "scheduling", "agree"],
+    );
+    // Yes-family.
+    for seed in 0..6u64 {
+        let values = generators::partition_yes_instance(4, 30, seed);
+        let dp = partition::partition_witness(&values).is_some();
+        let sched = partition::schedule_decides_partition(&values, alpha);
+        decisions.push_row(vec![
+            format!("{values:?}").replace(',', ";"),
+            dp.to_string(),
+            sched.to_string(),
+            (dp == sched).to_string(),
+        ]);
+    }
+    // Random (mostly-no) family.
+    let mut rng = StdRng::seed_from_u64(99);
+    let value_dist = Uniform::new_inclusive(1u64, 37);
+    for _ in 0..6 {
+        let values: Vec<u64> = (0..8).map(|_| value_dist.sample(&mut rng)).collect();
+        let dp = partition::partition_witness(&values).is_some();
+        let sched = partition::schedule_decides_partition(&values, alpha);
+        decisions.push_row(vec![
+            format!("{values:?}").replace(',', ";"),
+            dp.to_string(),
+            sched.to_string(),
+            (dp == sched).to_string(),
+        ]);
+    }
+
+    let mut quality = CsvTable::new(
+        "partition_heuristic_quality",
+        &[
+            "n",
+            "machines",
+            "opt_norm",
+            "lpt_norm",
+            "lpt_over_opt",
+            "local_search_norm",
+            "ls_over_opt",
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    let work_dist = Uniform::new(0.2f64, 5.0);
+    for &(n, m) in &[(10usize, 2usize), (14, 2), (14, 3), (18, 3), (20, 4)] {
+        let works: Vec<f64> = (0..n).map(|_| work_dist.sample(&mut rng)).collect();
+        let (_, opt) = partition::min_norm_assignment(&works, m, alpha);
+        let (lpt_labels, lpt) = partition::lpt_assignment(&works, m, alpha);
+        let (_, ls) = partition::local_search(&works, m, alpha, lpt_labels);
+        quality.push_row(vec![
+            n.to_string(),
+            m.to_string(),
+            fmt(opt),
+            fmt(lpt),
+            fmt(lpt / opt),
+            fmt(ls),
+            fmt(ls / opt),
+        ]);
+    }
+
+    vec![decisions, quality]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn decisions_always_agree() {
+        let tables = super::run();
+        for row in &tables[0].rows {
+            assert_eq!(row[3], "true", "{row:?}");
+        }
+        // Heuristics never beat the exact optimum.
+        for row in &tables[1].rows {
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(ratio >= 1.0 - 1e-9);
+        }
+    }
+}

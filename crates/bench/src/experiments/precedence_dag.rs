@@ -1,0 +1,84 @@
+//! E16: precedence-constrained makespan (the §2 Pruhs–van Stee–
+//! Uthaisombut setting, heuristic + lower bounds).
+//!
+//! For each DAG family and machine count: the uniform-speed
+//! power-equality heuristic's makespan against the two energy-parametric
+//! lower bounds. Shapes to check: chains are solved exactly (critical
+//! path binds); independent sets sit within Graham's `2 − 1/m` of the
+//! aggregate bound; layered DAGs fall in between.
+
+use crate::harness::{fmt, CsvTable};
+use pas_core::precedence::{lower_bounds, uniform_speed_schedule, DagInstance};
+use pas_power::PolyPower;
+
+/// Produce the precedence table.
+pub fn run() -> Vec<CsvTable> {
+    let model = PolyPower::CUBE;
+    let mut table = CsvTable::new(
+        "precedence_heuristic_vs_bounds",
+        &[
+            "dag",
+            "n",
+            "machines",
+            "heuristic_makespan",
+            "lb_aggregate",
+            "lb_critical_path",
+            "ratio_to_best_lb",
+        ],
+    );
+    let cases: Vec<(String, DagInstance)> = vec![
+        (
+            "chain".into(),
+            DagInstance::chain((1..=8).map(|k| 0.5 + 0.25 * k as f64).collect()).expect("valid"),
+        ),
+        (
+            "independent".into(),
+            DagInstance::independent((1..=12).map(|k| 0.3 + (k as f64 * 0.61) % 2.0).collect())
+                .expect("valid"),
+        ),
+        (
+            "layered_sparse".into(),
+            DagInstance::random_layered(4, 4, 0.3, (0.5, 2.0), 7),
+        ),
+        (
+            "layered_dense".into(),
+            DagInstance::random_layered(4, 4, 0.9, (0.5, 2.0), 7),
+        ),
+    ];
+    for (name, dag) in &cases {
+        let budget = 2.0 * dag.total_work();
+        for &m in &[1usize, 2, 4] {
+            let sol = uniform_speed_schedule(dag, &model, m, budget).expect("solvable");
+            dag.validate_precedence(&sol.schedule, 1e-9)
+                .expect("heuristic respects precedence");
+            let lb = lower_bounds(dag, &model, m, budget).expect("solvable");
+            table.push_row(vec![
+                name.clone(),
+                dag.len().to_string(),
+                m.to_string(),
+                fmt(sol.makespan),
+                fmt(lb.aggregate),
+                fmt(lb.critical_path),
+                fmt(sol.makespan / lb.best()),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ratios_are_sane() {
+        let tables = super::run();
+        for row in &tables[0].rows {
+            let ratio: f64 = row[6].parse().unwrap();
+            let m: f64 = row[2].parse().unwrap();
+            assert!(ratio >= 1.0 - 1e-9, "{row:?}");
+            // Uniform-speed Graham is within (2 - 1/m) of the same-speed
+            // bound; against the stronger of the two LBs we allow the
+            // same factor.
+            assert!(ratio <= 2.0 - 1.0 / m + 1e-6, "{row:?}");
+        }
+    }
+}

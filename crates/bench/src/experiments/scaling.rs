@@ -1,0 +1,77 @@
+//! E4/E5: running-time scaling — IncMerge's linearity against the
+//! quadratic/cubic baselines.
+//!
+//! Reproduces two prose claims: §3's "linear time once the jobs are
+//! sorted" (vs the §3.1 dynamic program) and §2's "our algorithm runs
+//! faster" than the Uysal-Biyikoglu et al. quadratic server algorithm.
+//! The table reports wall-clock seconds and the per-point growth factor;
+//! the shape to check is IncMerge ≈ ×2 per doubling, MoveRight ≈ ×4,
+//! DP ≈ ×8 (its feasibility scan makes the implementation cubic).
+
+use crate::harness::{fmt, time_min, CsvTable};
+use pas_core::makespan::{dp, incmerge, moveright, Frontier};
+use pas_power::PolyPower;
+use pas_workload::generators;
+
+/// Sweep sizes. DP is capped (cubic); MoveRight quadratic; IncMerge and
+/// the frontier run the full range.
+pub fn run() -> Vec<CsvTable> {
+    let model = PolyPower::CUBE;
+    let mut table = CsvTable::new(
+        "scaling_makespan_solvers",
+        &[
+            "n",
+            "incmerge_s",
+            "frontier_build_s",
+            "moveright_s",
+            "dp_s",
+        ],
+    );
+    for &n in &[64usize, 128, 256, 512, 1024, 2048] {
+        let instance = generators::uniform(n, n as f64, (0.2, 2.0), 42);
+        let budget = 2.0 * instance.total_work();
+        let deadline = instance.last_release() + 0.1 * n as f64;
+
+        let (_, t_inc) = time_min(5, || {
+            incmerge::laptop(&instance, &model, budget).expect("solvable")
+        });
+        let (_, t_frontier) = time_min(5, || Frontier::build(&instance, &model));
+        let (_, t_mr) = time_min(3, || {
+            moveright::server_moveright(&instance, &model, deadline).expect("solvable")
+        });
+        let t_dp = if n <= 512 {
+            let (_, t) = time_min(1, || {
+                dp::laptop_dp(&instance, &model, budget).expect("solvable")
+            });
+            fmt(t)
+        } else {
+            "".to_string()
+        };
+        table.push_row(vec![
+            n.to_string(),
+            fmt(t_inc),
+            fmt(t_frontier),
+            fmt(t_mr),
+            t_dp,
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaling_smoke() {
+        // Full run is for the binary; here make sure one small row works.
+        let model = pas_power::PolyPower::CUBE;
+        let instance = pas_workload::generators::uniform(64, 64.0, (0.2, 2.0), 42);
+        let budget = 2.0 * instance.total_work();
+        let a = pas_core::makespan::incmerge::laptop(&instance, &model, budget)
+            .unwrap()
+            .makespan();
+        let b = pas_core::makespan::dp::laptop_dp(&instance, &model, budget)
+            .unwrap()
+            .makespan();
+        assert!((a - b).abs() < 1e-6 * a);
+    }
+}

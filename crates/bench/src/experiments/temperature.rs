@@ -1,0 +1,56 @@
+//! E17: maximum temperature of optimal-makespan schedules.
+//!
+//! The paper's §2 recounts Bansal–Kimbrel–Pruhs' thermal objective:
+//! under Newton's law of cooling (`T' = a·P − b·T`), fast schedules run
+//! hot. This experiment sweeps the energy budget on the paper instance
+//! and records the peak temperature of the *makespan-optimal* schedule
+//! for two cooling rates — quantifying the energy/heat coupling the
+//! related work studies (no paper numbers exist; shape: monotone
+//! increase, steeper for weak cooling).
+
+use crate::harness::{fmt, CsvTable};
+use pas_core::makespan;
+use pas_power::PolyPower;
+use pas_sim::metrics;
+use pas_workload::Instance;
+
+/// Produce the temperature table.
+pub fn run() -> Vec<CsvTable> {
+    let instance = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)])
+        .expect("paper instance");
+    let model = PolyPower::CUBE;
+    let mut table = CsvTable::new(
+        "temperature_vs_energy",
+        &["energy", "makespan", "peak_temp_b05", "peak_temp_b2"],
+    );
+    for k in 0..=30 {
+        let e = 6.0 + 0.5 * k as f64;
+        let blocks = makespan::laptop(&instance, &model, e).expect("solvable");
+        let schedule = blocks.to_schedule(&instance);
+        table.push_row(vec![
+            fmt(e),
+            fmt(blocks.makespan()),
+            fmt(metrics::max_temperature(&schedule, &model, 1.0, 0.5)),
+            fmt(metrics::max_temperature(&schedule, &model, 1.0, 2.0)),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn peak_temperature_increases_with_budget() {
+        let tables = super::run();
+        let rows = &tables[0].rows;
+        let first: f64 = rows[0][2].parse().unwrap();
+        let last: f64 = rows[rows.len() - 1][2].parse().unwrap();
+        assert!(last > first, "more energy should run hotter");
+        // Strong cooling stays cooler than weak cooling, row by row.
+        for row in rows {
+            let weak: f64 = row[2].parse().unwrap();
+            let strong: f64 = row[3].parse().unwrap();
+            assert!(strong <= weak + 1e-9, "{row:?}");
+        }
+    }
+}

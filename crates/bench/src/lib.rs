@@ -1,0 +1,18 @@
+//! # pas-bench
+//!
+//! The experiment harness regenerating every figure of the paper and
+//! every quantitative claim the reproduction tracks (EXPERIMENTS.md).
+//!
+//! Each experiment lives in [`experiments`] as a pure function returning
+//! [`CsvTable`]s; the `exp-*` binaries are thin wrappers printing one
+//! experiment to stdout, and `exp-all` writes every table under
+//! `results/`. Criterion benches (in `benches/`) cover the performance
+//! claims (IncMerge's linearity vs the DP and MoveRight baselines, etc.).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::CsvTable;

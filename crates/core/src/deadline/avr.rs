@@ -1,0 +1,164 @@
+//! AVR — the Average Rate online heuristic of Yao, Demers, Shenker.
+//!
+//! At any moment the processor speed is the **sum of the densities**
+//! (`w/(d−r)`) of the jobs whose windows contain the moment; jobs are
+//! dispatched EDF. The speed profile needs no future knowledge, making
+//! AVR online. Yao et al. proved it `2^{α−1}·α^α`-competitive against
+//! the optimal (YDS) energy; experiment E12 measures the empirical
+//! ratio, which is far smaller on non-adversarial inputs.
+
+use crate::deadline::job::DeadlineInstance;
+use crate::error::CoreError;
+use pas_sim::{Schedule, Slice};
+
+/// Run AVR on `instance`, producing the executed schedule.
+///
+/// # Errors
+/// [`CoreError::VerificationFailed`] if the produced schedule fails
+/// validation (would indicate an implementation bug — AVR is always
+/// feasible).
+pub fn avr(instance: &DeadlineInstance) -> Result<Schedule, CoreError> {
+    let jobs = instance.jobs();
+    let n = jobs.len();
+    // Event times: releases and deadlines.
+    let mut events: Vec<f64> = jobs
+        .iter()
+        .flat_map(|j| [j.release, j.deadline])
+        .collect();
+    events.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    events.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
+
+    let profile_speed = |t: f64| -> f64 {
+        jobs.iter()
+            .filter(|j| j.release <= t + 1e-12 && t < j.deadline - 1e-12)
+            .map(|j| j.density())
+            .sum()
+    };
+
+    let mut remaining: Vec<f64> = jobs.iter().map(|j| j.work).collect();
+    let mut slices = Vec::new();
+    let mut t = jobs[0].release;
+    let mut done = 0usize;
+    let mut guard = 10_000 * (n + 1);
+    while done < n {
+        guard -= 1;
+        if guard == 0 {
+            return Err(CoreError::VerificationFailed {
+                reason: "AVR: event budget exhausted".to_string(),
+            });
+        }
+        // Earliest-deadline ready job.
+        let ready = jobs
+            .iter()
+            .enumerate()
+            .filter(|(k, j)| remaining[*k] > 1e-12 && j.release <= t + 1e-12)
+            .min_by(|x, y| x.1.deadline.partial_cmp(&y.1.deadline).expect("finite"));
+        let next_event = events
+            .iter()
+            .copied()
+            .find(|&e| e > t + 1e-12)
+            .unwrap_or(f64::INFINITY);
+        match ready {
+            None => {
+                if !next_event.is_finite() {
+                    return Err(CoreError::VerificationFailed {
+                        reason: "AVR: stalled with jobs remaining".to_string(),
+                    });
+                }
+                t = next_event;
+            }
+            Some((k, job)) => {
+                let speed = profile_speed(t);
+                if speed <= 0.0 {
+                    return Err(CoreError::VerificationFailed {
+                        reason: format!("AVR: zero speed at t={t} with ready work"),
+                    });
+                }
+                let until = (t + remaining[k] / speed).min(next_event);
+                if until > t + 1e-12 {
+                    slices.push(Slice::new(job.id, t, until, speed));
+                    remaining[k] -= speed * (until - t);
+                }
+                if remaining[k] <= 1e-9 * job.work {
+                    remaining[k] = 0.0;
+                    done += 1;
+                }
+                t = until.max(t + 1e-12);
+            }
+        }
+    }
+    let mut schedule = Schedule::from_slices(slices);
+    schedule.coalesce(1e-9);
+    instance.validate_schedule(&schedule, 1e-6)?;
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadline::job::DeadlineJob;
+    use crate::deadline::yds::yds;
+    use pas_power::PolyPower;
+    use pas_sim::metrics;
+
+    #[test]
+    fn single_job_equals_yds() {
+        let inst =
+            DeadlineInstance::new(vec![DeadlineJob::new(0, 0.0, 4.0, 8.0)]).unwrap();
+        let a = avr(&inst).unwrap();
+        let y = yds(&inst).unwrap();
+        let model = PolyPower::CUBE;
+        assert!(
+            (metrics::energy(&a, &model) - metrics::energy(&y.schedule, &model)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn overlapping_windows_stack_densities() {
+        // Two identical jobs [0,2] w=1 (density 0.5 each): AVR speed 1.
+        let inst = DeadlineInstance::new(vec![
+            DeadlineJob::new(0, 0.0, 2.0, 1.0),
+            DeadlineJob::new(1, 0.0, 2.0, 1.0),
+        ])
+        .unwrap();
+        let sched = avr(&inst).unwrap();
+        for s in sched.machine(0) {
+            assert!((s.speed - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn meets_deadlines_on_random_instances() {
+        for seed in 0..20 {
+            let inst = DeadlineInstance::random(25, 25.0, (0.5, 6.0), (0.2, 2.0), seed);
+            let sched = avr(&inst).unwrap();
+            inst.validate_schedule(&sched, 1e-6).unwrap();
+        }
+    }
+
+    #[test]
+    fn competitive_ratio_within_theory_bound() {
+        // AVR <= 2^{α-1}·α^α · OPT (Yao et al.). For α = 3: 4·27 = 108.
+        let model = PolyPower::CUBE;
+        let bound = 2f64.powi(2) * 27.0;
+        for seed in 0..15 {
+            let inst = DeadlineInstance::random(20, 15.0, (0.5, 5.0), (0.2, 2.0), seed);
+            let a = metrics::energy(&avr(&inst).unwrap(), &model);
+            let y = metrics::energy(&yds(&inst).unwrap().schedule, &model);
+            let ratio = a / y;
+            assert!(ratio >= 1.0 - 1e-9, "seed {seed}: AVR beat OPT? {ratio}");
+            assert!(ratio <= bound, "seed {seed}: ratio {ratio} above bound");
+        }
+    }
+
+    #[test]
+    fn avr_at_least_yds_energy() {
+        for seed in 20..30 {
+            let inst = DeadlineInstance::random(12, 10.0, (1.0, 4.0), (0.5, 1.5), seed);
+            let model = PolyPower::new(2.0);
+            let a = metrics::energy(&avr(&inst).unwrap(), &model);
+            let y = metrics::energy(&yds(&inst).unwrap().schedule, &model);
+            assert!(a >= y - 1e-6, "seed {seed}: {a} < {y}");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Jobs with deadlines and their instances.
+
+use crate::error::CoreError;
+use pas_sim::Schedule;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A job in the Yao–Demers–Shenker model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineJob {
+    /// Caller-facing identifier.
+    pub id: u32,
+    /// Release time.
+    pub release: f64,
+    /// Deadline (`> release`).
+    pub deadline: f64,
+    /// Work requirement (`> 0`).
+    pub work: f64,
+}
+
+impl DeadlineJob {
+    /// Construct a deadline job.
+    pub fn new(id: u32, release: f64, deadline: f64, work: f64) -> Self {
+        DeadlineJob {
+            id,
+            release,
+            deadline,
+            work,
+        }
+    }
+
+    /// The job's *density*: work per unit of window.
+    pub fn density(&self) -> f64 {
+        self.work / (self.deadline - self.release)
+    }
+
+    fn is_valid(&self) -> bool {
+        self.release.is_finite()
+            && self.release >= 0.0
+            && self.deadline.is_finite()
+            && self.deadline > self.release
+            && self.work.is_finite()
+            && self.work > 0.0
+    }
+}
+
+/// A validated deadline-scheduling instance, sorted by release time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlineInstance {
+    jobs: Vec<DeadlineJob>,
+}
+
+impl DeadlineInstance {
+    /// Build an instance (sorts by release; validates each job and id
+    /// uniqueness).
+    ///
+    /// # Errors
+    /// [`CoreError::VerificationFailed`] describing the offending job.
+    pub fn new(mut jobs: Vec<DeadlineJob>) -> Result<Self, CoreError> {
+        if jobs.is_empty() {
+            return Err(CoreError::VerificationFailed {
+                reason: "deadline instance needs at least one job".to_string(),
+            });
+        }
+        for j in &jobs {
+            if !j.is_valid() {
+                return Err(CoreError::VerificationFailed {
+                    reason: format!("invalid deadline job {j:?}"),
+                });
+            }
+        }
+        let mut ids: Vec<u32> = jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        if ids.windows(2).any(|p| p[0] == p[1]) {
+            return Err(CoreError::VerificationFailed {
+                reason: "duplicate deadline job id".to_string(),
+            });
+        }
+        jobs.sort_by(|a, b| a.release.partial_cmp(&b.release).expect("finite"));
+        Ok(DeadlineInstance { jobs })
+    }
+
+    /// The jobs, sorted by release time.
+    pub fn jobs(&self) -> &[DeadlineJob] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Always false (construction rejects empty).
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Seeded random instance: releases uniform in `[0, span)`, window
+    /// lengths uniform in `window_range`, works uniform in `work_range`.
+    ///
+    /// # Panics
+    /// On degenerate ranges.
+    pub fn random(
+        n: usize,
+        span: f64,
+        window_range: (f64, f64),
+        work_range: (f64, f64),
+        seed: u64,
+    ) -> Self {
+        assert!(n > 0 && span >= 0.0);
+        assert!(window_range.0 > 0.0 && window_range.1 >= window_range.0);
+        assert!(work_range.0 > 0.0 && work_range.1 >= work_range.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rel = Uniform::new_inclusive(0.0, span.max(f64::MIN_POSITIVE));
+        let win = Uniform::new_inclusive(window_range.0, window_range.1);
+        let wrk = Uniform::new_inclusive(work_range.0, work_range.1);
+        let jobs = (0..n)
+            .map(|i| {
+                let r = rel.sample(&mut rng);
+                DeadlineJob::new(i as u32, r, r + win.sample(&mut rng), wrk.sample(&mut rng))
+            })
+            .collect();
+        DeadlineInstance::new(jobs).expect("generated jobs are valid")
+    }
+
+    /// Validate an executed schedule against this instance: every job's
+    /// slices lie within its `[release, deadline]` window (tolerance
+    /// `tol`) and complete its work.
+    ///
+    /// # Errors
+    /// [`CoreError::VerificationFailed`] naming the violation.
+    pub fn validate_schedule(&self, schedule: &Schedule, tol: f64) -> Result<(), CoreError> {
+        let mut done: HashMap<u32, f64> = HashMap::new();
+        let by_id: HashMap<u32, &DeadlineJob> = self.jobs.iter().map(|j| (j.id, j)).collect();
+        for lane in schedule.machines() {
+            for s in lane {
+                let Some(job) = by_id.get(&s.job) else {
+                    return Err(CoreError::VerificationFailed {
+                        reason: format!("unknown job {}", s.job),
+                    });
+                };
+                if s.start < job.release - tol {
+                    return Err(CoreError::VerificationFailed {
+                        reason: format!("job {} starts before release", s.job),
+                    });
+                }
+                if s.end > job.deadline + tol {
+                    return Err(CoreError::VerificationFailed {
+                        reason: format!(
+                            "job {} misses deadline: runs to {} > {}",
+                            s.job, s.end, job.deadline
+                        ),
+                    });
+                }
+                *done.entry(s.job).or_insert(0.0) += s.work();
+            }
+        }
+        for j in &self.jobs {
+            let got = done.get(&j.id).copied().unwrap_or(0.0);
+            if (got - j.work).abs() > tol * j.work.max(1.0) {
+                return Err(CoreError::VerificationFailed {
+                    reason: format!("job {} work {got} != {}", j.id, j.work),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_sim::Slice;
+
+    #[test]
+    fn construction_and_sorting() {
+        let inst = DeadlineInstance::new(vec![
+            DeadlineJob::new(1, 5.0, 8.0, 1.0),
+            DeadlineJob::new(0, 0.0, 2.0, 1.0),
+        ])
+        .unwrap();
+        assert_eq!(inst.jobs()[0].id, 0);
+        assert_eq!(inst.len(), 2);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(DeadlineInstance::new(vec![]).is_err());
+        assert!(DeadlineInstance::new(vec![DeadlineJob::new(0, 2.0, 1.0, 1.0)]).is_err());
+        assert!(DeadlineInstance::new(vec![DeadlineJob::new(0, 0.0, 1.0, 0.0)]).is_err());
+        assert!(DeadlineInstance::new(vec![
+            DeadlineJob::new(0, 0.0, 1.0, 1.0),
+            DeadlineJob::new(0, 0.0, 2.0, 1.0),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn density() {
+        assert_eq!(DeadlineJob::new(0, 1.0, 3.0, 4.0).density(), 2.0);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_valid() {
+        let a = DeadlineInstance::random(30, 10.0, (1.0, 4.0), (0.5, 2.0), 7);
+        let b = DeadlineInstance::random(30, 10.0, (1.0, 4.0), (0.5, 2.0), 7);
+        assert_eq!(a, b);
+        for j in a.jobs() {
+            assert!(j.deadline > j.release);
+        }
+    }
+
+    #[test]
+    fn schedule_validation() {
+        let inst =
+            DeadlineInstance::new(vec![DeadlineJob::new(0, 0.0, 2.0, 2.0)]).unwrap();
+        let good = Schedule::from_slices(vec![Slice::new(0, 0.0, 2.0, 1.0)]);
+        inst.validate_schedule(&good, 1e-9).unwrap();
+        let late = Schedule::from_slices(vec![Slice::new(0, 1.0, 3.0, 1.0)]);
+        assert!(inst.validate_schedule(&late, 1e-9).is_err());
+        let short = Schedule::from_slices(vec![Slice::new(0, 0.0, 1.0, 1.0)]);
+        assert!(inst.validate_schedule(&short, 1e-9).is_err());
+    }
+}

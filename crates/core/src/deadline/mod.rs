@@ -1,0 +1,30 @@
+//! Deadline-based speed scaling: the Yao–Demers–Shenker model (paper §2).
+//!
+//! The problem that started power-aware scheduling (FOCS 1995): each job
+//! has a release time, a **deadline**, and a work requirement; find the
+//! minimum-energy speed profile that meets every deadline. The paper
+//! builds directly on this line of work, so the workspace includes it as
+//! a substrate and baseline:
+//!
+//! * [`mod@yds`] — the optimal offline algorithm: repeatedly schedule the
+//!   maximum-*density* interval (work over available time) at constant
+//!   speed and remove it from the timeline;
+//! * [`mod@avr`] — the online **Average Rate** heuristic: the processor runs
+//!   at the sum of the densities of the active jobs
+//!   (`2^{α−1}·α^α`-competitive, Yao et al.);
+//! * [`mod@oa`] — the online **Optimal Available** heuristic: re-plan
+//!   optimally for the known jobs at every arrival
+//!   (`α^α`-competitive, Bansal–Kimbrel–Pruhs).
+//!
+//! Experiment E12 measures the empirical competitive ratios against the
+//! analytic bounds.
+
+pub mod avr;
+pub mod job;
+pub mod oa;
+pub mod yds;
+
+pub use avr::avr;
+pub use job::{DeadlineInstance, DeadlineJob};
+pub use oa::oa;
+pub use yds::{yds, YdsOutcome, YdsRound};

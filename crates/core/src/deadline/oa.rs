@@ -1,0 +1,182 @@
+//! OA — the Optimal Available online heuristic.
+//!
+//! At every moment, run at the speed the *optimal offline schedule of the
+//! currently known, unfinished work* would use — equivalently
+//!
+//! ```text
+//! s(t) = max over deadlines d of  W_remaining(deadline ≤ d) / (d − t)
+//! ```
+//!
+//! dispatching EDF. Between events (arrivals and completions) the
+//! maximizing ratio stays constant — the critical group's remaining work
+//! shrinks at exactly rate `s` — so an event-driven simulation is exact.
+//! Proposed by Yao, Demers, Shenker; Bansal, Kimbrel and Pruhs proved it
+//! `α^α`-competitive (the paper's §2 recounts both results).
+
+use crate::deadline::job::DeadlineInstance;
+use crate::error::CoreError;
+use pas_sim::{Schedule, Slice};
+
+/// Run Optimal Available on `instance`.
+///
+/// # Errors
+/// [`CoreError::VerificationFailed`] on internal invariant violations
+/// (never for valid instances).
+pub fn oa(instance: &DeadlineInstance) -> Result<Schedule, CoreError> {
+    let jobs = instance.jobs();
+    let n = jobs.len();
+    let mut remaining: Vec<f64> = jobs.iter().map(|j| j.work).collect();
+    let mut slices = Vec::new();
+    let mut t = jobs[0].release;
+    let mut done = 0usize;
+    let mut guard = 10_000 * (n + 1);
+
+    while done < n {
+        guard -= 1;
+        if guard == 0 {
+            return Err(CoreError::VerificationFailed {
+                reason: "OA: event budget exhausted".to_string(),
+            });
+        }
+        let next_release = jobs
+            .iter()
+            .map(|j| j.release)
+            .filter(|&r| r > t + 1e-12)
+            .fold(f64::INFINITY, f64::min);
+
+        // Ready jobs (released, unfinished).
+        let ready: Vec<usize> = (0..n)
+            .filter(|&k| remaining[k] > 1e-12 && jobs[k].release <= t + 1e-12)
+            .collect();
+        if ready.is_empty() {
+            if !next_release.is_finite() {
+                return Err(CoreError::VerificationFailed {
+                    reason: "OA: stalled with jobs remaining".to_string(),
+                });
+            }
+            t = next_release;
+            continue;
+        }
+
+        // OA speed: the max over deadlines of remaining-work density.
+        let mut deadlines: Vec<f64> = ready.iter().map(|&k| jobs[k].deadline).collect();
+        deadlines.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        deadlines.dedup();
+        let mut speed = 0.0f64;
+        for &d in &deadlines {
+            let w: f64 = ready
+                .iter()
+                .filter(|&&k| jobs[k].deadline <= d + 1e-12)
+                .map(|&k| remaining[k])
+                .sum();
+            if d > t {
+                speed = speed.max(w / (d - t));
+            }
+        }
+        if speed <= 0.0 {
+            return Err(CoreError::VerificationFailed {
+                reason: format!("OA: zero speed at t={t}"),
+            });
+        }
+
+        // EDF job at that speed until completion or next arrival.
+        let k = *ready
+            .iter()
+            .min_by(|&&a, &&b| {
+                jobs[a]
+                    .deadline
+                    .partial_cmp(&jobs[b].deadline)
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        let until = (t + remaining[k] / speed).min(next_release);
+        if until > t + 1e-12 {
+            slices.push(Slice::new(jobs[k].id, t, until, speed));
+            remaining[k] -= speed * (until - t);
+        }
+        if remaining[k] <= 1e-9 * jobs[k].work {
+            remaining[k] = 0.0;
+            done += 1;
+        }
+        t = until.max(t + 1e-12);
+    }
+
+    let mut schedule = Schedule::from_slices(slices);
+    schedule.coalesce(1e-9);
+    instance.validate_schedule(&schedule, 1e-6)?;
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadline::job::DeadlineJob;
+    use crate::deadline::yds::yds;
+    use pas_power::PolyPower;
+    use pas_sim::metrics;
+
+    #[test]
+    fn single_job_is_optimal() {
+        let inst =
+            DeadlineInstance::new(vec![DeadlineJob::new(0, 0.0, 4.0, 8.0)]).unwrap();
+        let o = oa(&inst).unwrap();
+        let y = yds(&inst).unwrap();
+        let model = PolyPower::CUBE;
+        assert!(
+            (metrics::energy(&o, &model) - metrics::energy(&y.schedule, &model)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn oa_equals_yds_when_everything_known_up_front() {
+        // All jobs released at 0: OA plans once, optimally.
+        let inst = DeadlineInstance::new(vec![
+            DeadlineJob::new(0, 0.0, 2.0, 1.0),
+            DeadlineJob::new(1, 0.0, 4.0, 1.0),
+            DeadlineJob::new(2, 0.0, 8.0, 2.0),
+        ])
+        .unwrap();
+        let model = PolyPower::CUBE;
+        let o = metrics::energy(&oa(&inst).unwrap(), &model);
+        let y = metrics::energy(&yds(&inst).unwrap().schedule, &model);
+        assert!((o - y).abs() < 1e-6, "OA {o} vs YDS {y}");
+    }
+
+    #[test]
+    fn meets_deadlines_on_random_instances() {
+        for seed in 0..20 {
+            let inst = DeadlineInstance::random(25, 25.0, (0.5, 6.0), (0.2, 2.0), seed);
+            let sched = oa(&inst).unwrap();
+            inst.validate_schedule(&sched, 1e-6).unwrap();
+        }
+    }
+
+    #[test]
+    fn competitive_ratio_within_alpha_alpha() {
+        // OA <= α^α · OPT (Bansal–Kimbrel–Pruhs). α = 3: 27.
+        let model = PolyPower::CUBE;
+        for seed in 0..15 {
+            let inst = DeadlineInstance::random(20, 15.0, (0.5, 5.0), (0.2, 2.0), seed);
+            let o = metrics::energy(&oa(&inst).unwrap(), &model);
+            let y = metrics::energy(&yds(&inst).unwrap().schedule, &model);
+            let ratio = o / y;
+            assert!(ratio >= 1.0 - 1e-6, "seed {seed}: OA beat OPT? {ratio}");
+            assert!(ratio <= 27.0, "seed {seed}: ratio {ratio} above α^α");
+        }
+    }
+
+    #[test]
+    fn oa_no_worse_than_avr_on_surprise_arrivals() {
+        // Not a theorem, but on the classic bad case for AVR (a late
+        // urgent job stacked on a long lazy one) OA adapts better.
+        let inst = DeadlineInstance::new(vec![
+            DeadlineJob::new(0, 0.0, 10.0, 1.0),
+            DeadlineJob::new(1, 9.0, 10.0, 2.0),
+        ])
+        .unwrap();
+        let model = PolyPower::CUBE;
+        let o = metrics::energy(&oa(&inst).unwrap(), &model);
+        let a = metrics::energy(&crate::deadline::avr::avr(&inst).unwrap(), &model);
+        assert!(o <= a + 1e-9, "OA {o} vs AVR {a}");
+    }
+}

@@ -1,0 +1,379 @@
+//! The Yao–Demers–Shenker optimal offline algorithm (YDS).
+//!
+//! Repeatedly find the **critical interval** — the `[t1, t2]` (release to
+//! deadline) maximizing `density = W / available`, where `W` sums the
+//! work of jobs whose windows lie inside and `available` discounts time
+//! already claimed by earlier critical intervals — run its jobs there at
+//! the density speed under EDF, block the interval, and recur on the
+//! rest. Instead of the textbook "contract the timeline" step, blocked
+//! time is kept explicit (a sorted list of holes), which keeps all
+//! coordinates in original time.
+//!
+//! Optimality (Yao et al. 1995): the resulting speed profile is the
+//! unique minimum-energy feasible profile for *every* convex power
+//! function simultaneously — which is why the algorithm needs no
+//! [`PowerModel`](pas_power::PowerModel) argument.
+
+use crate::deadline::job::{DeadlineInstance, DeadlineJob};
+use crate::error::CoreError;
+use pas_sim::{Schedule, Slice};
+
+/// One round of the YDS loop.
+#[derive(Debug, Clone)]
+pub struct YdsRound {
+    /// Critical interval start (a release time).
+    pub t1: f64,
+    /// Critical interval end (a deadline).
+    pub t2: f64,
+    /// The density = execution speed of this round's jobs.
+    pub density: f64,
+    /// Ids of the jobs scheduled this round.
+    pub jobs: Vec<u32>,
+}
+
+/// The full YDS result.
+#[derive(Debug, Clone)]
+pub struct YdsOutcome {
+    /// The executed (preemptive, single-machine) schedule.
+    pub schedule: Schedule,
+    /// The critical intervals, in selection order (densities
+    /// non-increasing).
+    pub rounds: Vec<YdsRound>,
+}
+
+/// Tolerance for time containment/measure comparisons.
+const EPS: f64 = 1e-9;
+
+/// Run YDS on `instance`.
+///
+/// # Errors
+/// [`CoreError::VerificationFailed`] if the internal invariants break
+/// (cannot happen for valid instances; kept loud rather than silent).
+pub fn yds(instance: &DeadlineInstance) -> Result<YdsOutcome, CoreError> {
+    let mut remaining: Vec<DeadlineJob> = instance.jobs().to_vec();
+    let mut blocked: Vec<(f64, f64)> = Vec::new();
+    let mut rounds = Vec::new();
+    let mut slices: Vec<Slice> = Vec::new();
+
+    while !remaining.is_empty() {
+        // Candidate interval endpoints.
+        let mut releases: Vec<f64> = remaining.iter().map(|j| j.release).collect();
+        let mut deadlines: Vec<f64> = remaining.iter().map(|j| j.deadline).collect();
+        releases.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        releases.dedup();
+        deadlines.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        deadlines.dedup();
+
+        let mut best: Option<(f64, f64, f64, f64)> = None; // (density, t1, t2, work)
+        for &t1 in &releases {
+            for &t2 in deadlines.iter().filter(|&&d| d > t1 + EPS) {
+                let work: f64 = remaining
+                    .iter()
+                    .filter(|j| j.release >= t1 - EPS && j.deadline <= t2 + EPS)
+                    .map(|j| j.work)
+                    .sum();
+                if work <= 0.0 {
+                    continue;
+                }
+                let avail = (t2 - t1) - blocked_measure(&blocked, t1, t2);
+                if avail <= EPS {
+                    return Err(CoreError::VerificationFailed {
+                        reason: format!(
+                            "YDS: window [{t1}, {t2}] has work {work} but no available time"
+                        ),
+                    });
+                }
+                let density = work / avail;
+                if best.is_none_or(|(d, ..)| density > d) {
+                    best = Some((density, t1, t2, work));
+                }
+            }
+        }
+        let Some((density, t1, t2, _)) = best else {
+            return Err(CoreError::VerificationFailed {
+                reason: "YDS: no candidate interval found".to_string(),
+            });
+        };
+
+        // Extract the contained jobs and schedule them by EDF at the
+        // density speed inside the available windows of [t1, t2].
+        let (contained, rest): (Vec<_>, Vec<_>) = remaining
+            .into_iter()
+            .partition(|j| j.release >= t1 - EPS && j.deadline <= t2 + EPS);
+        remaining = rest;
+        let windows = available_windows(&blocked, t1, t2);
+        let round_slices = edf_into_windows(&contained, &windows, density)?;
+        slices.extend_from_slice(&round_slices);
+        rounds.push(YdsRound {
+            t1,
+            t2,
+            density,
+            jobs: contained.iter().map(|j| j.id).collect(),
+        });
+        block_interval(&mut blocked, t1, t2);
+    }
+
+    let mut schedule = Schedule::from_slices(slices);
+    schedule.coalesce(1e-9);
+    instance.validate_schedule(&schedule, 1e-6)?;
+    Ok(YdsOutcome { schedule, rounds })
+}
+
+/// Total blocked measure within `[t1, t2]`.
+fn blocked_measure(blocked: &[(f64, f64)], t1: f64, t2: f64) -> f64 {
+    blocked
+        .iter()
+        .map(|&(a, b)| (b.min(t2) - a.max(t1)).max(0.0))
+        .sum()
+}
+
+/// The maximal free sub-intervals of `[t1, t2]`.
+fn available_windows(blocked: &[(f64, f64)], t1: f64, t2: f64) -> Vec<(f64, f64)> {
+    let mut windows = Vec::new();
+    let mut cursor = t1;
+    for &(a, b) in blocked {
+        // blocked is kept sorted and disjoint.
+        if b <= t1 || a >= t2 {
+            continue;
+        }
+        if a > cursor {
+            windows.push((cursor, a.min(t2)));
+        }
+        cursor = cursor.max(b);
+        if cursor >= t2 {
+            break;
+        }
+    }
+    if cursor < t2 {
+        windows.push((cursor, t2));
+    }
+    windows.retain(|&(a, b)| b - a > EPS);
+    windows
+}
+
+/// Merge `[t1, t2]` into the sorted disjoint blocked list.
+fn block_interval(blocked: &mut Vec<(f64, f64)>, t1: f64, t2: f64) {
+    blocked.push((t1, t2));
+    blocked.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite"));
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(blocked.len());
+    for &(a, b) in blocked.iter() {
+        if let Some(last) = merged.last_mut() {
+            if a <= last.1 + EPS {
+                last.1 = last.1.max(b);
+                continue;
+            }
+        }
+        merged.push((a, b));
+    }
+    *blocked = merged;
+}
+
+/// Preemptive EDF of `jobs` at constant `speed` inside `windows`.
+fn edf_into_windows(
+    jobs: &[DeadlineJob],
+    windows: &[(f64, f64)],
+    speed: f64,
+) -> Result<Vec<Slice>, CoreError> {
+    let mut remaining: Vec<f64> = jobs.iter().map(|j| j.work).collect();
+    let mut slices = Vec::new();
+    for &(a, b) in windows {
+        let mut t = a;
+        while t < b - EPS {
+            // Ready: released, unfinished; earliest deadline first.
+            let next = jobs
+                .iter()
+                .enumerate()
+                .filter(|(k, j)| remaining[*k] > EPS && j.release <= t + EPS)
+                .min_by(|x, y| {
+                    x.1.deadline
+                        .partial_cmp(&y.1.deadline)
+                        .expect("finite deadlines")
+                });
+            match next {
+                None => {
+                    // Jump to the next release inside this window.
+                    let upcoming = jobs
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, j)| remaining[*k] > EPS && j.release > t)
+                        .map(|(_, j)| j.release)
+                        .fold(f64::INFINITY, f64::min);
+                    if upcoming >= b {
+                        break;
+                    }
+                    t = upcoming;
+                }
+                Some((k, job)) => {
+                    let finish_in = remaining[k] / speed;
+                    let until = (t + finish_in).min(b);
+                    // Preempt when a shorter-deadline job is released.
+                    let preempt_at = jobs
+                        .iter()
+                        .enumerate()
+                        .filter(|(k2, j2)| {
+                            remaining[*k2] > EPS
+                                && j2.release > t
+                                && j2.release < until
+                                && j2.deadline < job.deadline
+                        })
+                        .map(|(_, j2)| j2.release)
+                        .fold(f64::INFINITY, f64::min);
+                    let until = until.min(preempt_at);
+                    if until <= t + EPS {
+                        // Numerical corner: force progress.
+                        remaining[k] = 0.0;
+                        continue;
+                    }
+                    slices.push(Slice::new(job.id, t, until, speed));
+                    remaining[k] -= speed * (until - t);
+                    t = until;
+                }
+            }
+        }
+    }
+    if let Some(k) = remaining.iter().position(|&r| r > 1e-6) {
+        return Err(CoreError::VerificationFailed {
+            reason: format!(
+                "YDS EDF: job {} has {} work left in its critical interval",
+                jobs[k].id, remaining[k]
+            ),
+        });
+    }
+    Ok(slices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_power::{PolyPower, PowerModel};
+    use pas_sim::metrics;
+
+    fn energy(outcome: &YdsOutcome, alpha: f64) -> f64 {
+        metrics::energy(&outcome.schedule, &PolyPower::new(alpha))
+    }
+
+    #[test]
+    fn single_job_runs_at_its_density() {
+        let inst =
+            DeadlineInstance::new(vec![DeadlineJob::new(0, 1.0, 5.0, 8.0)]).unwrap();
+        let out = yds(&inst).unwrap();
+        assert_eq!(out.rounds.len(), 1);
+        assert!((out.rounds[0].density - 2.0).abs() < 1e-12);
+        // Energy under σ³: P(2)·4s = 8·4 = 32.
+        assert!((energy(&out, 3.0) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_windows_hand_computed() {
+        // Outer job [0, 10] w=2; inner job [4, 6] w=4 (density 2).
+        // Critical interval: [4,6] at speed 2. Outer then has 8 units of
+        // free time ([0,4] ∪ [6,10]) for 2 work: speed 0.25.
+        let inst = DeadlineInstance::new(vec![
+            DeadlineJob::new(0, 0.0, 10.0, 2.0),
+            DeadlineJob::new(1, 4.0, 6.0, 4.0),
+        ])
+        .unwrap();
+        let out = yds(&inst).unwrap();
+        assert_eq!(out.rounds.len(), 2);
+        assert!((out.rounds[0].density - 2.0).abs() < 1e-12);
+        assert!((out.rounds[1].density - 0.25).abs() < 1e-12);
+        // The outer job is split around the hole.
+        let speeds = out.schedule.job_speeds(1e-9);
+        assert_eq!(speeds[&0], Some(0.25));
+        assert_eq!(speeds[&1], Some(2.0));
+    }
+
+    #[test]
+    fn round_densities_are_non_increasing() {
+        for seed in 0..10 {
+            let inst = DeadlineInstance::random(20, 20.0, (0.5, 6.0), (0.2, 3.0), seed);
+            let out = yds(&inst).unwrap();
+            for pair in out.rounds.windows(2) {
+                assert!(
+                    pair[0].density >= pair[1].density - 1e-9,
+                    "seed {seed}: densities increased"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn respects_energy_lower_bound_certificates() {
+        // Two Jensen-style lower bounds every feasible schedule obeys:
+        // (a) per job, its average speed is at least its density, so
+        //     OPT >= Σ w_i·g(density_i);
+        // (b) per candidate interval, the contained work must run inside
+        //     it, so OPT >= W·g(W/length).
+        for seed in 0..10 {
+            let inst = DeadlineInstance::random(15, 12.0, (0.5, 5.0), (0.2, 2.0), seed);
+            let out = yds(&inst).unwrap();
+            let model = PolyPower::CUBE;
+            let yds_energy = energy(&out, 3.0);
+            let per_job_bound: f64 = inst
+                .jobs()
+                .iter()
+                .map(|j| model.energy(j.work, j.density()))
+                .sum();
+            assert!(
+                yds_energy >= per_job_bound - 1e-6,
+                "seed {seed}: YDS {yds_energy} below bound {per_job_bound}"
+            );
+            for a in inst.jobs() {
+                for b in inst.jobs() {
+                    if b.deadline > a.release {
+                        let w: f64 = inst
+                            .jobs()
+                            .iter()
+                            .filter(|j| j.release >= a.release && j.deadline <= b.deadline)
+                            .map(|j| j.work)
+                            .sum();
+                        if w > 0.0 {
+                            let bound =
+                                model.energy(w, w / (b.deadline - a.release));
+                            assert!(
+                                yds_energy >= bound - 1e-6,
+                                "seed {seed}: YDS {yds_energy} below bound {bound}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_validate_and_meet_deadlines() {
+        for seed in 0..20 {
+            let inst = DeadlineInstance::random(25, 30.0, (0.5, 8.0), (0.1, 2.5), seed);
+            let out = yds(&inst).unwrap();
+            inst.validate_schedule(&out.schedule, 1e-6).unwrap();
+        }
+    }
+
+    #[test]
+    fn disjoint_jobs_each_at_own_density() {
+        let inst = DeadlineInstance::new(vec![
+            DeadlineJob::new(0, 0.0, 1.0, 3.0),
+            DeadlineJob::new(1, 5.0, 7.0, 1.0),
+        ])
+        .unwrap();
+        let out = yds(&inst).unwrap();
+        let speeds = out.schedule.job_speeds(1e-9);
+        assert_eq!(speeds[&0], Some(3.0));
+        assert_eq!(speeds[&1], Some(0.5));
+    }
+
+    #[test]
+    fn identical_windows_pool() {
+        // Three jobs sharing [0, 3]: one round at speed (sum work)/3.
+        let inst = DeadlineInstance::new(vec![
+            DeadlineJob::new(0, 0.0, 3.0, 1.0),
+            DeadlineJob::new(1, 0.0, 3.0, 2.0),
+            DeadlineJob::new(2, 0.0, 3.0, 3.0),
+        ])
+        .unwrap();
+        let out = yds(&inst).unwrap();
+        assert_eq!(out.rounds.len(), 1);
+        assert!((out.rounds[0].density - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,210 @@
+//! Discrete speed levels and switching overhead (paper §6).
+//!
+//! Real DVFS hardware offers a finite speed menu (the paper's intro
+//! quotes the AMD Athlon 64's three frequencies) and stalls briefly on
+//! each voltage change. §6 proposes studying both effects; this module
+//! makes them measurable:
+//!
+//! * [`emulate`] rounds a continuous-optimal schedule onto a
+//!   [`DiscreteSpeeds`] ladder by the classic two-adjacent-level
+//!   construction: each job's slice is replaced by a slow piece then a
+//!   fast piece at the bracketing levels, preserving both its time
+//!   window and its work, so the schedule stays feasible and *only the
+//!   energy* changes (upward, by convexity). Targets outside the ladder
+//!   fall back to the nearest level and may stretch the timeline —
+//!   reported, not hidden.
+//! * [`DiscreteReport`] carries the energy overhead and the switch count,
+//!   feeding the §6 overhead model
+//!   ([`pas_sim::metrics::makespan_with_switch_overhead`]).
+
+use crate::error::CoreError;
+use pas_power::{DiscreteSpeeds, PowerModel};
+use pas_sim::{metrics, Schedule, Slice};
+
+/// Result of rounding a schedule onto a discrete speed ladder.
+#[derive(Debug, Clone)]
+pub struct DiscreteReport {
+    /// The emulated schedule (at most two slices per original slice).
+    pub schedule: Schedule,
+    /// Energy of the emulated schedule.
+    pub energy: f64,
+    /// Energy of the continuous original (same model).
+    pub continuous_energy: f64,
+    /// `energy / continuous_energy` (≥ 1 when `timing_exact`).
+    pub overhead: f64,
+    /// Whether every target speed was inside the ladder (timing
+    /// preserved exactly).
+    pub timing_exact: bool,
+    /// Speed switches in the emulated schedule.
+    pub switches: usize,
+    /// Makespan of the emulated schedule.
+    pub makespan: f64,
+}
+
+/// Emulate `schedule` on the `ladder`, per-slice two-level splitting.
+///
+/// Slices whose target lies inside the ladder keep their exact window;
+/// targets outside run at the nearest level, and later slices are pushed
+/// right as needed (never left, so release times stay respected).
+///
+/// # Errors
+/// [`CoreError::VerificationFailed`] if the input schedule has unsorted
+/// lanes (cannot happen for `Schedule`-built values).
+pub fn emulate<M: PowerModel>(
+    schedule: &Schedule,
+    ladder: &DiscreteSpeeds<M>,
+) -> Result<DiscreteReport, CoreError> {
+    let model = ladder.model();
+    let mut out = Schedule::with_machines(schedule.machine_count());
+    let mut timing_exact = true;
+
+    for (m, lane) in schedule.machines().iter().enumerate() {
+        let mut cursor = 0.0f64;
+        for s in lane {
+            let start = s.start.max(cursor);
+            if start > s.start + 1e-9 {
+                timing_exact = false;
+            }
+            let split = ladder.two_level_split(s.work(), s.speed);
+            if !split.exact {
+                timing_exact = false;
+            }
+            let mut t = start;
+            // Slow piece first, then fast: within a job the order is
+            // irrelevant for feasibility (the window is preserved), but
+            // slow-first keeps intermediate completions latest, which is
+            // the safe direction for any downstream consumer.
+            if split.lo_time > 1e-15 {
+                out.push(m, Slice::new(s.job, t, t + split.lo_time, split.lo_speed));
+                t += split.lo_time;
+            }
+            if split.hi_time > 1e-15 {
+                out.push(m, Slice::new(s.job, t, t + split.hi_time, split.hi_speed));
+                t += split.hi_time;
+            }
+            cursor = t;
+        }
+    }
+    out.coalesce(1e-12);
+
+    let energy = metrics::energy(&out, model);
+    let continuous_energy = metrics::energy(schedule, model);
+    Ok(DiscreteReport {
+        overhead: energy / continuous_energy,
+        energy,
+        continuous_energy,
+        timing_exact,
+        switches: metrics::switch_count(&out, 1e-9),
+        makespan: metrics::makespan(&out),
+        schedule: out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::makespan::incmerge;
+    use pas_power::PolyPower;
+    use pas_workload::Instance;
+
+    fn paper_instance() -> Instance {
+        Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).unwrap()
+    }
+
+    fn continuous_schedule(budget: f64) -> (Instance, Schedule) {
+        let inst = paper_instance();
+        let blocks = incmerge::laptop(&inst, &PolyPower::CUBE, budget).unwrap();
+        let sched = blocks.to_schedule(&inst);
+        (inst, sched)
+    }
+
+    #[test]
+    fn emulation_preserves_feasibility_and_work() {
+        let (inst, sched) = continuous_schedule(18.0);
+        // Ladder covering the speed range [1, √8].
+        let ladder = DiscreteSpeeds::uniform(PolyPower::CUBE, 8, 4.0);
+        let report = emulate(&sched, &ladder).unwrap();
+        assert!(report.timing_exact);
+        report.schedule.validate(&inst, 1e-6).unwrap();
+        // Makespan unchanged when timing is exact.
+        assert!((report.makespan - metrics::makespan(&sched)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_overhead_at_least_one_and_shrinks_with_levels() {
+        let (_, sched) = continuous_schedule(18.0);
+        let mut prev = f64::INFINITY;
+        for k in [2usize, 4, 8, 16, 64, 256] {
+            let ladder = DiscreteSpeeds::uniform(PolyPower::CUBE, k, 4.0);
+            let report = emulate(&sched, &ladder).unwrap();
+            assert!(
+                report.overhead >= 1.0 - 1e-12,
+                "k={k}: overhead {} < 1",
+                report.overhead
+            );
+            assert!(
+                report.overhead <= prev + 1e-9,
+                "k={k}: overhead {} grew from {prev}",
+                report.overhead
+            );
+            prev = report.overhead;
+        }
+        // Fine ladders converge to the continuous energy.
+        assert!(prev < 1.001, "256 levels still {prev} overhead");
+    }
+
+    #[test]
+    fn exact_level_hit_has_no_overhead() {
+        // Budget 17 gives speeds 1, 2, 2 on the paper instance — all on
+        // an integer ladder.
+        let (_, sched) = continuous_schedule(17.0);
+        let ladder = DiscreteSpeeds::new(PolyPower::CUBE, vec![1.0, 2.0, 3.0]);
+        let report = emulate(&sched, &ladder).unwrap();
+        assert!((report.overhead - 1.0).abs() < 1e-9, "{}", report.overhead);
+        assert!(report.timing_exact);
+    }
+
+    #[test]
+    fn ladder_too_slow_stretches_makespan() {
+        // Max level 1.5 but the continuous optimum needs speed 2 and √8.
+        let (inst, sched) = continuous_schedule(18.0);
+        let ladder = DiscreteSpeeds::new(PolyPower::CUBE, vec![0.5, 1.0, 1.5]);
+        let report = emulate(&sched, &ladder).unwrap();
+        assert!(!report.timing_exact);
+        assert!(report.makespan > metrics::makespan(&sched) + 0.1);
+        // Work still completes: validation passes (releases respected
+        // because slices only moved right).
+        report.schedule.validate(&inst, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn athlon_ladder_on_athlon_scale_instance() {
+        // Speeds within [0.8, 2.0] GHz: scale the paper instance budget
+        // so the optimum fits the Athlon ladder.
+        let inst = paper_instance();
+        let blocks = incmerge::laptop(&inst, &PolyPower::CUBE, 14.0).unwrap();
+        let speeds: Vec<f64> = blocks.blocks().iter().map(|b| b.speed).collect();
+        assert!(speeds.iter().all(|&s| (0.8..=2.0).contains(&s)), "{speeds:?}");
+        let ladder =
+            DiscreteSpeeds::new(PolyPower::CUBE, pas_power::discrete::ATHLON64_GHZ.to_vec());
+        let report = emulate(&blocks.to_schedule(&inst), &ladder).unwrap();
+        assert!(report.timing_exact);
+        report.schedule.validate(&inst, 1e-6).unwrap();
+        assert!(report.overhead >= 1.0);
+    }
+
+    #[test]
+    fn switch_overhead_model_composes() {
+        let (_, sched) = continuous_schedule(18.0);
+        let ladder = DiscreteSpeeds::uniform(PolyPower::CUBE, 4, 4.0);
+        let report = emulate(&sched, &ladder).unwrap();
+        // Two-level emulation at most doubles slices: switches bounded.
+        assert!(report.switches <= 2 * sched.machine(0).len());
+        let inflated =
+            metrics::makespan_with_switch_overhead(&report.schedule, 0.05, 1e-9);
+        assert!(inflated >= report.makespan);
+        assert!(
+            (inflated - report.makespan - 0.05 * report.switches as f64).abs() < 1e-9
+        );
+    }
+}

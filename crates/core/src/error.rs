@@ -1,0 +1,128 @@
+//! Unified error type for the scheduling algorithms.
+
+use pas_numeric::roots::RootError;
+use pas_power::PowerError;
+use pas_workload::InstanceError;
+
+/// Errors surfaced by `pas-core` solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The energy budget is non-positive or otherwise unusable.
+    InvalidBudget {
+        /// The offending budget.
+        budget: f64,
+    },
+    /// A requested schedule-quality target cannot be met (e.g. a makespan
+    /// at or below the last release time, which no finite speed achieves).
+    UnreachableTarget {
+        /// Description of the violated bound.
+        reason: String,
+    },
+    /// The algorithm requires equal-work jobs (paper §4, §5) but the
+    /// instance has unequal works.
+    NotEqualWork,
+    /// The algorithm requires all jobs released immediately (Theorem 11
+    /// special case) but the instance has positive releases.
+    NotImmediateRelease,
+    /// An iterative solver failed to converge to tolerance.
+    NotConverged {
+        /// Which solver.
+        solver: &'static str,
+        /// Residual at give-up time.
+        residual: f64,
+    },
+    /// A produced solution failed its own verification (KKT residuals,
+    /// schedule validation) — always a bug, surfaced loudly.
+    VerificationFailed {
+        /// What failed.
+        reason: String,
+    },
+    /// Underlying power-model error.
+    Power(PowerError),
+    /// Underlying numeric error.
+    Numeric(RootError),
+    /// Underlying instance-construction error.
+    Instance(InstanceError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InvalidBudget { budget } => {
+                write!(f, "invalid energy budget {budget} (must be positive)")
+            }
+            CoreError::UnreachableTarget { reason } => {
+                write!(f, "unreachable target: {reason}")
+            }
+            CoreError::NotEqualWork => {
+                write!(f, "algorithm requires equal-work jobs (paper sections 4-5)")
+            }
+            CoreError::NotImmediateRelease => {
+                write!(f, "algorithm requires all releases at time 0")
+            }
+            CoreError::NotConverged { solver, residual } => {
+                write!(f, "{solver} did not converge (residual {residual})")
+            }
+            CoreError::VerificationFailed { reason } => {
+                write!(f, "solution verification failed: {reason}")
+            }
+            CoreError::Power(e) => write!(f, "power model: {e}"),
+            CoreError::Numeric(e) => write!(f, "numeric: {e}"),
+            CoreError::Instance(e) => write!(f, "instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<PowerError> for CoreError {
+    fn from(e: PowerError) -> Self {
+        CoreError::Power(e)
+    }
+}
+
+impl From<RootError> for CoreError {
+    fn from(e: RootError) -> Self {
+        CoreError::Numeric(e)
+    }
+}
+
+impl From<InstanceError> for CoreError {
+    fn from(e: InstanceError) -> Self {
+        CoreError::Instance(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let msgs = [
+            CoreError::InvalidBudget { budget: -1.0 }.to_string(),
+            CoreError::NotEqualWork.to_string(),
+            CoreError::NotConverged {
+                solver: "flow",
+                residual: 0.5,
+            }
+            .to_string(),
+        ];
+        assert!(msgs[0].contains("-1"));
+        assert!(msgs[1].contains("equal-work"));
+        assert!(msgs[2].contains("flow"));
+    }
+
+    #[test]
+    fn conversions() {
+        let p: CoreError = PowerError::Unreachable {
+            energy_per_work: 1.0,
+        }
+        .into();
+        assert!(matches!(p, CoreError::Power(_)));
+        let n: CoreError = RootError::InvalidBracket { lo: 1.0, hi: 0.0 }.into();
+        assert!(matches!(n, CoreError::Numeric(_)));
+        let i: CoreError = InstanceError::Empty.into();
+        assert!(matches!(i, CoreError::Instance(_)));
+    }
+}

@@ -1,0 +1,216 @@
+//! Theorem-1 relations as verifiable predicates.
+//!
+//! Every flow solution produced by [`crate::flow::solver`] is checked
+//! against these relations before being returned, so an optimality bug
+//! cannot hide: a speed profile that satisfies the relations is a KKT
+//! point of the (convex) flow-minimization program and therefore globally
+//! optimal for its energy level.
+
+use pas_numeric::compare::is_positive_finite;
+use crate::error::CoreError;
+use pas_workload::Instance;
+
+/// The three-way case split of Theorem 1 at each job boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `C_i < r_{i+1}`: the machine idles after job `i`; `σ_i = σ_n`.
+    Gap,
+    /// `C_i > r_{i+1}`: job `i` delays job `i+1`;
+    /// `σ_i^α = σ_{i+1}^α + σ_n^α`.
+    Push,
+    /// `C_i = r_{i+1}`: the boundary case;
+    /// `σ_n^α ≤ σ_i^α ≤ σ_{i+1}^α + σ_n^α`.
+    Boundary,
+}
+
+impl Relation {
+    /// Single-character code used in configuration signatures
+    /// (`G`, `P`, `=`).
+    pub fn code(&self) -> char {
+        match self {
+            Relation::Gap => 'G',
+            Relation::Push => 'P',
+            Relation::Boundary => '=',
+        }
+    }
+}
+
+/// Outcome of verifying a speed profile against Theorem 1.
+#[derive(Debug, Clone)]
+pub struct KktReport {
+    /// Per-boundary relation (length `n-1`).
+    pub relations: Vec<Relation>,
+    /// Worst normalized violation of the applicable speed identity.
+    pub max_residual: f64,
+    /// Completion times implied by the speeds (FIFO execution).
+    pub completions: Vec<f64>,
+}
+
+impl KktReport {
+    /// Configuration signature, e.g. `"PG="` — used to detect
+    /// configuration changes along the flow↔energy curve.
+    pub fn signature(&self) -> String {
+        self.relations.iter().map(Relation::code).collect()
+    }
+}
+
+/// Forward-simulate FIFO execution of `speeds` and return start and
+/// completion times.
+pub fn simulate(instance: &Instance, speeds: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = instance.len();
+    let mut starts = Vec::with_capacity(n);
+    let mut completions = Vec::with_capacity(n);
+    let mut t = f64::NEG_INFINITY;
+    for (i, &speed) in speeds.iter().enumerate().take(n) {
+        let s = instance.release(i).max(t);
+        let c = s + instance.work(i) / speed;
+        starts.push(s);
+        completions.push(c);
+        t = c;
+    }
+    (starts, completions)
+}
+
+/// Verify the Theorem-1 relations for `speeds` with `u = σ_n^α`.
+///
+/// `time_tol` classifies the three-way completion/release comparison;
+/// residuals of the applicable identities are normalized by `u`.
+///
+/// # Errors
+/// [`CoreError::NotEqualWork`] — the theorem is stated for equal-work
+/// jobs only; [`CoreError::VerificationFailed`] on malformed input
+/// (speed count mismatch or non-positive speeds).
+pub fn verify(
+    instance: &Instance,
+    speeds: &[f64],
+    u: f64,
+    alpha: f64,
+    time_tol: f64,
+) -> Result<KktReport, CoreError> {
+    if !instance.is_equal_work(1e-9) {
+        return Err(CoreError::NotEqualWork);
+    }
+    let n = instance.len();
+    if speeds.len() != n {
+        return Err(CoreError::VerificationFailed {
+            reason: format!("{} speeds for {n} jobs", speeds.len()),
+        });
+    }
+    if !speeds.iter().all(|s| is_positive_finite(*s)) {
+        return Err(CoreError::VerificationFailed {
+            reason: "non-positive speed".to_string(),
+        });
+    }
+
+    let (_, completions) = simulate(instance, speeds);
+    let pow = |s: f64| s.powf(alpha);
+    let mut relations = Vec::with_capacity(n.saturating_sub(1));
+    let mut max_residual = 0.0f64;
+
+    // σ_n^α = u.
+    max_residual = max_residual.max((pow(speeds[n - 1]) - u).abs() / u);
+
+    for i in 0..n.saturating_sub(1) {
+        let c = completions[i];
+        let r_next = instance.release(i + 1);
+        let rel = if c < r_next - time_tol {
+            Relation::Gap
+        } else if c > r_next + time_tol {
+            Relation::Push
+        } else {
+            Relation::Boundary
+        };
+        let si = pow(speeds[i]);
+        let s_next = pow(speeds[i + 1]);
+        let residual = match rel {
+            Relation::Gap => (si - u).abs() / u,
+            Relation::Push => (si - (s_next + u)).abs() / u,
+            Relation::Boundary => {
+                // Inside [u, σ_{i+1}^α + u] up to tolerance.
+                let below = (u - si).max(0.0);
+                let above = (si - (s_next + u)).max(0.0);
+                below.max(above) / u
+            }
+        };
+        max_residual = max_residual.max(residual);
+        relations.push(rel);
+    }
+
+    Ok(KktReport {
+        relations,
+        max_residual,
+        completions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_configuration_verifies() {
+        // Two unit jobs far apart: both run at σ_n; gap between them.
+        let inst = Instance::equal_work(&[0.0, 100.0], 1.0).unwrap();
+        let u = 8.0; // σ_n = 2 under α = 3
+        let report = verify(&inst, &[2.0, 2.0], u, 3.0, 1e-9).unwrap();
+        assert_eq!(report.relations, vec![Relation::Gap]);
+        assert!(report.max_residual < 1e-12);
+        assert_eq!(report.signature(), "G");
+    }
+
+    #[test]
+    fn push_configuration_verifies() {
+        // Two unit jobs both at t=0: job 0 pushes job 1.
+        // σ_1^α = u; σ_0^α = 2u. With u = 1, α = 3: speeds (2^{1/3}, 1).
+        let inst = Instance::equal_work(&[0.0, 0.0], 1.0).unwrap();
+        let s0 = 2f64.powf(1.0 / 3.0);
+        let report = verify(&inst, &[s0, 1.0], 1.0, 3.0, 1e-9).unwrap();
+        assert_eq!(report.relations, vec![Relation::Push]);
+        assert!(report.max_residual < 1e-12);
+    }
+
+    #[test]
+    fn boundary_accepts_interval_of_speeds() {
+        // Job 0 finishes exactly at r_1 = 1 (unit work, speed 1). Any
+        // σ_0^α in [u, σ_1^α + u] is allowed; σ_0 = 1 with u = 0.8,
+        // σ_1^α = u: interval [0.8, 1.6] contains 1.
+        let inst = Instance::equal_work(&[0.0, 1.0], 1.0).unwrap();
+        let u = 0.8f64;
+        let report = verify(&inst, &[1.0, u.powf(1.0 / 3.0)], u, 3.0, 1e-9).unwrap();
+        assert_eq!(report.relations, vec![Relation::Boundary]);
+        assert!(report.max_residual < 1e-12, "{}", report.max_residual);
+    }
+
+    #[test]
+    fn wrong_speeds_produce_residual() {
+        let inst = Instance::equal_work(&[0.0, 0.0], 1.0).unwrap();
+        // Push configuration but σ_0 = σ_1 = 1 with u = 1: residual 1.
+        let report = verify(&inst, &[1.0, 1.0], 1.0, 3.0, 1e-9).unwrap();
+        assert_eq!(report.relations, vec![Relation::Push]);
+        assert!(report.max_residual > 0.5);
+    }
+
+    #[test]
+    fn rejects_unequal_work() {
+        let inst = Instance::from_pairs(&[(0.0, 1.0), (1.0, 2.0)]).unwrap();
+        assert!(matches!(
+            verify(&inst, &[1.0, 1.0], 1.0, 3.0, 1e-9),
+            Err(CoreError::NotEqualWork)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_speeds() {
+        let inst = Instance::equal_work(&[0.0, 1.0], 1.0).unwrap();
+        assert!(verify(&inst, &[1.0], 1.0, 3.0, 1e-9).is_err());
+        assert!(verify(&inst, &[1.0, -1.0], 1.0, 3.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn simulate_inserts_idle_gaps() {
+        let inst = Instance::equal_work(&[0.0, 10.0], 1.0).unwrap();
+        let (starts, completions) = simulate(&inst, &[1.0, 1.0]);
+        assert_eq!(starts, vec![0.0, 10.0]);
+        assert_eq!(completions, vec![1.0, 11.0]);
+    }
+}

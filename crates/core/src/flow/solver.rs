@@ -1,0 +1,397 @@
+//! The arbitrarily-good flow approximation for equal-work jobs.
+//!
+//! Strategy (following Pruhs–Uthaisombut–Woeginger as extended by the
+//! paper): parameterize optimal schedules by `u = σ_n^α`, the α-th power
+//! of the last job's speed. For fixed `u` the Theorem-1 relations
+//! determine every other speed, except that which relation applies at a
+//! boundary depends on the completion times, which depend on the speeds —
+//! a fixed point. We resolve it by damped Gauss–Seidel iteration with the
+//! three-case rule evaluated against the *current* start times, then
+//! verify the result against Theorem 1 (see [`crate::flow::kkt`]).
+//! Energy is strictly increasing in `u` and flow strictly decreasing, so
+//! an outer expanding-bracket bisection solves both the laptop and the
+//! server problem to any tolerance — which Theorem 8 shows is the best
+//! achievable by any algorithm over `(+,−,×,÷,ᵏ√)`.
+
+use pas_numeric::compare::is_positive_finite;
+use crate::error::CoreError;
+use crate::flow::kkt::{self, KktReport};
+use pas_numeric::roots::invert_monotone;
+use pas_numeric::NeumaierSum;
+use pas_power::{PolyPower, PowerModel};
+use pas_sim::{Schedule, Slice};
+use pas_workload::Instance;
+
+/// A solved flow schedule for one value of `u = σ_n^α`.
+#[derive(Debug, Clone)]
+pub struct FlowSolution {
+    /// Per-job speeds (sorted job order).
+    pub speeds: Vec<f64>,
+    /// Per-job start times.
+    pub starts: Vec<f64>,
+    /// Per-job completion times.
+    pub completions: Vec<f64>,
+    /// Total flow `Σ (C_i − r_i)`.
+    pub total_flow: f64,
+    /// Total energy `Σ w·σ_i^{α−1}`.
+    pub energy: f64,
+    /// The parameter this solution was solved at.
+    pub u: f64,
+    /// Theorem-1 verification report.
+    pub kkt: KktReport,
+}
+
+impl FlowSolution {
+    /// Materialize as a [`Schedule`] (one slice per job, idle gaps where
+    /// `C_i < r_{i+1}`).
+    pub fn to_schedule(&self, instance: &Instance) -> Schedule {
+        let slices = (0..instance.len())
+            .map(|i| {
+                Slice::new(
+                    instance.job(i).id,
+                    self.starts[i],
+                    self.completions[i],
+                    self.speeds[i],
+                )
+            })
+            .collect();
+        Schedule::from_slices(slices)
+    }
+}
+
+/// Tolerance knobs for the fixed-point iteration.
+const MAX_ITERATIONS: usize = 2_000;
+const DAMPING_AFTER: usize = 200;
+const SPEED_TOL: f64 = 1e-13;
+/// Relative KKT residual accepted from the converged profile.
+const KKT_TOL: f64 = 1e-6;
+
+/// Solve the Theorem-1 fixed point for a given `u = σ_n^α > 0`.
+///
+/// # Errors
+/// * [`CoreError::NotEqualWork`] — the §4 algorithm requires equal work;
+/// * [`CoreError::InvalidBudget`] — `u <= 0`;
+/// * [`CoreError::NotConverged`] / [`CoreError::VerificationFailed`] —
+///   iteration failure (never observed on valid inputs; kept loud).
+pub fn solve_for_u(instance: &Instance, alpha: f64, u: f64) -> Result<FlowSolution, CoreError> {
+    if !instance.is_equal_work(1e-9) {
+        return Err(CoreError::NotEqualWork);
+    }
+    if !is_positive_finite(u) {
+        return Err(CoreError::InvalidBudget { budget: u });
+    }
+    let n = instance.len();
+    let w = instance.work(0);
+    let inv_alpha = 1.0 / alpha;
+    let sigma_n = u.powf(inv_alpha);
+
+    let mut speeds = vec![sigma_n; n];
+    let mut starts = vec![0.0; n];
+
+    let mut converged = false;
+    for iteration in 0..MAX_ITERATIONS {
+        // Forward pass: starts from current speeds.
+        let mut t = f64::NEG_INFINITY;
+        for i in 0..n {
+            let s = instance.release(i).max(t);
+            starts[i] = s;
+            t = s + w / speeds[i];
+        }
+        // Backward Gauss–Seidel pass: three-case rule per boundary.
+        let mut delta = 0.0f64;
+        let mut new_last = sigma_n;
+        for i in (0..n).rev() {
+            let target = if i + 1 == n {
+                sigma_n
+            } else {
+                let r_next = instance.release(i + 1);
+                let c_slow = starts[i] + w / sigma_n;
+                if c_slow < r_next {
+                    // A gap follows even at the minimum speed: Gap case.
+                    sigma_n
+                } else {
+                    let fast = (new_last.powf(alpha) + u).powf(inv_alpha);
+                    let c_fast = starts[i] + w / fast;
+                    if c_fast > r_next {
+                        // Still pushing at the maximum speed: Push case.
+                        fast
+                    } else {
+                        // Boundary: finish exactly at r_{i+1}, clamped
+                        // into the Theorem-1 interval.
+                        let exact = w / (r_next - starts[i]);
+                        exact.clamp(sigma_n, fast)
+                    }
+                }
+            };
+            let blended = if iteration >= DAMPING_AFTER {
+                // Geometric damping if the plain iteration is cycling.
+                (speeds[i] * target).sqrt()
+            } else {
+                target
+            };
+            delta = delta.max((blended - speeds[i]).abs() / speeds[i].max(1e-300));
+            speeds[i] = blended;
+            new_last = blended;
+        }
+        if delta < SPEED_TOL {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(CoreError::NotConverged {
+            solver: "flow fixed point",
+            residual: f64::NAN,
+        });
+    }
+
+    let report = kkt::verify(instance, &speeds, u, alpha, 1e-7)?;
+    if report.max_residual > KKT_TOL {
+        return Err(CoreError::VerificationFailed {
+            reason: format!(
+                "flow fixed point violates Theorem 1 (residual {})",
+                report.max_residual
+            ),
+        });
+    }
+
+    // Final forward pass for definitive starts/completions.
+    let (starts, completions) = kkt::simulate(instance, &speeds);
+    let model = PolyPower::new(alpha);
+    let mut flow = NeumaierSum::new();
+    let mut energy = NeumaierSum::new();
+    for i in 0..n {
+        flow.add(completions[i] - instance.release(i));
+        energy.add(model.energy(w, speeds[i]));
+    }
+    Ok(FlowSolution {
+        total_flow: flow.total(),
+        energy: energy.total(),
+        speeds,
+        starts,
+        completions,
+        u,
+        kkt: report,
+    })
+}
+
+/// Solve the **laptop problem** for total flow: minimize flow subject to
+/// energy at most `budget`, to relative tolerance `tol` on the budget.
+///
+/// # Errors
+/// Equal-work and budget validation as in [`solve_for_u`]; numeric
+/// bracket errors if the budget is astronomically out of range.
+pub fn laptop(
+    instance: &Instance,
+    alpha: f64,
+    budget: f64,
+    tol: f64,
+) -> Result<FlowSolution, CoreError> {
+    if !is_positive_finite(budget) {
+        return Err(CoreError::InvalidBudget { budget });
+    }
+    if !instance.is_equal_work(1e-9) {
+        return Err(CoreError::NotEqualWork);
+    }
+    // Initial guess: the constant-speed schedule spending the budget on
+    // total work gives σ^{α-1} = E/W, u = σ^α.
+    let guess = (budget / instance.total_work()).powf(alpha / (alpha - 1.0));
+    let u = invert_monotone(
+        |u| {
+            solve_for_u(instance, alpha, u)
+                .map(|s| s.energy)
+                .unwrap_or(f64::NAN)
+        },
+        budget,
+        guess,
+        0.0,
+        budget * tol.max(1e-13),
+    )?;
+    solve_for_u(instance, alpha, u)
+}
+
+/// Solve the **server problem** for total flow: minimize energy subject
+/// to total flow at most `flow_target`, to relative tolerance `tol`.
+///
+/// # Errors
+/// [`CoreError::UnreachableTarget`] when `flow_target` is below the
+/// absolute lower bound `Σ w/σ → 0` is unreachable only at 0; practical
+/// bracket failures surface as numeric errors.
+pub fn server(
+    instance: &Instance,
+    alpha: f64,
+    flow_target: f64,
+    tol: f64,
+) -> Result<FlowSolution, CoreError> {
+    if !is_positive_finite(flow_target) {
+        return Err(CoreError::UnreachableTarget {
+            reason: format!("flow target {flow_target} must be positive"),
+        });
+    }
+    if !instance.is_equal_work(1e-9) {
+        return Err(CoreError::NotEqualWork);
+    }
+    // Flow decreases in u; invert -flow (increasing).
+    let guess = 1.0;
+    let u = invert_monotone(
+        |u| {
+            solve_for_u(instance, alpha, u)
+                .map(|s| -s.total_flow)
+                .unwrap_or(f64::NAN)
+        },
+        -flow_target,
+        guess,
+        0.0,
+        flow_target * tol.max(1e-13),
+    )?;
+    solve_for_u(instance, alpha, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_workload::generators;
+
+    #[test]
+    fn single_job_all_budget() {
+        let inst = Instance::equal_work(&[0.0], 1.0).unwrap();
+        let sol = laptop(&inst, 3.0, 4.0, 1e-10).unwrap();
+        // Energy w·σ² = 4 -> σ = 2, flow = 1/2.
+        assert!((sol.speeds[0] - 2.0).abs() < 1e-6);
+        assert!((sol.total_flow - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn well_separated_jobs_run_at_equal_speed() {
+        // Gaps between all jobs: every job at σ_n (Gap configuration).
+        let inst = Instance::equal_work(&[0.0, 100.0, 200.0], 1.0).unwrap();
+        let sol = laptop(&inst, 3.0, 12.0, 1e-10).unwrap();
+        for s in &sol.speeds {
+            assert!((s - sol.speeds[2]).abs() < 1e-9, "{:?}", sol.speeds);
+        }
+        // Energy 3·σ² = 12 -> σ = 2.
+        assert!((sol.speeds[0] - 2.0).abs() < 1e-6);
+        assert_eq!(sol.kkt.signature(), "GG");
+    }
+
+    #[test]
+    fn simultaneous_jobs_use_cascading_speeds() {
+        // All jobs at t=0: pure Push configuration;
+        // σ_i^α = (n - i)·u (1-indexed from the back).
+        let inst = Instance::equal_work(&[0.0, 0.0, 0.0], 1.0).unwrap();
+        let sol = solve_for_u(&inst, 3.0, 1.0).unwrap();
+        assert_eq!(sol.kkt.signature(), "PP");
+        let want = [3f64, 2.0, 1.0].map(|k| k.powf(1.0 / 3.0));
+        for (got, want) in sol.speeds.iter().zip(want) {
+            assert!((got - want).abs() < 1e-9, "{:?}", sol.speeds);
+        }
+    }
+
+    #[test]
+    fn laptop_hits_budget_and_verifies() {
+        let inst = Instance::equal_work(&[0.0, 0.5, 0.9, 3.0, 3.1], 1.0).unwrap();
+        for &e in &[2.0, 5.0, 10.0, 40.0] {
+            let sol = laptop(&inst, 3.0, e, 1e-10).unwrap();
+            assert!((sol.energy - e).abs() < 1e-6 * e, "E={e}: {}", sol.energy);
+            assert!(sol.kkt.max_residual < 1e-6);
+            // Schedule is structurally legal.
+            sol.to_schedule(&inst).validate(&inst, 1e-6).unwrap();
+        }
+    }
+
+    #[test]
+    fn flow_decreases_with_budget() {
+        let inst = Instance::equal_work(&[0.0, 1.0, 1.5, 4.0], 2.0).unwrap();
+        let mut prev = f64::INFINITY;
+        for &e in &[4.0, 8.0, 16.0, 32.0, 64.0] {
+            let sol = laptop(&inst, 3.0, e, 1e-10).unwrap();
+            assert!(sol.total_flow < prev, "E={e}");
+            prev = sol.total_flow;
+        }
+    }
+
+    #[test]
+    fn server_round_trips_laptop() {
+        let inst = Instance::equal_work(&[0.0, 0.4, 2.0], 1.0).unwrap();
+        let lap = laptop(&inst, 3.0, 9.0, 1e-11).unwrap();
+        let srv = server(&inst, 3.0, lap.total_flow, 1e-11).unwrap();
+        assert!(
+            (srv.energy - 9.0).abs() < 1e-4 * 9.0,
+            "server energy {} for flow {}",
+            srv.energy,
+            lap.total_flow
+        );
+    }
+
+    #[test]
+    fn energy_is_monotone_in_u() {
+        let inst = Instance::equal_work(&[0.0, 0.3, 0.5, 2.0], 1.0).unwrap();
+        let mut prev = 0.0;
+        for k in 1..30 {
+            let u = 0.25 * k as f64;
+            let e = solve_for_u(&inst, 3.0, u).unwrap().energy;
+            assert!(e > prev, "u={u}: {e} !> {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn random_instances_satisfy_theorem1() {
+        for seed in 0..15 {
+            let inst = generators::equal_work_poisson(12, 1.2, 1.0, seed);
+            for &e in &[5.0, 20.0, 60.0] {
+                let sol = laptop(&inst, 3.0, e, 1e-9).unwrap();
+                assert!(
+                    sol.kkt.max_residual < 1e-6,
+                    "seed {seed} E={e}: residual {}",
+                    sol.kkt.max_residual
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_two_also_works() {
+        let inst = Instance::equal_work(&[0.0, 0.2, 0.6], 1.0).unwrap();
+        let sol = laptop(&inst, 2.0, 6.0, 1e-10).unwrap();
+        assert!((sol.energy - 6.0).abs() < 1e-6 * 6.0);
+        assert!(sol.kkt.max_residual < 1e-6);
+    }
+
+    #[test]
+    fn rejects_unequal_work_and_bad_budget() {
+        let uneq = Instance::from_pairs(&[(0.0, 1.0), (1.0, 2.0)]).unwrap();
+        assert!(matches!(
+            laptop(&uneq, 3.0, 5.0, 1e-9),
+            Err(CoreError::NotEqualWork)
+        ));
+        let inst = Instance::equal_work(&[0.0, 1.0], 1.0).unwrap();
+        assert!(laptop(&inst, 3.0, 0.0, 1e-9).is_err());
+        assert!(server(&inst, 3.0, -1.0, 1e-9).is_err());
+        assert!(solve_for_u(&inst, 3.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn flow_beats_makespan_style_constant_speed() {
+        // The flow optimum should not exceed the flow of the best
+        // constant-speed schedule with the same energy.
+        let inst = Instance::equal_work(&[0.0, 0.1, 0.2, 5.0], 1.0).unwrap();
+        let e = 16.0;
+        let sol = laptop(&inst, 3.0, e, 1e-10).unwrap();
+        // Constant speed σ with 4 unit jobs: energy 4σ² = 16 -> σ = 2.
+        let constant = {
+            let speeds = vec![2.0, 2.0, 2.0, 2.0];
+            let (_, completions) = kkt::simulate(&inst, &speeds);
+            completions
+                .iter()
+                .zip(inst.jobs())
+                .map(|(c, j)| c - j.release)
+                .sum::<f64>()
+        };
+        assert!(
+            sol.total_flow <= constant + 1e-9,
+            "optimal {} vs constant {constant}",
+            sol.total_flow
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # pas-core
+//!
+//! The algorithms of **Bunde, "Power-aware scheduling for makespan and
+//! flow", SPAA 2006** — plus the baselines and related-work substrates
+//! the paper builds on.
+//!
+//! Power-aware scheduling treats processor speed as a decision variable:
+//! running job `J_i` (work `w_i`, release `r_i`) at speed `σ` takes
+//! `w_i/σ` time and consumes `P(σ)·w_i/σ` energy for a strictly convex
+//! power curve `P`. Energy and schedule quality pull in opposite
+//! directions, so the object of study is the set of **non-dominated
+//! schedules**; fixing energy gives the *laptop problem*, fixing quality
+//! the *server problem*.
+//!
+//! | Module | Paper section | Contents |
+//! |--------|---------------|----------|
+//! | [`makespan`] | §3 | `IncMerge` (laptop, linear time), the full energy↔makespan frontier with closed-form derivatives (Figures 1–3), O(n²)-style DP and quadratic MoveRight baselines, server problem |
+//! | [`flow`] | §4 | Theorem-1 (KKT) relations, the arbitrarily-good flow approximation for equal-work jobs, the flow↔energy curve, and the Theorem-8 degree-12 impossibility witness |
+//! | [`multi`] | §5 | Cyclic assignment (Theorem 10), exact equal-work multiprocessor makespan, equal-work multiprocessor flow approximation, the Partition reduction of Theorem 11 with exact solvers and `L_α`-norm heuristics |
+//! | [`deadline`] | §2 (related work) | Yao–Demers–Shenker optimal offline deadline scheduling (YDS) and the online AVR / Optimal Available algorithms |
+//! | [`precedence`] | §2 (related work) | Pruhs–van Stee–Uthaisombut-style precedence-constrained makespan: DAGs, power-equality uniform-speed heuristic, energy-parametric lower bounds |
+//! | [`online`] | §6 (future work) | Budgeted online policies for makespan/flow and the empirical competitive-ratio harness |
+//! | [`discrete`] | §6 (future work) | Two-adjacent-level emulation on discrete speed sets and switch-overhead accounting |
+//!
+//! Everything is generic over [`pas_power::PowerModel`] except where the
+//! paper itself specializes (Theorem 1 and Theorem 8 are stated for
+//! `P = σ^α`; the flow solver follows suit and says so in its types).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod deadline;
+pub mod discrete;
+pub mod error;
+pub mod flow;
+pub mod makespan;
+pub mod multi;
+pub mod online;
+pub mod precedence;
+
+pub use error::CoreError;

@@ -1,0 +1,278 @@
+//! Makespan scheduling with minimum/maximum speeds (paper §6).
+//!
+//! §6 suggests "imposing minimum and/or maximum speeds is one way to
+//! partially incorporate [real hardware] without going all the way to
+//! the discrete case". The structure of the bounded optimum follows from
+//! the unbounded one by clamping:
+//!
+//! * a block whose exact-fit speed exceeds `σ_max` is *infeasible* — its
+//!   work provably cannot fit its window at any legal speed;
+//! * a block whose optimal speed falls below `σ_min` runs at `σ_min`
+//!   with idle time after (and, if it was a merged block, possibly
+//!   between) its jobs. Each such job then costs exactly `w·g(σ_min)`,
+//!   the per-job minimum under the constraint, so the clamped schedule
+//!   is optimal;
+//! * in-range blocks are untouched (their windows are independent of
+//!   the clamped blocks: clamping only creates idle time, never delays).
+//!
+//! Unlike the unbounded optimum, bounded schedules may contain **idle
+//! time** before the last job — Lemma 4 of the paper genuinely fails
+//! once a minimum speed exists, which is why these functions return a
+//! [`Schedule`] rather than a [`BlockSchedule`](crate::makespan::blocks::BlockSchedule).
+
+use pas_numeric::compare::is_positive_finite;
+use crate::error::CoreError;
+use crate::makespan::incmerge;
+use pas_numeric::roots::invert_monotone;
+use pas_power::{BoundedPower, PowerModel};
+use pas_sim::{metrics, Schedule, Slice};
+use pas_workload::Instance;
+
+/// Result of a bounded-speed solve.
+#[derive(Debug, Clone)]
+pub struct BoundedSolution {
+    /// The schedule (may contain idle gaps — see module docs).
+    pub schedule: Schedule,
+    /// Its makespan.
+    pub makespan: f64,
+    /// Its energy.
+    pub energy: f64,
+    /// Whether any block was clamped up to the minimum speed.
+    pub clamped_to_min: bool,
+}
+
+/// Server problem with speed bounds: minimum energy to finish all jobs
+/// by `deadline`, with every running speed in
+/// `[bounded.min_speed(), bounded.max_speed()]`.
+///
+/// # Errors
+/// [`CoreError::UnreachableTarget`] when some block needs more than the
+/// maximum speed (the deadline is genuinely impossible), or when the
+/// deadline is not after the last release.
+pub fn server_bounded<M: PowerModel>(
+    instance: &Instance,
+    bounded: &BoundedPower<M>,
+    deadline: f64,
+) -> Result<BoundedSolution, CoreError> {
+    let unbounded = incmerge::server(instance, bounded.inner(), deadline)?;
+    let (lo, hi) = (bounded.min_speed(), bounded.max_speed());
+
+    let mut schedule = Schedule::single();
+    let mut clamped_to_min = false;
+    for block in unbounded.blocks() {
+        if block.speed > hi * (1.0 + 1e-12) {
+            return Err(CoreError::UnreachableTarget {
+                reason: format!(
+                    "jobs {}..={} need speed {} > max {hi} to meet {deadline}",
+                    block.first, block.last, block.speed
+                ),
+            });
+        }
+        let speed = if block.speed < lo {
+            clamped_to_min = true;
+            lo
+        } else {
+            block.speed
+        };
+        // Run the block's jobs at `speed`, as early as releases allow
+        // (idle appears when the clamped speed finishes jobs before the
+        // next release).
+        let mut t = block.start;
+        for i in block.first..=block.last {
+            let start = t.max(instance.release(i));
+            let end = start + instance.work(i) / speed;
+            schedule.push(0, Slice::new(instance.job(i).id, start, end, speed));
+            t = end;
+        }
+    }
+    schedule.coalesce(1e-12);
+    let makespan = metrics::makespan(&schedule);
+    let energy = metrics::energy(&schedule, bounded.inner());
+    Ok(BoundedSolution {
+        makespan,
+        energy,
+        clamped_to_min,
+        schedule,
+    })
+}
+
+/// Laptop problem with speed bounds: best makespan under `budget`.
+///
+/// The reachable energy range is
+/// `[W·g(σ_min), energy of the all-max-speed schedule]`; budgets above
+/// the top simply leave energy unused (the all-max schedule is already
+/// the fastest legal one), budgets below the bottom are infeasible.
+///
+/// # Errors
+/// [`CoreError::InvalidBudget`] for non-positive budgets;
+/// [`CoreError::UnreachableTarget`] when even running everything at the
+/// minimum speed exceeds the budget.
+pub fn laptop_bounded<M: PowerModel>(
+    instance: &Instance,
+    bounded: &BoundedPower<M>,
+    budget: f64,
+) -> Result<BoundedSolution, CoreError> {
+    if !is_positive_finite(budget) {
+        return Err(CoreError::InvalidBudget { budget });
+    }
+    let model = bounded.inner();
+    let floor_energy = model.energy(instance.total_work(), bounded.min_speed());
+    if budget < floor_energy * (1.0 - 1e-12) {
+        return Err(CoreError::UnreachableTarget {
+            reason: format!(
+                "budget {budget} below the minimum-speed floor {floor_energy}"
+            ),
+        });
+    }
+
+    // Fastest legal schedule: everything at max speed, asap.
+    let fastest = fastest_legal(instance, bounded);
+    let fastest_energy = metrics::energy(&fastest, model);
+    if budget >= fastest_energy {
+        let makespan = metrics::makespan(&fastest);
+        return Ok(BoundedSolution {
+            makespan,
+            energy: fastest_energy,
+            clamped_to_min: false,
+            schedule: fastest,
+        });
+    }
+
+    // Otherwise invert energy(T), decreasing in T, over
+    // T ∈ (fastest makespan, ∞).
+    let t_min = metrics::makespan(&fastest);
+    let energy_at = |x: f64| -> f64 {
+        server_bounded(instance, bounded, t_min + x)
+            .map(|s| s.energy)
+            .unwrap_or(f64::INFINITY)
+    };
+    let span = (instance.last_release() - instance.first_release()).max(1.0);
+    let x = invert_monotone(
+        |x| -energy_at(x),
+        -budget,
+        span,
+        0.0,
+        budget * 1e-12,
+    )?;
+    server_bounded(instance, bounded, t_min + x)
+}
+
+/// Everything at `σ_max`, started as early as releases allow.
+fn fastest_legal<M: PowerModel>(instance: &Instance, bounded: &BoundedPower<M>) -> Schedule {
+    let hi = bounded.max_speed();
+    let mut schedule = Schedule::single();
+    let mut t = 0.0f64;
+    for i in 0..instance.len() {
+        let start = t.max(instance.release(i));
+        let end = start + instance.work(i) / hi;
+        schedule.push(0, Slice::new(instance.job(i).id, start, end, hi));
+        t = end;
+    }
+    schedule.coalesce(1e-12);
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_power::PolyPower;
+
+    fn paper_instance() -> Instance {
+        Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn wide_bounds_reduce_to_unbounded() {
+        let inst = paper_instance();
+        let bounded = BoundedPower::new(PolyPower::CUBE, 1e-6, 1e6);
+        let sol = server_bounded(&inst, &bounded, 6.5).unwrap();
+        assert!((sol.energy - 17.0).abs() < 1e-9, "{}", sol.energy);
+        assert!(!sol.clamped_to_min);
+        sol.schedule.validate(&inst, 1e-7).unwrap();
+    }
+
+    #[test]
+    fn max_speed_makes_tight_deadlines_infeasible() {
+        let inst = paper_instance();
+        // Deadline 6.5 needs speed 2 on the last blocks; cap at 1.5.
+        let bounded = BoundedPower::new(PolyPower::CUBE, 0.1, 1.5);
+        assert!(matches!(
+            server_bounded(&inst, &bounded, 6.5),
+            Err(CoreError::UnreachableTarget { .. })
+        ));
+        // A lazy deadline is fine.
+        let sol = server_bounded(&inst, &bounded, 20.0).unwrap();
+        sol.schedule.validate(&inst, 1e-7).unwrap();
+    }
+
+    #[test]
+    fn min_speed_forces_idle_and_extra_energy() {
+        let inst = paper_instance();
+        let unbounded_model = PolyPower::CUBE;
+        // Deadline 20: unbounded speeds would be well below 1.
+        let unbounded = incmerge::server(&inst, &unbounded_model, 20.0).unwrap();
+        assert!(unbounded.blocks().iter().all(|b| b.speed < 1.0));
+        let bounded = BoundedPower::new(unbounded_model, 1.0, 10.0);
+        let sol = server_bounded(&inst, &bounded, 20.0).unwrap();
+        assert!(sol.clamped_to_min);
+        // Every slice at the min speed.
+        for s in sol.schedule.machine(0) {
+            assert!((s.speed - 1.0).abs() < 1e-12);
+        }
+        // Energy is the per-job floor — more than the unbounded optimum.
+        assert!((sol.energy - 8.0).abs() < 1e-9, "{}", sol.energy); // W·g(1) = 8
+        assert!(sol.energy > unbounded.energy(&unbounded_model));
+        // Finishes before the deadline (idle at the end is implicit).
+        assert!(sol.makespan < 20.0);
+        sol.schedule.validate(&inst, 1e-7).unwrap();
+    }
+
+    #[test]
+    fn laptop_bounded_budget_regimes() {
+        let inst = paper_instance();
+        let bounded = BoundedPower::new(PolyPower::CUBE, 0.5, 2.0);
+        // Floor: W·g(0.5) = 8·0.25 = 2. Below -> infeasible.
+        assert!(matches!(
+            laptop_bounded(&inst, &bounded, 1.0),
+            Err(CoreError::UnreachableTarget { .. })
+        ));
+        // Ceiling: everything at speed 2 = the fastest legal schedule.
+        let fast = laptop_bounded(&inst, &bounded, 1000.0).unwrap();
+        for s in fast.schedule.machine(0) {
+            assert!((s.speed - 2.0).abs() < 1e-12);
+        }
+        // Mid-range: spends the budget and lands between the extremes.
+        let mid = laptop_bounded(&inst, &bounded, 10.0).unwrap();
+        assert!((mid.energy - 10.0).abs() < 1e-6 * 10.0, "{}", mid.energy);
+        assert!(mid.makespan > fast.makespan);
+        mid.schedule.validate(&inst, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn bounded_laptop_matches_unbounded_when_inactive() {
+        let inst = paper_instance();
+        let bounded = BoundedPower::new(PolyPower::CUBE, 0.1, 100.0);
+        let budget = 12.0;
+        let sol = laptop_bounded(&inst, &bounded, budget).unwrap();
+        let unbounded = incmerge::laptop(&inst, &PolyPower::CUBE, budget).unwrap();
+        assert!(
+            (sol.makespan - unbounded.makespan()).abs() < 1e-6,
+            "{} vs {}",
+            sol.makespan,
+            unbounded.makespan()
+        );
+    }
+
+    #[test]
+    fn clamped_block_respects_internal_releases() {
+        // A merged block clamped upward must not start later jobs before
+        // their releases: jobs at 0 and 0.5 merged under a lazy deadline.
+        let inst = Instance::from_pairs(&[(0.0, 0.1), (0.5, 0.1)]).unwrap();
+        let bounded = BoundedPower::new(PolyPower::CUBE, 2.0, 10.0);
+        let sol = server_bounded(&inst, &bounded, 100.0).unwrap();
+        sol.schedule.validate(&inst, 1e-9).unwrap();
+        // Job 1 starts at its release, not at job 0's (early) finish.
+        let starts = sol.schedule.start_times();
+        assert!(starts[&1] >= 0.5 - 1e-12);
+    }
+}

@@ -1,0 +1,423 @@
+//! `IncMerge`: the paper's linear-time algorithm for the uniprocessor
+//! makespan laptop problem (§3.1), plus the server-problem variant.
+//!
+//! The algorithm maintains a tentative list of blocks. Jobs are added in
+//! release order, each starting as its own block; while the last block
+//! runs *slower* than its predecessor the two are merged. Non-final
+//! blocks have their speed forced by exact fit — block `(i, j)` runs at
+//! `W_{i..j} / (r_{j+1} − r_i)` because optimal schedules are never idle
+//! (Lemma 4) — while the final block's speed is chosen to spend exactly
+//! the remaining energy budget. Each job ceases to be the head of a block
+//! at most once, so the whole run is `O(n)` after sorting.
+
+use pas_numeric::compare::is_positive_finite;
+use crate::error::CoreError;
+use crate::makespan::blocks::{Block, BlockSchedule};
+use pas_power::PowerModel;
+use pas_workload::Instance;
+
+/// Working segment on the merge stack.
+#[derive(Debug, Clone, Copy)]
+struct Seg {
+    first: usize,
+    last: usize,
+    work: f64,
+    start: f64,
+    /// Exact-fit end for non-final segments: the release of job
+    /// `last + 1` (or the server deadline). Unused for the energy-driven
+    /// final segment of the laptop problem.
+    window_end: f64,
+}
+
+impl Seg {
+    /// Exact-fit speed (`inf` when the window is empty — simultaneous
+    /// releases; such a segment merges immediately).
+    fn exact_fit_speed(&self) -> f64 {
+        let d = self.window_end - self.start;
+        if d <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.work / d
+        }
+    }
+}
+
+/// Running total of stacked segment energies that stays NaN-free when
+/// zero-width windows produce infinite exact-fit energies: infinities are
+/// counted, not summed, so `inf - inf` never happens.
+#[derive(Debug, Default)]
+struct EnergyLedger {
+    finite: f64,
+    infinite: usize,
+}
+
+impl EnergyLedger {
+    fn add(&mut self, e: f64) {
+        if e.is_finite() {
+            self.finite += e;
+        } else {
+            self.infinite += 1;
+        }
+    }
+
+    fn remove(&mut self, e: f64) {
+        if e.is_finite() {
+            self.finite -= e;
+        } else {
+            self.infinite -= 1;
+        }
+    }
+
+    fn total(&self) -> f64 {
+        if self.infinite > 0 {
+            f64::INFINITY
+        } else {
+            self.finite
+        }
+    }
+}
+
+/// Solve the **laptop problem**: minimize makespan subject to total
+/// energy at most `budget` (the optimum always uses the whole budget).
+///
+/// Runs in `O(n)` after the instance's release sort. The result satisfies
+/// the five structural properties of Lemma 7 and is therefore *the*
+/// optimal schedule.
+///
+/// # Errors
+/// [`CoreError::InvalidBudget`] for non-positive budgets and
+/// [`CoreError::Power`] if the model cannot realize the final block's
+/// energy rate (e.g. a [`pas_power::BoundedPower`] out of range).
+pub fn laptop<M: PowerModel>(
+    instance: &Instance,
+    model: &M,
+    budget: f64,
+) -> Result<BlockSchedule, CoreError> {
+    if !is_positive_finite(budget) {
+        return Err(CoreError::InvalidBudget { budget });
+    }
+    let n = instance.len();
+    let mut stack: Vec<Seg> = Vec::with_capacity(n);
+    // Running total of the exact-fit energies of all stacked segments
+    // (final phase subtracts the top as needed).
+    let mut ledger = EnergyLedger::default();
+
+    // Phase 1: jobs 0..n-1 with exact-fit windows.
+    for k in 0..n.saturating_sub(1) {
+        let seg = Seg {
+            first: k,
+            last: k,
+            work: instance.work(k),
+            start: instance.release(k),
+            window_end: instance.release(k + 1),
+        };
+        ledger.add(model.energy(seg.work, seg.exact_fit_speed()));
+        stack.push(seg);
+        merge_exact_fit(&mut stack, &mut ledger, model);
+    }
+
+    // Phase 2: the final job; speed balanced against the energy budget.
+    let mut fin = Seg {
+        first: n - 1,
+        last: n - 1,
+        work: instance.work(n - 1),
+        start: instance.release(n - 1),
+        window_end: f64::NAN, // energy-driven, no exact-fit window
+    };
+    loop {
+        let rem = budget - ledger.total();
+        let speed = if rem > 0.0 {
+            Some(model.speed_for_block(fin.work, rem)?)
+        } else {
+            None // over budget: must absorb the predecessor
+        };
+        let pred_speed = stack.last().map(Seg::exact_fit_speed);
+        let must_merge = match (speed, pred_speed) {
+            (_, None) => false,
+            (None, Some(_)) => true,
+            (Some(s), Some(p)) => s < p,
+        };
+        if must_merge {
+            let pred = stack.pop().expect("pred exists");
+            ledger.remove(model.energy(pred.work, pred.exact_fit_speed()));
+            fin = Seg {
+                first: pred.first,
+                last: fin.last,
+                work: pred.work + fin.work,
+                start: pred.start,
+                window_end: f64::NAN,
+            };
+        } else {
+            let speed = speed.expect("no predecessor left implies rem > 0");
+            let mut blocks: Vec<Block> = stack
+                .iter()
+                .map(|s| Block {
+                    first: s.first,
+                    last: s.last,
+                    work: s.work,
+                    start: s.start,
+                    speed: s.exact_fit_speed(),
+                })
+                .collect();
+            blocks.push(Block {
+                first: fin.first,
+                last: fin.last,
+                work: fin.work,
+                start: fin.start,
+                speed,
+            });
+            return Ok(BlockSchedule::new(blocks));
+        }
+    }
+}
+
+/// Solve the **server problem**: minimize energy subject to completing
+/// all jobs by `deadline`.
+///
+/// Implemented as `IncMerge` with the deadline acting as a sentinel
+/// release after the last job, making *every* block exact-fit. Linear
+/// time; compare with the quadratic
+/// [`moveright`](crate::makespan::moveright) baseline.
+///
+/// # Errors
+/// [`CoreError::UnreachableTarget`] when `deadline` is not strictly after
+/// the last release (no finite speed can help).
+pub fn server<M: PowerModel>(
+    instance: &Instance,
+    model: &M,
+    deadline: f64,
+) -> Result<BlockSchedule, CoreError> {
+    if !pas_numeric::compare::strictly_exceeds(deadline, instance.last_release()) {
+        return Err(CoreError::UnreachableTarget {
+            reason: format!(
+                "deadline {deadline} is not after the last release {}",
+                instance.last_release()
+            ),
+        });
+    }
+    let n = instance.len();
+    let mut stack: Vec<Seg> = Vec::with_capacity(n);
+    let mut ledger = EnergyLedger::default();
+    for k in 0..n {
+        let seg = Seg {
+            first: k,
+            last: k,
+            work: instance.work(k),
+            start: instance.release(k),
+            window_end: if k + 1 < n {
+                instance.release(k + 1)
+            } else {
+                deadline
+            },
+        };
+        ledger.add(model.energy(seg.work, seg.exact_fit_speed()));
+        stack.push(seg);
+        merge_exact_fit(&mut stack, &mut ledger, model);
+    }
+    let blocks = stack
+        .iter()
+        .map(|s| Block {
+            first: s.first,
+            last: s.last,
+            work: s.work,
+            start: s.start,
+            speed: s.exact_fit_speed(),
+        })
+        .collect();
+    Ok(BlockSchedule::new(blocks))
+}
+
+/// Merge the top of the stack leftward while it is slower than its
+/// predecessor (both exact-fit).
+fn merge_exact_fit<M: PowerModel>(stack: &mut Vec<Seg>, ledger: &mut EnergyLedger, model: &M) {
+    while stack.len() >= 2 {
+        let top = stack[stack.len() - 1];
+        let prev = stack[stack.len() - 2];
+        if top.exact_fit_speed() < prev.exact_fit_speed() {
+            stack.pop();
+            stack.pop();
+            ledger.remove(model.energy(top.work, top.exact_fit_speed()));
+            ledger.remove(model.energy(prev.work, prev.exact_fit_speed()));
+            let merged = Seg {
+                first: prev.first,
+                last: top.last,
+                work: prev.work + top.work,
+                start: prev.start,
+                window_end: top.window_end,
+            };
+            ledger.add(model.energy(merged.work, merged.exact_fit_speed()));
+            stack.push(merged);
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_power::PolyPower;
+
+    fn paper_instance() -> Instance {
+        Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).unwrap()
+    }
+
+    /// Closed-form makespan of the paper's instance (DESIGN.md §5):
+    /// three configurations split at E = 8 and E = 17.
+    fn paper_makespan(e: f64) -> f64 {
+        if e >= 17.0 {
+            6.0 + (e - 13.0).powf(-0.5)
+        } else if e >= 8.0 {
+            5.0 + 3.0 * 3f64.sqrt() * (e - 5.0).powf(-0.5)
+        } else {
+            8f64.powf(1.5) * e.powf(-0.5)
+        }
+    }
+
+    #[test]
+    fn matches_paper_closed_form_across_configurations() {
+        let inst = paper_instance();
+        let model = PolyPower::CUBE;
+        for &e in &[6.0, 7.0, 8.0, 9.5, 12.0, 16.0, 17.0, 18.5, 21.0, 100.0] {
+            let sol = laptop(&inst, &model, e).unwrap();
+            let want = paper_makespan(e);
+            assert!(
+                (sol.makespan() - want).abs() < 1e-9,
+                "E={e}: got {} want {want}",
+                sol.makespan()
+            );
+            // The optimum uses the entire budget.
+            assert!((sol.energy(&model) - e).abs() < 1e-7 * e);
+            sol.verify_structure(&inst, 1e-9).unwrap();
+            sol.to_schedule(&inst).validate(&inst, 1e-7).unwrap();
+        }
+    }
+
+    #[test]
+    fn configurations_match_paper_breakpoints() {
+        let inst = paper_instance();
+        let model = PolyPower::CUBE;
+        // E > 17: three blocks.
+        assert_eq!(laptop(&inst, &model, 18.0).unwrap().blocks().len(), 3);
+        // 8 < E < 17: two blocks ({J1}, {J2,J3}).
+        let mid = laptop(&inst, &model, 12.0).unwrap();
+        assert_eq!(mid.blocks().len(), 2);
+        assert_eq!(mid.blocks()[1].first, 1);
+        // E < 8: one block.
+        assert_eq!(laptop(&inst, &model, 6.0).unwrap().blocks().len(), 1);
+    }
+
+    #[test]
+    fn single_job() {
+        let inst = Instance::from_pairs(&[(2.0, 4.0)]).unwrap();
+        let model = PolyPower::CUBE;
+        let sol = laptop(&inst, &model, 16.0).unwrap();
+        // w·σ² = 16 -> σ = 2; makespan 2 + 4/2 = 4.
+        assert_eq!(sol.blocks().len(), 1);
+        assert!((sol.blocks()[0].speed - 2.0).abs() < 1e-12);
+        assert!((sol.makespan() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simultaneous_releases_merge() {
+        let inst = Instance::from_pairs(&[(0.0, 1.0), (0.0, 2.0), (0.0, 3.0)]).unwrap();
+        let model = PolyPower::CUBE;
+        let sol = laptop(&inst, &model, 6.0).unwrap();
+        // All jobs in one block: work 6, energy 6 -> σ = 1, makespan 6.
+        assert_eq!(sol.blocks().len(), 1);
+        assert!((sol.makespan() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_budget() {
+        let inst = paper_instance();
+        assert!(matches!(
+            laptop(&inst, &PolyPower::CUBE, 0.0),
+            Err(CoreError::InvalidBudget { .. })
+        ));
+        assert!(laptop(&inst, &PolyPower::CUBE, -3.0).is_err());
+        assert!(laptop(&inst, &PolyPower::CUBE, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn tiny_budget_gives_single_slow_block() {
+        let inst = paper_instance();
+        let model = PolyPower::CUBE;
+        let sol = laptop(&inst, &model, 1e-6).unwrap();
+        assert_eq!(sol.blocks().len(), 1);
+        // Single block: M = 8^{3/2}·E^{-1/2}.
+        assert!((sol.makespan() - paper_makespan(1e-6)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn makespan_decreases_with_budget() {
+        let inst = paper_instance();
+        let model = PolyPower::CUBE;
+        let mut prev = f64::INFINITY;
+        for k in 1..60 {
+            let e = 0.5 * k as f64;
+            let m = laptop(&inst, &model, e).unwrap().makespan();
+            assert!(m < prev, "E={e}: {m} !< {prev}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn server_exact_fit() {
+        let inst = paper_instance();
+        let model = PolyPower::CUBE;
+        // Deadline 6.5 = the E=17 breakpoint: energy must be 17.
+        let sol = server(&inst, &model, 6.5).unwrap();
+        assert!((sol.makespan() - 6.5).abs() < 1e-12);
+        assert!((sol.energy(&model) - 17.0).abs() < 1e-9);
+        sol.verify_structure(&inst, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn server_laptop_duality() {
+        // server(laptop(E).makespan) spends exactly E, and vice versa.
+        let inst = paper_instance();
+        let model = PolyPower::CUBE;
+        for &e in &[6.5, 9.0, 14.0, 19.0, 30.0] {
+            let lap = laptop(&inst, &model, e).unwrap();
+            let srv = server(&inst, &model, lap.makespan()).unwrap();
+            assert!(
+                (srv.energy(&model) - e).abs() < 1e-7 * e,
+                "E={e}: round trip gave {}",
+                srv.energy(&model)
+            );
+        }
+    }
+
+    #[test]
+    fn server_rejects_impossible_deadline() {
+        let inst = paper_instance();
+        assert!(matches!(
+            server(&inst, &PolyPower::CUBE, 6.0),
+            Err(CoreError::UnreachableTarget { .. })
+        ));
+        assert!(server(&inst, &PolyPower::CUBE, 5.0).is_err());
+    }
+
+    #[test]
+    fn works_with_general_convex_power() {
+        // ExpPower (wireless): same algorithm, numeric inverse path.
+        let inst = paper_instance();
+        let model = pas_power::ExpPower::shannon();
+        let sol = laptop(&inst, &model, 30.0).unwrap();
+        sol.verify_structure(&inst, 1e-9).unwrap();
+        assert!((sol.energy(&model) - 30.0).abs() < 1e-6);
+        // More energy, better makespan.
+        let faster = laptop(&inst, &model, 60.0).unwrap();
+        assert!(faster.makespan() < sol.makespan());
+    }
+
+    #[test]
+    fn staircase_merges_into_one_block_under_tight_budget() {
+        let inst = pas_workload::generators::staircase(12, 1.0);
+        let model = PolyPower::CUBE;
+        let sol = laptop(&inst, &model, 1e-4).unwrap();
+        assert_eq!(sol.blocks().len(), 1);
+        sol.verify_structure(&inst, 1e-9).unwrap();
+    }
+}

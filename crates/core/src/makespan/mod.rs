@@ -1,0 +1,33 @@
+//! Uniprocessor power-aware **makespan** scheduling (paper §3).
+//!
+//! The laptop problem — "what is the best makespan achievable with energy
+//! budget `E`?" — is solved exactly by [`incmerge::laptop`] in linear time
+//! after release-sorting (the paper's `IncMerge`). The structure theorem
+//! behind it (Lemmas 2–7): the optimum runs jobs in release order with no
+//! idle time, partitioned into *blocks* that each run at one speed, block
+//! speeds non-decreasing over time, and those five properties pin down a
+//! unique schedule per budget.
+//!
+//! [`frontier::Frontier`] enumerates **all** non-dominated schedules
+//! (§3.2): as the budget falls, only the final block slows until it
+//! matches its predecessor's speed, at which point they merge — so the
+//! energy↔makespan tradeoff is a piecewise-smooth curve with at most `n`
+//! configurations (Figures 1–3 of the paper).
+//!
+//! Baselines kept for comparison and cross-checking:
+//! * [`dp`] — the `O(n²)`-state dynamic program sketched in §3.1;
+//! * [`moveright`] — a quadratic pool-adjacent-violators server-problem
+//!   solver in the style of Uysal-Biyikoglu–Prabhakar–El Gamal (§2), the
+//!   algorithm `IncMerge` improves on.
+
+pub mod blocks;
+pub mod bounded;
+pub mod dp;
+pub mod exact;
+pub mod frontier;
+pub mod incmerge;
+pub mod moveright;
+
+pub use blocks::{Block, BlockSchedule};
+pub use frontier::{Frontier, FrontierSegment};
+pub use incmerge::{laptop, server};

@@ -1,0 +1,179 @@
+//! Quadratic server-problem baseline in the style of
+//! Uysal-Biyikoglu–Prabhakar–El Gamal (paper §2).
+//!
+//! Their wireless-transmission algorithm solves the server version of
+//! makespan (all packets sent by a deadline with least energy) in
+//! quadratic time by repeatedly evening out transmission rates. The
+//! equivalent structure here: start with every job as its own exact-fit
+//! block and repeatedly *pool adjacent violators* — merge any adjacent
+//! pair where the earlier block is faster — rescanning from the start
+//! after each merge. The fixpoint is the unique non-decreasing-speed
+//! partition, the same schedule `IncMerge`'s sentinel variant finds in
+//! linear time; the naive rescan is what makes this baseline `O(n²)`.
+//!
+//! The paper's claim being reproduced (experiment E5): *"our algorithm
+//! runs faster and also finds all non-dominated schedules rather than
+//! just solving the server problem."*
+
+use crate::error::CoreError;
+use crate::makespan::blocks::{Block, BlockSchedule};
+use pas_power::PowerModel;
+use pas_workload::Instance;
+
+/// Solve the server problem (min energy, makespan ≤ `deadline`) by
+/// quadratic pool-adjacent-violators.
+///
+/// # Errors
+/// [`CoreError::UnreachableTarget`] when `deadline` is not strictly after
+/// the last release. (`model` is unused beyond the trait bound — the
+/// partition is model-independent; it is kept in the signature so the
+/// baseline has the same shape as its replacements.)
+pub fn server_moveright<M: PowerModel>(
+    instance: &Instance,
+    _model: &M,
+    deadline: f64,
+) -> Result<BlockSchedule, CoreError> {
+    if !pas_numeric::compare::strictly_exceeds(deadline, instance.last_release()) {
+        return Err(CoreError::UnreachableTarget {
+            reason: format!(
+                "deadline {deadline} is not after the last release {}",
+                instance.last_release()
+            ),
+        });
+    }
+    let n = instance.len();
+    // Segment list: (first, last, work, start, window_end).
+    #[derive(Clone, Copy)]
+    struct Seg {
+        first: usize,
+        last: usize,
+        work: f64,
+        start: f64,
+        window_end: f64,
+    }
+    let speed_of = |s: &Seg| {
+        let d = s.window_end - s.start;
+        if d <= 0.0 {
+            f64::INFINITY
+        } else {
+            s.work / d
+        }
+    };
+    let mut segs: Vec<Seg> = (0..n)
+        .map(|k| Seg {
+            first: k,
+            last: k,
+            work: instance.work(k),
+            start: instance.release(k),
+            window_end: if k + 1 < n {
+                instance.release(k + 1)
+            } else {
+                deadline
+            },
+        })
+        .collect();
+
+    // Naive PAVA: scan from the left for a violating pair, merge it, and
+    // restart. Each merge is O(n) (Vec::remove) and there are at most
+    // n-1 merges with an O(n) scan before each: O(n²) total.
+    loop {
+        let mut merged = false;
+        for k in 0..segs.len().saturating_sub(1) {
+            if speed_of(&segs[k]) > speed_of(&segs[k + 1]) {
+                let right = segs.remove(k + 1);
+                let left = &mut segs[k];
+                left.last = right.last;
+                left.work += right.work;
+                left.window_end = right.window_end;
+                merged = true;
+                break;
+            }
+        }
+        if !merged {
+            break;
+        }
+    }
+
+    let blocks = segs
+        .iter()
+        .map(|s| Block {
+            first: s.first,
+            last: s.last,
+            work: s.work,
+            start: s.start,
+            speed: speed_of(s),
+        })
+        .collect();
+    Ok(BlockSchedule::new(blocks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::makespan::incmerge;
+    use pas_power::PolyPower;
+    use pas_workload::generators;
+
+    fn paper_instance() -> Instance {
+        Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_incmerge_server_on_paper_instance() {
+        let inst = paper_instance();
+        let model = PolyPower::CUBE;
+        for &t in &[6.1, 6.5, 7.0, 8.0, 9.0, 20.0] {
+            let mr = server_moveright(&inst, &model, t).unwrap();
+            let im = incmerge::server(&inst, &model, t).unwrap();
+            assert!(
+                (mr.energy(&model) - im.energy(&model)).abs()
+                    < 1e-9 * im.energy(&model).max(1.0),
+                "T={t}"
+            );
+            assert_eq!(mr.blocks().len(), im.blocks().len(), "T={t}");
+            mr.verify_structure(&inst, 1e-9).unwrap();
+        }
+    }
+
+    #[test]
+    fn agrees_on_random_instances() {
+        let model = PolyPower::new(2.2);
+        for seed in 0..20 {
+            let inst = generators::uniform(40, 60.0, (0.3, 2.0), seed);
+            let t = inst.last_release() + 5.0;
+            let mr = server_moveright(&inst, &model, t).unwrap();
+            let im = incmerge::server(&inst, &model, t).unwrap();
+            let (a, b) = (mr.energy(&model), im.energy(&model));
+            assert!((a - b).abs() < 1e-7 * b.max(1.0), "seed {seed}: {a} vs {b}");
+            assert!((mr.makespan() - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn handles_simultaneous_releases() {
+        let model = PolyPower::CUBE;
+        let inst = Instance::from_pairs(&[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let sol = server_moveright(&inst, &model, 3.0).unwrap();
+        // One block of work 3 over 3 time units at speed 1: energy 3.
+        assert_eq!(sol.blocks().len(), 1);
+        assert!((sol.energy(&model) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_impossible_deadline() {
+        assert!(server_moveright(&paper_instance(), &PolyPower::CUBE, 6.0).is_err());
+    }
+
+    #[test]
+    fn min_energy_is_monotone_in_deadline() {
+        let inst = paper_instance();
+        let model = PolyPower::CUBE;
+        let mut prev = f64::INFINITY;
+        for k in 1..40 {
+            let t = 6.0 + 0.25 * k as f64;
+            let e = server_moveright(&inst, &model, t).unwrap().energy(&model);
+            assert!(e < prev, "T={t}: {e} !< {prev}");
+            prev = e;
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Job-to-processor assignments: the Theorem-10 cyclic order and the
+//! brute-force enumerator used to verify its optimality.
+
+use pas_workload::Instance;
+
+/// The Theorem-10 assignment: job `i` (in release-sorted order) runs on
+/// processor `i mod m`. Returns, per processor, the sorted job positions
+/// it receives (possibly empty for `m > n`).
+///
+/// # Panics
+/// If `m == 0`.
+pub fn cyclic_assignment(n: usize, m: usize) -> Vec<Vec<usize>> {
+    assert!(m > 0, "need at least one processor");
+    let mut out = vec![Vec::with_capacity(n / m + 1); m];
+    for i in 0..n {
+        out[i % m].push(i);
+    }
+    out
+}
+
+/// Convert a per-job processor labelling (`labels[i] = processor of job
+/// i`) into per-processor position lists.
+///
+/// # Panics
+/// If any label is `>= m`.
+pub fn assignment_from_labels(labels: &[usize], m: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); m];
+    for (i, &p) in labels.iter().enumerate() {
+        assert!(p < m, "label {p} out of range for {m} processors");
+        out[p].push(i);
+    }
+    out
+}
+
+/// Enumerate every assignment of `n` jobs to `m` processors (`m^n`
+/// labellings). Intended for the small-instance optimality tests of
+/// Theorem 10; guarded against blowups.
+///
+/// # Panics
+/// If `m^n` exceeds one million.
+pub fn all_assignments(n: usize, m: usize) -> Vec<Vec<Vec<usize>>> {
+    let total = (m as u64).checked_pow(n as u32).expect("overflow");
+    assert!(
+        total <= 1_000_000,
+        "refusing to enumerate {total} assignments"
+    );
+    let mut out = Vec::with_capacity(total as usize);
+    let mut labels = vec![0usize; n];
+    loop {
+        out.push(assignment_from_labels(&labels, m));
+        // Increment the mixed-radix counter.
+        let mut k = 0;
+        loop {
+            if k == n {
+                return out;
+            }
+            labels[k] += 1;
+            if labels[k] < m {
+                break;
+            }
+            labels[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// Split `instance` into per-processor sub-instances along `assignment`
+/// (position lists). Processors with no jobs yield `None`.
+pub fn split_instance(instance: &Instance, assignment: &[Vec<usize>]) -> Vec<Option<Instance>> {
+    assignment
+        .iter()
+        .map(|positions| {
+            if positions.is_empty() {
+                None
+            } else {
+                Some(
+                    instance
+                        .subset(positions)
+                        .expect("positions are valid and non-empty"),
+                )
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_round_robin() {
+        let a = cyclic_assignment(7, 3);
+        assert_eq!(a[0], vec![0, 3, 6]);
+        assert_eq!(a[1], vec![1, 4]);
+        assert_eq!(a[2], vec![2, 5]);
+    }
+
+    #[test]
+    fn cyclic_more_processors_than_jobs() {
+        let a = cyclic_assignment(2, 4);
+        assert_eq!(a[0], vec![0]);
+        assert_eq!(a[1], vec![1]);
+        assert!(a[2].is_empty() && a[3].is_empty());
+    }
+
+    #[test]
+    fn all_assignments_count() {
+        assert_eq!(all_assignments(3, 2).len(), 8);
+        assert_eq!(all_assignments(4, 3).len(), 81);
+        // Every assignment covers all jobs exactly once.
+        for a in all_assignments(3, 2) {
+            let mut seen: Vec<usize> = a.concat();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let labels = [0usize, 1, 0, 2];
+        let a = assignment_from_labels(&labels, 3);
+        assert_eq!(a[0], vec![0, 2]);
+        assert_eq!(a[1], vec![1]);
+        assert_eq!(a[2], vec![3]);
+    }
+
+    #[test]
+    fn split_preserves_jobs() {
+        let inst = Instance::from_pairs(&[(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]).unwrap();
+        let parts = split_instance(&inst, &cyclic_assignment(3, 2));
+        let p0 = parts[0].as_ref().unwrap();
+        let p1 = parts[1].as_ref().unwrap();
+        assert_eq!(p0.len(), 2);
+        assert_eq!(p1.len(), 1);
+        assert_eq!(p0.total_work() + p1.total_work(), inst.total_work());
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing")]
+    fn enumeration_guard() {
+        let _ = all_assignments(30, 3);
+    }
+}

@@ -1,0 +1,332 @@
+//! Exact multiprocessor makespan for equal-work jobs (paper §5).
+//!
+//! Combines Theorem 10 (cyclic assignment is optimal) with the paper's
+//! Observation 1 (all processors finish together in a non-dominated
+//! schedule): for a trial common finish time `T`, each processor's
+//! minimum energy is an exact per-processor server-problem query against
+//! its [`Frontier`]; total energy is strictly decreasing in `T`, so the
+//! unique `T` spending the budget is found by bracketed bisection —
+//! exact up to floating-point tolerance (the per-piece algebra is closed
+//! form; only the outer equalization is iterative).
+
+use pas_numeric::compare::is_positive_finite;
+use crate::error::CoreError;
+use crate::makespan::frontier::Frontier;
+use crate::multi::cyclic::{cyclic_assignment, split_instance};
+use pas_numeric::roots::invert_monotone;
+use pas_power::PowerModel;
+use pas_sim::Schedule;
+use pas_workload::Instance;
+
+/// Result of a multiprocessor makespan solve.
+#[derive(Debug, Clone)]
+pub struct MultiMakespan {
+    /// The executed multi-machine schedule.
+    pub schedule: Schedule,
+    /// The common finish time (= makespan).
+    pub makespan: f64,
+    /// Total energy across processors.
+    pub energy: f64,
+    /// The per-processor job position lists used.
+    pub assignment: Vec<Vec<usize>>,
+}
+
+/// Solve the equal-work multiprocessor laptop problem on `m` processors
+/// with shared `budget`, using the Theorem-10 cyclic assignment.
+///
+/// `tol` is the relative tolerance of the outer finish-time equalization.
+///
+/// # Errors
+/// [`CoreError::NotEqualWork`] for unequal works (Theorem 10's premise);
+/// [`CoreError::InvalidBudget`] for non-positive budgets.
+pub fn laptop<M: PowerModel>(
+    instance: &Instance,
+    model: &M,
+    m: usize,
+    budget: f64,
+    tol: f64,
+) -> Result<MultiMakespan, CoreError> {
+    if !instance.is_equal_work(1e-9) {
+        return Err(CoreError::NotEqualWork);
+    }
+    laptop_with_assignment(instance, model, &cyclic_assignment(instance.len(), m), budget, tol)
+}
+
+/// Solve the laptop problem for an explicit assignment (any works).
+///
+/// Used directly by the Theorem-10 brute-force optimality tests, which
+/// compare the cyclic assignment against every other labelling.
+///
+/// # Errors
+/// [`CoreError::InvalidBudget`]; numeric errors if the budget cannot be
+/// bracketed.
+pub fn laptop_with_assignment<M: PowerModel>(
+    instance: &Instance,
+    model: &M,
+    assignment: &[Vec<usize>],
+    budget: f64,
+    tol: f64,
+) -> Result<MultiMakespan, CoreError> {
+    if !is_positive_finite(budget) {
+        return Err(CoreError::InvalidBudget { budget });
+    }
+    let parts = split_instance(instance, assignment);
+    let frontiers: Vec<Option<(Frontier, f64)>> = parts
+        .iter()
+        .map(|p| {
+            p.as_ref()
+                .map(|inst| (Frontier::build(inst, model), inst.last_release()))
+        })
+        .collect();
+    // The common finish time must exceed every processor's last release.
+    let t_min = frontiers
+        .iter()
+        .flatten()
+        .map(|(_, last)| *last)
+        .fold(0.0f64, f64::max);
+
+    // Total energy as a function of x = T - t_min > 0 (decreasing).
+    let total_energy = |x: f64| -> f64 {
+        let t = t_min + x;
+        let mut sum = 0.0;
+        for f in frontiers.iter().flatten() {
+            match f.0.energy_for_makespan(model, t) {
+                Ok(e) => sum += e,
+                Err(_) => return f64::INFINITY,
+            }
+        }
+        sum
+    };
+
+    // Bracket and invert: energy decreasing in x, so flip the sign.
+    let span = (instance.last_release() - instance.first_release()).max(1.0);
+    let x = invert_monotone(
+        |x| -total_energy(x),
+        -budget,
+        span,
+        0.0,
+        budget * tol.max(1e-13),
+    )?;
+    let t = t_min + x;
+
+    // Materialize per-processor schedules at the common finish time.
+    let mut schedule = Schedule::with_machines(assignment.len());
+    let mut energy = 0.0;
+    for (p, part) in parts.iter().enumerate() {
+        let Some(inst) = part else { continue };
+        let (frontier, _) = frontiers[p].as_ref().expect("built above");
+        let e_p = frontier.energy_for_makespan(model, t)?;
+        energy += e_p;
+        let blocks = frontier.schedule(model, e_p)?;
+        for slice in blocks.to_schedule(inst).machine(0) {
+            schedule.push(p, *slice);
+        }
+    }
+    Ok(MultiMakespan {
+        makespan: t,
+        energy,
+        schedule,
+        assignment: assignment.to_vec(),
+    })
+}
+
+/// Solve the **server problem** on `m` processors: least total energy
+/// finishing every job by `deadline`, cyclic assignment (equal work).
+///
+/// Unlike the laptop direction no outer search is needed — each
+/// processor's server query is independent and exact.
+///
+/// # Errors
+/// [`CoreError::NotEqualWork`]; [`CoreError::UnreachableTarget`] when
+/// `deadline` is not after some processor's last release.
+pub fn server<M: PowerModel>(
+    instance: &Instance,
+    model: &M,
+    m: usize,
+    deadline: f64,
+) -> Result<MultiMakespan, CoreError> {
+    if !instance.is_equal_work(1e-9) {
+        return Err(CoreError::NotEqualWork);
+    }
+    let assignment = cyclic_assignment(instance.len(), m);
+    let parts = split_instance(instance, &assignment);
+    let mut schedule = Schedule::with_machines(m);
+    let mut energy = 0.0;
+    for (p, part) in parts.iter().enumerate() {
+        let Some(inst) = part else { continue };
+        let frontier = Frontier::build(inst, model);
+        let e_p = frontier.energy_for_makespan(model, deadline)?;
+        energy += e_p;
+        let blocks = frontier.schedule(model, e_p)?;
+        for slice in blocks.to_schedule(inst).machine(0) {
+            schedule.push(p, *slice);
+        }
+    }
+    Ok(MultiMakespan {
+        makespan: deadline,
+        energy,
+        schedule,
+        assignment,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::cyclic::all_assignments;
+    use pas_power::PolyPower;
+    use pas_sim::metrics;
+
+    #[test]
+    fn server_inverts_laptop() {
+        let inst = Instance::equal_work(&[0.0, 0.5, 1.0, 4.0], 1.0).unwrap();
+        let model = PolyPower::CUBE;
+        for &e in &[4.0, 9.0, 20.0] {
+            let lap = laptop(&inst, &model, 2, e, 1e-12).unwrap();
+            let srv = server(&inst, &model, 2, lap.makespan).unwrap();
+            assert!(
+                (srv.energy - e).abs() < 1e-6 * e,
+                "E={e}: round trip {}",
+                srv.energy
+            );
+            srv.schedule.validate(&inst, 1e-6).unwrap();
+        }
+    }
+
+    #[test]
+    fn server_rejects_impossible_deadline() {
+        let inst = Instance::equal_work(&[0.0, 5.0], 1.0).unwrap();
+        // Deadline at the last release: the processor holding job 1
+        // cannot finish.
+        assert!(server(&inst, &PolyPower::CUBE, 2, 5.0).is_err());
+        assert!(server(&inst, &PolyPower::CUBE, 2, 5.1).is_ok());
+    }
+
+    #[test]
+    fn two_independent_processors_split_evenly() {
+        // Two unit jobs at t=0 on two processors with budget 2:
+        // each runs its job alone; equal finish forces equal speeds:
+        // each spends 1, speed 1, makespan 1.
+        let inst = Instance::equal_work(&[0.0, 0.0], 1.0).unwrap();
+        let sol = laptop(&inst, &PolyPower::CUBE, 2, 2.0, 1e-12).unwrap();
+        assert!((sol.makespan - 1.0).abs() < 1e-9, "{}", sol.makespan);
+        assert!((sol.energy - 2.0).abs() < 1e-9);
+        sol.schedule.validate(&inst, 1e-7).unwrap();
+    }
+
+    #[test]
+    fn processors_finish_simultaneously() {
+        // Paper Observation 1: all machines end at the common makespan.
+        let inst =
+            Instance::equal_work(&[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 7.0], 1.0).unwrap();
+        let sol = laptop(&inst, &PolyPower::CUBE, 3, 30.0, 1e-12).unwrap();
+        sol.schedule.validate(&inst, 1e-7).unwrap();
+        for lane in sol.schedule.machines() {
+            if let Some(last) = lane.last() {
+                assert!(
+                    (last.end - sol.makespan).abs() < 1e-6,
+                    "machine ends at {} vs makespan {}",
+                    last.end,
+                    sol.makespan
+                );
+            }
+        }
+        assert!((sol.energy - 30.0).abs() < 1e-6 * 30.0);
+    }
+
+    #[test]
+    fn more_processors_never_hurt() {
+        let inst = Instance::equal_work(&[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], 1.0).unwrap();
+        let model = PolyPower::CUBE;
+        let mut prev = f64::INFINITY;
+        for m in 1..=4 {
+            let sol = laptop(&inst, &model, m, 12.0, 1e-12).unwrap();
+            assert!(
+                sol.makespan <= prev + 1e-9,
+                "m={m}: {} > {prev}",
+                sol.makespan
+            );
+            prev = sol.makespan;
+        }
+    }
+
+    #[test]
+    fn cyclic_is_optimal_among_all_assignments() {
+        // Theorem 10, brute force: no labelling beats cyclic.
+        let model = PolyPower::CUBE;
+        for releases in [
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.5, 1.0, 1.5],
+            vec![0.0, 0.1, 3.0, 3.1, 3.2],
+        ] {
+            let inst = Instance::equal_work(&releases, 1.0).unwrap();
+            let budget = 8.0;
+            let cyc = laptop(&inst, &model, 2, budget, 1e-11).unwrap();
+            let mut best = f64::INFINITY;
+            for a in all_assignments(inst.len(), 2) {
+                if let Ok(sol) = laptop_with_assignment(&inst, &model, &a, budget, 1e-11) {
+                    best = best.min(sol.makespan);
+                }
+            }
+            assert!(
+                cyc.makespan <= best + 1e-6,
+                "releases {releases:?}: cyclic {} vs best {best}",
+                cyc.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn single_processor_matches_uniprocessor_incmerge() {
+        let inst = Instance::equal_work(&[0.0, 1.0, 1.2, 5.0], 1.0).unwrap();
+        let model = PolyPower::CUBE;
+        let multi = laptop(&inst, &model, 1, 10.0, 1e-12).unwrap();
+        let uni = crate::makespan::incmerge::laptop(&inst, &model, 10.0).unwrap();
+        assert!(
+            (multi.makespan - uni.makespan()).abs() < 1e-6,
+            "{} vs {}",
+            multi.makespan,
+            uni.makespan()
+        );
+    }
+
+    #[test]
+    fn energy_budget_is_respected_exactly() {
+        let inst = Instance::equal_work(&[0.0, 0.3, 0.6, 0.9], 2.0).unwrap();
+        let model = PolyPower::new(2.0);
+        for &e in &[1.0, 4.0, 16.0] {
+            let sol = laptop(&inst, &model, 2, e, 1e-12).unwrap();
+            let measured = metrics::energy(&sol.schedule, &model);
+            assert!(
+                (measured - e).abs() < 1e-6 * e,
+                "E={e}: schedule energy {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unequal_work_and_bad_budget() {
+        let uneq = Instance::from_pairs(&[(0.0, 1.0), (0.0, 2.0)]).unwrap();
+        assert!(matches!(
+            laptop(&uneq, &PolyPower::CUBE, 2, 4.0, 1e-9),
+            Err(CoreError::NotEqualWork)
+        ));
+        let eq = Instance::equal_work(&[0.0, 0.0], 1.0).unwrap();
+        assert!(laptop(&eq, &PolyPower::CUBE, 2, 0.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn idle_processors_allowed() {
+        // m > n: extra processors stay empty.
+        let inst = Instance::equal_work(&[0.0, 1.0], 1.0).unwrap();
+        let sol = laptop(&inst, &PolyPower::CUBE, 5, 4.0, 1e-12).unwrap();
+        sol.schedule.validate(&inst, 1e-7).unwrap();
+        let busy = sol
+            .schedule
+            .machines()
+            .iter()
+            .filter(|l| !l.is_empty())
+            .count();
+        assert_eq!(busy, 2);
+    }
+}

@@ -1,0 +1,268 @@
+//! Parallel branch and bound for the `L_α`-norm assignment problem.
+//!
+//! Theorem 11 makes exact multiprocessor makespan exponential, so the
+//! exact solver's constant factor matters for the experiment sizes. This
+//! module parallelizes [`crate::multi::partition::min_norm_assignment`]
+//! across the first branching level with `crossbeam` scoped threads:
+//! each worker explores the subtree in which job 0 (heaviest) is pinned
+//! to one processor, and all workers share the incumbent best norm
+//! through a lock-free `AtomicU64` (f64 bits, monotone-decreasing via
+//! `fetch_min`-style CAS) so pruning stays global.
+//!
+//! Determinism: the *norm* returned equals the sequential solver's
+//! exactly (both find the true optimum); the labelling may differ among
+//! norm-ties, so tests compare norms, not labels.
+
+use crossbeam::thread;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared incumbent: best norm found so far, stored as f64 bits.
+///
+/// Monotone decreasing updates via CAS; loads are `Acquire` so a worker
+/// that sees a better bound also sees it fully (the payload labels are
+/// merged after join, so only the *bound* needs to be shared).
+struct SharedBest(AtomicU64);
+
+impl SharedBest {
+    fn new() -> Self {
+        SharedBest(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    /// Lower the incumbent to `value` if it improves; returns whether it
+    /// did. Standard CAS loop — `fetch_min` on the bit pattern is not
+    /// order-preserving for floats, so compare as f64.
+    fn offer(&self, value: f64) -> bool {
+        let mut current = self.0.load(Ordering::Acquire);
+        loop {
+            if value >= f64::from_bits(current) {
+                return false;
+            }
+            match self.0.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+/// Exact minimum of `Σ L_p^α` over assignments of `works` to `m`
+/// processors — parallel version of
+/// [`crate::multi::partition::min_norm_assignment`], same result.
+///
+/// Workers = one per first-level branch (at most `m`, with symmetry
+/// breaking collapsing the empty processors to one branch).
+///
+/// # Panics
+/// If `m == 0`.
+pub fn min_norm_assignment_parallel(works: &[f64], m: usize, alpha: f64) -> (Vec<usize>, f64) {
+    assert!(m > 0, "need at least one processor");
+    let n = works.len();
+    if n <= 1 || m == 1 {
+        // Nothing to parallelize.
+        return crate::multi::partition::min_norm_assignment(works, m, alpha);
+    }
+    // Sort jobs descending, as in the sequential solver.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| works[b].partial_cmp(&works[a]).expect("finite works"));
+    let sorted: Vec<f64> = order.iter().map(|&i| works[i]).collect();
+    let suffix: Vec<f64> = {
+        let mut s = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            s[i] = s[i + 1] + sorted[i];
+        }
+        s
+    };
+
+    let best = SharedBest::new();
+    // By symmetry, job 0 (heaviest) can be pinned to processor 0: all
+    // first-level branches are equivalent. Parallelize over the SECOND
+    // job's processor — with every other processor still empty, only
+    // "share with job 0" (processor 0) and "open a fresh processor"
+    // (processor 1) are distinct.
+    let branches: Vec<usize> = vec![0, 1];
+
+    let results = thread::scope(|scope| {
+        let handles: Vec<_> = branches
+            .iter()
+            .map(|&p1| {
+                let sorted = &sorted;
+                let suffix = &suffix;
+                let best = &best;
+                scope.spawn(move |_| {
+                    let mut loads = vec![0.0f64; m];
+                    let mut labels = vec![0usize; n];
+                    loads[0] += sorted[0];
+                    labels[0] = 0;
+                    loads[p1] += sorted[1];
+                    labels[1] = p1;
+                    let mut local_best_labels = vec![0usize; n];
+                    let mut local_best = f64::INFINITY;
+                    explore(
+                        2,
+                        sorted,
+                        suffix,
+                        &mut loads,
+                        &mut labels,
+                        best,
+                        &mut local_best,
+                        &mut local_best_labels,
+                        alpha,
+                    );
+                    (local_best, local_best_labels)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker does not panic"))
+            .collect::<Vec<_>>()
+    })
+    .expect("scope does not panic");
+
+    let (norm, labels_sorted) = results
+        .into_iter()
+        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite norms"))
+        .expect("at least one branch");
+
+    // Map labels back to original job order.
+    let mut out = vec![0usize; n];
+    for (pos, &orig) in order.iter().enumerate() {
+        out[orig] = labels_sorted[pos];
+    }
+    (out, norm)
+}
+
+/// Sequential subtree exploration against the shared incumbent.
+#[allow(clippy::too_many_arguments)] // recursion carries its whole state explicitly
+fn explore(
+    k: usize,
+    sorted: &[f64],
+    suffix: &[f64],
+    loads: &mut [f64],
+    labels: &mut [usize],
+    shared: &SharedBest,
+    local_best: &mut f64,
+    local_best_labels: &mut [usize],
+    alpha: f64,
+) {
+    if waterfill_bound(loads, suffix[k], alpha) >= shared.get() {
+        return;
+    }
+    if k == sorted.len() {
+        let norm: f64 = loads.iter().map(|l| l.powf(alpha)).sum();
+        if norm < *local_best {
+            *local_best = norm;
+            local_best_labels.copy_from_slice(labels);
+        }
+        shared.offer(norm);
+        return;
+    }
+    let mut tried_empty = false;
+    for p in 0..loads.len() {
+        if loads[p] == 0.0 {
+            if tried_empty {
+                continue;
+            }
+            tried_empty = true;
+        }
+        loads[p] += sorted[k];
+        labels[k] = p;
+        explore(
+            k + 1,
+            sorted,
+            suffix,
+            loads,
+            labels,
+            shared,
+            local_best,
+            local_best_labels,
+            alpha,
+        );
+        loads[p] -= sorted[k];
+    }
+}
+
+/// The same divisible-relaxation lower bound as the sequential solver.
+fn waterfill_bound(loads: &[f64], rest: f64, alpha: f64) -> f64 {
+    let mut ls = loads.to_vec();
+    ls.sort_by(|a, b| a.partial_cmp(b).expect("finite loads"));
+    let m = ls.len();
+    let mut r = rest;
+    let mut level = ls[0];
+    let mut k = 1usize;
+    while k < m && r > 0.0 {
+        let need = (ls[k] - level) * k as f64;
+        if need <= r {
+            r -= need;
+            level = ls[k];
+            k += 1;
+        } else {
+            level += r / k as f64;
+            r = 0.0;
+        }
+    }
+    if r > 0.0 {
+        level += r / m as f64;
+    }
+    ls.iter().map(|&l| l.max(level).powf(alpha)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::partition::min_norm_assignment;
+
+    #[test]
+    fn matches_sequential_optimum() {
+        for (n, m) in [(8usize, 2usize), (10, 3), (12, 2), (14, 3)] {
+            let works: Vec<f64> = (0..n).map(|k| 0.3 + (k as f64 * 0.61) % 2.7).collect();
+            let (_, seq) = min_norm_assignment(&works, m, 3.0);
+            let (labels, par) = min_norm_assignment_parallel(&works, m, 3.0);
+            assert!(
+                (seq - par).abs() < 1e-9 * seq,
+                "n={n} m={m}: sequential {seq} vs parallel {par}"
+            );
+            // The returned labelling realizes the claimed norm.
+            let mut loads = vec![0.0f64; m];
+            for (w, &p) in works.iter().zip(&labels) {
+                loads[p] += w;
+            }
+            let realized: f64 = loads.iter().map(|l| l.powi(3)).sum();
+            assert!((realized - par).abs() < 1e-9 * par);
+        }
+    }
+
+    #[test]
+    fn trivial_cases_delegate() {
+        let (labels, norm) = min_norm_assignment_parallel(&[2.0], 3, 3.0);
+        assert_eq!(labels, vec![0]);
+        assert!((norm - 8.0).abs() < 1e-12);
+        let (_, norm1) = min_norm_assignment_parallel(&[1.0, 2.0, 3.0], 1, 2.0);
+        assert!((norm1 - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_best_orders_correctly() {
+        let b = SharedBest::new();
+        assert!(b.offer(10.0));
+        assert!(!b.offer(11.0));
+        assert!(b.offer(9.5));
+        assert!((b.get() - 9.5).abs() < 1e-300);
+    }
+
+    #[test]
+    fn equal_works_split_evenly() {
+        let works = vec![1.0; 9];
+        let (_, norm) = min_norm_assignment_parallel(&works, 3, 2.0);
+        assert!((norm - 27.0).abs() < 1e-9); // 3 procs × 3² = 27
+    }
+}

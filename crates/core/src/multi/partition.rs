@@ -1,0 +1,472 @@
+//! Theorem 11: NP-hardness of multiprocessor makespan with unequal work,
+//! by reduction from Partition — plus the exact solvers and heuristics
+//! that make the reduction executable and the §5 PTAS remark concrete.
+//!
+//! With all jobs released at time 0, a processor's optimal schedule runs
+//! its whole load `L_p` as one block from time 0 (Lemmas 2–5 collapse),
+//! so at common finish time `T` its speed is `L_p/T` and — for
+//! `P = σ^α` — its energy is `L_p^α·T^{1−α}`. Hence the minimum energy
+//! for makespan `T` is `‖L‖_α^α · T^{1−α}`: **minimizing makespan under
+//! an energy budget is exactly minimizing the `L_α` norm of the loads**,
+//! which is the connection to Alon et al.'s load-balancing PTAS that the
+//! paper points out. The reduction: a Partition instance with total `B`
+//! has a perfect split iff two processors can reach makespan `B/2` with
+//! energy budget `B` (all speeds 1), because
+//! `Σ L_p^α ≥ 2·(B/2)^α` with equality only at `L_1 = L_2 = B/2`
+//! (strict convexity).
+
+use crate::error::CoreError;
+use pas_power::PowerModel;
+use pas_workload::{Instance, Job};
+
+/// The scheduling instance produced by the Theorem-11 reduction.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// Jobs: one per Partition value, all released at 0.
+    pub instance: Instance,
+    /// Two processors, as in the paper's proof.
+    pub machines: usize,
+    /// Makespan to ask about: `B/2`.
+    pub makespan_target: f64,
+    /// Energy budget: enough to run total work `B` at speed 1.
+    pub energy_budget: f64,
+}
+
+/// Build the Theorem-11 reduction from a Partition multiset.
+///
+/// # Errors
+/// [`CoreError::Instance`] if `values` is empty or contains zeros.
+pub fn reduce<M: PowerModel>(values: &[u64], model: &M) -> Result<Reduction, CoreError> {
+    let jobs: Vec<Job> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| Job::new(i as u32, 0.0, v as f64))
+        .collect();
+    let instance = Instance::new(jobs)?;
+    let b: f64 = values.iter().map(|&v| v as f64).sum();
+    Ok(Reduction {
+        instance,
+        machines: 2,
+        makespan_target: b / 2.0,
+        energy_budget: b * model.energy_per_work(1.0),
+    })
+}
+
+/// Exact Partition decision (and witness) via pseudo-polynomial
+/// subset-sum DP. Returns the indices of one half when a perfect
+/// partition exists.
+pub fn partition_witness(values: &[u64]) -> Option<Vec<usize>> {
+    let total: u64 = values.iter().sum();
+    if !total.is_multiple_of(2) {
+        return None;
+    }
+    let half = (total / 2) as usize;
+    // reach[s] = index of the item that first reached sum s (usize::MAX
+    // for "unreached"; items are processed once, so walking parents
+    // terminates).
+    const UNREACHED: usize = usize::MAX;
+    let mut reach = vec![UNREACHED; half + 1];
+    reach[0] = values.len(); // sentinel parent for sum 0
+    for (idx, &v) in values.iter().enumerate() {
+        let v = v as usize;
+        if v > half {
+            continue;
+        }
+        // Descend so each item is used at most once.
+        for s in (v..=half).rev() {
+            if reach[s] == UNREACHED && reach[s - v] != UNREACHED && reach[s - v] != idx {
+                reach[s] = idx;
+            }
+        }
+    }
+    if reach[half] == UNREACHED {
+        return None;
+    }
+    // Walk parents to reconstruct the chosen indices.
+    let mut out = Vec::new();
+    let mut s = half;
+    while s > 0 {
+        let idx = reach[s];
+        out.push(idx);
+        s -= values[idx] as usize;
+    }
+    out.reverse();
+    Some(out)
+}
+
+/// Minimum makespan on `m` processors for jobs all released at 0 with
+/// loads `works`, energy budget `budget`, under `P = σ^α`:
+/// `T = (Σ L_p^α / E)^{1/(α−1)}` for the best assignment.
+///
+/// `assignment_loads` are the per-processor load sums.
+pub fn makespan_for_loads(loads: &[f64], alpha: f64, budget: f64) -> f64 {
+    let norm: f64 = loads.iter().map(|l| l.powf(alpha)).sum();
+    (norm / budget).powf(1.0 / (alpha - 1.0))
+}
+
+/// Exact minimum of `Σ L_p^α` over all assignments of `works` to `m`
+/// processors, by branch and bound (jobs sorted descending; convexity
+/// lower bound for pruning; processor-symmetry breaking). Returns the
+/// per-job processor labels and the optimal norm.
+///
+/// Exponential worst case — this is the NP-hard side of Theorem 11; fine
+/// for the `n ≤ ~24` instances the experiments use.
+pub fn min_norm_assignment(works: &[f64], m: usize, alpha: f64) -> (Vec<usize>, f64) {
+    assert!(m > 0, "need at least one processor");
+    let n = works.len();
+    // Sort jobs descending (classic B&B ordering), remember positions.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| works[b].partial_cmp(&works[a]).expect("finite works"));
+    let sorted: Vec<f64> = order.iter().map(|&i| works[i]).collect();
+    let suffix_work: Vec<f64> = {
+        let mut s = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            s[i] = s[i + 1] + sorted[i];
+        }
+        s
+    };
+
+    let mut best_norm = f64::INFINITY;
+    let mut best_labels = vec![0usize; n];
+    let mut loads = vec![0.0f64; m];
+    let mut labels = vec![0usize; n];
+
+    // Lower bound: water-fill the remaining work (divisible relaxation)
+    // onto the lowest committed loads — by convexity this is the least
+    // possible final norm, so it never prunes the true optimum.
+    fn bound(loads: &[f64], rest: f64, alpha: f64) -> f64 {
+        let mut ls = loads.to_vec();
+        ls.sort_by(|a, b| a.partial_cmp(b).expect("finite loads"));
+        let m = ls.len();
+        let mut r = rest;
+        let mut level = ls[0];
+        let mut k = 1usize; // processors currently at `level`
+        while k < m && r > 0.0 {
+            let need = (ls[k] - level) * k as f64;
+            if need <= r {
+                r -= need;
+                level = ls[k];
+                k += 1;
+            } else {
+                level += r / k as f64;
+                r = 0.0;
+            }
+        }
+        if r > 0.0 {
+            level += r / m as f64;
+        }
+        ls.iter().map(|&l| l.max(level).powf(alpha)).sum()
+    }
+
+    #[allow(clippy::too_many_arguments)] // inner recursion carries its whole state explicitly
+    fn recurse(
+        k: usize,
+        sorted: &[f64],
+        suffix: &[f64],
+        loads: &mut [f64],
+        labels: &mut [usize],
+        best_norm: &mut f64,
+        best_labels: &mut [usize],
+        alpha: f64,
+    ) {
+        if bound(loads, suffix[k], alpha) >= *best_norm {
+            return;
+        }
+        if k == sorted.len() {
+            let norm: f64 = loads.iter().map(|l| l.powf(alpha)).sum();
+            if norm < *best_norm {
+                *best_norm = norm;
+                best_labels.copy_from_slice(labels);
+            }
+            return;
+        }
+        // Symmetry breaking: only try processors up to the first empty one.
+        let mut tried_empty = false;
+        for p in 0..loads.len() {
+            if loads[p] == 0.0 {
+                if tried_empty {
+                    continue;
+                }
+                tried_empty = true;
+            }
+            loads[p] += sorted[k];
+            labels[k] = p;
+            recurse(
+                k + 1,
+                sorted,
+                suffix,
+                loads,
+                labels,
+                best_norm,
+                best_labels,
+                alpha,
+            );
+            loads[p] -= sorted[k];
+        }
+    }
+
+    recurse(
+        0,
+        &sorted,
+        &suffix_work,
+        &mut loads,
+        &mut labels,
+        &mut best_norm,
+        &mut best_labels,
+        alpha,
+    );
+
+    // Map labels back to the original job order.
+    let mut out = vec![0usize; n];
+    for (pos, &orig) in order.iter().enumerate() {
+        out[orig] = best_labels[pos];
+    }
+    (out, best_norm)
+}
+
+/// LPT-style greedy for the `L_α` norm: jobs descending, each to the
+/// processor where it increases `Σ L^α` the least.
+pub fn lpt_assignment(works: &[f64], m: usize, alpha: f64) -> (Vec<usize>, f64) {
+    assert!(m > 0, "need at least one processor");
+    let n = works.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| works[b].partial_cmp(&works[a]).expect("finite works"));
+    let mut loads = vec![0.0f64; m];
+    let mut labels = vec![0usize; n];
+    for &i in &order {
+        let (p, _) = loads
+            .iter()
+            .enumerate()
+            .map(|(p, &l)| (p, (l + works[i]).powf(alpha) - l.powf(alpha)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("m > 0");
+        labels[i] = p;
+        loads[p] += works[i];
+    }
+    let norm = loads.iter().map(|l| l.powf(alpha)).sum();
+    (labels, norm)
+}
+
+/// Local search refinement: single-job moves and pairwise swaps until no
+/// improvement. Returns the improved labels and norm.
+pub fn local_search(
+    works: &[f64],
+    m: usize,
+    alpha: f64,
+    mut labels: Vec<usize>,
+) -> (Vec<usize>, f64) {
+    let n = works.len();
+    let mut loads = vec![0.0f64; m];
+    for i in 0..n {
+        loads[labels[i]] += works[i];
+    }
+    let norm =
+        |loads: &[f64]| -> f64 { loads.iter().map(|l| l.powf(alpha)).sum() };
+    let mut current = norm(&loads);
+    loop {
+        let mut improved = false;
+        // Single moves.
+        for i in 0..n {
+            let from = labels[i];
+            for to in 0..m {
+                if to == from {
+                    continue;
+                }
+                let delta = (loads[to] + works[i]).powf(alpha) - loads[to].powf(alpha)
+                    + (loads[from] - works[i]).powf(alpha)
+                    - loads[from].powf(alpha);
+                if delta < -1e-12 {
+                    loads[from] -= works[i];
+                    loads[to] += works[i];
+                    labels[i] = to;
+                    current += delta;
+                    improved = true;
+                }
+            }
+        }
+        // Pairwise swaps.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (pi, pj) = (labels[i], labels[j]);
+                if pi == pj {
+                    continue;
+                }
+                let before = loads[pi].powf(alpha) + loads[pj].powf(alpha);
+                let li = loads[pi] - works[i] + works[j];
+                let lj = loads[pj] - works[j] + works[i];
+                let after = li.powf(alpha) + lj.powf(alpha);
+                if after < before - 1e-12 {
+                    loads[pi] = li;
+                    loads[pj] = lj;
+                    labels.swap(i, j);
+                    current += after - before;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (labels, current)
+}
+
+/// Per-processor loads induced by a labelling, then
+/// [`makespan_for_loads`] — the one-call version for callers holding an
+/// assignment rather than loads.
+///
+/// # Panics
+/// If a label is out of range for the implied processor count
+/// (`max(labels) + 1`).
+pub fn makespan_for_loads_from_assignment(
+    works: &[f64],
+    labels: &[usize],
+    alpha: f64,
+    budget: f64,
+) -> f64 {
+    let m = labels.iter().copied().max().map_or(1, |x| x + 1);
+    let mut loads = vec![0.0f64; m];
+    for (w, &p) in works.iter().zip(labels) {
+        loads[p] += w;
+    }
+    makespan_for_loads(&loads, alpha, budget)
+}
+
+/// Decide the Theorem-11 question *by scheduling*: is there a 2-processor
+/// schedule of the reduced instance with makespan ≤ `B/2` under energy
+/// budget `B`? Uses the exact branch and bound.
+pub fn schedule_decides_partition(values: &[u64], alpha: f64) -> bool {
+    let works: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    let b: f64 = works.iter().sum();
+    let (_, norm) = min_norm_assignment(&works, 2, alpha);
+    let t = makespan_for_loads_from_norm(norm, alpha, b);
+    t <= b / 2.0 + 1e-9 * b.max(1.0)
+}
+
+fn makespan_for_loads_from_norm(norm: f64, alpha: f64, budget: f64) -> f64 {
+    (norm / budget).powf(1.0 / (alpha - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_power::PolyPower;
+    use pas_workload::generators;
+
+    #[test]
+    fn reduction_fields() {
+        let r = reduce(&[3, 1, 2, 2], &PolyPower::CUBE).unwrap();
+        assert_eq!(r.machines, 2);
+        assert_eq!(r.makespan_target, 4.0);
+        assert_eq!(r.energy_budget, 8.0); // B·g(1) = 8·1
+        assert!(r.instance.all_released_immediately(0.0));
+    }
+
+    #[test]
+    fn partition_witness_yes_cases() {
+        for values in [vec![1u64, 1], vec![3, 1, 2, 2], vec![5, 5, 4, 3, 2, 1]] {
+            let w = partition_witness(&values).expect("partition exists");
+            let half: u64 = w.iter().map(|&i| values[i]).sum();
+            let total: u64 = values.iter().sum();
+            assert_eq!(half * 2, total, "{values:?} -> {w:?}");
+        }
+    }
+
+    #[test]
+    fn partition_witness_no_cases() {
+        assert!(partition_witness(&[1, 2]).is_none());
+        assert!(partition_witness(&[1, 1, 1]).is_none()); // odd total
+        assert!(partition_witness(&[2, 4, 8, 32]).is_none());
+    }
+
+    #[test]
+    fn theorem11_equivalence_on_random_instances() {
+        // Partition exists <=> optimal 2-proc makespan with budget B is
+        // exactly B/2 (paper's proof, both directions).
+        for seed in 0..10 {
+            let values = generators::partition_yes_instance(4, 24, seed);
+            assert!(partition_witness(&values).is_some());
+            assert!(schedule_decides_partition(&values, 3.0), "{values:?}");
+        }
+        // No-instances: odd totals and spread sets.
+        for values in [vec![1u64, 2], vec![2, 4, 8, 32], vec![7, 1, 1]] {
+            let has_partition = partition_witness(&values).is_some();
+            assert_eq!(
+                schedule_decides_partition(&values, 3.0),
+                has_partition,
+                "{values:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_split_runs_at_speed_one() {
+        // From a partition, each processor runs load B/2 over time B/2 at
+        // speed 1 and total energy is exactly B (paper's forward
+        // direction).
+        let values = [3u64, 1, 2, 2];
+        let witness = partition_witness(&values).expect("partitionable");
+        let half: u64 = witness.iter().map(|&i| values[i]).sum();
+        assert_eq!(half, 4);
+        let b = 8.0;
+        let loads = [4.0, 4.0];
+        let t = makespan_for_loads(&loads, 3.0, b);
+        assert!((t - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_norm_matches_bruteforce_small() {
+        let works = [3.0, 2.8, 2.2, 1.7, 1.1, 0.9];
+        let (labels, norm) = min_norm_assignment(&works, 2, 3.0);
+        // Brute force all 2^6 assignments.
+        let mut best = f64::INFINITY;
+        for mask in 0u32..64 {
+            let mut l = [0.0f64; 2];
+            for (i, w) in works.iter().enumerate() {
+                l[(mask >> i & 1) as usize] += w;
+            }
+            best = best.min(l[0].powi(3) + l[1].powi(3));
+        }
+        assert!((norm - best).abs() < 1e-9, "bb {norm} vs brute {best}");
+        assert_eq!(labels.len(), works.len());
+    }
+
+    #[test]
+    fn lpt_and_local_search_quality() {
+        let works: Vec<f64> = (1..=14).map(|k| (k as f64).sqrt() * 1.3).collect();
+        let m = 3;
+        let alpha = 3.0;
+        let (_, opt) = min_norm_assignment(&works, m, alpha);
+        let (lpt_labels, lpt_norm) = lpt_assignment(&works, m, alpha);
+        let (_, ls_norm) = local_search(&works, m, alpha, lpt_labels);
+        assert!(lpt_norm >= opt - 1e-9);
+        assert!(ls_norm >= opt - 1e-9);
+        assert!(ls_norm <= lpt_norm + 1e-12, "local search never worse");
+        // LPT is a good heuristic: within 10% on this instance family.
+        assert!(lpt_norm <= 1.1 * opt, "lpt {lpt_norm} vs opt {opt}");
+    }
+
+    #[test]
+    fn makespan_load_norm_identity() {
+        // E(T) = ||L||_alpha^alpha T^{1-alpha} inverted.
+        let loads = [6.0, 2.0];
+        let alpha = 3.0;
+        let budget = 10.0;
+        let t = makespan_for_loads(&loads, alpha, budget);
+        // Energy at that T: sum L^3 / T^2 == budget.
+        let e = (loads[0].powi(3) + loads[1].powi(3)) / (t * t);
+        assert!((e - budget).abs() < 1e-9);
+        // Balanced loads give strictly smaller makespan.
+        let t_bal = makespan_for_loads(&[4.0, 4.0], alpha, budget);
+        assert!(t_bal < t);
+    }
+
+    #[test]
+    fn symmetry_breaking_does_not_lose_optimum() {
+        // All-equal works: optimum = even split; B&B with symmetry
+        // breaking must still find it.
+        let works = [1.0f64; 6];
+        let (_, norm) = min_norm_assignment(&works, 3, 2.0);
+        assert!((norm - 3.0 * 4.0).abs() < 1e-9); // 3 procs × (2)²
+    }
+}

@@ -1,0 +1,506 @@
+//! Precedence-constrained power-aware makespan (paper §2 related work).
+//!
+//! Pruhs, van Stee and Uthaisombut study the laptop problem for jobs
+//! with **precedence constraints**, all released immediately, on `m`
+//! speed-scaled machines sharing an energy budget. Their key structural
+//! fact — the *power equality* — says the total power drawn is constant
+//! over time in an optimal schedule; they binary-search that level and
+//! reduce to scheduling on related fixed-speed machines, obtaining an
+//! `O(log^{1+2/α} m)`-approximation. The paper reproduced here cites
+//! this line and notes the technique breaks once jobs have release
+//! dates.
+//!
+//! This module implements the executable core of that related work:
+//!
+//! * [`DagInstance`] — works + precedence DAG, with validation, topo
+//!   order, critical-path and load statistics;
+//! * [`lower_bounds`] — two energy-parametric lower bounds every
+//!   schedule obeys (aggregate work spread over `m` machines; the
+//!   critical path granted the *whole* budget);
+//! * [`uniform_speed_schedule`] — the power-equality heuristic in its
+//!   simplest defensible form: all machines at one common speed `σ`
+//!   (total power `m·P(σ)` is then constant while all run), jobs placed
+//!   by Graham list scheduling in topological order, `σ` chosen to spend
+//!   the budget exactly on the realized busy time. Graham's bound makes
+//!   it a `(2 − 1/m)`-approximation *in time* against the same-speed
+//!   optimum; the experiment table (E16) records measured ratios to the
+//!   lower bounds.
+
+use pas_numeric::compare::is_positive_finite;
+use crate::error::CoreError;
+use pas_power::PowerModel;
+use pas_sim::{metrics, Schedule, Slice};
+
+/// A precedence-constrained instance: all jobs released at time 0.
+#[derive(Debug, Clone)]
+pub struct DagInstance {
+    works: Vec<f64>,
+    /// Edges `u -> v`: `v` may start only after `u` completes.
+    edges: Vec<(usize, usize)>,
+    /// Adjacency (successors) derived from `edges`.
+    succ: Vec<Vec<usize>>,
+    /// Predecessor counts.
+    pred_count: Vec<usize>,
+    topo: Vec<usize>,
+}
+
+impl DagInstance {
+    /// Build and validate: positive works, in-range edge endpoints, no
+    /// self-loops, acyclic.
+    ///
+    /// # Errors
+    /// [`CoreError::VerificationFailed`] describing the violation.
+    pub fn new(works: Vec<f64>, edges: Vec<(usize, usize)>) -> Result<Self, CoreError> {
+        let n = works.len();
+        if n == 0 {
+            return Err(CoreError::VerificationFailed {
+                reason: "DAG instance needs at least one job".to_string(),
+            });
+        }
+        if let Some(w) = works.iter().find(|w| !is_positive_finite(**w)) {
+            return Err(CoreError::VerificationFailed {
+                reason: format!("invalid work {w}"),
+            });
+        }
+        let mut succ = vec![Vec::new(); n];
+        let mut pred_count = vec![0usize; n];
+        for &(u, v) in &edges {
+            if u >= n || v >= n || u == v {
+                return Err(CoreError::VerificationFailed {
+                    reason: format!("invalid edge ({u}, {v}) for {n} jobs"),
+                });
+            }
+            succ[u].push(v);
+            pred_count[v] += 1;
+        }
+        // Kahn's algorithm for the topological order / cycle detection.
+        let mut topo = Vec::with_capacity(n);
+        let mut ready: Vec<usize> = (0..n).filter(|&v| pred_count[v] == 0).collect();
+        let mut remaining = pred_count.clone();
+        while let Some(v) = ready.pop() {
+            topo.push(v);
+            for &w in &succ[v] {
+                remaining[w] -= 1;
+                if remaining[w] == 0 {
+                    ready.push(w);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(CoreError::VerificationFailed {
+                reason: "precedence graph has a cycle".to_string(),
+            });
+        }
+        Ok(DagInstance {
+            works,
+            edges,
+            succ,
+            pred_count,
+            topo,
+        })
+    }
+
+    /// A chain `0 -> 1 -> … -> n-1`.
+    ///
+    /// # Errors
+    /// As [`DagInstance::new`].
+    pub fn chain(works: Vec<f64>) -> Result<Self, CoreError> {
+        let edges = (1..works.len()).map(|v| (v - 1, v)).collect();
+        DagInstance::new(works, edges)
+    }
+
+    /// An independent set (no edges) — reduces to the Theorem-11 world.
+    ///
+    /// # Errors
+    /// As [`DagInstance::new`].
+    pub fn independent(works: Vec<f64>) -> Result<Self, CoreError> {
+        DagInstance::new(works, Vec::new())
+    }
+
+    /// A seeded random layered DAG: `layers` layers of `width` jobs,
+    /// each job depending on each job of the previous layer with
+    /// probability `edge_prob`; works uniform in `work_range`.
+    ///
+    /// # Panics
+    /// On degenerate parameters (`layers`/`width` zero, bad range or
+    /// probability).
+    pub fn random_layered(
+        layers: usize,
+        width: usize,
+        edge_prob: f64,
+        work_range: (f64, f64),
+        seed: u64,
+    ) -> Self {
+        use rand::distributions::{Distribution, Uniform};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        assert!(layers > 0 && width > 0, "need positive dimensions");
+        assert!((0.0..=1.0).contains(&edge_prob), "probability in [0,1]");
+        assert!(
+            work_range.0 > 0.0 && work_range.1 >= work_range.0,
+            "work range must be positive and ordered"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wrk = Uniform::new_inclusive(work_range.0, work_range.1);
+        let n = layers * width;
+        let works: Vec<f64> = (0..n).map(|_| wrk.sample(&mut rng)).collect();
+        let mut edges = Vec::new();
+        for layer in 1..layers {
+            for v in 0..width {
+                for u in 0..width {
+                    if rng.gen_bool(edge_prob) {
+                        edges.push(((layer - 1) * width + u, layer * width + v));
+                    }
+                }
+            }
+        }
+        DagInstance::new(works, edges).expect("layered construction is acyclic")
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.works.len()
+    }
+
+    /// Always false (construction rejects empty).
+    pub fn is_empty(&self) -> bool {
+        self.works.is_empty()
+    }
+
+    /// Job works.
+    pub fn works(&self) -> &[f64] {
+        &self.works
+    }
+
+    /// The precedence edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// A topological order of the jobs.
+    pub fn topological_order(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// Total work.
+    pub fn total_work(&self) -> f64 {
+        self.works.iter().sum()
+    }
+
+    /// Work of the heaviest chain (critical path in work units).
+    pub fn critical_path_work(&self) -> f64 {
+        let mut longest = vec![0.0f64; self.len()];
+        for &v in self.topo.iter().rev() {
+            let tail = self.succ[v]
+                .iter()
+                .map(|&w| longest[w])
+                .fold(0.0f64, f64::max);
+            longest[v] = self.works[v] + tail;
+        }
+        (0..self.len())
+            .filter(|&v| self.pred_count[v] == 0)
+            .map(|v| longest[v])
+            .fold(0.0, f64::max)
+    }
+
+    /// Check a schedule respects the precedence edges (each successor
+    /// starts no earlier than every predecessor's completion).
+    ///
+    /// # Errors
+    /// [`CoreError::VerificationFailed`] naming the violated edge.
+    pub fn validate_precedence(&self, schedule: &Schedule, tol: f64) -> Result<(), CoreError> {
+        let starts = schedule.start_times();
+        let completions = schedule.completion_times();
+        for &(u, v) in &self.edges {
+            let (cu, sv) = (
+                completions.get(&(u as u32)).copied().unwrap_or(0.0),
+                starts.get(&(v as u32)).copied().unwrap_or(0.0),
+            );
+            if sv < cu - tol {
+                return Err(CoreError::VerificationFailed {
+                    reason: format!("edge {u}->{v} violated: start {sv} < completion {cu}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The two energy-parametric makespan lower bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LowerBounds {
+    /// Aggregate bound: all `m` machines fully busy at a common speed
+    /// spending the budget: `T ≥ W/(m·g⁻¹(E/W))`.
+    pub aggregate: f64,
+    /// Critical-path bound: the heaviest chain runs sequentially; even
+    /// granting it the entire budget, `T ≥ C/g⁻¹(E/C)`.
+    pub critical_path: f64,
+}
+
+impl LowerBounds {
+    /// The binding bound.
+    pub fn best(&self) -> f64 {
+        self.aggregate.max(self.critical_path)
+    }
+}
+
+/// Compute [`LowerBounds`] for `instance` on `m` machines with `budget`.
+///
+/// # Errors
+/// [`CoreError::InvalidBudget`]; power-model errors from the speed
+/// solves.
+pub fn lower_bounds<M: PowerModel>(
+    instance: &DagInstance,
+    model: &M,
+    m: usize,
+    budget: f64,
+) -> Result<LowerBounds, CoreError> {
+    if !is_positive_finite(budget) {
+        return Err(CoreError::InvalidBudget { budget });
+    }
+    let w = instance.total_work();
+    let c = instance.critical_path_work();
+    let sigma_w = model.speed_for_block(w, budget)?;
+    let sigma_c = model.speed_for_block(c, budget)?;
+    Ok(LowerBounds {
+        aggregate: w / (m as f64 * sigma_w),
+        critical_path: c / sigma_c,
+    })
+}
+
+/// Result of the uniform-speed power-equality heuristic.
+#[derive(Debug, Clone)]
+pub struct DagSchedule {
+    /// The executed schedule (`m` machines).
+    pub schedule: Schedule,
+    /// Its makespan.
+    pub makespan: f64,
+    /// The common machine speed chosen.
+    pub speed: f64,
+    /// Energy consumed (equals the budget by construction, to the
+    /// solver tolerance).
+    pub energy: f64,
+}
+
+/// Graham list scheduling at unit speed, topological order. Returns per
+/// job `(machine, start, end)` in unit-speed time.
+fn graham_unit_speed(instance: &DagInstance, m: usize) -> Vec<(usize, f64, f64)> {
+    let n = instance.len();
+    let mut placement = vec![(0usize, 0.0f64, 0.0f64); n];
+    let mut machine_free = vec![0.0f64; m];
+    for &v in instance.topological_order() {
+        // Earliest start: all predecessors done.
+        let pred_done = instance
+            .edges
+            .iter()
+            .filter(|&&(_, t)| t == v)
+            .map(|&(s, _)| placement[s].2)
+            .fold(0.0f64, f64::max);
+        // Greedy: machine that lets the job start (and hence finish)
+        // earliest.
+        let (best_machine, start) = machine_free
+            .iter()
+            .enumerate()
+            .map(|(k, &free)| (k, free.max(pred_done)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("m > 0");
+        let end = start + instance.works[v];
+        placement[v] = (best_machine, start, end);
+        machine_free[best_machine] = end;
+    }
+    placement
+}
+
+/// The uniform-speed heuristic: Graham list scheduling at unit speed,
+/// then one common speed `σ` chosen so the realized busy time spends
+/// `budget` exactly (`Σ P(σ)·(w_v/σ) = W·g(σ) = E` — independent of the
+/// placement, so no iteration is needed).
+///
+/// # Errors
+/// [`CoreError::InvalidBudget`]; power-model errors.
+///
+/// # Panics
+/// If `m == 0`.
+pub fn uniform_speed_schedule<M: PowerModel>(
+    instance: &DagInstance,
+    model: &M,
+    m: usize,
+    budget: f64,
+) -> Result<DagSchedule, CoreError> {
+    assert!(m > 0, "need at least one machine");
+    if !is_positive_finite(budget) {
+        return Err(CoreError::InvalidBudget { budget });
+    }
+    // Busy time is W/σ regardless of placement; energy = W·g(σ).
+    let sigma = model.speed_for_block(instance.total_work(), budget)?;
+    let placement = graham_unit_speed(instance, m);
+
+    let mut schedule = Schedule::with_machines(m);
+    for (v, &(machine, start, end)) in placement.iter().enumerate() {
+        schedule.push(
+            machine,
+            Slice::new(v as u32, start / sigma, end / sigma, sigma),
+        );
+    }
+    let makespan = metrics::makespan(&schedule);
+    let energy = metrics::energy(&schedule, model);
+    Ok(DagSchedule {
+        makespan,
+        speed: sigma,
+        energy,
+        schedule,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_power::PolyPower;
+
+    fn diamond() -> DagInstance {
+        //      0
+        //    /   \
+        //   1     2
+        //    \   /
+        //      3
+        DagInstance::new(vec![1.0, 2.0, 3.0, 1.0], vec![(0, 1), (0, 2), (1, 3), (2, 3)])
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(DagInstance::new(vec![], vec![]).is_err());
+        assert!(DagInstance::new(vec![1.0], vec![(0, 0)]).is_err()); // self loop
+        assert!(DagInstance::new(vec![1.0, 1.0], vec![(0, 5)]).is_err()); // range
+        assert!(DagInstance::new(vec![1.0, 1.0], vec![(0, 1), (1, 0)]).is_err()); // cycle
+        assert!(DagInstance::new(vec![1.0, -1.0], vec![]).is_err()); // work
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let dag = diamond();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (k, &v) in dag.topological_order().iter().enumerate() {
+                p[v] = k;
+            }
+            p
+        };
+        for &(u, v) in dag.edges() {
+            assert!(pos[u] < pos[v], "edge ({u},{v}) out of order");
+        }
+    }
+
+    #[test]
+    fn critical_path_of_diamond() {
+        // 0 -> 2 -> 3: 1 + 3 + 1 = 5.
+        assert_eq!(diamond().critical_path_work(), 5.0);
+        let chain = DagInstance::chain(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(chain.critical_path_work(), 6.0);
+        let ind = DagInstance::independent(vec![4.0, 2.0]).unwrap();
+        assert_eq!(ind.critical_path_work(), 4.0);
+    }
+
+    #[test]
+    fn uniform_schedule_valid_and_on_budget() {
+        let dag = diamond();
+        let model = PolyPower::CUBE;
+        for m in 1..=3 {
+            let sol = uniform_speed_schedule(&dag, &model, m, 14.0).unwrap();
+            dag.validate_precedence(&sol.schedule, 1e-9).unwrap();
+            assert!(
+                (sol.energy - 14.0).abs() < 1e-9 * 14.0,
+                "m={m}: energy {}",
+                sol.energy
+            );
+        }
+    }
+
+    #[test]
+    fn heuristic_beats_neither_lower_bound() {
+        let dag = diamond();
+        let model = PolyPower::CUBE;
+        for &(m, e) in &[(1usize, 7.0f64), (2, 7.0), (2, 20.0), (3, 20.0)] {
+            let lb = lower_bounds(&dag, &model, m, e).unwrap();
+            let sol = uniform_speed_schedule(&dag, &model, m, e).unwrap();
+            assert!(
+                sol.makespan >= lb.best() - 1e-9,
+                "m={m} E={e}: makespan {} below LB {}",
+                sol.makespan,
+                lb.best()
+            );
+        }
+    }
+
+    #[test]
+    fn single_machine_is_exact() {
+        // One machine: the heuristic is the single-block optimum (the
+        // DAG collapses to a topological sequence).
+        let dag = diamond();
+        let model = PolyPower::CUBE;
+        let e = 14.0;
+        let sol = uniform_speed_schedule(&dag, &model, 1, e).unwrap();
+        let lb = lower_bounds(&dag, &model, 1, e).unwrap();
+        assert!((sol.makespan - lb.aggregate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_is_exact_on_any_machine_count() {
+        // A chain cannot parallelize: the critical-path bound is tight
+        // and the heuristic matches it.
+        let chain = DagInstance::chain(vec![1.0, 2.0, 1.5]).unwrap();
+        let model = PolyPower::CUBE;
+        let e = 9.0;
+        for m in 1..=4 {
+            let sol = uniform_speed_schedule(&chain, &model, m, e).unwrap();
+            let lb = lower_bounds(&chain, &model, m, e).unwrap();
+            assert!(
+                (sol.makespan - lb.critical_path).abs() < 1e-9,
+                "m={m}: {} vs {}",
+                sol.makespan,
+                lb.critical_path
+            );
+        }
+    }
+
+    #[test]
+    fn independent_jobs_graham_ratio() {
+        // Graham's (2 - 1/m) bound in time at the chosen speed: compare
+        // with the aggregate bound (same speed family).
+        let works: Vec<f64> = (1..=9).map(|k| 0.5 + (k as f64 * 0.37) % 2.0).collect();
+        let dag = DagInstance::independent(works).unwrap();
+        let model = PolyPower::CUBE;
+        let m = 3;
+        let e = 25.0;
+        let sol = uniform_speed_schedule(&dag, &model, m, e).unwrap();
+        let lb = lower_bounds(&dag, &model, m, e).unwrap();
+        let ratio = sol.makespan / lb.best();
+        assert!(ratio >= 1.0 - 1e-9);
+        assert!(
+            ratio <= 2.0 - 1.0 / m as f64 + 1e-9,
+            "ratio {ratio} above Graham bound"
+        );
+    }
+
+    #[test]
+    fn precedence_validation_catches_violations() {
+        let dag = DagInstance::chain(vec![1.0, 1.0]).unwrap();
+        // Both jobs at t=0 in parallel: violates 0 -> 1.
+        let mut bad = Schedule::with_machines(2);
+        bad.push(0, Slice::new(0, 0.0, 1.0, 1.0));
+        bad.push(1, Slice::new(1, 0.0, 1.0, 1.0));
+        assert!(dag.validate_precedence(&bad, 1e-9).is_err());
+    }
+
+    #[test]
+    fn more_energy_never_hurts() {
+        let dag = diamond();
+        let model = PolyPower::CUBE;
+        let mut prev = f64::INFINITY;
+        for &e in &[5.0, 10.0, 20.0, 40.0] {
+            let sol = uniform_speed_schedule(&dag, &model, 2, e).unwrap();
+            assert!(sol.makespan < prev);
+            prev = sol.makespan;
+        }
+    }
+}

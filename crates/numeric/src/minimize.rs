@@ -1,0 +1,68 @@
+//! Golden-section minimization of unimodal scalar functions.
+//!
+//! Used by the discrete-speed emulation (picking the best level split) and
+//! by tests that locate frontier knees.
+
+/// Minimize a unimodal `f` on `[lo, hi]` by golden-section search.
+///
+/// Returns `(x_min, f(x_min))`. Converges linearly; `xtol` bounds the final
+/// bracket width. For non-unimodal functions the result is a local
+/// minimum within the bracket.
+pub fn golden_section(
+    mut f: impl FnMut(f64) -> f64,
+    mut lo: f64,
+    mut hi: f64,
+    xtol: f64,
+) -> (f64, f64) {
+    debug_assert!(lo <= hi);
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    let mut iterations = 0usize;
+    while (hi - lo) > xtol && iterations < 400 {
+        if f1 <= f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = f(x2);
+        }
+        iterations += 1;
+    }
+    let x = 0.5 * (lo + hi);
+    (x, f(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_parabola_vertex() {
+        let (x, fx) = golden_section(|x| (x - 3.0) * (x - 3.0) + 1.0, -10.0, 10.0, 1e-10);
+        assert!((x - 3.0).abs() < 1e-6);
+        assert!((fx - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_minimum_at_boundary() {
+        let (x, _) = golden_section(|x| x, 0.0, 1.0, 1e-10);
+        assert!(x < 1e-8);
+    }
+
+    #[test]
+    fn energy_vs_split_shape() {
+        // Two-speed split energy: convex in the split fraction.
+        let energy = |t: f64| 2.0 * t * t + (1.0 - t) * (1.0 - t);
+        let (x, _) = golden_section(energy, 0.0, 1.0, 1e-10);
+        assert!((x - 1.0 / 3.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,258 @@
+//! Exact rational arithmetic (`i128` numerator/denominator).
+//!
+//! The paper's closing remark in §4: *"Only an exact algorithm such as
+//! IncMerge can give closed-form solutions suitable for symbolic
+//! computation."* For rational instance data and integer `α`, every
+//! quantity IncMerge manipulates except the final block's speed — block
+//! boundaries, exact-fit speeds, energies, and the frontier breakpoints —
+//! is rational, so the symbolic computation the paper alludes to is
+//! literally executable. This module provides the arithmetic;
+//! `pas-core::makespan::exact` runs the algorithm over it.
+//!
+//! Overflow: operations use `checked_*` internally and return `None` on
+//! overflow (or panic in the `ops` traits, which document it). With
+//! gcd-normalization after every step, the experiment-scale inputs stay
+//! far below `i128` limits.
+
+/// An exact rational number `num/den`, always normalized: `den > 0`,
+/// `gcd(|num|, den) = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.abs().max(1)
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Build `num/den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// If `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        Rational {
+            num: sign * num / g,
+            den: (den / g).abs(),
+        }
+    }
+
+    /// An integer as a rational.
+    pub fn from_int(k: i128) -> Rational {
+        Rational { num: k, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numerator(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denominator(&self) -> i128 {
+        self.den
+    }
+
+    /// Convert to `f64` (rounding).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, rhs: &Rational) -> Option<Rational> {
+        let g = gcd(self.den, rhs.den);
+        let lcm_part = rhs.den / g;
+        let num = self
+            .num
+            .checked_mul(lcm_part)?
+            .checked_add(rhs.num.checked_mul(self.den / g)?)?;
+        let den = self.den.checked_mul(lcm_part)?;
+        Some(Rational::new(num, den))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(&self, rhs: &Rational) -> Option<Rational> {
+        self.checked_add(&Rational::new(-rhs.num, rhs.den))
+    }
+
+    /// Checked multiplication (cross-reduced to delay overflow).
+    pub fn checked_mul(&self, rhs: &Rational) -> Option<Rational> {
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Rational::new(num, den))
+    }
+
+    /// Checked division.
+    ///
+    /// Returns `None` on division by zero or overflow.
+    pub fn checked_div(&self, rhs: &Rational) -> Option<Rational> {
+        if rhs.num == 0 {
+            return None;
+        }
+        self.checked_mul(&Rational::new(rhs.den, rhs.num))
+    }
+
+    /// Checked integer power.
+    pub fn checked_pow(&self, mut exp: u32) -> Option<Rational> {
+        let mut base = *self;
+        let mut acc = Rational::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.checked_mul(&base)?;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.checked_mul(&base)?;
+            }
+        }
+        Some(acc)
+    }
+
+    /// Whether this value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // a/b vs c/d  <=>  a·d vs c·b (b, d > 0). i128 is wide enough for
+        // the normalized operands the workspace produces; fall back to
+        // f64 only on overflow.
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            _ => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .expect("finite ratios"),
+        }
+    }
+}
+
+impl std::ops::Add for Rational {
+    type Output = Rational;
+    /// # Panics
+    /// On `i128` overflow.
+    fn add(self, rhs: Rational) -> Rational {
+        self.checked_add(&rhs).expect("rational overflow in add")
+    }
+}
+
+impl std::ops::Sub for Rational {
+    type Output = Rational;
+    /// # Panics
+    /// On `i128` overflow.
+    fn sub(self, rhs: Rational) -> Rational {
+        self.checked_sub(&rhs).expect("rational overflow in sub")
+    }
+}
+
+impl std::ops::Mul for Rational {
+    type Output = Rational;
+    /// # Panics
+    /// On `i128` overflow.
+    fn mul(self, rhs: Rational) -> Rational {
+        self.checked_mul(&rhs).expect("rational overflow in mul")
+    }
+}
+
+impl std::ops::Div for Rational {
+    type Output = Rational;
+    /// # Panics
+    /// On division by zero or overflow.
+    fn div(self, rhs: Rational) -> Rational {
+        self.checked_div(&rhs).expect("rational division error")
+    }
+}
+
+impl std::fmt::Display for Rational {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), Rational::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+    }
+
+    #[test]
+    fn powers_and_order() {
+        assert_eq!(r(2, 3).checked_pow(3).unwrap(), r(8, 27));
+        assert_eq!(r(5, 1).checked_pow(0).unwrap(), Rational::ONE);
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < Rational::ZERO);
+        assert!(r(7, 3) > r(2, 1));
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(r(1, 2).to_f64(), 0.5);
+        assert_eq!(format!("{}", r(17, 1)), "17");
+        assert_eq!(format!("{}", r(-3, 4)), "-3/4");
+        assert_eq!(Rational::from_int(9), r(9, 1));
+    }
+
+    #[test]
+    fn division_by_zero_is_none() {
+        assert!(r(1, 2).checked_div(&Rational::ZERO).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn rejects_zero_denominator() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let huge = Rational::new(i128::MAX, 1);
+        assert!(huge.checked_mul(&huge).is_none());
+        assert!(huge.checked_add(&Rational::ONE).is_none());
+    }
+}

@@ -1,0 +1,354 @@
+//! Safeguarded scalar root finding and monotone-function inversion.
+//!
+//! Everything the scheduling algorithms invert is a *monotone* scalar map
+//! (energy as a function of speed, energy as a function of a makespan
+//! target, energy as a function of the Lagrangian parameter `u = σ_n^α`
+//! in the flow solver), so bracketing methods are both sufficient and
+//! robust. Newton acceleration is used when a derivative is available but
+//! always constrained to the bracket.
+
+/// Errors produced by the root finders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RootError {
+    /// The supplied bracket does not enclose a sign change.
+    NoSignChange {
+        /// Left endpoint of the failed bracket.
+        lo: f64,
+        /// Right endpoint of the failed bracket.
+        hi: f64,
+        /// `f(lo)`.
+        flo: f64,
+        /// `f(hi)`.
+        fhi: f64,
+    },
+    /// The bracket endpoints are invalid (NaN, or `lo >= hi`).
+    InvalidBracket {
+        /// Left endpoint.
+        lo: f64,
+        /// Right endpoint.
+        hi: f64,
+    },
+    /// Automatic bracket expansion failed to find a sign change.
+    BracketSearchFailed {
+        /// Last expansion bound tried.
+        limit: f64,
+    },
+    /// The iteration budget was exhausted before reaching tolerance.
+    MaxIterations {
+        /// Best estimate at give-up time.
+        best: f64,
+    },
+}
+
+impl std::fmt::Display for RootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RootError::NoSignChange { lo, hi, flo, fhi } => write!(
+                f,
+                "no sign change on [{lo}, {hi}]: f(lo)={flo}, f(hi)={fhi}"
+            ),
+            RootError::InvalidBracket { lo, hi } => {
+                write!(f, "invalid bracket [{lo}, {hi}]")
+            }
+            RootError::BracketSearchFailed { limit } => {
+                write!(f, "bracket expansion failed (reached {limit})")
+            }
+            RootError::MaxIterations { best } => {
+                write!(f, "iteration budget exhausted (best estimate {best})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+/// A sign-changing bracket `[lo, hi]` with cached endpoint values.
+#[derive(Debug, Clone, Copy)]
+pub struct Bracket {
+    /// Left endpoint.
+    pub lo: f64,
+    /// Right endpoint.
+    pub hi: f64,
+    /// `f(lo)`.
+    pub flo: f64,
+    /// `f(hi)`.
+    pub fhi: f64,
+}
+
+impl Bracket {
+    /// Validate and build a bracket for `f`, evaluating the endpoints.
+    pub fn new(f: &mut impl FnMut(f64) -> f64, lo: f64, hi: f64) -> Result<Self, RootError> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(RootError::InvalidBracket { lo, hi });
+        }
+        let flo = f(lo);
+        let fhi = f(hi);
+        if flo == 0.0 || fhi == 0.0 || (flo < 0.0) != (fhi < 0.0) {
+            Ok(Bracket { lo, hi, flo, fhi })
+        } else {
+            Err(RootError::NoSignChange { lo, hi, flo, fhi })
+        }
+    }
+}
+
+/// Default iteration budget for the bracketing methods. 200 bisections
+/// reduce any finite bracket below f64 resolution; the budget exists to
+/// catch pathological callbacks (NaN plateaus).
+const MAX_ITER: usize = 200;
+
+/// Find a root of `f` in `[lo, hi]` by bisection.
+///
+/// Requires a sign change over the bracket. Converges to
+/// `|hi - lo| <= xtol` or `|f| <= ftol`, whichever happens first.
+///
+/// # Errors
+/// [`RootError::NoSignChange`] / [`RootError::InvalidBracket`] when the
+/// bracket is unusable.
+pub fn bisect(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    xtol: f64,
+    ftol: f64,
+) -> Result<f64, RootError> {
+    let b = Bracket::new(&mut f, lo, hi)?;
+    if b.flo == 0.0 {
+        return Ok(b.lo);
+    }
+    if b.fhi == 0.0 {
+        return Ok(b.hi);
+    }
+    let (mut lo, mut hi, mut flo) = (b.lo, b.hi, b.flo);
+    for _ in 0..MAX_ITER {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || (hi - lo) <= xtol || fmid.abs() <= ftol {
+            return Ok(mid);
+        }
+        if (fmid < 0.0) == (flo < 0.0) {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Newton's method safeguarded by a bisection bracket.
+///
+/// `fdf` returns `(f(x), f'(x))`. Newton steps that leave the current
+/// bracket, or that shrink it too slowly, are replaced by bisection, so the
+/// method inherits bisection's guaranteed convergence while usually
+/// converging quadratically.
+///
+/// # Errors
+/// Same bracket errors as [`bisect`].
+pub fn newton_bisect(
+    mut fdf: impl FnMut(f64) -> (f64, f64),
+    lo: f64,
+    hi: f64,
+    xtol: f64,
+    ftol: f64,
+) -> Result<f64, RootError> {
+    let mut f_only = |x: f64| fdf(x).0;
+    let b = Bracket::new(&mut f_only, lo, hi)?;
+    if b.flo == 0.0 {
+        return Ok(b.lo);
+    }
+    if b.fhi == 0.0 {
+        return Ok(b.hi);
+    }
+    let (mut lo, mut hi, mut flo) = (b.lo, b.hi, b.flo);
+    let mut x = 0.5 * (lo + hi);
+    // `rtsafe`-style safeguard (Numerical Recipes): demand each Newton step
+    // at least halve the previous step, otherwise bisect. This keeps the
+    // enclosing interval shrinking geometrically even at multiple roots,
+    // where raw Newton converges only linearly.
+    let mut dx_old = hi - lo;
+    for _ in 0..MAX_ITER {
+        let (fx, dfx) = fdf(x);
+        if fx == 0.0 || fx.abs() <= ftol || (hi - lo) <= xtol {
+            return Ok(x);
+        }
+        // Shrink the bracket around the root.
+        if (fx < 0.0) == (flo < 0.0) {
+            lo = x;
+            flo = fx;
+        } else {
+            hi = x;
+        }
+        let newton = if dfx != 0.0 { x - fx / dfx } else { f64::NAN };
+        let newton_step = (newton - x).abs();
+        if newton.is_finite() && newton > lo && newton < hi && 2.0 * newton_step <= dx_old {
+            dx_old = newton_step;
+            x = newton;
+        } else {
+            dx_old = 0.5 * (hi - lo);
+            x = lo + dx_old;
+        }
+    }
+    Err(RootError::MaxIterations { best: x })
+}
+
+/// Invert a *strictly increasing* function: find `x` with `f(x) = target`.
+///
+/// The search starts from `guess > 0` and expands a bracket geometrically
+/// in both directions (so the caller needs no a-priori bounds — useful for
+/// speed solves where the scale of the answer is instance dependent).
+/// Intended for positive domains (speeds, energies, Lagrange multipliers);
+/// the lower expansion halves toward zero and never crosses it.
+///
+/// # Errors
+/// [`RootError::BracketSearchFailed`] if no bracket is found within ~2000
+/// doublings/halvings (i.e. the target is outside the function's range).
+pub fn invert_monotone(
+    mut f: impl FnMut(f64) -> f64,
+    target: f64,
+    guess: f64,
+    xtol: f64,
+    ftol: f64,
+) -> Result<f64, RootError> {
+    let mut g = |x: f64| f(x) - target;
+    let guess = if guess > 0.0 && guess.is_finite() {
+        guess
+    } else {
+        1.0
+    };
+    let g0 = g(guess);
+    if g0 == 0.0 {
+        return Ok(guess);
+    }
+    if g0 < 0.0 {
+        // Need larger x: expand upward.
+        let mut lo = guess;
+        let mut hi = guess * 2.0;
+        for _ in 0..2000 {
+            if g(hi) >= 0.0 {
+                return bisect(g, lo, hi, xtol, ftol);
+            }
+            lo = hi;
+            hi *= 2.0;
+            if !hi.is_finite() {
+                break;
+            }
+        }
+        Err(RootError::BracketSearchFailed { limit: hi })
+    } else {
+        // Need smaller x: contract downward (stay positive).
+        let mut hi = guess;
+        let mut lo = guess * 0.5;
+        for _ in 0..2000 {
+            if g(lo) <= 0.0 {
+                return bisect(g, lo, hi, xtol, ftol);
+            }
+            hi = lo;
+            lo *= 0.5;
+            if lo <= f64::MIN_POSITIVE {
+                break;
+            }
+        }
+        Err(RootError::BracketSearchFailed { limit: lo })
+    }
+}
+
+/// Find `x` with `f(x) = target` for a *strictly decreasing* `f` on a
+/// positive domain, expanding brackets automatically.
+///
+/// This is [`invert_monotone`] composed with a sign flip; provided because
+/// energy-as-a-function-of-makespan (the server problem) and
+/// energy-as-a-function-of-deadline curves are decreasing and inverting
+/// them with the right orientation avoids error-prone negations at call
+/// sites.
+pub fn find_decreasing_root(
+    mut f: impl FnMut(f64) -> f64,
+    target: f64,
+    guess: f64,
+    xtol: f64,
+    ftol: f64,
+) -> Result<f64, RootError> {
+    invert_monotone(move |x| -f(x), -target, guess, xtol, ftol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-14, 0.0).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_accepts_endpoint_root() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-14, 0.0).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-14, 0.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 0.0),
+            Err(RootError::NoSignChange { .. })
+        ));
+        assert!(matches!(
+            bisect(|x| x, 1.0, 0.0, 1e-12, 0.0),
+            Err(RootError::InvalidBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn newton_bisect_quadratic_convergence_on_cubic() {
+        // x^3 = 9 (the kind of α-root solve PolyPower does).
+        let r = newton_bisect(
+            |x| (x * x * x - 9.0, 3.0 * x * x),
+            0.0,
+            9.0,
+            1e-15,
+            0.0,
+        )
+        .unwrap();
+        assert!((r - 9f64.powf(1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newton_bisect_survives_zero_derivative() {
+        // f(x) = x^3 has f'(0) = 0; start bracket straddling 0.
+        let r = newton_bisect(|x| (x * x * x, 3.0 * x * x), -1.0, 2.0, 1e-14, 1e-30).unwrap();
+        assert!(r.abs() < 1e-7);
+    }
+
+    #[test]
+    fn invert_monotone_expands_upward() {
+        // f(x) = x^2, target 1e8, guess 1: answer 1e4.
+        let r = invert_monotone(|x| x * x, 1e8, 1.0, 1e-10, 0.0).unwrap();
+        assert!((r - 1e4).abs() / 1e4 < 1e-10);
+    }
+
+    #[test]
+    fn invert_monotone_contracts_downward() {
+        let r = invert_monotone(|x| x * x, 1e-8, 1.0, 1e-16, 0.0).unwrap();
+        assert!((r - 1e-4).abs() / 1e-4 < 1e-6);
+    }
+
+    #[test]
+    fn invert_monotone_exact_guess() {
+        let r = invert_monotone(|x| 2.0 * x, 4.0, 2.0, 1e-12, 0.0).unwrap();
+        assert_eq!(r, 2.0);
+    }
+
+    #[test]
+    fn invert_monotone_unreachable_target_fails() {
+        // Range of f is (0, 1); target 2 is unreachable.
+        let err = invert_monotone(|x| x / (1.0 + x), 2.0, 1.0, 1e-12, 0.0);
+        assert!(matches!(err, Err(RootError::BracketSearchFailed { .. })));
+    }
+
+    #[test]
+    fn decreasing_root_inverts_energy_like_curve() {
+        // E(T) = 100 / T^2 (server-problem-shaped). E = 4 at T = 5.
+        let r = find_decreasing_root(|t| 100.0 / (t * t), 4.0, 1.0, 1e-12, 0.0).unwrap();
+        assert!((r - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,215 @@
+//! Sturm chains: exact real-root *counting* for polynomials.
+//!
+//! The sign-scan in [`crate::poly::Polynomial::real_roots_in`] can miss
+//! tightly-paired roots. A Sturm chain gives a certificate: the number
+//! of distinct real roots in `(a, b]` equals the difference in sign
+//! variations of the chain at `a` and `b`. The hardness experiments use
+//! it to certify that the degree-12 Theorem-8 polynomial's root
+//! inventory found by scanning is complete.
+//!
+//! Chain: `p₀ = p`, `p₁ = p′`, `p_{k+1} = −rem(p_{k−1}, p_k)` until a
+//! (near-)zero remainder. Each remainder is rescaled to unit max
+//! coefficient — positive scaling preserves signs and keeps the f64
+//! arithmetic stable through a dozen division rounds.
+
+use crate::poly::Polynomial;
+
+/// A Sturm chain for one polynomial.
+#[derive(Debug, Clone)]
+pub struct SturmChain {
+    chain: Vec<Polynomial>,
+}
+
+/// Coefficients smaller than this (relative to the polynomial scale)
+/// are treated as zero when terminating the chain.
+const ZERO_TOL: f64 = 1e-10;
+
+impl SturmChain {
+    /// Build the chain for `p`.
+    ///
+    /// Works for square-free polynomials; repeated roots make the chain
+    /// terminate early at the gcd, in which case counts refer to
+    /// *distinct* roots (the standard Sturm semantics).
+    pub fn new(p: &Polynomial) -> SturmChain {
+        let mut chain = Vec::new();
+        let p0 = normalize(p.clone());
+        let p1 = normalize(p.derivative());
+        if p0.degree().is_none() {
+            return SturmChain { chain };
+        }
+        chain.push(p0);
+        if p1.degree().is_none() {
+            return SturmChain { chain };
+        }
+        chain.push(p1);
+        while chain.last().expect("non-empty").degree().map_or(0, |d| d) >= 1 {
+            let a = &chain[chain.len() - 2];
+            let b = &chain[chain.len() - 1];
+            let (_, rem) = div_rem(a, b);
+            let next = normalize(rem.scale(-1.0));
+            if next.degree().is_none() {
+                break;
+            }
+            chain.push(next);
+        }
+        SturmChain { chain }
+    }
+
+    /// Number of sign variations of the chain evaluated at `x`.
+    pub fn variations_at(&self, x: f64) -> usize {
+        let mut count = 0;
+        let mut last_sign = 0i8;
+        for p in &self.chain {
+            let v = p.eval(x);
+            let sign = if v > ZERO_TOL {
+                1
+            } else if v < -ZERO_TOL {
+                -1
+            } else {
+                0
+            };
+            if sign != 0 {
+                if last_sign != 0 && sign != last_sign {
+                    count += 1;
+                }
+                last_sign = sign;
+            }
+        }
+        count
+    }
+
+    /// Number of distinct real roots in `(a, b]`.
+    ///
+    /// # Panics
+    /// If `a >= b`.
+    pub fn count_roots(&self, a: f64, b: f64) -> usize {
+        assert!(a < b, "need a < b");
+        self.variations_at(a).saturating_sub(self.variations_at(b))
+    }
+
+    /// Number of distinct real roots anywhere, via the Cauchy bound of
+    /// the chain's head.
+    pub fn count_all_roots(&self) -> usize {
+        let Some(head) = self.chain.first() else {
+            return 0;
+        };
+        let bound = head.cauchy_root_bound().unwrap_or(0.0) + 1.0;
+        self.count_roots(-bound, bound)
+    }
+
+    /// The chain polynomials (for inspection).
+    pub fn chain(&self) -> &[Polynomial] {
+        &self.chain
+    }
+}
+
+/// Scale a polynomial so its largest |coefficient| is 1 (sign-preserving).
+fn normalize(p: Polynomial) -> Polynomial {
+    let max = p.coeffs().iter().fold(0.0f64, |m, c| m.max(c.abs()));
+    if max <= ZERO_TOL {
+        Polynomial::zero()
+    } else {
+        p.scale(1.0 / max)
+    }
+}
+
+/// Euclidean division: `a = q·b + r` with `deg r < deg b`.
+///
+/// # Panics
+/// If `b` is the zero polynomial.
+pub fn div_rem(a: &Polynomial, b: &Polynomial) -> (Polynomial, Polynomial) {
+    let db = b.degree().expect("division by zero polynomial");
+    let lead_b = b.coeffs()[db];
+    let mut rem: Vec<f64> = a.coeffs().to_vec();
+    let da = rem.len().saturating_sub(1);
+    if da < db {
+        return (Polynomial::zero(), a.clone());
+    }
+    let mut quot = vec![0.0; da - db + 1];
+    for k in (db..=da).rev() {
+        let coeff = rem[k] / lead_b;
+        quot[k - db] = coeff;
+        for j in 0..=db {
+            rem[k - db + j] -= coeff * b.coeffs()[j];
+        }
+        rem[k] = 0.0;
+    }
+    (Polynomial::new(quot), Polynomial::new(rem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(coeffs: &[f64]) -> Polynomial {
+        Polynomial::new(coeffs.to_vec())
+    }
+
+    #[test]
+    fn div_rem_identity() {
+        // (x² - 1) / (x - 1) = (x + 1), rem 0.
+        let a = poly(&[-1.0, 0.0, 1.0]);
+        let b = poly(&[-1.0, 1.0]);
+        let (q, r) = div_rem(&a, &b);
+        assert_eq!(q, poly(&[1.0, 1.0]));
+        assert_eq!(r.degree(), None);
+        // With remainder: x² / (x - 1) = x + 1 rem 1.
+        let (q2, r2) = div_rem(&poly(&[0.0, 0.0, 1.0]), &b);
+        assert_eq!(q2, poly(&[1.0, 1.0]));
+        assert_eq!(r2, poly(&[1.0]));
+    }
+
+    #[test]
+    fn counts_roots_of_cubic() {
+        // (x-1)(x-2)(x-3).
+        let p = poly(&[-6.0, 11.0, -6.0, 1.0]);
+        let chain = SturmChain::new(&p);
+        assert_eq!(chain.count_all_roots(), 3);
+        assert_eq!(chain.count_roots(0.0, 4.0), 3);
+        assert_eq!(chain.count_roots(1.5, 2.5), 1);
+        assert_eq!(chain.count_roots(3.5, 10.0), 0);
+    }
+
+    #[test]
+    fn counts_no_real_roots() {
+        // x² + 1.
+        let chain = SturmChain::new(&poly(&[1.0, 0.0, 1.0]));
+        assert_eq!(chain.count_all_roots(), 0);
+    }
+
+    #[test]
+    fn counts_close_roots_scan_might_merge() {
+        // (x - 1)(x - 1.001): two roots 1e-3 apart.
+        let p = poly(&[1.0, -1.0]).mul(&poly(&[1.001, -1.0]));
+        // Note: mul gives (1 - x)(1.001 - x) = same roots.
+        let chain = SturmChain::new(&p);
+        assert_eq!(chain.count_roots(0.5, 1.5), 2);
+    }
+
+    #[test]
+    fn agrees_with_scan_on_random_products() {
+        // Build polynomials with known roots; Sturm count must match.
+        let roots = [-2.5, -0.5, 0.25, 1.0, 3.75];
+        let mut p = Polynomial::constant(1.0);
+        for &r in &roots {
+            p = p.mul(&poly(&[-r, 1.0]));
+        }
+        let chain = SturmChain::new(&p);
+        assert_eq!(chain.count_all_roots(), roots.len());
+        let found = p.real_roots(8000, 1e-12).unwrap();
+        assert_eq!(found.len(), roots.len());
+    }
+
+    #[test]
+    fn variations_monotone_in_x() {
+        let p = poly(&[-6.0, 11.0, -6.0, 1.0]);
+        let chain = SturmChain::new(&p);
+        let mut prev = chain.variations_at(-10.0);
+        for k in 1..100 {
+            let x = -10.0 + 0.25 * k as f64;
+            let v = chain.variations_at(x);
+            assert!(v <= prev, "variations increased at {x}");
+            prev = v;
+        }
+    }
+}

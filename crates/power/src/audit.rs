@@ -1,0 +1,137 @@
+//! Numeric audits of the [`crate::PowerModel`] contract.
+//!
+//! The algorithms' correctness proofs assume `P(0)=0`, strict monotonicity
+//! and strict convexity. For user-supplied models none of that can be
+//! checked by the type system, so this module provides grid-based audits
+//! that tests (and cautious callers) can run once per model.
+
+use crate::model::PowerModel;
+use pas_numeric::diff::convexity_slack;
+
+/// Outcome of [`audit_model`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditReport {
+    /// `P(0)` (contract: 0).
+    pub power_at_zero: f64,
+    /// Worst adjacent-sample monotonicity slack of `P` (contract: > 0).
+    pub min_power_increase: f64,
+    /// Worst midpoint-convexity slack of `P` (contract: ≥ 0, ideally > 0).
+    pub convexity_slack: f64,
+    /// Worst adjacent-sample monotonicity slack of `g(σ)=P(σ)/σ`
+    /// (contract: > 0; this is the property the algorithms actually use).
+    pub min_epw_increase: f64,
+    /// Maximum relative round-trip error of
+    /// `speed_for_energy_per_work(energy_per_work(σ))` over the grid.
+    pub max_inverse_error: f64,
+}
+
+impl AuditReport {
+    /// Whether every contract clause holds within `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.power_at_zero.abs() <= tol
+            && self.min_power_increase > -tol
+            && self.convexity_slack >= -tol
+            && self.min_epw_increase > -tol
+            && self.max_inverse_error <= tol.max(1e-6)
+    }
+}
+
+/// Audit `model` over the speed range `(0, max_speed]` with `samples`
+/// grid points.
+///
+/// # Panics
+/// If `max_speed <= 0` or `samples < 4`.
+pub fn audit_model<M: PowerModel>(model: &M, max_speed: f64, samples: usize) -> AuditReport {
+    assert!(max_speed > 0.0, "max_speed must be positive");
+    assert!(samples >= 4, "need at least 4 samples");
+    let step = max_speed / samples as f64;
+
+    let mut min_power_increase = f64::INFINITY;
+    let mut min_epw_increase = f64::INFINITY;
+    let mut max_inverse_error: f64 = 0.0;
+    let mut prev_p = model.power(step * 0.5);
+    let mut prev_g = model.energy_per_work(step * 0.5);
+    for k in 1..=samples {
+        let s = step * (0.5 + k as f64);
+        if s > max_speed {
+            break;
+        }
+        let p = model.power(s);
+        let g = model.energy_per_work(s);
+        min_power_increase = min_power_increase.min(p - prev_p);
+        min_epw_increase = min_epw_increase.min(g - prev_g);
+        prev_p = p;
+        prev_g = g;
+        if let Ok(back) = model.speed_for_energy_per_work(g) {
+            let err = (back - s).abs() / s.max(1e-12);
+            max_inverse_error = max_inverse_error.max(err);
+        } else {
+            max_inverse_error = f64::INFINITY;
+        }
+    }
+
+    AuditReport {
+        power_at_zero: model.power(0.0),
+        min_power_increase,
+        convexity_slack: convexity_slack(|s| model.power(s), 0.0, max_speed, 4 * samples),
+        min_epw_increase,
+        max_inverse_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::ExpPower;
+    use crate::model::PowerError;
+    use crate::poly::PolyPower;
+
+    #[test]
+    fn poly_passes_audit() {
+        for &alpha in &[1.2, 2.0, 3.0, 5.0] {
+            let report = audit_model(&PolyPower::new(alpha), 10.0, 200);
+            assert!(report.passes(1e-9), "alpha={alpha}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn exp_passes_audit() {
+        let report = audit_model(&ExpPower::shannon(), 20.0, 200);
+        assert!(report.passes(1e-8), "{report:?}");
+    }
+
+    #[test]
+    fn concave_model_fails_audit() {
+        /// A deliberately broken (concave) model.
+        #[derive(Debug)]
+        struct Sqrt;
+        impl PowerModel for Sqrt {
+            fn power(&self, speed: f64) -> f64 {
+                speed.max(0.0).sqrt()
+            }
+            fn speed_for_energy_per_work(&self, e: f64) -> Result<f64, PowerError> {
+                // g(σ) = σ^{-1/2} is *decreasing*; expose that by failing.
+                Err(PowerError::Unreachable { energy_per_work: e })
+            }
+        }
+        let report = audit_model(&Sqrt, 10.0, 100);
+        assert!(!report.passes(1e-9));
+        assert!(report.convexity_slack < 0.0);
+        assert!(report.min_epw_increase < 0.0);
+    }
+
+    #[test]
+    fn static_power_fails_audit() {
+        /// Idle power violates P(0)=0.
+        #[derive(Debug)]
+        struct Static;
+        impl PowerModel for Static {
+            fn power(&self, speed: f64) -> f64 {
+                1.0 + speed * speed
+            }
+        }
+        let report = audit_model(&Static, 10.0, 100);
+        assert!(!report.passes(1e-9));
+        assert!(report.power_at_zero > 0.5);
+    }
+}

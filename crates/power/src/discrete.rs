@@ -1,0 +1,240 @@
+//! Discrete speed sets: what real DVFS hardware offers.
+//!
+//! The paper's introduction quotes the AMD Athlon 64 data sheet (2000,
+//! 1800, 800 MHz) and §6 lists discrete speeds as the most obvious gap
+//! between the continuous model and real systems. [`DiscreteSpeeds`]
+//! couples a finite speed list with an underlying continuous
+//! [`PowerModel`]; the two-adjacent-level emulation in
+//! `pas-core::discrete` uses it to round continuous-optimal schedules to
+//! hardware-executable ones (a standard construction: by convexity, a
+//! target speed is optimally emulated by time-slicing the two levels that
+//! bracket it).
+
+use crate::model::PowerModel;
+
+/// A finite, strictly increasing set of legal speeds over a continuous
+/// power curve.
+#[derive(Debug, Clone)]
+pub struct DiscreteSpeeds<M> {
+    model: M,
+    levels: Vec<f64>,
+}
+
+/// The AMD Athlon 64 frequency table from the paper's introduction,
+/// normalized to GHz.
+pub const ATHLON64_GHZ: [f64; 3] = [0.8, 1.8, 2.0];
+
+impl<M: PowerModel> DiscreteSpeeds<M> {
+    /// Build from a speed list (sorted and deduplicated automatically).
+    ///
+    /// # Panics
+    /// If `levels` is empty or contains a non-finite or non-positive
+    /// entry.
+    pub fn new(model: M, mut levels: Vec<f64>) -> Self {
+        assert!(!levels.is_empty(), "at least one speed level required");
+        assert!(
+            levels.iter().all(|s| s.is_finite() && *s > 0.0),
+            "all speed levels must be finite and positive: {levels:?}"
+        );
+        levels.sort_by(|a, b| a.partial_cmp(b).expect("finite levels"));
+        levels.dedup();
+        DiscreteSpeeds { model, levels }
+    }
+
+    /// Evenly spaced levels `max/k, 2·max/k, …, max` — the synthetic
+    /// ladders used by the §6 level-count experiments.
+    pub fn uniform(model: M, k: usize, max: f64) -> Self {
+        assert!(k >= 1, "need at least one level");
+        let levels = (1..=k).map(|i| max * i as f64 / k as f64).collect();
+        DiscreteSpeeds::new(model, levels)
+    }
+
+    /// The sorted speed levels.
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// The continuous model the levels are drawn from.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Highest available speed.
+    pub fn max_speed(&self) -> f64 {
+        *self.levels.last().expect("non-empty")
+    }
+
+    /// Lowest available speed.
+    pub fn min_speed(&self) -> f64 {
+        self.levels[0]
+    }
+
+    /// The pair of adjacent levels bracketing `target`, as indices
+    /// `(lo, hi)` into [`DiscreteSpeeds::levels`].
+    ///
+    /// * `target` below the lowest level brackets to `(0, 0)`;
+    /// * above the highest to `(last, last)`;
+    /// * exact hits return `(i, i)`.
+    pub fn bracketing_levels(&self, target: f64) -> (usize, usize) {
+        let n = self.levels.len();
+        match self
+            .levels
+            .binary_search_by(|s| s.partial_cmp(&target).expect("finite"))
+        {
+            Ok(i) => (i, i),
+            Err(0) => (0, 0),
+            Err(i) if i == n => (n - 1, n - 1),
+            Err(i) => (i - 1, i),
+        }
+    }
+
+    /// Time split emulating constant speed `target` for `work` units:
+    /// returns `(t_lo, t_hi)`, the durations to spend at the bracketing
+    /// lower/upper levels so total time and total work both match the
+    /// continuous execution. When `target` is outside the level range the
+    /// nearest level is used alone and **total time changes** (the
+    /// returned durations still complete the work).
+    pub fn two_level_split(&self, work: f64, target: f64) -> TwoLevelSplit {
+        let (i, j) = self.bracketing_levels(target);
+        let (lo, hi) = (self.levels[i], self.levels[j]);
+        if i == j {
+            return TwoLevelSplit {
+                lo_speed: lo,
+                hi_speed: hi,
+                lo_time: if (lo - target).abs() <= f64::EPSILON * target.abs() {
+                    work / lo
+                } else {
+                    // Outside the ladder: run everything at the nearest level.
+                    work / lo
+                },
+                hi_time: 0.0,
+                exact: (lo - target).abs() <= 1e-12 * target.abs().max(1.0),
+            };
+        }
+        // Solve t_lo + t_hi = work/target (same duration) and
+        // lo·t_lo + hi·t_hi = work (same work).
+        let duration = work / target;
+        let hi_time = (work - lo * duration) / (hi - lo);
+        let lo_time = duration - hi_time;
+        TwoLevelSplit {
+            lo_speed: lo,
+            hi_speed: hi,
+            lo_time,
+            hi_time,
+            exact: true,
+        }
+    }
+
+    /// Energy of a [`TwoLevelSplit`] under the underlying model.
+    pub fn split_energy(&self, split: &TwoLevelSplit) -> f64 {
+        self.model.power(split.lo_speed) * split.lo_time
+            + self.model.power(split.hi_speed) * split.hi_time
+    }
+}
+
+/// Result of emulating a continuous speed with two adjacent levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoLevelSplit {
+    /// Lower level used.
+    pub lo_speed: f64,
+    /// Upper level used.
+    pub hi_speed: f64,
+    /// Time at the lower level.
+    pub lo_time: f64,
+    /// Time at the upper level.
+    pub hi_time: f64,
+    /// Whether duration and work both match the continuous target
+    /// (false when the target fell outside the ladder).
+    pub exact: bool,
+}
+
+impl TwoLevelSplit {
+    /// Total duration of the emulation.
+    pub fn duration(&self) -> f64 {
+        self.lo_time + self.hi_time
+    }
+
+    /// Work completed by the emulation.
+    pub fn work(&self) -> f64 {
+        self.lo_speed * self.lo_time + self.hi_speed * self.hi_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::PolyPower;
+
+    fn athlon() -> DiscreteSpeeds<PolyPower> {
+        DiscreteSpeeds::new(PolyPower::CUBE, ATHLON64_GHZ.to_vec())
+    }
+
+    #[test]
+    fn levels_sorted_and_deduped() {
+        let d = DiscreteSpeeds::new(PolyPower::CUBE, vec![2.0, 0.8, 1.8, 0.8]);
+        assert_eq!(d.levels(), &[0.8, 1.8, 2.0]);
+        assert_eq!(d.min_speed(), 0.8);
+        assert_eq!(d.max_speed(), 2.0);
+    }
+
+    #[test]
+    fn uniform_ladder() {
+        let d = DiscreteSpeeds::uniform(PolyPower::CUBE, 4, 2.0);
+        assert_eq!(d.levels(), &[0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn bracketing() {
+        let d = athlon();
+        assert_eq!(d.bracketing_levels(1.0), (0, 1));
+        assert_eq!(d.bracketing_levels(1.9), (1, 2));
+        assert_eq!(d.bracketing_levels(0.8), (0, 0));
+        assert_eq!(d.bracketing_levels(0.1), (0, 0));
+        assert_eq!(d.bracketing_levels(5.0), (2, 2));
+    }
+
+    #[test]
+    fn split_preserves_work_and_duration() {
+        let d = athlon();
+        let split = d.two_level_split(3.0, 1.2); // between 0.8 and 1.8
+        assert!(split.exact);
+        assert!((split.work() - 3.0).abs() < 1e-12);
+        assert!((split.duration() - 3.0 / 1.2).abs() < 1e-12);
+        assert!(split.lo_time > 0.0 && split.hi_time > 0.0);
+    }
+
+    #[test]
+    fn split_at_exact_level() {
+        let d = athlon();
+        let split = d.two_level_split(3.6, 1.8);
+        assert!(split.exact);
+        assert_eq!(split.hi_time, 0.0);
+        assert!((split.lo_time - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_outside_ladder_is_marked_inexact() {
+        let d = athlon();
+        let split = d.two_level_split(1.0, 0.2); // below min level
+        assert!(!split.exact);
+        assert!((split.work() - 1.0).abs() < 1e-12);
+        // Runs at 0.8, faster than requested 0.2 → shorter duration.
+        assert!(split.duration() < 5.0);
+    }
+
+    #[test]
+    fn split_energy_exceeds_continuous_energy() {
+        // Convexity: emulating σ=1.2 with {0.8, 1.8} costs more energy
+        // than running at 1.2 continuously (equal time, equal work).
+        let d = athlon();
+        let split = d.two_level_split(3.0, 1.2);
+        let continuous = PolyPower::CUBE.energy(3.0, 1.2);
+        assert!(d.split_energy(&split) > continuous);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one speed level")]
+    fn rejects_empty() {
+        let _ = DiscreteSpeeds::new(PolyPower::CUBE, vec![]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Exponential power curves: the wireless-transmission shape.
+//!
+//! The paper's §2 highlights that Uysal-Biyikoglu, Prabhakar and El Gamal
+//! studied minimum-energy *packet transmission* with "a totally different
+//! power function" from DVFS, and that the algorithms only rely on
+//! continuity and strict convexity. For an AWGN channel, transmitting at
+//! rate `σ` requires power proportional to `2^σ − 1` (Shannon capacity
+//! inverted), which is exactly this model with `base = 2`.
+
+use crate::model::PowerModel;
+
+/// `P(σ) = scale · (base^σ − 1)`, `base > 1`, `scale > 0`.
+///
+/// Strictly convex and strictly increasing with `P(0) = 0`, so it
+/// satisfies the [`PowerModel`] contract; unlike [`crate::PolyPower`] its
+/// energy-per-work function has no closed-form inverse, exercising the
+/// trait's numeric fallback paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpPower {
+    base: f64,
+    scale: f64,
+}
+
+impl ExpPower {
+    /// Shannon-style transmit power `P(σ) = 2^σ − 1`.
+    pub fn shannon() -> Self {
+        ExpPower::new(2.0, 1.0)
+    }
+
+    /// Create `P(σ) = scale·(base^σ − 1)`.
+    ///
+    /// # Panics
+    /// If `base <= 1` or `scale <= 0` (the curve would not be strictly
+    /// convex increasing) or either is not finite.
+    pub fn new(base: f64, scale: f64) -> Self {
+        assert!(
+            base.is_finite() && base > 1.0,
+            "ExpPower requires base > 1 (got {base})"
+        );
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "ExpPower requires scale > 0 (got {scale})"
+        );
+        ExpPower { base, scale }
+    }
+
+    /// The exponent base.
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// The multiplicative scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl PowerModel for ExpPower {
+    fn power(&self, speed: f64) -> f64 {
+        if speed <= 0.0 {
+            return 0.0;
+        }
+        // expm1 keeps precision for tiny speeds.
+        self.scale * (speed * self.base.ln()).exp_m1()
+    }
+
+    fn name(&self) -> String {
+        format!("{}*({}^sigma - 1)", self.scale, self.base)
+    }
+
+    fn power_derivative(&self, speed: f64) -> f64 {
+        let ln_b = self.base.ln();
+        self.scale * ln_b * (speed.max(0.0) * ln_b).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shannon_values() {
+        let m = ExpPower::shannon();
+        assert_eq!(m.power(0.0), 0.0);
+        assert!((m.power(1.0) - 1.0).abs() < 1e-12); // 2^1 - 1
+        assert!((m.power(3.0) - 7.0).abs() < 1e-12); // 2^3 - 1
+    }
+
+    #[test]
+    fn energy_per_work_is_increasing() {
+        let m = ExpPower::shannon();
+        let mut prev = 0.0;
+        for k in 1..100 {
+            let s = k as f64 * 0.1;
+            let g = m.energy_per_work(s);
+            assert!(g > prev, "g not increasing at σ={s}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn numeric_inverse_round_trips() {
+        let m = ExpPower::shannon();
+        // g's range is (ln 2, ∞): only e > ln 2 ≈ 0.693 is reachable.
+        for &e in &[0.7, 1.0, 5.0, 300.0] {
+            let s = m.speed_for_energy_per_work(e).unwrap();
+            assert!(
+                (m.energy_per_work(s) - e).abs() / e < 1e-9,
+                "e={e}, s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_per_work_has_positive_infimum() {
+        // Unlike PolyPower, ExpPower's chord slope at the origin is
+        // P'(0) = ln 2 > 0: work can never cost less than ln 2 per unit.
+        let m = ExpPower::shannon();
+        assert!(matches!(
+            m.speed_for_energy_per_work(0.01),
+            Err(crate::model::PowerError::Unreachable { .. })
+        ));
+        // Just above the infimum is reachable (at a tiny speed).
+        let s = m.speed_for_energy_per_work(0.694).unwrap();
+        assert!(s > 0.0 && s < 0.1, "σ = {s}");
+    }
+
+    #[test]
+    fn derivative_matches_numeric() {
+        let m = ExpPower::new(3.0, 2.0);
+        let numeric = pas_numeric::diff::derivative(|s| m.power(s), 1.5, 1e-5);
+        assert!((m.power_derivative(1.5) - numeric).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tiny_speed_precision() {
+        // expm1 path: P(1e-12) ≈ 1e-12·ln2, not 0.
+        let m = ExpPower::shannon();
+        let p = m.power(1e-12);
+        assert!(p > 0.0);
+        assert!((p - 1e-12 * 2f64.ln()).abs() < 1e-24);
+    }
+
+    #[test]
+    #[should_panic(expected = "base > 1")]
+    fn rejects_degenerate_base() {
+        let _ = ExpPower::new(1.0, 1.0);
+    }
+
+    #[test]
+    fn is_strictly_convex_numerically() {
+        let m = ExpPower::shannon();
+        let slack = pas_numeric::diff::convexity_slack(|s| m.power(s), 0.0, 10.0, 300);
+        assert!(slack >= 0.0, "convexity violated: slack={slack}");
+    }
+}

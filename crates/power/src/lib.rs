@@ -1,0 +1,47 @@
+//! # pas-power
+//!
+//! Speed-to-power models for dynamic voltage scaling (DVFS).
+//!
+//! Bunde's SPAA 2006 paper assumes only that **power is a continuous,
+//! strictly convex, strictly increasing function of processor speed with
+//! `P(0) = 0`** — the canonical instance being `P(σ) = σ^α` for `α > 1`
+//! (Yao, Demers, Shenker). All algorithms in `pas-core` are written
+//! against the [`PowerModel`] trait so that:
+//!
+//! * the canonical polynomial model gets exact closed forms
+//!   ([`PolyPower`]), which is what makes the makespan frontier (paper
+//!   §3.2, Figures 1–3) exactly computable;
+//! * the wireless-transmission power curves of Uysal-Biyikoglu et al.
+//!   (paper §2) — a *totally different* power function — run through the
+//!   identical algorithms ([`ExpPower`]), exactly as the paper notes that
+//!   only convexity is required;
+//! * real processors with discrete speed steps (the AMD Athlon 64 table
+//!   quoted in the paper's introduction) are representable
+//!   ([`DiscreteSpeeds`]) for the §6 "future work" experiments.
+//!
+//! ## The key derived quantity: energy per unit work
+//!
+//! A job of work `w` run at constant speed `σ` takes time `w/σ` and burns
+//! `P(σ)·w/σ` energy. The function `g(σ) = P(σ)/σ` ("energy per unit
+//! work") is therefore what every scheduling decision actually consults.
+//! Strict convexity of `P` with `P(0)=0` makes `g` strictly increasing,
+//! which is the monotonicity every algorithm in the paper leans on (e.g.
+//! "slowing a job before idle time saves energy", Lemma 4).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod audit;
+pub mod bounded;
+pub mod custom;
+pub mod discrete;
+pub mod exp;
+pub mod model;
+pub mod poly;
+
+pub use bounded::BoundedPower;
+pub use custom::CustomPower;
+pub use discrete::DiscreteSpeeds;
+pub use exp::ExpPower;
+pub use model::{PowerError, PowerModel};
+pub use poly::PolyPower;

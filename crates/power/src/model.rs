@@ -1,0 +1,236 @@
+//! The [`PowerModel`] trait: the contract every speed-scaling algorithm
+//! in this workspace is written against.
+
+use pas_numeric::roots::{invert_monotone, RootError};
+
+/// Errors surfaced by power-model queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerError {
+    /// A speed outside the model's valid domain was supplied.
+    InvalidSpeed {
+        /// The offending speed.
+        speed: f64,
+    },
+    /// An inverse query (`speed_for_energy_per_work`) has no solution in
+    /// the model's speed range.
+    Unreachable {
+        /// The requested energy-per-work value.
+        energy_per_work: f64,
+    },
+    /// An underlying numeric inversion failed.
+    Numeric(RootError),
+}
+
+impl std::fmt::Display for PowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PowerError::InvalidSpeed { speed } => write!(f, "invalid speed {speed}"),
+            PowerError::Unreachable { energy_per_work } => {
+                write!(f, "energy-per-work {energy_per_work} unreachable")
+            }
+            PowerError::Numeric(e) => write!(f, "numeric inversion failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+impl From<RootError> for PowerError {
+    fn from(e: RootError) -> Self {
+        PowerError::Numeric(e)
+    }
+}
+
+/// A speed→power curve satisfying the paper's assumptions.
+///
+/// # Contract
+///
+/// Implementations must guarantee, on their valid speed range:
+///
+/// 1. `power(0) = 0` (no static/idle power — the paper's model);
+/// 2. `power` is continuous, strictly increasing, and **strictly convex**;
+/// 3. consequently `energy_per_work(σ) = power(σ)/σ` is continuous and
+///    strictly increasing on `σ > 0`, with
+///    `energy_per_work(σ) → 0` as `σ → 0⁺` (superlinearity at the origin
+///    is *not* required by the trait, but `PolyPower`/`ExpPower` have it
+///    and several algorithms' optimality proofs use it).
+///
+/// The default methods implement everything an algorithm needs on top of
+/// [`PowerModel::power`]; override them when closed forms exist (see
+/// [`crate::PolyPower`]).
+pub trait PowerModel: Send + Sync + std::fmt::Debug {
+    /// Instantaneous power drawn at speed `σ >= 0`.
+    fn power(&self, speed: f64) -> f64;
+
+    /// Human-readable model name (for reports and CSV headers).
+    fn name(&self) -> String {
+        "power-model".to_string()
+    }
+
+    /// Energy consumed per unit of work when running at constant speed
+    /// `σ > 0`: `g(σ) = P(σ)/σ`. Strictly increasing by the contract.
+    fn energy_per_work(&self, speed: f64) -> f64 {
+        if speed <= 0.0 {
+            return 0.0;
+        }
+        self.power(speed) / speed
+    }
+
+    /// Energy to run `work` units at constant speed `σ > 0`.
+    fn energy(&self, work: f64, speed: f64) -> f64 {
+        work * self.energy_per_work(speed)
+    }
+
+    /// Inverse of [`PowerModel::energy_per_work`]: the speed at which one
+    /// unit of work costs exactly `e` energy.
+    ///
+    /// The default implementation inverts numerically by expanding-bracket
+    /// bisection (valid because `g` is strictly increasing); models with
+    /// closed forms override it.
+    ///
+    /// # Errors
+    /// [`PowerError::Unreachable`] when `e` lies outside `g`'s range (for
+    /// bounded models) and [`PowerError::InvalidSpeed`] for `e < 0`.
+    fn speed_for_energy_per_work(&self, e: f64) -> Result<f64, PowerError> {
+        if e < 0.0 {
+            return Err(PowerError::Unreachable { energy_per_work: e });
+        }
+        if e == 0.0 {
+            return Ok(0.0);
+        }
+        invert_monotone(|s| self.energy_per_work(s), e, 1.0, 1e-14, 0.0).map_err(|err| {
+            match err {
+                // The expanding bracket ran off the end of g's range: the
+                // requested energy-per-work simply cannot be achieved
+                // (e.g. ExpPower has g(0⁺) = scale·ln(base) > 0, so
+                // arbitrarily cheap work is impossible).
+                RootError::BracketSearchFailed { .. } => {
+                    PowerError::Unreachable { energy_per_work: e }
+                }
+                other => PowerError::Numeric(other),
+            }
+        })
+    }
+
+    /// Derivative `P'(σ)`; numeric central difference by default.
+    fn power_derivative(&self, speed: f64) -> f64 {
+        let h = (speed.abs() * 1e-6).max(1e-9);
+        pas_numeric::diff::derivative(|s| self.power(s.max(0.0)), speed.max(h * 2.0), h)
+    }
+
+    /// Second derivative `P''(σ)`; numeric by default. Used by the
+    /// makespan frontier's closed-form `d²M/dE²` (paper Figure 3):
+    /// `M'' = P''(σ)·σ³ / (W·(P'(σ)·σ − P(σ))³)` on each segment.
+    fn power_second_derivative(&self, speed: f64) -> f64 {
+        let h = (speed.abs() * 1e-5).max(1e-6);
+        pas_numeric::diff::second_derivative(|s| self.power(s.max(0.0)), speed.max(h * 3.0), h)
+    }
+
+    /// The speed a single block of `work` must run at to consume exactly
+    /// `budget` energy (the "last block" solve at the heart of IncMerge).
+    ///
+    /// # Errors
+    /// Propagates [`PowerError`] from the inverse query; `budget <= 0` or
+    /// `work <= 0` yield [`PowerError::Unreachable`].
+    fn speed_for_block(&self, work: f64, budget: f64) -> Result<f64, PowerError> {
+        if work <= 0.0 || budget <= 0.0 {
+            return Err(PowerError::Unreachable {
+                energy_per_work: budget / work,
+            });
+        }
+        self.speed_for_energy_per_work(budget / work)
+    }
+}
+
+/// Blanket impl so `&M`, `Box<M>`, `Arc<M>` can be passed wherever a
+/// model is expected.
+impl<M: PowerModel + ?Sized> PowerModel for &M {
+    fn power(&self, speed: f64) -> f64 {
+        (**self).power(speed)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn energy_per_work(&self, speed: f64) -> f64 {
+        (**self).energy_per_work(speed)
+    }
+    fn energy(&self, work: f64, speed: f64) -> f64 {
+        (**self).energy(work, speed)
+    }
+    fn speed_for_energy_per_work(&self, e: f64) -> Result<f64, PowerError> {
+        (**self).speed_for_energy_per_work(e)
+    }
+    fn power_derivative(&self, speed: f64) -> f64 {
+        (**self).power_derivative(speed)
+    }
+    fn power_second_derivative(&self, speed: f64) -> f64 {
+        (**self).power_second_derivative(speed)
+    }
+    fn speed_for_block(&self, work: f64, budget: f64) -> Result<f64, PowerError> {
+        (**self).speed_for_block(work, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A quadratic model implemented *only* via `power`, to exercise every
+    /// default method.
+    #[derive(Debug)]
+    struct Quadratic;
+
+    impl PowerModel for Quadratic {
+        fn power(&self, speed: f64) -> f64 {
+            speed * speed
+        }
+    }
+
+    #[test]
+    fn default_energy_per_work() {
+        let m = Quadratic;
+        assert_eq!(m.energy_per_work(3.0), 3.0); // σ²/σ = σ
+        assert_eq!(m.energy_per_work(0.0), 0.0);
+        assert_eq!(m.energy(2.0, 3.0), 6.0);
+    }
+
+    #[test]
+    fn default_inverse_round_trips() {
+        let m = Quadratic;
+        for &e in &[0.125, 1.0, 7.5, 4000.0] {
+            let s = m.speed_for_energy_per_work(e).unwrap();
+            assert!((m.energy_per_work(s) - e).abs() / e < 1e-10, "e={e} s={s}");
+        }
+    }
+
+    #[test]
+    fn inverse_rejects_negative() {
+        assert!(Quadratic.speed_for_energy_per_work(-1.0).is_err());
+        assert_eq!(Quadratic.speed_for_energy_per_work(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn block_speed_solves_budget() {
+        let m = Quadratic;
+        // work 4 at budget 8: energy per work 2 -> speed 2 (σ = e).
+        let s = m.speed_for_block(4.0, 8.0).unwrap();
+        assert!((s - 2.0).abs() < 1e-12);
+        assert!(m.speed_for_block(0.0, 8.0).is_err());
+        assert!(m.speed_for_block(4.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn default_derivative_is_accurate() {
+        let m = Quadratic;
+        // P'(σ) = 2σ.
+        assert!((m.power_derivative(3.0) - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reference_passthrough() {
+        let m = Quadratic;
+        let r: &dyn PowerModel = &m;
+        assert_eq!(r.energy(2.0, 3.0), 6.0);
+        assert_eq!((&r).power(2.0), 4.0);
+    }
+}

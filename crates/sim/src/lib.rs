@@ -1,0 +1,39 @@
+//! # pas-sim
+//!
+//! Schedule representation, validation, metrics, and an online simulation
+//! engine for speed-scaled processors.
+//!
+//! The optimization algorithms in `pas-core` *produce* schedules; this
+//! crate is the neutral substrate that *checks* and *measures* them, so
+//! algorithm bugs cannot hide behind their own accounting:
+//!
+//! * [`Schedule`] — per-processor sequences of constant-speed
+//!   [`Slice`]s. Preemption and mid-job speed changes are representable
+//!   (the YDS/AVR/OA deadline schedulers need them) even though the
+//!   paper's makespan/flow optima never use them (Lemma 2).
+//! * [`validate`](schedule::Schedule::validate) — structural legality:
+//!   no overlap, release times respected, work completed exactly.
+//! * [`metrics`] — makespan, total/max flow, energy under any
+//!   [`PowerModel`](pas_power::PowerModel), speed-switch counts and
+//!   §6-style switch-overhead inflation, and a Newtonian-cooling maximum
+//!   temperature (the thermal objective of Bansal–Kimbrel–Pruhs from the
+//!   related-work section).
+//! * [`online`] — an event-driven engine that feeds arrivals to an
+//!   [`online::OnlinePolicy`] and assembles its decisions
+//!   into a `Schedule`, enabling the §6 "future work" online-vs-offline
+//!   experiments under identical accounting.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod metrics;
+pub mod online;
+pub mod render;
+pub mod schedule;
+pub mod slice;
+
+pub use metrics::Metrics;
+pub use render::render_ascii;
+pub use online::{Decision, OnlineOutcome, OnlinePolicy, PendingJob, SimError};
+pub use schedule::{Schedule, ScheduleError};
+pub use slice::Slice;

@@ -1,0 +1,313 @@
+//! Schedule quality and cost metrics.
+//!
+//! The two classic metrics of the paper — **makespan** (`max_i C_i`) and
+//! **total flow** (`Σ_i (C_i − r_i)`) — plus energy under an arbitrary
+//! [`PowerModel`], weighted flow (the paper's example of a *non-symmetric*
+//! metric, §5), speed-switch accounting for the §6 overhead discussion,
+//! and a Newtonian-cooling maximum temperature (the objective of
+//! Bansal–Kimbrel–Pruhs discussed in §2).
+
+use crate::schedule::Schedule;
+use pas_numeric::NeumaierSum;
+use pas_power::PowerModel;
+use pas_workload::Instance;
+use std::collections::HashMap;
+
+/// Convenience bundle of the headline metrics of one schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    /// `max_i C_i`.
+    pub makespan: f64,
+    /// `Σ_i (C_i − r_i)`.
+    pub total_flow: f64,
+    /// Total energy under the model the bundle was computed with.
+    pub energy: f64,
+    /// Number of speed switches (see [`switch_count`]).
+    pub switches: usize,
+}
+
+/// Compute the headline bundle in one pass.
+pub fn metrics<M: PowerModel>(schedule: &Schedule, instance: &Instance, model: &M) -> Metrics {
+    Metrics {
+        makespan: makespan(schedule),
+        total_flow: total_flow(schedule, instance),
+        energy: energy(schedule, model),
+        switches: switch_count(schedule, 1e-9),
+    }
+}
+
+/// Makespan: completion time of the last job (= latest slice end).
+pub fn makespan(schedule: &Schedule) -> f64 {
+    schedule.horizon()
+}
+
+/// Total flow: `Σ_i (C_i − r_i)` over all jobs present in the schedule.
+///
+/// Jobs missing from the schedule contribute nothing — run
+/// [`Schedule::validate`] first if completeness matters.
+pub fn total_flow(schedule: &Schedule, instance: &Instance) -> f64 {
+    let completions = schedule.completion_times();
+    let mut acc = NeumaierSum::new();
+    for job in instance.jobs() {
+        if let Some(&c) = completions.get(&job.id) {
+            acc.add(c - job.release);
+        }
+    }
+    acc.total()
+}
+
+/// Weighted total flow `Σ_i w_i (C_i − r_i)` — the paper's §5 example of
+/// a metric that is *not* symmetric, so Theorem 10's cyclic assignment
+/// does not apply to it. `weights` maps job id to weight (default 1).
+pub fn weighted_flow(
+    schedule: &Schedule,
+    instance: &Instance,
+    weights: &HashMap<u32, f64>,
+) -> f64 {
+    let completions = schedule.completion_times();
+    let mut acc = NeumaierSum::new();
+    for job in instance.jobs() {
+        if let Some(&c) = completions.get(&job.id) {
+            let w = weights.get(&job.id).copied().unwrap_or(1.0);
+            acc.add(w * (c - job.release));
+        }
+    }
+    acc.total()
+}
+
+/// Maximum flow `max_i (C_i − r_i)` (a symmetric non-decreasing metric,
+/// so Theorem 10 *does* apply to it — used by tests of that theorem).
+pub fn max_flow(schedule: &Schedule, instance: &Instance) -> f64 {
+    let completions = schedule.completion_times();
+    instance
+        .jobs()
+        .iter()
+        .filter_map(|j| completions.get(&j.id).map(|c| c - j.release))
+        .fold(0.0, f64::max)
+}
+
+/// Total energy: `Σ_slices P(speed)·duration` under `model`, with
+/// compensated accumulation.
+pub fn energy<M: PowerModel>(schedule: &Schedule, model: &M) -> f64 {
+    let mut acc = NeumaierSum::new();
+    for lane in schedule.machines() {
+        for s in lane {
+            acc.add(model.power(s.speed) * s.duration());
+        }
+    }
+    acc.total()
+}
+
+/// Count speed switches: transitions between *adjacent operating speeds*
+/// on each machine, where consecutive slices differ in speed by more than
+/// `tol` (relative). Idle gaps count as a switch only if the speeds on
+/// both sides differ — the voltage need not change to pause.
+pub fn switch_count(schedule: &Schedule, tol: f64) -> usize {
+    let mut count = 0;
+    for lane in schedule.machines() {
+        for pair in lane.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if (a.speed - b.speed).abs() > tol * a.speed.abs().max(1.0) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Makespan inflated by a per-switch stall of `delta` time units — the §6
+/// model where "the processor must stop while the voltage is changing".
+/// Each machine's finish time grows by `delta ×` (its own switch count);
+/// the result is the worst machine.
+pub fn makespan_with_switch_overhead(schedule: &Schedule, delta: f64, tol: f64) -> f64 {
+    let mut worst = 0.0f64;
+    for lane in schedule.machines() {
+        let finish = lane.last().map_or(0.0, |s| s.end);
+        let switches = lane
+            .windows(2)
+            .filter(|p| (p[0].speed - p[1].speed).abs() > tol * p[0].speed.abs().max(1.0))
+            .count();
+        worst = worst.max(finish + delta * switches as f64);
+    }
+    worst
+}
+
+/// Maximum temperature over the schedule under Newton's law of cooling:
+/// `T'(t) = a·P(t) − b·T(t)`, `T(0) = 0`.
+///
+/// Within a constant-power interval the closed form is
+/// `T(t₀+Δ) = aP/b + (T(t₀) − aP/b)·e^{−bΔ}`, monotone toward the
+/// asymptote `aP/b`, so the per-interval maximum is attained at an
+/// endpoint. Idle gaps decay with `P = 0`. This is the thermal model of
+/// Bansal–Kimbrel–Pruhs referenced in the paper's related work.
+///
+/// # Panics
+/// If `b <= 0` (cooling must be strictly dissipative).
+pub fn max_temperature<M: PowerModel>(schedule: &Schedule, model: &M, a: f64, b: f64) -> f64 {
+    assert!(b > 0.0, "cooling rate b must be positive");
+    let mut peak = 0.0f64;
+    for lane in schedule.machines() {
+        let mut t_now = 0.0; // temperature
+        let mut clock = 0.0; // time
+        for s in lane {
+            // Idle gap before the slice: exponential decay.
+            if s.start > clock {
+                t_now *= (-b * (s.start - clock)).exp();
+            }
+            let asymptote = a * model.power(s.speed) / b;
+            t_now = asymptote + (t_now - asymptote) * (-b * s.duration()).exp();
+            clock = s.end;
+            peak = peak.max(t_now);
+        }
+    }
+    peak
+}
+
+/// Per-job flow values `(job id, C_i − r_i)`, sorted by id — the raw
+/// series behind flow plots.
+pub fn per_job_flow(schedule: &Schedule, instance: &Instance) -> Vec<(u32, f64)> {
+    let completions = schedule.completion_times();
+    let mut out: Vec<(u32, f64)> = instance
+        .jobs()
+        .iter()
+        .filter_map(|j| completions.get(&j.id).map(|c| (j.id, c - j.release)))
+        .collect();
+    out.sort_by_key(|&(id, _)| id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::Slice;
+    use pas_power::PolyPower;
+
+    fn paper_setup() -> (Instance, Schedule) {
+        // Figure-1 instance at E = 21: speeds 1, 2, √8.
+        let inst = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).unwrap();
+        let s3 = 8f64.sqrt();
+        let sched = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 5.0, 1.0),
+            Slice::new(1, 5.0, 6.0, 2.0),
+            Slice::new(2, 6.0, 6.0 + 1.0 / s3, s3),
+        ]);
+        (inst, sched)
+    }
+
+    #[test]
+    fn energy_matches_paper_arithmetic() {
+        let (_, sched) = paper_setup();
+        // 5·1² + 2·2² + 1·(√8)² = 5 + 8 + 8 = 21.
+        let e = energy(&sched, &PolyPower::CUBE);
+        assert!((e - 21.0).abs() < 1e-9, "energy {e}");
+    }
+
+    #[test]
+    fn makespan_matches_closed_form() {
+        let (_, sched) = paper_setup();
+        // M(21) = 6 + (21-13)^(-1/2).
+        let want = 6.0 + 1.0 / 8f64.sqrt();
+        assert!((makespan(&sched) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_accounting() {
+        let (inst, sched) = paper_setup();
+        // Flows: J0: 5-0, J1: 6-5, J2: 6+1/√8-6.
+        let want = 5.0 + 1.0 + 1.0 / 8f64.sqrt();
+        assert!((total_flow(&sched, &inst) - want).abs() < 1e-12);
+        assert!((max_flow(&sched, &inst) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_flow_defaults_to_unit_weights() {
+        let (inst, sched) = paper_setup();
+        let unweighted = total_flow(&sched, &inst);
+        assert_eq!(
+            weighted_flow(&sched, &inst, &HashMap::new()),
+            unweighted
+        );
+        let mut weights = HashMap::new();
+        weights.insert(0u32, 2.0);
+        let wf = weighted_flow(&sched, &inst, &weights);
+        assert!((wf - (unweighted + 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switch_counting() {
+        let (_, sched) = paper_setup();
+        assert_eq!(switch_count(&sched, 1e-9), 2); // 1→2→√8
+        let constant = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 1.0, 2.0),
+            Slice::new(1, 1.0, 2.0, 2.0),
+        ]);
+        assert_eq!(switch_count(&constant, 1e-9), 0);
+    }
+
+    #[test]
+    fn switch_overhead_inflates_makespan() {
+        let (_, sched) = paper_setup();
+        let m0 = makespan(&sched);
+        let m = makespan_with_switch_overhead(&sched, 0.1, 1e-9);
+        assert!((m - (m0 + 0.2)).abs() < 1e-12);
+        assert_eq!(makespan_with_switch_overhead(&sched, 0.0, 1e-9), m0);
+    }
+
+    #[test]
+    fn temperature_peaks_at_hot_slice() {
+        let model = PolyPower::CUBE;
+        // Slow then fast: peak after the fast slice.
+        let sched = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 10.0, 1.0),
+            Slice::new(1, 10.0, 11.0, 3.0),
+        ]);
+        let peak = max_temperature(&sched, &model, 1.0, 1.0);
+        // Asymptote during slice 1 is P=1; during slice 2 is P=27.
+        assert!(peak > 1.0 && peak < 27.0, "peak {peak}");
+
+        // With fast cooling, long exposure at P=1 nearly reaches 1.
+        let slow_only = Schedule::from_slices(vec![Slice::new(0, 0.0, 50.0, 1.0)]);
+        let p2 = max_temperature(&slow_only, &model, 1.0, 2.0);
+        assert!((p2 - 0.5).abs() < 1e-6, "p2 {p2}"); // aP/b = 0.5
+    }
+
+    #[test]
+    fn temperature_decays_over_idle_gap() {
+        let model = PolyPower::CUBE;
+        let gap = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 10.0, 2.0),
+            Slice::new(1, 100.0, 100.1, 2.0),
+        ]);
+        let no_gap = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 10.0, 2.0),
+            Slice::new(1, 10.0, 10.1, 2.0),
+        ]);
+        // Back-to-back slices keep heating (peak after the second slice);
+        // with a long cool-down the peak is the end of the first slice.
+        let p_gap = max_temperature(&gap, &model, 1.0, 0.5);
+        let p_no = max_temperature(&no_gap, &model, 1.0, 0.5);
+        assert!(p_gap < p_no, "gap {p_gap} vs no-gap {p_no}");
+        // Closed form for the shared first slice: 16·(1 − e^{−5}).
+        let after_first = 16.0 * (1.0 - (-5.0f64).exp());
+        assert!((p_gap - after_first).abs() < 1e-9, "p_gap {p_gap}");
+    }
+
+    #[test]
+    fn bundle_is_consistent() {
+        let (inst, sched) = paper_setup();
+        let m = metrics(&sched, &inst, &PolyPower::CUBE);
+        assert_eq!(m.makespan, makespan(&sched));
+        assert_eq!(m.total_flow, total_flow(&sched, &inst));
+        assert_eq!(m.energy, energy(&sched, &PolyPower::CUBE));
+        assert_eq!(m.switches, 2);
+    }
+
+    #[test]
+    fn per_job_flow_series() {
+        let (inst, sched) = paper_setup();
+        let series = per_job_flow(&sched, &inst);
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0].0, 0);
+        assert!((series[0].1 - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,372 @@
+//! Event-driven online execution engine.
+//!
+//! The paper's §6 names online power-aware scheduling (where the
+//! algorithm learns about each job only at its release) as the most
+//! important open direction. This engine provides the experimental
+//! harness: it reveals arrivals to an [`OnlinePolicy`] one release time
+//! at a time, executes the policy's speed decisions, and assembles the
+//! result into a [`Schedule`] that goes through exactly the same
+//! validation and metrics as the offline optima — so empirical
+//! competitive ratios are apples-to-apples.
+//!
+//! The engine is single-processor (matching the §6 open problem). It
+//! re-consults the policy at every *event*: a job arrival, a job
+//! completion, or a policy-requested checkpoint.
+
+use crate::schedule::Schedule;
+use crate::slice::Slice;
+use pas_workload::Instance;
+
+/// A job visible to the policy: static data plus remaining work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingJob {
+    /// Job id.
+    pub id: u32,
+    /// Release time (the moment the policy first saw it).
+    pub release: f64,
+    /// Total work.
+    pub work: f64,
+    /// Work still to be done.
+    pub remaining: f64,
+}
+
+/// A policy's instruction for the time starting now.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Id of the pending job to run (must be in the ready set).
+    pub job: u32,
+    /// Speed to run it at (must be positive).
+    pub speed: f64,
+    /// Optional checkpoint: re-consult the policy after this much time
+    /// even if nothing arrives or completes. `None` runs until the next
+    /// natural event.
+    pub recheck_after: Option<f64>,
+}
+
+/// An online scheduling policy.
+///
+/// `decide` is called whenever the world changes (arrival, completion,
+/// or requested checkpoint). Returning `None` idles until the next
+/// arrival; idling with no future arrivals and unfinished jobs aborts
+/// the simulation with [`SimError::PolicyStalled`].
+pub trait OnlinePolicy {
+    /// Choose what to run now. `ready` lists released, unfinished jobs
+    /// sorted by release; `now` is the current time; `energy_spent` is
+    /// the cumulative energy the engine has metered so far (under the
+    /// engine's power model).
+    fn decide(&mut self, now: f64, ready: &[PendingJob], energy_spent: f64) -> Option<Decision>;
+
+    /// Name for reports.
+    fn name(&self) -> String {
+        "online-policy".to_string()
+    }
+}
+
+/// Simulation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Policy idled while work remained and no arrivals were pending.
+    PolicyStalled {
+        /// Time of the stall.
+        at: f64,
+        /// Number of unfinished jobs.
+        unfinished: usize,
+    },
+    /// Policy chose a job that is not ready.
+    UnknownJob {
+        /// The offending id.
+        job: u32,
+        /// Decision time.
+        at: f64,
+    },
+    /// Policy chose a non-positive or non-finite speed.
+    InvalidSpeed {
+        /// The offending speed.
+        speed: f64,
+        /// Decision time.
+        at: f64,
+    },
+    /// Event budget exceeded (runaway checkpoint loops).
+    TooManyEvents,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::PolicyStalled { at, unfinished } => {
+                write!(f, "policy stalled at t={at} with {unfinished} jobs left")
+            }
+            SimError::UnknownJob { job, at } => {
+                write!(f, "policy chose unready job {job} at t={at}")
+            }
+            SimError::InvalidSpeed { speed, at } => {
+                write!(f, "policy chose invalid speed {speed} at t={at}")
+            }
+            SimError::TooManyEvents => write!(f, "event budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of an online run.
+#[derive(Debug, Clone)]
+pub struct OnlineOutcome {
+    /// The executed schedule (single machine).
+    pub schedule: Schedule,
+    /// Energy spent, metered by the engine under its power model.
+    pub energy: f64,
+}
+
+/// Execute `policy` on `instance` under `model`, metering energy.
+///
+/// Events are processed in time order; between events the chosen job runs
+/// at the chosen constant speed. The returned schedule is coalesced.
+///
+/// # Errors
+/// [`SimError`] when the policy misbehaves (stalls, picks unknown jobs or
+/// invalid speeds) or checkpoint-loops past the event budget.
+pub fn run_online<M: pas_power::PowerModel>(
+    instance: &Instance,
+    model: &M,
+    policy: &mut dyn OnlinePolicy,
+) -> Result<OnlineOutcome, SimError> {
+    // Jobs sorted by release (Instance guarantees it).
+    let jobs = instance.jobs();
+    let n = jobs.len();
+    let mut next_arrival = 0usize; // index into jobs
+    let mut ready: Vec<PendingJob> = Vec::new();
+    let mut done = 0usize;
+    let mut now = jobs[0].release;
+    let mut schedule = Schedule::single();
+    let mut energy = 0.0;
+    // Event budget: generous, proportional to n, to stop checkpoint loops.
+    let mut budget = 10_000 * (n + 1);
+
+    // Admit all jobs released at (or before) `now`.
+    let admit = |next_arrival: &mut usize, ready: &mut Vec<PendingJob>, now: f64| {
+        while *next_arrival < n && jobs[*next_arrival].release <= now + 1e-12 {
+            let j = &jobs[*next_arrival];
+            ready.push(PendingJob {
+                id: j.id,
+                release: j.release,
+                work: j.work,
+                remaining: j.work,
+            });
+            *next_arrival += 1;
+        }
+    };
+    admit(&mut next_arrival, &mut ready, now);
+
+    while done < n {
+        budget -= 1;
+        if budget == 0 {
+            return Err(SimError::TooManyEvents);
+        }
+        let decision = policy.decide(now, &ready, energy);
+        match decision {
+            None => {
+                // Idle until the next arrival.
+                if next_arrival >= n {
+                    return Err(SimError::PolicyStalled {
+                        at: now,
+                        unfinished: n - done,
+                    });
+                }
+                now = now.max(jobs[next_arrival].release);
+                admit(&mut next_arrival, &mut ready, now);
+            }
+            Some(Decision {
+                job,
+                speed,
+                recheck_after,
+            }) => {
+                if !(speed.is_finite() && speed > 0.0) {
+                    return Err(SimError::InvalidSpeed { speed, at: now });
+                }
+                let Some(slot) = ready.iter().position(|p| p.id == job) else {
+                    return Err(SimError::UnknownJob { job, at: now });
+                };
+                // Run until completion, next arrival, or checkpoint.
+                let completion_in = ready[slot].remaining / speed;
+                let arrival_in = if next_arrival < n {
+                    jobs[next_arrival].release - now
+                } else {
+                    f64::INFINITY
+                };
+                let recheck_in = recheck_after.unwrap_or(f64::INFINITY).max(1e-12);
+                let dt = completion_in.min(arrival_in).min(recheck_in);
+                if dt > 0.0 {
+                    schedule.push(0, Slice::new(job, now, now + dt, speed));
+                    energy += model.power(speed) * dt;
+                    ready[slot].remaining -= speed * dt;
+                    now += dt;
+                }
+                if ready[slot].remaining <= 1e-9 * ready[slot].work {
+                    // Snap any residual into the final slice via coalesce
+                    // tolerance; mark complete.
+                    ready.remove(slot);
+                    done += 1;
+                }
+                admit(&mut next_arrival, &mut ready, now);
+            }
+        }
+    }
+    schedule.coalesce(1e-9);
+    Ok(OnlineOutcome { schedule, energy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use pas_power::PolyPower;
+
+    /// Runs everything at a fixed speed, FIFO.
+    struct FixedSpeed(f64);
+
+    impl OnlinePolicy for FixedSpeed {
+        fn decide(
+            &mut self,
+            _now: f64,
+            ready: &[PendingJob],
+            _energy: f64,
+        ) -> Option<Decision> {
+            ready.first().map(|p| Decision {
+                job: p.id,
+                speed: self.0,
+                recheck_after: None,
+            })
+        }
+        fn name(&self) -> String {
+            format!("fixed({})", self.0)
+        }
+    }
+
+    fn paper_instance() -> Instance {
+        Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn fixed_speed_completes_and_validates() {
+        let inst = paper_instance();
+        let model = PolyPower::CUBE;
+        let out = run_online(&inst, &model, &mut FixedSpeed(2.0)).unwrap();
+        out.schedule.validate(&inst, 1e-6).unwrap();
+        // 8 total work at speed 2, released over [0,6]: the machine is
+        // never starved, so makespan = max(release chain).
+        let mk = metrics::makespan(&out.schedule);
+        assert!(mk >= 4.0 - 1e-9, "makespan {mk}");
+        // Energy: 8 work at speed 2 under σ³ -> w·σ² = 32.
+        assert!((out.energy - 32.0).abs() < 1e-6, "energy {}", out.energy);
+    }
+
+    #[test]
+    fn slow_speed_creates_no_idle_fast_speed_idles() {
+        let inst = paper_instance();
+        let model = PolyPower::CUBE;
+        // At speed 10 the first job finishes at t=0.5, then idle till 5.
+        let out = run_online(&inst, &model, &mut FixedSpeed(10.0)).unwrap();
+        out.schedule.validate(&inst, 1e-6).unwrap();
+        let lane = out.schedule.machine(0);
+        assert!(lane.windows(2).any(|p| p[1].start > p[0].end + 1e-9));
+    }
+
+    #[test]
+    fn stalling_policy_is_reported() {
+        struct Lazy;
+        impl OnlinePolicy for Lazy {
+            fn decide(&mut self, _: f64, _: &[PendingJob], _: f64) -> Option<Decision> {
+                None
+            }
+        }
+        let inst = paper_instance();
+        let err = run_online(&inst, &PolyPower::CUBE, &mut Lazy).unwrap_err();
+        assert!(matches!(err, SimError::PolicyStalled { unfinished: 3, .. }));
+    }
+
+    #[test]
+    fn invalid_decisions_are_reported() {
+        struct BadSpeed;
+        impl OnlinePolicy for BadSpeed {
+            fn decide(&mut self, _: f64, r: &[PendingJob], _: f64) -> Option<Decision> {
+                r.first().map(|p| Decision {
+                    job: p.id,
+                    speed: -1.0,
+                    recheck_after: None,
+                })
+            }
+        }
+        struct WrongJob;
+        impl OnlinePolicy for WrongJob {
+            fn decide(&mut self, _: f64, _: &[PendingJob], _: f64) -> Option<Decision> {
+                Some(Decision {
+                    job: 999,
+                    speed: 1.0,
+                    recheck_after: None,
+                })
+            }
+        }
+        let inst = paper_instance();
+        assert!(matches!(
+            run_online(&inst, &PolyPower::CUBE, &mut BadSpeed).unwrap_err(),
+            SimError::InvalidSpeed { .. }
+        ));
+        assert!(matches!(
+            run_online(&inst, &PolyPower::CUBE, &mut WrongJob).unwrap_err(),
+            SimError::UnknownJob { job: 999, .. }
+        ));
+    }
+
+    #[test]
+    fn checkpoints_allow_speed_ramps() {
+        /// Doubles its speed at every checkpoint (exercises recheck).
+        struct Ramp {
+            speed: f64,
+        }
+        impl OnlinePolicy for Ramp {
+            fn decide(&mut self, _: f64, r: &[PendingJob], _: f64) -> Option<Decision> {
+                self.speed *= 2.0;
+                r.first().map(|p| Decision {
+                    job: p.id,
+                    speed: self.speed,
+                    recheck_after: Some(0.5),
+                })
+            }
+        }
+        let inst = Instance::from_pairs(&[(0.0, 4.0)]).unwrap();
+        let out = run_online(&inst, &PolyPower::CUBE, &mut Ramp { speed: 0.5 }).unwrap();
+        out.schedule.validate(&inst, 1e-6).unwrap();
+        // Multiple slices at increasing speeds.
+        let lane = out.schedule.machine(0);
+        assert!(lane.len() >= 2);
+        for pair in lane.windows(2) {
+            assert!(pair[1].speed > pair[0].speed);
+        }
+    }
+
+    #[test]
+    fn preemption_on_arrival_is_possible() {
+        /// Shortest-remaining-work-first at unit speed: arrival of a short
+        /// job preempts a long one.
+        struct Srpt;
+        impl OnlinePolicy for Srpt {
+            fn decide(&mut self, _: f64, r: &[PendingJob], _: f64) -> Option<Decision> {
+                r.iter()
+                    .min_by(|a, b| a.remaining.partial_cmp(&b.remaining).unwrap())
+                    .map(|p| Decision {
+                        job: p.id,
+                        speed: 1.0,
+                        recheck_after: None,
+                    })
+            }
+        }
+        let inst = Instance::from_pairs(&[(0.0, 10.0), (1.0, 1.0)]).unwrap();
+        let out = run_online(&inst, &PolyPower::CUBE, &mut Srpt).unwrap();
+        out.schedule.validate(&inst, 1e-6).unwrap();
+        let completions = out.schedule.completion_times();
+        // Short job finishes at 2 (preempts), long at 11.
+        assert!((completions[&1] - 2.0).abs() < 1e-9);
+        assert!((completions[&0] - 11.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,126 @@
+//! ASCII Gantt rendering of schedules.
+//!
+//! Debugging speed-scaled schedules from raw slice lists is painful;
+//! this renderer draws one row per machine with per-slice job labels and
+//! a shade proportional to the slice's speed, so block structure, idle
+//! gaps and speed ramps are visible at a glance in test output and
+//! example programs.
+//!
+//! ```text
+//! m0 |000000000000001111112222|   0.0 → 6.4
+//!     speeds: . <1.0  - <2.0  = <3.0  # >=3.0
+//! ```
+
+use crate::schedule::Schedule;
+use std::fmt::Write as _;
+
+/// Render `schedule` as an ASCII Gantt chart, `width` characters across
+/// the time span `[0, horizon]`.
+///
+/// Each machine gets two rows: job ids (last digit) and a speed shade
+/// (`.`, `-`, `=`, `#` for quartiles of the peak speed). Idle time is a
+/// space. Returns the multi-line string.
+///
+/// # Panics
+/// If `width == 0`.
+pub fn render_ascii(schedule: &Schedule, width: usize) -> String {
+    assert!(width > 0, "width must be positive");
+    let horizon = schedule.horizon();
+    let mut out = String::new();
+    if horizon <= 0.0 {
+        let _ = writeln!(out, "(empty schedule)");
+        return out;
+    }
+    let peak_speed = schedule
+        .machines()
+        .iter()
+        .flat_map(|lane| lane.iter().map(|s| s.speed))
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let scale = width as f64 / horizon;
+
+    for (m, lane) in schedule.machines().iter().enumerate() {
+        let mut jobs_row = vec![' '; width];
+        let mut speed_row = vec![' '; width];
+        for s in lane {
+            let from = ((s.start * scale) as usize).min(width - 1);
+            let to = ((s.end * scale).ceil() as usize).clamp(from + 1, width);
+            let label = char::from_digit(s.job % 10, 10).unwrap_or('?');
+            let shade = match s.speed / peak_speed {
+                x if x < 0.25 => '.',
+                x if x < 0.5 => '-',
+                x if x < 0.75 => '=',
+                _ => '#',
+            };
+            for cell in &mut jobs_row[from..to] {
+                *cell = label;
+            }
+            for cell in &mut speed_row[from..to] {
+                *cell = shade;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "m{m} |{}| 0.0 → {horizon:.2}",
+            jobs_row.iter().collect::<String>()
+        );
+        let _ = writeln!(out, "    |{}| speed", speed_row.iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "    shades: . <25%  - <50%  = <75%  # of peak speed {peak_speed:.3}"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::Slice;
+
+    #[test]
+    fn renders_paper_schedule() {
+        let s3 = 8f64.sqrt();
+        let sched = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 5.0, 1.0),
+            Slice::new(1, 5.0, 6.0, 2.0),
+            Slice::new(2, 6.0, 6.0 + 1.0 / s3, s3),
+        ]);
+        let art = render_ascii(&sched, 64);
+        assert!(art.contains("m0 |"));
+        assert!(art.contains('0'));
+        assert!(art.contains('1'));
+        assert!(art.contains('2'));
+        // The last block is the fastest: a '#' shade must appear.
+        assert!(art.contains('#'), "{art}");
+        // The first block is below half the peak: '-' or '.'.
+        assert!(art.contains('-') || art.contains('.'), "{art}");
+    }
+
+    #[test]
+    fn idle_gaps_are_blank() {
+        let sched = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 1.0, 1.0),
+            Slice::new(1, 3.0, 4.0, 1.0),
+        ]);
+        let art = render_ascii(&sched, 40);
+        let first_line = art.lines().next().unwrap();
+        assert!(first_line.contains(' '), "{art}");
+    }
+
+    #[test]
+    fn multi_machine_rows() {
+        let mut sched = Schedule::with_machines(2);
+        sched.push(0, Slice::new(0, 0.0, 2.0, 1.0));
+        sched.push(1, Slice::new(1, 0.0, 1.0, 2.0));
+        let art = render_ascii(&sched, 32);
+        assert!(art.contains("m0 |"));
+        assert!(art.contains("m1 |"));
+    }
+
+    #[test]
+    fn empty_schedule_renders_placeholder() {
+        let sched = Schedule::single();
+        assert!(render_ascii(&sched, 10).contains("empty"));
+    }
+}

@@ -1,0 +1,531 @@
+//! Multi-processor schedules and their structural validation.
+
+use crate::slice::Slice;
+use pas_workload::Instance;
+use std::collections::HashMap;
+
+/// Default tolerance for time/work comparisons during validation.
+pub const DEFAULT_TOL: f64 = 1e-7;
+
+/// Structural problems detected by [`Schedule::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// A slice is malformed (empty interval, non-positive speed, ...).
+    InvalidSlice {
+        /// Machine index.
+        machine: usize,
+        /// Slice index within the machine.
+        index: usize,
+    },
+    /// Two slices on one machine overlap in time.
+    Overlap {
+        /// Machine index.
+        machine: usize,
+        /// Index of the second slice of the overlapping pair.
+        index: usize,
+    },
+    /// A slice starts before its job's release time.
+    ReleaseViolated {
+        /// Job id.
+        job: u32,
+        /// Slice start.
+        start: f64,
+        /// Job release.
+        release: f64,
+    },
+    /// A slice references a job id not present in the instance.
+    UnknownJob {
+        /// The unknown id.
+        job: u32,
+    },
+    /// Total work executed for a job differs from its requirement.
+    WorkMismatch {
+        /// Job id.
+        job: u32,
+        /// Work the schedule performs.
+        scheduled: f64,
+        /// Work the instance requires.
+        required: f64,
+    },
+    /// A job from the instance never appears in the schedule.
+    MissingJob {
+        /// Job id.
+        job: u32,
+    },
+    /// A job runs on more than one machine (forbidden in the paper's
+    /// non-migratory model).
+    Migration {
+        /// Job id.
+        job: u32,
+    },
+    /// The schedule has no machines.
+    NoMachines,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::InvalidSlice { machine, index } => {
+                write!(f, "invalid slice {index} on machine {machine}")
+            }
+            ScheduleError::Overlap { machine, index } => {
+                write!(f, "overlapping slices at {index} on machine {machine}")
+            }
+            ScheduleError::ReleaseViolated {
+                job,
+                start,
+                release,
+            } => write!(
+                f,
+                "job {job} starts at {start} before release {release}"
+            ),
+            ScheduleError::UnknownJob { job } => write!(f, "unknown job id {job}"),
+            ScheduleError::WorkMismatch {
+                job,
+                scheduled,
+                required,
+            } => write!(
+                f,
+                "job {job}: scheduled work {scheduled} != required {required}"
+            ),
+            ScheduleError::MissingJob { job } => write!(f, "job {job} never scheduled"),
+            ScheduleError::Migration { job } => {
+                write!(f, "job {job} migrates between machines")
+            }
+            ScheduleError::NoMachines => write!(f, "schedule has no machines"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A speed-scaled schedule over one or more processors.
+///
+/// Each machine holds a time-sorted sequence of [`Slice`]s; gaps between
+/// slices are idle time (speed 0, power 0 under the paper's model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    machines: Vec<Vec<Slice>>,
+}
+
+impl Schedule {
+    /// An empty single-processor schedule.
+    pub fn single() -> Self {
+        Schedule {
+            machines: vec![Vec::new()],
+        }
+    }
+
+    /// An empty schedule with `m` processors.
+    ///
+    /// # Panics
+    /// If `m == 0`.
+    pub fn with_machines(m: usize) -> Self {
+        assert!(m > 0, "a schedule needs at least one machine");
+        Schedule {
+            machines: vec![Vec::new(); m],
+        }
+    }
+
+    /// Build a single-processor schedule directly from slices (sorted by
+    /// the caller or not — they are sorted here).
+    pub fn from_slices(mut slices: Vec<Slice>) -> Self {
+        slices.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+        Schedule {
+            machines: vec![slices],
+        }
+    }
+
+    /// Number of processors.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// The slices of machine `m`, sorted by start time.
+    pub fn machine(&self, m: usize) -> &[Slice] {
+        &self.machines[m]
+    }
+
+    /// All machines.
+    pub fn machines(&self) -> &[Vec<Slice>] {
+        &self.machines
+    }
+
+    /// Append a slice to machine `m`, keeping the machine sorted.
+    ///
+    /// # Panics
+    /// If `m` is out of range.
+    pub fn push(&mut self, m: usize, slice: Slice) {
+        let lane = &mut self.machines[m];
+        match lane.last() {
+            Some(last) if last.start <= slice.start => lane.push(slice),
+            None => lane.push(slice),
+            _ => {
+                lane.push(slice);
+                lane.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+            }
+        }
+    }
+
+    /// Merge adjacent slices of the same job at the same speed (within
+    /// `tol` on both the junction time and the speed). Normalizing keeps
+    /// switch counts meaningful.
+    pub fn coalesce(&mut self, tol: f64) {
+        for lane in &mut self.machines {
+            let mut out: Vec<Slice> = Vec::with_capacity(lane.len());
+            for s in lane.drain(..) {
+                if let Some(last) = out.last_mut() {
+                    if last.job == s.job
+                        && (last.end - s.start).abs() <= tol
+                        && (last.speed - s.speed).abs() <= tol * last.speed.abs().max(1.0)
+                    {
+                        last.end = s.end;
+                        continue;
+                    }
+                }
+                out.push(s);
+            }
+            *lane = out;
+        }
+    }
+
+    /// Completion time of each job id (latest end over its slices).
+    pub fn completion_times(&self) -> HashMap<u32, f64> {
+        let mut out = HashMap::new();
+        for lane in &self.machines {
+            for s in lane {
+                let e = out.entry(s.job).or_insert(f64::NEG_INFINITY);
+                if s.end > *e {
+                    *e = s.end;
+                }
+            }
+        }
+        out
+    }
+
+    /// Start time of each job id (earliest start over its slices).
+    pub fn start_times(&self) -> HashMap<u32, f64> {
+        let mut out = HashMap::new();
+        for lane in &self.machines {
+            for s in lane {
+                let e = out.entry(s.job).or_insert(f64::INFINITY);
+                if s.start < *e {
+                    *e = s.start;
+                }
+            }
+        }
+        out
+    }
+
+    /// The single constant speed of each job, when Lemma-2-shaped; jobs
+    /// run at several speeds map to `None`.
+    pub fn job_speeds(&self, tol: f64) -> HashMap<u32, Option<f64>> {
+        let mut out: HashMap<u32, Option<f64>> = HashMap::new();
+        for lane in &self.machines {
+            for s in lane {
+                out.entry(s.job)
+                    .and_modify(|v| {
+                        if let Some(speed) = *v {
+                            if (speed - s.speed).abs() > tol * speed.abs().max(1.0) {
+                                *v = None;
+                            }
+                        }
+                    })
+                    .or_insert(Some(s.speed));
+            }
+        }
+        out
+    }
+
+    /// Latest slice end over all machines (0 for an empty schedule).
+    pub fn horizon(&self) -> f64 {
+        self.machines
+            .iter()
+            .flat_map(|lane| lane.iter().map(|s| s.end))
+            .fold(0.0, f64::max)
+    }
+
+    /// Full structural validation against `instance` (see
+    /// [`ScheduleError`] variants for the rules). `tol` is an absolute
+    /// time tolerance and a relative work tolerance.
+    ///
+    /// # Errors
+    /// The first violation found.
+    pub fn validate(&self, instance: &Instance, tol: f64) -> Result<(), ScheduleError> {
+        if self.machines.is_empty() {
+            return Err(ScheduleError::NoMachines);
+        }
+        let releases: HashMap<u32, f64> = instance
+            .jobs()
+            .iter()
+            .map(|j| (j.id, j.release))
+            .collect();
+        let works: HashMap<u32, f64> = instance.jobs().iter().map(|j| (j.id, j.work)).collect();
+
+        let mut done: HashMap<u32, f64> = HashMap::new();
+        let mut home_machine: HashMap<u32, usize> = HashMap::new();
+
+        for (m, lane) in self.machines.iter().enumerate() {
+            for (k, s) in lane.iter().enumerate() {
+                if !s.is_valid() {
+                    return Err(ScheduleError::InvalidSlice { machine: m, index: k });
+                }
+                if k > 0 && s.start < lane[k - 1].end - tol {
+                    return Err(ScheduleError::Overlap { machine: m, index: k });
+                }
+                let Some(&release) = releases.get(&s.job) else {
+                    return Err(ScheduleError::UnknownJob { job: s.job });
+                };
+                if s.start < release - tol {
+                    return Err(ScheduleError::ReleaseViolated {
+                        job: s.job,
+                        start: s.start,
+                        release,
+                    });
+                }
+                match home_machine.insert(s.job, m) {
+                    Some(prev) if prev != m => {
+                        return Err(ScheduleError::Migration { job: s.job })
+                    }
+                    _ => {}
+                }
+                *done.entry(s.job).or_insert(0.0) += s.work();
+            }
+        }
+
+        for (&job, &required) in &works {
+            match done.get(&job) {
+                None => return Err(ScheduleError::MissingJob { job }),
+                Some(&scheduled) => {
+                    if (scheduled - required).abs() > tol * required.abs().max(1.0) {
+                        return Err(ScheduleError::WorkMismatch {
+                            job,
+                            scheduled,
+                            required,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validation plus the non-preemptive, single-speed shape of the
+    /// paper's optima (Lemma 2): each job is exactly one slice.
+    ///
+    /// # Errors
+    /// [`NonpreemptiveViolation::Structural`] wrapping any
+    /// [`Schedule::validate`] failure, or
+    /// [`NonpreemptiveViolation::MultiSlice`] when a job is split across
+    /// several slices (preemption or a mid-job speed change).
+    pub fn validate_nonpreemptive(
+        &self,
+        instance: &Instance,
+        tol: f64,
+    ) -> Result<(), NonpreemptiveViolation> {
+        self.validate(instance, tol)
+            .map_err(NonpreemptiveViolation::Structural)?;
+        let mut seen: HashMap<u32, usize> = HashMap::new();
+        for lane in &self.machines {
+            for s in lane {
+                *seen.entry(s.job).or_insert(0) += 1;
+            }
+        }
+        for (job, count) in seen {
+            if count != 1 {
+                return Err(NonpreemptiveViolation::MultiSlice { job, count });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Violations of the stricter non-preemptive shape check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NonpreemptiveViolation {
+    /// Plain structural invalidity.
+    Structural(ScheduleError),
+    /// A job occupies several slices (preemption or speed change).
+    MultiSlice {
+        /// Job id.
+        job: u32,
+        /// Number of slices found.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for NonpreemptiveViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NonpreemptiveViolation::Structural(e) => write!(f, "{e}"),
+            NonpreemptiveViolation::MultiSlice { job, count } => {
+                write!(f, "job {job} split into {count} slices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NonpreemptiveViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_instance() -> Instance {
+        Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).unwrap()
+    }
+
+    /// The paper's Figure-1 instance at energy 21 (configuration
+    /// {1},{2},{3}): speeds 1, 2, √8.
+    fn paper_schedule() -> Schedule {
+        let s3 = 8f64.sqrt();
+        Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 5.0, 1.0),
+            Slice::new(1, 5.0, 6.0, 2.0),
+            Slice::new(2, 6.0, 6.0 + 1.0 / s3, s3),
+        ])
+    }
+
+    #[test]
+    fn valid_paper_schedule_passes() {
+        let inst = paper_instance();
+        let sched = paper_schedule();
+        sched.validate(&inst, DEFAULT_TOL).unwrap();
+        sched.validate_nonpreemptive(&inst, DEFAULT_TOL).unwrap();
+    }
+
+    #[test]
+    fn detects_overlap() {
+        let inst = paper_instance();
+        let sched = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 5.0, 1.0),
+            Slice::new(1, 4.0, 6.0, 1.0),
+            Slice::new(2, 6.0, 7.0, 1.0),
+        ]);
+        assert!(matches!(
+            sched.validate(&inst, DEFAULT_TOL),
+            Err(ScheduleError::Overlap { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_release_violation() {
+        let inst = paper_instance();
+        let sched = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 5.0, 1.0),
+            Slice::new(1, 5.0, 6.0, 2.0),
+            Slice::new(2, 5.5, 6.5, 1.0), // released at 6
+        ]);
+        // Note: also overlaps; reorder so release check fires first.
+        let sched2 = Schedule::from_slices(vec![
+            Slice::new(2, 0.0, 1.0, 1.0), // released at 6!
+            Slice::new(0, 1.0, 6.0, 1.0),
+            Slice::new(1, 6.0, 8.0, 1.0),
+        ]);
+        assert!(sched.validate(&inst, DEFAULT_TOL).is_err());
+        assert!(matches!(
+            sched2.validate(&inst, DEFAULT_TOL),
+            Err(ScheduleError::ReleaseViolated { job: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_work_mismatch_and_missing() {
+        let inst = paper_instance();
+        let short = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 4.0, 1.0), // only 4 of 5 work
+            Slice::new(1, 5.0, 6.0, 2.0),
+            Slice::new(2, 6.0, 7.0, 1.0),
+        ]);
+        assert!(matches!(
+            short.validate(&inst, DEFAULT_TOL),
+            Err(ScheduleError::WorkMismatch { job: 0, .. })
+        ));
+        let missing = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 5.0, 1.0),
+            Slice::new(1, 5.0, 6.0, 2.0),
+        ]);
+        assert!(matches!(
+            missing.validate(&inst, DEFAULT_TOL),
+            Err(ScheduleError::MissingJob { job: 2 })
+        ));
+    }
+
+    #[test]
+    fn detects_unknown_job_and_migration() {
+        let inst = paper_instance();
+        let unknown = Schedule::from_slices(vec![Slice::new(9, 0.0, 1.0, 1.0)]);
+        assert!(matches!(
+            unknown.validate(&inst, DEFAULT_TOL),
+            Err(ScheduleError::UnknownJob { job: 9 })
+        ));
+
+        let mut migrating = Schedule::with_machines(2);
+        migrating.push(0, Slice::new(0, 0.0, 2.5, 1.0));
+        migrating.push(1, Slice::new(0, 2.5, 5.0, 1.0));
+        migrating.push(0, Slice::new(1, 5.0, 6.0, 2.0));
+        migrating.push(1, Slice::new(2, 6.0, 7.0, 1.0));
+        assert!(matches!(
+            migrating.validate(&inst, DEFAULT_TOL),
+            Err(ScheduleError::Migration { job: 0 })
+        ));
+    }
+
+    #[test]
+    fn preemptive_passes_validate_but_not_nonpreemptive() {
+        let inst = Instance::from_pairs(&[(0.0, 2.0)]).unwrap();
+        let sched = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 1.0, 1.0),
+            Slice::new(0, 2.0, 3.0, 1.0),
+        ]);
+        sched.validate(&inst, DEFAULT_TOL).unwrap();
+        assert!(matches!(
+            sched.validate_nonpreemptive(&inst, DEFAULT_TOL),
+            Err(NonpreemptiveViolation::MultiSlice { job: 0, count: 2 })
+        ));
+    }
+
+    #[test]
+    fn coalesce_merges_same_speed_fragments() {
+        let inst = Instance::from_pairs(&[(0.0, 2.0)]).unwrap();
+        let mut sched = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 1.0, 1.0),
+            Slice::new(0, 1.0, 2.0, 1.0),
+        ]);
+        sched.coalesce(1e-9);
+        assert_eq!(sched.machine(0).len(), 1);
+        sched.validate_nonpreemptive(&inst, DEFAULT_TOL).unwrap();
+    }
+
+    #[test]
+    fn completion_and_start_times() {
+        let sched = paper_schedule();
+        let c = sched.completion_times();
+        let s = sched.start_times();
+        assert_eq!(s[&0], 0.0);
+        assert_eq!(c[&1], 6.0);
+        assert!((c[&2] - (6.0 + 1.0 / 8f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn job_speeds_lemma2_shape() {
+        let sched = paper_schedule();
+        let speeds = sched.job_speeds(1e-9);
+        assert_eq!(speeds[&0], Some(1.0));
+        assert_eq!(speeds[&1], Some(2.0));
+        let two_speed = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 1.0, 1.0),
+            Slice::new(0, 1.0, 2.0, 2.0),
+        ]);
+        assert_eq!(two_speed.job_speeds(1e-9)[&0], None);
+    }
+
+    #[test]
+    fn push_keeps_lanes_sorted() {
+        let mut sched = Schedule::single();
+        sched.push(0, Slice::new(1, 5.0, 6.0, 1.0));
+        sched.push(0, Slice::new(0, 0.0, 5.0, 1.0));
+        assert_eq!(sched.machine(0)[0].job, 0);
+        assert_eq!(sched.horizon(), 6.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! A constant-speed execution interval of one job.
+
+/// One maximal interval during which a single job runs at constant speed.
+///
+/// Lemma 2 of the paper says optimal schedules run each job at one speed,
+/// but the representation allows many slices per job so that preemptive
+/// baselines (YDS, AVR) and discrete-speed emulations (two slices per
+/// block) are expressible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slice {
+    /// Id of the job being run (the caller-facing `Job::id`).
+    pub job: u32,
+    /// Interval start time.
+    pub start: f64,
+    /// Interval end time (`> start`).
+    pub end: f64,
+    /// Constant speed over the interval (`> 0`).
+    pub speed: f64,
+}
+
+impl Slice {
+    /// Construct a slice.
+    pub fn new(job: u32, start: f64, end: f64, speed: f64) -> Self {
+        Slice {
+            job,
+            start,
+            end,
+            speed,
+        }
+    }
+
+    /// Interval length.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Work completed: `speed · duration`.
+    pub fn work(&self) -> f64 {
+        self.speed * self.duration()
+    }
+
+    /// Structural validity: finite, positive duration, positive speed,
+    /// non-negative start.
+    pub fn is_valid(&self) -> bool {
+        self.start.is_finite()
+            && self.end.is_finite()
+            && self.speed.is_finite()
+            && self.start >= 0.0
+            && self.end > self.start
+            && self.speed > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_is_speed_times_duration() {
+        let s = Slice::new(0, 1.0, 3.0, 2.5);
+        assert_eq!(s.duration(), 2.0);
+        assert_eq!(s.work(), 5.0);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Slice::new(0, 0.0, 1.0, 1.0).is_valid());
+        assert!(!Slice::new(0, 1.0, 1.0, 1.0).is_valid()); // empty
+        assert!(!Slice::new(0, 2.0, 1.0, 1.0).is_valid()); // inverted
+        assert!(!Slice::new(0, 0.0, 1.0, 0.0).is_valid()); // zero speed
+        assert!(!Slice::new(0, -1.0, 1.0, 1.0).is_valid()); // negative start
+        assert!(!Slice::new(0, 0.0, f64::NAN, 1.0).is_valid());
+    }
+}

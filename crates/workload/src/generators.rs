@@ -1,0 +1,289 @@
+//! Seeded, reproducible workload generators.
+//!
+//! Every generator takes an explicit `seed` so benchmark rows and test
+//! failures are reproducible. Distribution shapes follow the scenarios
+//! the paper motivates: laptop-style sporadic arrivals (Poisson), server
+//! batches (bursty), equal-work streams for the §4/§5 algorithms, and the
+//! adversarial staircase where every prefix of jobs merges into one block
+//! at low energy.
+
+use crate::instance::Instance;
+use crate::job::Job;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Uniform releases in `[0, span)`, uniform works in `work_range`.
+///
+/// # Panics
+/// If `n == 0`, `span < 0`, or the work range is empty/non-positive.
+pub fn uniform(n: usize, span: f64, work_range: (f64, f64), seed: u64) -> Instance {
+    assert!(n > 0, "n must be positive");
+    assert!(span >= 0.0, "span must be non-negative");
+    assert!(
+        work_range.0 > 0.0 && work_range.1 >= work_range.0,
+        "work range must be positive and ordered"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rel = Uniform::new_inclusive(0.0, span.max(f64::MIN_POSITIVE));
+    let wrk = Uniform::new_inclusive(work_range.0, work_range.1);
+    Instance::new(
+        (0..n)
+            .map(|i| Job::new(i as u32, rel.sample(&mut rng), wrk.sample(&mut rng)))
+            .collect(),
+    )
+    .expect("generated jobs are valid")
+}
+
+/// Poisson arrival process with the given `rate` (expected arrivals per
+/// unit time); works uniform in `work_range`.
+///
+/// # Panics
+/// If `n == 0` or `rate <= 0` or the work range is invalid.
+pub fn poisson(n: usize, rate: f64, work_range: (f64, f64), seed: u64) -> Instance {
+    assert!(n > 0, "n must be positive");
+    assert!(rate > 0.0, "rate must be positive");
+    assert!(
+        work_range.0 > 0.0 && work_range.1 >= work_range.0,
+        "work range must be positive and ordered"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let u01 = Uniform::new(f64::MIN_POSITIVE, 1.0);
+    let wrk = Uniform::new_inclusive(work_range.0, work_range.1);
+    let mut t = 0.0;
+    Instance::new(
+        (0..n)
+            .map(|i| {
+                // Exponential inter-arrival via inverse CDF.
+                t += -u01.sample(&mut rng).ln() / rate;
+                Job::new(i as u32, t, wrk.sample(&mut rng))
+            })
+            .collect(),
+    )
+    .expect("generated jobs are valid")
+}
+
+/// Equal-work Poisson stream: the input family for the flow algorithms
+/// (§4) and the multiprocessor algorithms (§5), which require equal work.
+pub fn equal_work_poisson(n: usize, rate: f64, work: f64, seed: u64) -> Instance {
+    assert!(work > 0.0, "work must be positive");
+    let base = poisson(n, rate, (1.0, 1.0), seed);
+    Instance::new(
+        base.jobs()
+            .iter()
+            .map(|j| Job::new(j.id, j.release, work))
+            .collect(),
+    )
+    .expect("generated jobs are valid")
+}
+
+/// Bursty arrivals: `bursts` clusters of `per_burst` jobs; cluster starts
+/// are `gap` apart and jobs within a cluster arrive within `spread`.
+///
+/// Models the server-farm scenario of the introduction: batches of
+/// requests landing together, idle gaps between batches.
+///
+/// # Panics
+/// If any count is zero or any duration negative.
+pub fn bursty(
+    bursts: usize,
+    per_burst: usize,
+    gap: f64,
+    spread: f64,
+    work_range: (f64, f64),
+    seed: u64,
+) -> Instance {
+    assert!(bursts > 0 && per_burst > 0, "counts must be positive");
+    assert!(gap >= 0.0 && spread >= 0.0, "durations must be non-negative");
+    assert!(
+        work_range.0 > 0.0 && work_range.1 >= work_range.0,
+        "work range must be positive and ordered"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let offset = Uniform::new_inclusive(0.0, spread.max(f64::MIN_POSITIVE));
+    let wrk = Uniform::new_inclusive(work_range.0, work_range.1);
+    let mut jobs = Vec::with_capacity(bursts * per_burst);
+    for b in 0..bursts {
+        let start = b as f64 * gap;
+        for k in 0..per_burst {
+            let id = (b * per_burst + k) as u32;
+            jobs.push(Job::new(
+                id,
+                start + offset.sample(&mut rng),
+                wrk.sample(&mut rng),
+            ));
+        }
+    }
+    Instance::new(jobs).expect("generated jobs are valid")
+}
+
+/// Adversarial staircase: job `i` released at `i·step` with work chosen so
+/// natural block speeds are *decreasing* — the worst case for IncMerge's
+/// merge loop (every job triggers a cascade) and the configuration-count
+/// maximizer for the frontier.
+///
+/// # Panics
+/// If `n == 0` or `step <= 0`.
+pub fn staircase(n: usize, step: f64) -> Instance {
+    assert!(n > 0, "n must be positive");
+    assert!(step > 0.0, "step must be positive");
+    Instance::new(
+        (0..n)
+            .map(|i| {
+                // Work shrinks geometrically: each new block is slower than
+                // the previous, forcing a merge at every insertion.
+                let work = step * 0.5f64.powi(i as i32).max(f64::MIN_POSITIVE * 1e10);
+                Job::new(i as u32, i as f64 * step, work.max(1e-12))
+            })
+            .collect(),
+    )
+    .expect("generated jobs are valid")
+}
+
+/// All jobs released immediately with the given works — the Theorem 11 /
+/// Pruhs–van Stee–Uthaisombut special case.
+///
+/// # Panics
+/// If `works` is empty or contains a non-positive value.
+pub fn immediate(works: &[f64]) -> Instance {
+    assert!(!works.is_empty(), "need at least one job");
+    Instance::new(
+        works
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Job::new(i as u32, 0.0, w))
+            .collect(),
+    )
+    .expect("works must be positive")
+}
+
+/// A yes-instance of Partition with `2k` values summing to `2·half`:
+/// `k` random splits of `2·half/k`-sized buckets. Returns the multiset.
+///
+/// Used to stress the Theorem 11 reduction with instances where a perfect
+/// partition is guaranteed to exist.
+pub fn partition_yes_instance(k: usize, half: u64, seed: u64) -> Vec<u64> {
+    assert!(k > 0, "k must be positive");
+    assert!(half >= k as u64, "half must be at least k");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Build two halves with identical sums by mirroring random values.
+    let mut values = Vec::with_capacity(2 * k);
+    let mut remaining = half;
+    for i in 0..k {
+        let left = (k - i - 1) as u64;
+        let max_take = remaining - left; // leave >=1 per remaining slot
+        let take = if i + 1 == k {
+            remaining
+        } else {
+            Uniform::new_inclusive(1, max_take.max(1)).sample(&mut rng)
+        };
+        // Keep at least 1 for each remaining slot.
+        let take = take.min(remaining - left);
+        values.push(take);
+        remaining -= take;
+    }
+    // Mirror: second half is a different random decomposition of `half`.
+    let mut remaining = half;
+    for i in 0..k {
+        let left = (k - i - 1) as u64;
+        let max_take = remaining - left;
+        let take = if i + 1 == k {
+            remaining
+        } else {
+            Uniform::new_inclusive(1, max_take.max(1)).sample(&mut rng)
+        };
+        let take = take.min(remaining - left);
+        values.push(take);
+        remaining -= take;
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_reproducible() {
+        let a = uniform(50, 100.0, (0.5, 2.0), 42);
+        let b = uniform(50, 100.0, (0.5, 2.0), 42);
+        let c = uniform(50, 100.0, (0.5, 2.0), 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_ranges() {
+        let inst = uniform(200, 10.0, (1.0, 3.0), 7);
+        for j in inst.jobs() {
+            assert!((0.0..=10.0).contains(&j.release));
+            assert!((1.0..=3.0).contains(&j.work));
+        }
+    }
+
+    #[test]
+    fn poisson_releases_increase() {
+        let inst = poisson(100, 2.0, (1.0, 1.0), 11);
+        let rel: Vec<f64> = inst.jobs().iter().map(|j| j.release).collect();
+        for w in rel.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(rel[0] > 0.0);
+    }
+
+    #[test]
+    fn poisson_rate_roughly_matches() {
+        let inst = poisson(4000, 5.0, (1.0, 1.0), 3);
+        let span = inst.last_release() - inst.first_release();
+        let rate = 4000.0 / span;
+        assert!((rate - 5.0).abs() < 0.5, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn equal_work_poisson_is_equal_work() {
+        let inst = equal_work_poisson(60, 1.0, 2.5, 9);
+        assert!(inst.is_equal_work(1e-12));
+        assert_eq!(inst.job(0).work, 2.5);
+    }
+
+    #[test]
+    fn bursty_structure() {
+        let inst = bursty(3, 4, 100.0, 1.0, (1.0, 1.0), 5);
+        assert_eq!(inst.len(), 12);
+        // Jobs of burst b lie within [100b, 100b + 1].
+        for j in inst.jobs() {
+            let b = (j.release / 100.0).floor();
+            assert!(j.release - 100.0 * b <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn staircase_blocks_decrease_in_natural_speed() {
+        let inst = staircase(10, 1.0);
+        // Natural speed of job i alone is work/step, halving every step.
+        for i in 1..10 {
+            assert!(inst.work(i) < inst.work(i - 1));
+            assert_eq!(inst.release(i), i as f64);
+        }
+    }
+
+    #[test]
+    fn immediate_all_at_zero() {
+        let inst = immediate(&[3.0, 1.0, 4.0]);
+        assert!(inst.all_released_immediately(0.0));
+        assert_eq!(inst.total_work(), 8.0);
+    }
+
+    #[test]
+    fn partition_yes_instance_halves_balance() {
+        for seed in 0..20 {
+            let values = partition_yes_instance(5, 50, seed);
+            assert_eq!(values.len(), 10);
+            let first: u64 = values[..5].iter().sum();
+            let second: u64 = values[5..].iter().sum();
+            assert_eq!(first, 50, "seed {seed}");
+            assert_eq!(second, 50, "seed {seed}");
+            assert!(values.iter().all(|&v| v >= 1));
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! A validated, release-sorted scheduling instance.
+
+use crate::job::Job;
+use serde::{Deserialize, Serialize};
+
+/// Validation failures when building an [`Instance`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceError {
+    /// The job list was empty.
+    Empty,
+    /// A job had a negative/non-finite release or non-positive work.
+    InvalidJob {
+        /// Index (in the caller's order) of the offending job.
+        index: usize,
+        /// The offending job.
+        job: Job,
+    },
+    /// Two jobs share the same `id`.
+    DuplicateId {
+        /// The duplicated identifier.
+        id: u32,
+    },
+}
+
+impl std::fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceError::Empty => write!(f, "instance has no jobs"),
+            InstanceError::InvalidJob { index, job } => {
+                write!(f, "job #{index} is invalid: {job:?}")
+            }
+            InstanceError::DuplicateId { id } => write!(f, "duplicate job id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// An immutable scheduling instance: jobs sorted by release time.
+///
+/// Sorting happens on construction (stable, so ties keep the caller's
+/// order, matching the paper's "assume jobs are indexed so
+/// `r_1 ≤ … ≤ r_n`"). All `pas-core` algorithms take instances by
+/// reference and index jobs by their *sorted* position; use
+/// [`Instance::job`]`(i).id` to map back to caller identifiers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "Vec<Job>", into = "Vec<Job>")]
+pub struct Instance {
+    jobs: Vec<Job>,
+    prefix_work: Vec<f64>,
+}
+
+impl Instance {
+    /// Build an instance from jobs in any order.
+    ///
+    /// # Errors
+    /// [`InstanceError`] when the list is empty, a job is invalid, or ids
+    /// collide.
+    pub fn new(mut jobs: Vec<Job>) -> Result<Self, InstanceError> {
+        if jobs.is_empty() {
+            return Err(InstanceError::Empty);
+        }
+        for (index, job) in jobs.iter().enumerate() {
+            if !job.is_valid() {
+                return Err(InstanceError::InvalidJob { index, job: *job });
+            }
+        }
+        let mut ids: Vec<u32> = jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        for pair in ids.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(InstanceError::DuplicateId { id: pair[0] });
+            }
+        }
+        jobs.sort_by(|a, b| a.release.partial_cmp(&b.release).expect("finite releases"));
+        // Neumaier-compensated prefix sums (kept local: this crate is a
+        // leaf and does not depend on pas-numeric).
+        let mut prefix_work = Vec::with_capacity(jobs.len() + 1);
+        prefix_work.push(0.0);
+        let (mut sum, mut comp) = (0.0f64, 0.0f64);
+        for j in &jobs {
+            let t = sum + j.work;
+            if sum.abs() >= j.work.abs() {
+                comp += (sum - t) + j.work;
+            } else {
+                comp += (j.work - t) + sum;
+            }
+            sum = t;
+            prefix_work.push(sum + comp);
+        }
+        Ok(Instance { jobs, prefix_work })
+    }
+
+    /// Convenience constructor from `(release, work)` pairs; ids are
+    /// assigned by position.
+    ///
+    /// # Errors
+    /// Same as [`Instance::new`].
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Result<Self, InstanceError> {
+        Instance::new(
+            pairs
+                .iter()
+                .enumerate()
+                .map(|(i, &(release, work))| Job::new(i as u32, release, work))
+                .collect(),
+        )
+    }
+
+    /// An equal-work instance from release times only (all works = `work`).
+    ///
+    /// # Errors
+    /// Same as [`Instance::new`].
+    pub fn equal_work(releases: &[f64], work: f64) -> Result<Self, InstanceError> {
+        Instance::new(
+            releases
+                .iter()
+                .enumerate()
+                .map(|(i, &release)| Job::new(i as u32, release, work))
+                .collect(),
+        )
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Always false (construction rejects empty instances); provided for
+    /// clippy-idiomatic call sites.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The jobs, sorted by release time.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Job at sorted position `i`.
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    pub fn job(&self, i: usize) -> &Job {
+        &self.jobs[i]
+    }
+
+    /// Release time of sorted job `i`.
+    pub fn release(&self, i: usize) -> f64 {
+        self.jobs[i].release
+    }
+
+    /// Work of sorted job `i`.
+    pub fn work(&self, i: usize) -> f64 {
+        self.jobs[i].work
+    }
+
+    /// Total work of jobs `lo..hi` (half-open, sorted positions), via the
+    /// compensated prefix table — O(1).
+    pub fn work_range(&self, lo: usize, hi: usize) -> f64 {
+        self.prefix_work[hi] - self.prefix_work[lo]
+    }
+
+    /// Total work of the whole instance.
+    pub fn total_work(&self) -> f64 {
+        *self.prefix_work.last().expect("non-empty")
+    }
+
+    /// Earliest release.
+    pub fn first_release(&self) -> f64 {
+        self.jobs[0].release
+    }
+
+    /// Latest release.
+    pub fn last_release(&self) -> f64 {
+        self.jobs[self.jobs.len() - 1].release
+    }
+
+    /// Whether all jobs need the same work (within `tol`, relative).
+    ///
+    /// The flow algorithms (paper §4) and the multiprocessor algorithms
+    /// (§5, Theorem 10) require equal-work jobs.
+    pub fn is_equal_work(&self, tol: f64) -> bool {
+        let w0 = self.jobs[0].work;
+        self.jobs
+            .iter()
+            .all(|j| (j.work - w0).abs() <= tol * w0.abs())
+    }
+
+    /// Whether every job is released at time 0 (within `tol`), the
+    /// special case of Theorem 11 and of Pruhs–van Stee–Uthaisombut.
+    pub fn all_released_immediately(&self, tol: f64) -> bool {
+        self.last_release() <= tol
+    }
+
+    /// The sub-instance containing the sorted jobs at `positions`,
+    /// preserving ids. Used to split work across processors.
+    ///
+    /// # Errors
+    /// [`InstanceError::Empty`] when `positions` is empty.
+    pub fn subset(&self, positions: &[usize]) -> Result<Instance, InstanceError> {
+        Instance::new(positions.iter().map(|&p| self.jobs[p]).collect())
+    }
+
+    /// Shift every release by `delta` (≥ `-first_release()`, so releases
+    /// stay non-negative). Under any power model the optimal schedules
+    /// shift rigidly with the instance, so `makespan(E)` shifts by
+    /// exactly `delta` — a scaling law the property tests exploit.
+    ///
+    /// # Errors
+    /// [`InstanceError::InvalidJob`] when a shifted release would be
+    /// negative.
+    pub fn shift_time(&self, delta: f64) -> Result<Instance, InstanceError> {
+        Instance::new(
+            self.jobs
+                .iter()
+                .map(|j| Job::new(j.id, j.release + delta, j.work))
+                .collect(),
+        )
+    }
+
+    /// Scale every release by `c > 0` *and* every work by `c`. Under
+    /// `P = σ^α` this dilation maps optimal schedules onto optimal
+    /// schedules with unchanged speeds: makespan scales by `c`, energy
+    /// by `c` — the second scaling law used by the property tests.
+    ///
+    /// # Errors
+    /// [`InstanceError::InvalidJob`] on non-positive/overflowing scales.
+    pub fn dilate(&self, c: f64) -> Result<Instance, InstanceError> {
+        Instance::new(
+            self.jobs
+                .iter()
+                .map(|j| Job::new(j.id, j.release * c, j.work * c))
+                .collect(),
+        )
+    }
+}
+
+impl TryFrom<Vec<Job>> for Instance {
+    type Error = InstanceError;
+    fn try_from(jobs: Vec<Job>) -> Result<Self, Self::Error> {
+        Instance::new(jobs)
+    }
+}
+
+impl From<Instance> for Vec<Job> {
+    fn from(inst: Instance) -> Vec<Job> {
+        inst.jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_by_release_keeping_ids() {
+        let inst = Instance::new(vec![
+            Job::new(7, 5.0, 2.0),
+            Job::new(3, 0.0, 5.0),
+            Job::new(9, 6.0, 1.0),
+        ])
+        .unwrap();
+        let ids: Vec<u32> = inst.jobs().iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![3, 7, 9]);
+        assert_eq!(inst.release(0), 0.0);
+        assert_eq!(inst.release(2), 6.0);
+    }
+
+    #[test]
+    fn stable_sort_preserves_tie_order() {
+        let inst = Instance::new(vec![
+            Job::new(0, 1.0, 1.0),
+            Job::new(1, 1.0, 2.0),
+            Job::new(2, 1.0, 3.0),
+        ])
+        .unwrap();
+        let ids: Vec<u32> = inst.jobs().iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(Instance::new(vec![]).unwrap_err(), InstanceError::Empty);
+        assert!(matches!(
+            Instance::from_pairs(&[(0.0, 1.0), (1.0, -2.0)]),
+            Err(InstanceError::InvalidJob { index: 1, .. })
+        ));
+        assert!(matches!(
+            Instance::new(vec![Job::new(1, 0.0, 1.0), Job::new(1, 2.0, 1.0)]),
+            Err(InstanceError::DuplicateId { id: 1 })
+        ));
+    }
+
+    #[test]
+    fn prefix_work_ranges() {
+        let inst = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).unwrap();
+        assert_eq!(inst.total_work(), 8.0);
+        assert_eq!(inst.work_range(0, 3), 8.0);
+        assert_eq!(inst.work_range(1, 3), 3.0);
+        assert_eq!(inst.work_range(1, 1), 0.0);
+        assert_eq!(inst.work_range(0, 1), 5.0);
+    }
+
+    #[test]
+    fn equal_work_detection() {
+        let eq = Instance::equal_work(&[0.0, 0.0, 1.0], 1.0).unwrap();
+        assert!(eq.is_equal_work(1e-12));
+        let uneq = Instance::from_pairs(&[(0.0, 1.0), (1.0, 2.0)]).unwrap();
+        assert!(!uneq.is_equal_work(1e-12));
+    }
+
+    #[test]
+    fn immediate_release_detection() {
+        let now = Instance::from_pairs(&[(0.0, 1.0), (0.0, 2.0)]).unwrap();
+        assert!(now.all_released_immediately(1e-12));
+        let later = Instance::from_pairs(&[(0.0, 1.0), (3.0, 2.0)]).unwrap();
+        assert!(!later.all_released_immediately(1e-12));
+    }
+
+    #[test]
+    fn subset_preserves_jobs() {
+        let inst = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).unwrap();
+        let sub = inst.subset(&[0, 2]).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.job(1).work, 1.0);
+        assert!(inst.subset(&[]).is_err());
+    }
+
+    #[test]
+    fn shift_and_dilate() {
+        let inst = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).unwrap();
+        let shifted = inst.shift_time(2.5).unwrap();
+        assert_eq!(shifted.release(0), 2.5);
+        assert_eq!(shifted.release(2), 8.5);
+        assert_eq!(shifted.total_work(), inst.total_work());
+        assert!(inst.shift_time(-1.0).is_err());
+
+        let dilated = inst.dilate(2.0).unwrap();
+        assert_eq!(dilated.release(1), 10.0);
+        assert_eq!(dilated.work(0), 10.0);
+        assert!(inst.dilate(0.0).is_err());
+        assert!(inst.dilate(-2.0).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let inst = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).unwrap();
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn serde_rejects_invalid() {
+        let json = r#"[{"id":0,"release":-1.0,"work":1.0}]"#;
+        assert!(serde_json::from_str::<Instance>(json).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! A single job: release time + work requirement.
+
+use serde::{Deserialize, Serialize};
+
+/// One job of the scheduling input.
+///
+/// `id` is the caller's identifier; algorithms preserve it through
+/// sorting so results can be mapped back. `release` is the earliest time
+/// the job may run; `work` is the amount of computation (time × speed)
+/// it needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Caller-chosen identifier, preserved through scheduling.
+    pub id: u32,
+    /// Release time `r_i` (earliest start).
+    pub release: f64,
+    /// Work requirement `w_i > 0`.
+    pub work: f64,
+}
+
+impl Job {
+    /// Construct a job.
+    pub fn new(id: u32, release: f64, work: f64) -> Self {
+        Job { id, release, work }
+    }
+
+    /// A job's fields are valid when times are finite, release is
+    /// non-negative and work strictly positive.
+    pub fn is_valid(&self) -> bool {
+        self.release.is_finite() && self.release >= 0.0 && self.work.is_finite() && self.work > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity() {
+        assert!(Job::new(0, 0.0, 1.0).is_valid());
+        assert!(Job::new(0, 5.0, 0.25).is_valid());
+        assert!(!Job::new(0, -1.0, 1.0).is_valid());
+        assert!(!Job::new(0, 0.0, 0.0).is_valid());
+        assert!(!Job::new(0, 0.0, -3.0).is_valid());
+        assert!(!Job::new(0, f64::NAN, 1.0).is_valid());
+        assert!(!Job::new(0, 0.0, f64::INFINITY).is_valid());
+    }
+}

@@ -1,0 +1,34 @@
+//! # pas-workload
+//!
+//! The job/instance model and workload generators for the
+//! `power-aware-scheduling` workspace.
+//!
+//! The paper's input model (§1): `n` jobs `J_1 … J_n`, each with a release
+//! time `r_i` (earliest start) and a **work requirement** `w_i` (not a
+//! processing time — the processing time is `w_i/σ` and only known once
+//! the scheduler picks speeds). [`Instance`] captures exactly that, kept
+//! sorted by release time because every algorithm in the paper assumes
+//! `r_1 ≤ r_2 ≤ … ≤ r_n` (Lemma 3 lets them).
+//!
+//! [`generators`] provides seeded, reproducible workload families used by
+//! the test suite and the benchmark harness: uniform random, Poisson and
+//! bursty arrival processes, equal-work streams (for the flow and
+//! multiprocessor algorithms that require them), adversarial staircases
+//! (worst cases for block merging), and Partition-derived instances (the
+//! NP-hardness reduction of Theorem 11).
+//!
+//! With the `proptest-support` feature, the `strategies` module exposes proptest
+//! generators for property-based tests across the workspace.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod generators;
+pub mod instance;
+pub mod io;
+pub mod job;
+#[cfg(feature = "proptest-support")]
+pub mod strategies;
+
+pub use instance::{Instance, InstanceError};
+pub use job::Job;

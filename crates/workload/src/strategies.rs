@@ -1,0 +1,94 @@
+//! Proptest strategies for instances (behind `proptest-support`).
+//!
+//! Shared by the property-based tests of `pas-sim` and `pas-core` so every
+//! crate fuzzes over the same instance space. Values are kept in moderate
+//! ranges (releases in `[0, 100]`, works in `[0.01, 10]`) so closed-form
+//! oracles stay well conditioned; adversarial magnitude testing is done
+//! with dedicated deterministic cases instead.
+
+use crate::instance::Instance;
+use crate::job::Job;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy for a single valid job with the given id.
+fn job_with_id(id: u32) -> impl Strategy<Value = Job> {
+    ((0.0..100.0f64), (0.01..10.0f64)).prop_map(move |(release, work)| Job {
+        id,
+        release,
+        work,
+    })
+}
+
+/// Arbitrary valid instance with `1..=max_jobs` jobs.
+pub fn instances(max_jobs: usize) -> impl Strategy<Value = Instance> {
+    vec((0.0..100.0f64, 0.01..10.0f64), 1..=max_jobs).prop_map(|pairs| {
+        Instance::new(
+            pairs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (release, work))| Job::new(i as u32, release, work))
+                .collect(),
+        )
+        .expect("strategy yields valid jobs")
+    })
+}
+
+/// Arbitrary equal-work instance with `1..=max_jobs` jobs (work in
+/// `[0.1, 5]`, shared by all jobs).
+pub fn equal_work_instances(max_jobs: usize) -> impl Strategy<Value = Instance> {
+    (vec(0.0..100.0f64, 1..=max_jobs), 0.1..5.0f64).prop_map(|(releases, work)| {
+        Instance::equal_work(&releases, work).expect("valid releases")
+    })
+}
+
+/// Arbitrary all-released-immediately instance (the Theorem 11 family).
+pub fn immediate_instances(max_jobs: usize) -> impl Strategy<Value = Instance> {
+    vec(0.01..10.0f64, 1..=max_jobs).prop_map(|works| {
+        Instance::new(
+            works
+                .into_iter()
+                .enumerate()
+                .map(|(i, w)| Job::new(i as u32, 0.0, w))
+                .collect(),
+        )
+        .expect("valid works")
+    })
+}
+
+/// A job strategy for callers that need raw jobs.
+pub fn jobs() -> impl Strategy<Value = Job> {
+    (0u32..1000).prop_flat_map(job_with_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn generated_instances_are_valid(inst in instances(20)) {
+            prop_assert!(!inst.is_empty());
+            // Sorted by release.
+            for w in inst.jobs().windows(2) {
+                prop_assert!(w[0].release <= w[1].release);
+            }
+            prop_assert!(inst.total_work() > 0.0);
+        }
+
+        #[test]
+        fn equal_work_strategy_is_equal_work(inst in equal_work_instances(20)) {
+            prop_assert!(inst.is_equal_work(1e-12));
+        }
+
+        #[test]
+        fn immediate_strategy_releases_at_zero(inst in immediate_instances(20)) {
+            prop_assert!(inst.all_released_immediately(0.0));
+        }
+
+        #[test]
+        fn job_strategy_valid(job in jobs()) {
+            prop_assert!(job.is_valid());
+        }
+    }
+}

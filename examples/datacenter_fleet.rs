@@ -1,0 +1,69 @@
+//! Multiprocessor scenario: a server farm with a shared energy meter.
+//!
+//! The paper's §1 motivates exactly this: "a server farm concerned only
+//! about total energy consumption and not the consumption of each
+//! machine separately". A burst of equal-sized requests lands on a small
+//! fleet; we schedule with the §5 algorithms — Theorem-10 cyclic
+//! assignment, equalized finish times for makespan, a shared last-job
+//! speed for flow — and show the energy/quality tradeoffs as the fleet
+//! grows.
+//!
+//! Run with: `cargo run --example datacenter_fleet`
+
+use power_aware_scheduling::multi;
+use power_aware_scheduling::prelude::*;
+use power_aware_scheduling::workload::generators;
+
+fn main() -> Result<(), CoreError> {
+    // 24 equal-work requests arriving in three bursts.
+    let raw = generators::bursty(3, 8, 5.0, 1.0, (1.0, 1.0), 42);
+    let releases: Vec<f64> = raw.jobs().iter().map(|j| j.release).collect();
+    let instance = Instance::equal_work(&releases, 1.0).expect("valid releases");
+    let model = PolyPower::CUBE;
+    let alpha = 3.0;
+    let budget = 40.0;
+
+    println!("24 unit-work requests, 3 bursts, shared energy budget {budget}");
+    println!("\n== Makespan vs fleet size (Theorem 10 + Observation 1) ==");
+    for m in [1usize, 2, 4, 8] {
+        let sol = multi::makespan::laptop(&instance, &model, m, budget, 1e-10)?;
+        sol.schedule
+            .validate(&instance, 1e-6)
+            .expect("schedule validates");
+        println!(
+            "  {m:2} machines -> makespan {:8.4}  (energy used {:.3})",
+            sol.makespan, sol.energy
+        );
+    }
+
+    println!("\n== Total flow vs fleet size (Observation 2: shared σ_n) ==");
+    for m in [1usize, 2, 4, 8] {
+        let sol = multi::flow::laptop(&instance, alpha, m, budget, 1e-10)?;
+        println!(
+            "  {m:2} machines -> total flow {:8.4}  (u = σ_n^α = {:.4})",
+            sol.total_flow, sol.u
+        );
+    }
+
+    println!("\n== Unequal work is NP-hard (Theorem 11) ==");
+    // A Partition-style workload: can 2 machines hit makespan B/2 on
+    // budget B?
+    let values = [7u64, 5, 4, 4, 3, 3, 2, 2];
+    let b: u64 = values.iter().sum();
+    let witness = multi::partition::partition_witness(&values);
+    println!(
+        "  works {values:?} (B = {b}): perfect split {}",
+        if witness.is_some() { "EXISTS" } else { "does not exist" }
+    );
+    let works: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    let (labels, norm) = multi::partition::min_norm_assignment(&works, 2, alpha);
+    let t = multi::partition::makespan_for_loads_from_assignment(&works, &labels, alpha, b as f64);
+    println!(
+        "  exact B&B: optimal L_alpha norm {norm:.3}, makespan {t:.4} vs target {}",
+        b as f64 / 2.0
+    );
+    let (lpt_labels, lpt_norm) = multi::partition::lpt_assignment(&works, 2, alpha);
+    let (_, ls_norm) = multi::partition::local_search(&works, 2, alpha, lpt_labels);
+    println!("  LPT heuristic norm {lpt_norm:.3}; after local search {ls_norm:.3}");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Online power-aware scheduling: the paper's §6 open problem, measured.
+//!
+//! "If the algorithm cannot know when the last job has arrived, it must
+//! balance the need to run quickly ... against the need to conserve
+//! energy in case more jobs do arrive." No online algorithms with
+//! guarantees are known; this example runs the natural policies from
+//! `pas-core::online` against the offline frontier on Poisson and bursty
+//! arrival streams and prints their empirical competitive ratios.
+//!
+//! Run with: `cargo run --example online_laptop`
+
+use power_aware_scheduling::online::{
+    compare_online, AdaptiveRate, ConstantSpeed, FractionalSpend, SpendAll,
+};
+use power_aware_scheduling::prelude::*;
+use power_aware_scheduling::sim::online::OnlinePolicy;
+use power_aware_scheduling::workload::generators;
+
+fn main() -> Result<(), CoreError> {
+    let model = PolyPower::CUBE;
+
+    for (name, instance) in [
+        ("poisson", generators::poisson(20, 0.6, (0.5, 1.5), 7)),
+        ("bursty", generators::bursty(4, 5, 12.0, 0.5, (0.5, 1.5), 7)),
+    ] {
+        let budget = 1.5 * instance.total_work();
+        println!(
+            "== {name}: {} jobs, total work {:.2}, budget {budget:.2} ==",
+            instance.len(),
+            instance.total_work()
+        );
+        let offline = Frontier::build(&instance, &model).makespan(&model, budget)?;
+        println!("  offline OPT makespan: {offline:.4}");
+
+        let mut policies: Vec<Box<dyn OnlinePolicy>> = vec![
+            Box::new(SpendAll::new(model, budget)),
+            Box::new(FractionalSpend::new(model, budget, 0.3)),
+            Box::new(FractionalSpend::new(model, budget, 0.6)),
+            Box::new(AdaptiveRate::new(model, budget, 10.0)),
+            Box::new(ConstantSpeed::for_budget(&model, instance.total_work(), budget)?),
+        ];
+        for policy in policies.iter_mut() {
+            let report = compare_online(&instance, &model, budget, policy.as_mut())?;
+            println!(
+                "  {:24} makespan {:10.4}  ratio {:8.4}  energy {:7.3} ({})",
+                policy.name(),
+                report.makespan,
+                report.ratio,
+                report.energy,
+                if report.within_budget {
+                    "within budget"
+                } else {
+                    "OVER budget"
+                }
+            );
+        }
+        println!();
+    }
+    println!("Note how spend-all collapses on bursty arrivals — exactly the");
+    println!("tension §6 of the paper describes for the open online problem.");
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Regenerate the data series behind the paper's Figures 1, 2 and 3.
+//!
+//! Prints CSV to stdout: for each energy budget in the figures' range
+//! `[6, 21]`, the optimal makespan and its first and second derivatives,
+//! computed from the closed-form frontier. Pipe to a file and plot to
+//! recreate the figures:
+//!
+//! `cargo run --example paper_instance > figures.csv`
+
+use power_aware_scheduling::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let instance = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)])
+        .expect("valid jobs");
+    let model = PolyPower::CUBE;
+    let frontier = Frontier::build(&instance, &model);
+
+    eprintln!(
+        "# Figure 1-3 series; configuration breakpoints at {:?}",
+        frontier.breakpoints()
+    );
+    println!("energy,makespan,dM_dE,d2M_dE2");
+    let (lo, hi, steps) = (6.0, 21.0, 300);
+    for k in 0..=steps {
+        let e = lo + (hi - lo) * k as f64 / steps as f64;
+        println!(
+            "{:.6},{:.9},{:.9},{:.9}",
+            e,
+            frontier.makespan(&model, e)?,
+            frontier.makespan_derivative(&model, e)?,
+            frontier.makespan_second_derivative(&model, e)?,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: the paper's running example end to end.
+//!
+//! Reproduces the numbers behind Figures 1–3 of Bunde (SPAA 2006) on the
+//! three-job instance `r = [0, 5, 6]`, `w = [5, 2, 1]` with
+//! `power = speed³`, then shows the laptop/server duality.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use power_aware_scheduling::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    // The §3.2 instance: (release, work) pairs. Instances sort by
+    // release automatically and ids map back to input order.
+    let instance = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)])
+        .expect("valid jobs");
+    let model = PolyPower::CUBE;
+
+    println!("== Laptop problem (fix energy, minimize makespan) ==");
+    for budget in [6.0, 8.0, 12.0, 17.0, 21.0] {
+        let solution = makespan::laptop(&instance, &model, budget)?;
+        println!(
+            "  E = {budget:5.1}  ->  makespan {:.4}  ({} block(s), speeds {:?})",
+            solution.makespan(),
+            solution.blocks().len(),
+            solution
+                .blocks()
+                .iter()
+                .map(|b| (b.speed * 1e4).round() / 1e4)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    println!("\n== The full non-dominated frontier ==");
+    let frontier = Frontier::build(&instance, &model);
+    println!(
+        "  configuration changes at E = {:?}  (paper: 17 and 8)",
+        frontier
+            .breakpoints()
+            .iter()
+            .map(|e| (e * 1e6).round() / 1e6)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  M'(8)  = {:+.4}   (closed form -1/2)",
+        frontier.makespan_derivative(&model, 8.0)?
+    );
+    println!(
+        "  M'(17) = {:+.4}   (closed form -1/16)",
+        frontier.makespan_derivative(&model, 17.0)?
+    );
+
+    println!("\n== Server problem (fix makespan, minimize energy) ==");
+    for target in [6.5, 7.0, 8.0, 9.0] {
+        let energy = frontier.energy_for_makespan(&model, target)?;
+        println!("  finish by {target:4.1}  ->  minimum energy {energy:8.4}");
+    }
+
+    println!("\n== Schedules are first-class and validated ==");
+    let blocks = makespan::laptop(&instance, &model, 21.0)?;
+    let schedule = blocks.to_schedule(&instance);
+    schedule
+        .validate(&instance, 1e-7)
+        .expect("optimal schedules always validate");
+    let m = metrics::metrics(&schedule, &instance, &model);
+    println!(
+        "  E=21: makespan {:.4}, total flow {:.4}, energy {:.4}, {} speed switches",
+        m.makespan, m.total_flow, m.energy, m.switches
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Wireless packet transmission: the *other* convex power function.
+//!
+//! The paper's §2 credits Uysal-Biyikoglu, Prabhakar and El Gamal with
+//! the closest related work — minimum-energy packet transmission over a
+//! wireless link, where transmitting at rate `σ` costs roughly
+//! `P(σ) = 2^σ − 1` (inverted Shannon capacity), "a totally different
+//! power function" from DVFS. The paper's point: its algorithms only
+//! need continuity and strict convexity, so the same `IncMerge` solves
+//! the transmission problem — and, unlike the original quadratic-time
+//! MoveRight algorithm, in linear time with the whole frontier.
+//!
+//! Run with: `cargo run --example wireless_transmission`
+
+use power_aware_scheduling::makespan;
+use power_aware_scheduling::power::ExpPower;
+use power_aware_scheduling::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    // Packets arriving at a transmitter: (arrival time, bits·scale).
+    let packets = Instance::from_pairs(&[
+        (0.0, 3.0),
+        (1.0, 1.5),
+        (1.2, 2.0),
+        (4.0, 4.0),
+        (6.5, 1.0),
+    ])
+    .expect("valid packets");
+    let radio = ExpPower::shannon(); // P(rate) = 2^rate − 1
+
+    println!("== Server problem: drain the queue by a deadline ==");
+    println!("   (Uysal-Biyikoglu et al. solve this in O(n²); IncMerge in O(n))");
+    for deadline in [8.0, 10.0, 14.0, 20.0] {
+        let schedule = makespan::server(&packets, &radio, deadline)?;
+        println!(
+            "  deadline {deadline:5.1} -> energy {:8.4}, {} transmission rate blocks",
+            schedule.energy(&radio),
+            schedule.blocks().len()
+        );
+    }
+
+    println!("\n== Laptop problem: best completion on a battery budget ==");
+    for budget in [8.0, 15.0, 30.0, 60.0] {
+        let schedule = makespan::laptop(&packets, &radio, budget)?;
+        println!(
+            "  battery {budget:5.1} -> all packets sent by {:.4}",
+            schedule.makespan()
+        );
+    }
+
+    println!("\n== The same API, the paper's canonical DVFS model ==");
+    let cpu = PolyPower::CUBE;
+    let schedule = makespan::laptop(&packets, &cpu, 30.0)?;
+    println!(
+        "  σ³ model, E=30 -> makespan {:.4} (energy check: {:.4})",
+        schedule.makespan(),
+        schedule.energy(&cpu)
+    );
+
+    println!("\n== MoveRight (quadratic baseline) agrees with IncMerge ==");
+    let t = 12.0;
+    let a = makespan::moveright::server_moveright(&packets, &radio, t)?;
+    let b = makespan::server(&packets, &radio, t)?;
+    println!(
+        "  deadline {t}: MoveRight energy {:.6} vs IncMerge {:.6}",
+        a.energy(&radio),
+        b.energy(&radio)
+    );
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! # power-aware-scheduling
+//!
+//! A production-quality Rust implementation of
+//!
+//! > David P. Bunde, **"Power-aware scheduling for makespan and flow"**,
+//! > SPAA 2006 (arXiv cs/0605126)
+//!
+//! — offline speed-scaling (DVFS) scheduling where the scheduler chooses
+//! processor *speeds* as well as job order, trading energy against
+//! schedule quality.
+//!
+//! ## The model in one paragraph
+//!
+//! Jobs have release times `r_i` and work requirements `w_i`; a
+//! processor at speed `σ` completes `σ` work per unit time and draws
+//! power `P(σ)` for a continuous, strictly convex `P` with `P(0) = 0`
+//! (canonically `P = σ^α`, `α > 1`). Both the **makespan** and the
+//! **total flow** of a schedule improve with more energy, so the library
+//! computes *non-dominated* schedules: the **laptop problem** fixes an
+//! energy budget, the **server problem** fixes a quality target.
+//!
+//! ## Quick start
+//!
+//! ```rust
+//! use power_aware_scheduling::prelude::*;
+//!
+//! // The paper's running example (§3.2, Figures 1-3).
+//! let instance = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).unwrap();
+//! let model = PolyPower::CUBE; // power = speed³
+//!
+//! // Laptop problem: best makespan on 21 units of energy (linear time).
+//! let schedule = makespan::laptop(&instance, &model, 21.0).unwrap();
+//! assert!((schedule.makespan() - (6.0 + 1.0 / 8f64.sqrt())).abs() < 1e-9);
+//!
+//! // All non-dominated schedules at once: the energy↔makespan frontier.
+//! let frontier = Frontier::build(&instance, &model);
+//! assert_eq!(frontier.breakpoints().len(), 2); // configurations change at E=17 and E=8
+//!
+//! // Server problem: least energy to finish by time 6.5.
+//! let energy = frontier.energy_for_makespan(&model, 6.5).unwrap();
+//! assert!((energy - 17.0).abs() < 1e-9);
+//! ```
+//!
+//! ## Crate map
+//!
+//! This facade re-exports the workspace:
+//!
+//! | Module | Backing crate | Contents |
+//! |--------|---------------|----------|
+//! | [`power`] | `pas-power` | speed→power models ([`PolyPower`](power::PolyPower), [`ExpPower`](power::ExpPower), bounded and discrete variants) |
+//! | [`workload`] | `pas-workload` | jobs, instances, seeded generators |
+//! | [`sim`] | `pas-sim` | schedules, validation, metrics, online engine |
+//! | [`makespan`] | `pas-core` | `IncMerge`, the frontier, DP/MoveRight baselines (paper §3) |
+//! | [`flow`] | `pas-core` | Theorem-1 flow solver, tradeoff curve, Theorem-8 witness (paper §4) |
+//! | [`multi`] | `pas-core` | cyclic assignment, multiprocessor makespan/flow, Partition reduction (paper §5) |
+//! | [`deadline`] | `pas-core` | YDS / AVR / OA deadline scheduling (paper §2) |
+//! | [`precedence`] | `pas-core` | precedence-constrained makespan (Pruhs–van Stee–Uthaisombut, §2) |
+//! | [`online`] | `pas-core` | budgeted online policies (paper §6) |
+//! | [`discrete`] | `pas-core` | discrete speed ladders and switch overhead (paper §6) |
+//! | [`numeric`] | `pas-numeric` | rootfinding, polynomials, calculus helpers |
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure (including one measured
+//! correction to the paper's §4 example — `flow::hardness` documents it).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use pas_numeric as numeric;
+pub use pas_power as power;
+pub use pas_sim as sim;
+pub use pas_workload as workload;
+
+pub use pas_core::deadline;
+pub use pas_core::discrete;
+pub use pas_core::error;
+pub use pas_core::flow;
+pub use pas_core::makespan;
+pub use pas_core::multi;
+pub use pas_core::online;
+pub use pas_core::precedence;
+pub use pas_core::CoreError;
+
+/// The items most programs need, in one import.
+pub mod prelude {
+    pub use crate::makespan::{self, Frontier};
+    pub use crate::CoreError;
+    pub use pas_power::{PolyPower, PowerModel};
+    pub use pas_sim::{metrics, Schedule};
+    pub use pas_workload::{Instance, Job};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let instance = Instance::from_pairs(&[(0.0, 1.0)]).unwrap();
+        let model = PolyPower::CUBE;
+        let schedule = makespan::laptop(&instance, &model, 1.0).unwrap();
+        assert!((schedule.makespan() - 1.0).abs() < 1e-12);
+        let sched = schedule.to_schedule(&instance);
+        assert!((metrics::energy(&sched, &model) - 1.0).abs() < 1e-12);
+    }
+}

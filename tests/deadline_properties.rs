@@ -1,0 +1,104 @@
+//! Property-based tests for the deadline-scheduling substrate (YDS /
+//! AVR / OA) over randomized instance families.
+
+use power_aware_scheduling::deadline::{avr, oa, yds, DeadlineInstance, DeadlineJob};
+use power_aware_scheduling::prelude::*;
+use power_aware_scheduling::sim::metrics;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy: 1..=12 jobs with random windows and works.
+fn deadline_instances() -> impl Strategy<Value = DeadlineInstance> {
+    vec((0.0..20.0f64, 0.5..6.0f64, 0.2..2.0f64), 1..=12).prop_map(|rows| {
+        DeadlineInstance::new(
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (r, window, w))| DeadlineJob::new(i as u32, r, r + window, w))
+                .collect(),
+        )
+        .expect("constructed jobs are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn yds_is_feasible_and_round_densities_decrease(inst in deadline_instances()) {
+        let out = yds(&inst).unwrap();
+        inst.validate_schedule(&out.schedule, 1e-6).unwrap();
+        for pair in out.rounds.windows(2) {
+            prop_assert!(pair[0].density >= pair[1].density - 1e-9);
+        }
+    }
+
+    #[test]
+    fn online_algorithms_feasible_and_dominated_by_bounds(
+        inst in deadline_instances(),
+    ) {
+        let model = PolyPower::CUBE;
+        let y = metrics::energy(&yds(&inst).unwrap().schedule, &model);
+        let o = metrics::energy(&oa(&inst).unwrap(), &model);
+        let a = metrics::energy(&avr(&inst).unwrap(), &model);
+        prop_assert!(y <= o + 1e-6, "YDS {y} vs OA {o}");
+        prop_assert!(y <= a + 1e-6, "YDS {y} vs AVR {a}");
+        prop_assert!(o <= 27.0 * y + 1e-6, "OA ratio {}", o / y);
+        prop_assert!(a <= 108.0 * y + 1e-6, "AVR ratio {}", a / y);
+    }
+
+    #[test]
+    fn yds_energy_dominates_interval_bounds(inst in deadline_instances()) {
+        // Jensen certificate: for every (release, deadline) candidate
+        // window, OPT >= contained-work at window density.
+        let model = PolyPower::CUBE;
+        let y = metrics::energy(&yds(&inst).unwrap().schedule, &model);
+        for a in inst.jobs() {
+            for b in inst.jobs() {
+                if b.deadline > a.release {
+                    let w: f64 = inst
+                        .jobs()
+                        .iter()
+                        .filter(|j| j.release >= a.release && j.deadline <= b.deadline)
+                        .map(|j| j.work)
+                        .sum();
+                    if w > 0.0 {
+                        let bound = model.energy(w, w / (b.deadline - a.release));
+                        prop_assert!(y >= bound - 1e-6 * bound.max(1.0));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn yds_invariant_under_time_shift(inst in deadline_instances()) {
+        // Energy is translation invariant.
+        let model = PolyPower::CUBE;
+        let base = metrics::energy(&yds(&inst).unwrap().schedule, &model);
+        let shifted = DeadlineInstance::new(
+            inst.jobs()
+                .iter()
+                .map(|j| DeadlineJob::new(j.id, j.release + 7.5, j.deadline + 7.5, j.work))
+                .collect(),
+        )
+        .unwrap();
+        let after = metrics::energy(&yds(&shifted).unwrap().schedule, &model);
+        prop_assert!((base - after).abs() < 1e-6 * base.max(1.0));
+    }
+
+    #[test]
+    fn widening_all_deadlines_never_costs_energy(inst in deadline_instances()) {
+        // Relaxing every deadline by the same amount can only help.
+        let model = PolyPower::CUBE;
+        let base = metrics::energy(&yds(&inst).unwrap().schedule, &model);
+        let relaxed = DeadlineInstance::new(
+            inst.jobs()
+                .iter()
+                .map(|j| DeadlineJob::new(j.id, j.release, j.deadline + 3.0, j.work))
+                .collect(),
+        )
+        .unwrap();
+        let after = metrics::energy(&yds(&relaxed).unwrap().schedule, &model);
+        prop_assert!(after <= base + 1e-6 * base.max(1.0), "{after} > {base}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Integration tests: whole-pipeline flows across crates.
+//!
+//! Every test goes generator → algorithm → `Schedule` → independent
+//! validation → independent metrics, so a bug in any layer is caught by
+//! another layer's accounting.
+
+use power_aware_scheduling::deadline::{avr, oa, yds, DeadlineInstance};
+use power_aware_scheduling::discrete::emulate;
+use power_aware_scheduling::flow;
+use power_aware_scheduling::makespan::{self, dp, moveright};
+use power_aware_scheduling::multi;
+use power_aware_scheduling::power::{DiscreteSpeeds, ExpPower};
+use power_aware_scheduling::prelude::*;
+use power_aware_scheduling::workload::generators;
+
+#[test]
+fn three_solvers_agree_on_random_instances() {
+    let model = PolyPower::new(2.7);
+    for seed in 0..12 {
+        let instance = generators::uniform(15, 25.0, (0.3, 3.0), seed);
+        for &budget in &[2.0, 10.0, 50.0] {
+            let a = makespan::laptop(&instance, &model, budget)
+                .unwrap()
+                .makespan();
+            let b = dp::laptop_dp(&instance, &model, budget).unwrap().makespan();
+            assert!(
+                (a - b).abs() < 1e-6 * a.max(1.0),
+                "seed {seed} E={budget}: incmerge {a} vs dp {b}"
+            );
+            // Server duality cross-check through MoveRight.
+            let srv = moveright::server_moveright(&instance, &model, a).unwrap();
+            assert!(
+                (srv.energy(&model) - budget).abs() < 1e-5 * budget,
+                "seed {seed} E={budget}: moveright round trip {}",
+                srv.energy(&model)
+            );
+        }
+    }
+}
+
+#[test]
+fn laptop_schedules_validate_and_account() {
+    let model = PolyPower::CUBE;
+    for seed in 0..10 {
+        let instance = generators::poisson(30, 1.0, (0.2, 2.0), seed);
+        let budget = 3.0 * instance.total_work();
+        let blocks = makespan::laptop(&instance, &model, budget).unwrap();
+        blocks.verify_structure(&instance, 1e-7).unwrap();
+        let schedule = blocks.to_schedule(&instance);
+        schedule.validate(&instance, 1e-6).unwrap();
+        schedule.validate_nonpreemptive(&instance, 1e-6).unwrap();
+        let measured = metrics::energy(&schedule, &model);
+        assert!(
+            (measured - budget).abs() < 1e-6 * budget,
+            "seed {seed}: energy {measured} vs budget {budget}"
+        );
+    }
+}
+
+#[test]
+fn flow_pipeline_equal_work() {
+    for seed in 0..8 {
+        let instance = generators::equal_work_poisson(15, 1.5, 1.0, seed);
+        let budget = 2.0 * instance.total_work();
+        let sol = flow::laptop(&instance, 3.0, budget, 1e-10).unwrap();
+        assert!(sol.kkt.max_residual < 1e-6, "seed {seed}");
+        let schedule = sol.to_schedule(&instance);
+        schedule.validate(&instance, 1e-6).unwrap();
+        let measured_flow = metrics::total_flow(&schedule, &instance);
+        assert!(
+            (measured_flow - sol.total_flow).abs() < 1e-6 * sol.total_flow,
+            "seed {seed}: metrics {measured_flow} vs solver {}",
+            sol.total_flow
+        );
+    }
+}
+
+#[test]
+fn multiprocessor_makespan_beats_uniprocessor() {
+    let model = PolyPower::CUBE;
+    for seed in 0..6 {
+        let raw = generators::poisson(16, 2.0, (1.0, 1.0), seed);
+        let releases: Vec<f64> = raw.jobs().iter().map(|j| j.release).collect();
+        let instance = Instance::equal_work(&releases, 1.0).unwrap();
+        let budget = 2.0 * instance.total_work();
+        let uni = multi::makespan::laptop(&instance, &model, 1, budget, 1e-10).unwrap();
+        let quad = multi::makespan::laptop(&instance, &model, 4, budget, 1e-10).unwrap();
+        assert!(
+            quad.makespan <= uni.makespan + 1e-9,
+            "seed {seed}: 4 procs {} vs 1 proc {}",
+            quad.makespan,
+            uni.makespan
+        );
+        quad.schedule.validate(&instance, 1e-6).unwrap();
+    }
+}
+
+#[test]
+fn multiprocessor_flow_pipeline() {
+    for seed in 0..6 {
+        let raw = generators::poisson(12, 1.0, (1.0, 1.0), seed);
+        let releases: Vec<f64> = raw.jobs().iter().map(|j| j.release).collect();
+        let instance = Instance::equal_work(&releases, 1.0).unwrap();
+        let budget = 2.5 * instance.total_work();
+        let sol = multi::flow::laptop(&instance, 3.0, 3, budget, 1e-10).unwrap();
+        sol.schedule.validate(&instance, 1e-6).unwrap();
+        let measured = metrics::total_flow(&sol.schedule, &instance);
+        assert!(
+            (measured - sol.total_flow).abs() < 1e-6 * sol.total_flow.max(1.0),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn deadline_stack_orders_correctly() {
+    // YDS <= OA <= α^α·YDS and YDS <= AVR <= 2^{α-1}α^α·YDS, end to end.
+    let model = PolyPower::CUBE;
+    for seed in 0..8 {
+        let instance = DeadlineInstance::random(18, 20.0, (0.5, 6.0), (0.2, 2.0), seed);
+        let y = metrics::energy(&yds(&instance).unwrap().schedule, &model);
+        let o = metrics::energy(&oa(&instance).unwrap(), &model);
+        let a = metrics::energy(&avr(&instance).unwrap(), &model);
+        assert!(y <= o + 1e-6, "seed {seed}: YDS {y} vs OA {o}");
+        assert!(y <= a + 1e-6, "seed {seed}: YDS {y} vs AVR {a}");
+        assert!(o <= 27.0 * y + 1e-6, "seed {seed}: OA ratio {}", o / y);
+        assert!(a <= 108.0 * y + 1e-6, "seed {seed}: AVR ratio {}", a / y);
+    }
+}
+
+#[test]
+fn discrete_emulation_pipeline() {
+    let model = PolyPower::CUBE;
+    for seed in 0..6 {
+        let instance = generators::uniform(12, 15.0, (0.5, 2.0), seed);
+        let budget = 2.0 * instance.total_work();
+        let blocks = makespan::laptop(&instance, &model, budget).unwrap();
+        let continuous = blocks.to_schedule(&instance);
+        // A ladder generously covering the speed range.
+        let max_speed = blocks
+            .blocks()
+            .iter()
+            .map(|b| b.speed)
+            .fold(0.0f64, f64::max);
+        let ladder = DiscreteSpeeds::uniform(model, 32, max_speed * 1.1);
+        let report = emulate(&continuous, &ladder).unwrap();
+        assert!(report.timing_exact, "seed {seed}");
+        report.schedule.validate(&instance, 1e-6).unwrap();
+        assert!(report.overhead >= 1.0 - 1e-12, "seed {seed}");
+        assert!(report.overhead < 1.05, "seed {seed}: overhead {}", report.overhead);
+    }
+}
+
+#[test]
+fn general_convex_model_full_pipeline() {
+    // The wireless model through laptop, server, frontier and discrete.
+    let radio = ExpPower::shannon();
+    let instance = generators::uniform(10, 10.0, (0.5, 2.0), 3);
+    let budget = 8.0 * instance.total_work();
+    let blocks = makespan::laptop(&instance, &radio, budget).unwrap();
+    blocks.verify_structure(&instance, 1e-7).unwrap();
+    let frontier = Frontier::build(&instance, &radio);
+    let m1 = frontier.makespan(&radio, budget).unwrap();
+    assert!((m1 - blocks.makespan()).abs() < 1e-6);
+    let e_back = frontier.energy_for_makespan(&radio, m1).unwrap();
+    assert!((e_back - budget).abs() < 1e-5 * budget);
+}
+
+#[test]
+fn partition_reduction_round_trip() {
+    let model = PolyPower::CUBE;
+    let values = generators::partition_yes_instance(5, 40, 1);
+    let reduction = multi::partition::reduce(&values, &model).unwrap();
+    assert_eq!(reduction.instance.len(), values.len());
+    // The witness gives a schedule hitting the target exactly.
+    let witness = multi::partition::partition_witness(&values).unwrap();
+    let half: u64 = witness.iter().map(|&i| values[i]).sum();
+    assert_eq!(half as f64, reduction.makespan_target);
+    // And the exact solver confirms through the scheduling lens.
+    assert!(multi::partition::schedule_decides_partition(&values, 3.0));
+}
