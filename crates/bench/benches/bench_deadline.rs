@@ -1,7 +1,14 @@
-//! Criterion benches for the §2 deadline-scheduling substrate (E12).
+//! Criterion benches for the §2 deadline-scheduling substrate (E12) and
+//! the YDS timeline engine vs the seed reference (E19).
+//!
+//! The naive-vs-optimized group stops the `O(n⁴)` reference at n=512 to
+//! keep `cargo bench` minutes-scale; the full acceptance sweep (through
+//! n=2000, written to `BENCH_yds.json`) lives in
+//! `exp-scaling --bench-json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pas_core::deadline::{avr, oa, yds, DeadlineInstance};
+use pas_bench::experiments::scaling::{e19_instance, E19_REFERENCE_CAP};
+use pas_core::deadline::{avr, oa, yds, yds_reference, DeadlineInstance};
 use std::hint::black_box;
 
 fn bench_deadline_algorithms(c: &mut Criterion) {
@@ -22,5 +29,26 @@ fn bench_deadline_algorithms(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_deadline_algorithms);
+fn bench_yds_naive_vs_optimized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yds_scaling");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256, 512, 1024] {
+        let instance = e19_instance(n);
+        group.bench_with_input(BenchmarkId::new("optimized", n), &n, |b, _| {
+            b.iter(|| yds(black_box(&instance)).unwrap())
+        });
+        if n <= E19_REFERENCE_CAP {
+            group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+                b.iter(|| yds_reference(black_box(&instance)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_deadline_algorithms,
+    bench_yds_naive_vs_optimized
+);
 criterion_main!(benches);

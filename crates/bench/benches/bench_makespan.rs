@@ -31,9 +31,7 @@ fn bench_makespan_solvers(c: &mut Criterion) {
         let instance = generators::uniform(n, n as f64, (0.2, 2.0), 42);
         let deadline = instance.last_release() + 0.1 * n as f64;
         group.bench_with_input(BenchmarkId::new("moveright", n), &n, |b, _| {
-            b.iter(|| {
-                moveright::server_moveright(black_box(&instance), &model, deadline).unwrap()
-            })
+            b.iter(|| moveright::server_moveright(black_box(&instance), &model, deadline).unwrap())
         });
     }
 

@@ -23,17 +23,13 @@ fn bench_multi_solvers(c: &mut Criterion) {
             BenchmarkId::new("makespan", format!("n{n}_m{m}")),
             &n,
             |b, _| {
-                b.iter(|| {
-                    makespan::laptop(black_box(&instance), &model, m, budget, 1e-9).unwrap()
-                })
+                b.iter(|| makespan::laptop(black_box(&instance), &model, m, budget, 1e-9).unwrap())
             },
         );
         group.bench_with_input(
             BenchmarkId::new("flow", format!("n{n}_m{m}")),
             &n,
-            |b, _| {
-                b.iter(|| flow::laptop(black_box(&instance), 3.0, m, budget, 1e-9).unwrap())
-            },
+            |b, _| b.iter(|| flow::laptop(black_box(&instance), 3.0, m, budget, 1e-9).unwrap()),
         );
     }
     group.finish();
@@ -54,11 +50,9 @@ fn bench_partition_solvers(c: &mut Criterion) {
     // Subset-sum DP scales with the value range.
     for &half in &[100u64, 1000, 10000] {
         let values = generators::partition_yes_instance(8, half, 3);
-        group.bench_with_input(
-            BenchmarkId::new("subset_sum_dp", half),
-            &half,
-            |b, _| b.iter(|| partition::partition_witness(black_box(&values))),
-        );
+        group.bench_with_input(BenchmarkId::new("subset_sum_dp", half), &half, |b, _| {
+            b.iter(|| partition::partition_witness(black_box(&values)))
+        });
     }
     group.finish();
 }

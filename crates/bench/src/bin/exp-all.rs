@@ -6,7 +6,11 @@ fn main() {
     let tables = pas_bench::experiments::run_all();
     for table in &tables {
         table.write_to(dir).expect("write CSV");
-        println!("wrote results/{}.csv ({} rows)", table.name, table.rows.len());
+        println!(
+            "wrote results/{}.csv ({} rows)",
+            table.name,
+            table.rows.len()
+        );
     }
     println!("{} tables total", tables.len());
 }

@@ -1,7 +1,31 @@
 //! Print the `scaling` experiment tables as CSV to stdout.
+//!
+//! Modes:
+//! * no args — the E4/E5 makespan-solver sweep plus a quick E19
+//!   (YDS naive-vs-optimized) sweep with the `O(n⁴)` reference capped at
+//!   n=512 so the run stays fast;
+//! * `--bench-json [PATH]` — the full E19 acceptance sweep (reference
+//!   measured through n=2000; expect several minutes) written as JSON to
+//!   `PATH` (default `BENCH_yds.json`), the perf-trajectory record
+//!   successive PRs compare against.
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
+        let path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_yds.json");
+        let points = pas_bench::experiments::scaling::yds_scaling_default();
+        pas_bench::experiments::scaling::yds_table(&points).print();
+        let json = pas_bench::experiments::scaling::yds_bench_json(&points);
+        std::fs::write(path, &json).expect("write BENCH json");
+        eprintln!("wrote {path}");
+        return;
+    }
     for table in pas_bench::experiments::scaling::run() {
         table.print();
         println!();
     }
+    let points = pas_bench::experiments::scaling::yds_scaling(&[64, 128, 256, 512, 1024], 512);
+    pas_bench::experiments::scaling::yds_table(&points).print();
 }

@@ -97,14 +97,22 @@ pub fn run() -> Vec<CsvTable> {
 mod tests {
     #[test]
     fn overhead_monotone_toward_one() {
+        // Convexity only guarantees monotone overhead along *nested*
+        // ladders; uniform(k) ⊆ uniform(2k), so check the doubling
+        // subsequence (k=3 vs k=4, say, can go either way by a hair).
         let tables = super::run();
         let mut prev = f64::INFINITY;
+        let mut last = f64::INFINITY;
         for row in &tables[0].rows {
+            let k: usize = row[0].parse().unwrap();
             let overhead: f64 = row[1].parse().unwrap();
             assert!(overhead >= 1.0 - 1e-9, "{row:?}");
-            assert!(overhead <= prev + 1e-9, "{row:?}");
-            prev = overhead;
+            if k.is_power_of_two() {
+                assert!(overhead <= prev + 1e-9, "{row:?}");
+                prev = overhead;
+            }
+            last = overhead;
         }
-        assert!(prev < 1.01, "128 levels should be near-continuous: {prev}");
+        assert!(last < 1.01, "128 levels should be near-continuous: {last}");
     }
 }

@@ -27,7 +27,10 @@ pub fn run() -> Vec<CsvTable> {
     let steps = 600;
     for k in 0..=steps {
         let e = 6.0 + 15.0 * k as f64 / steps as f64;
-        fig1.push_row(vec![fmt(e), fmt(frontier.makespan(&model, e).expect("valid E"))]);
+        fig1.push_row(vec![
+            fmt(e),
+            fmt(frontier.makespan(&model, e).expect("valid E")),
+        ]);
         fig2.push_row(vec![
             fmt(e),
             fmt(frontier.makespan_derivative(&model, e).expect("valid E")),
@@ -40,10 +43,7 @@ pub fn run() -> Vec<CsvTable> {
         ]);
     }
 
-    let mut check = CsvTable::new(
-        "fig_checkpoints",
-        &["quantity", "paper", "measured"],
-    );
+    let mut check = CsvTable::new("fig_checkpoints", &["quantity", "paper", "measured"]);
     let bp = frontier.breakpoints();
     check.push_row(vec!["breakpoint_high".into(), "17".into(), fmt(bp[0])]);
     check.push_row(vec!["breakpoint_low".into(), "8".into(), fmt(bp[1])]);

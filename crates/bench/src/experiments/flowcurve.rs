@@ -13,8 +13,7 @@ use pas_workload::{generators, Instance};
 
 /// Produce the curve and residual tables.
 pub fn run() -> Vec<CsvTable> {
-    let instance =
-        Instance::equal_work(&[0.0, 0.0, 1.0], 1.0).expect("hardness instance");
+    let instance = Instance::equal_work(&[0.0, 0.0, 1.0], 1.0).expect("hardness instance");
 
     let mut curve_table = CsvTable::new(
         "flow_energy_curve",
@@ -22,20 +21,14 @@ pub fn run() -> Vec<CsvTable> {
     );
     let energies: Vec<f64> = (0..=120).map(|k| 5.0 + 10.0 * k as f64 / 120.0).collect();
     for pt in curve::tradeoff_curve(&instance, 3.0, &energies, 1e-10).expect("solvable") {
-        curve_table.push_row(vec![
-            fmt(pt.energy),
-            fmt(pt.flow),
-            fmt(pt.u),
-            pt.signature,
-        ]);
+        curve_table.push_row(vec![fmt(pt.energy), fmt(pt.flow), fmt(pt.u), pt.signature]);
     }
 
     let mut changes = CsvTable::new(
         "flow_configuration_changes",
         &["change_energy", "closed_form"],
     );
-    let found = curve::configuration_changes(&instance, 3.0, 5.0, 20.0, 1e-6)
-        .expect("solvable");
+    let found = curve::configuration_changes(&instance, 3.0, 5.0, 20.0, 1e-6).expect("solvable");
     let (lo, hi) = pas_core::flow::hardness::measured_boundary_window();
     for (e, want) in found.iter().zip([lo, hi]) {
         changes.push_row(vec![fmt(*e), fmt(want)]);

@@ -16,17 +16,17 @@ use pas_core::flow::hardness;
 
 /// Produce the witness tables.
 pub fn run() -> Vec<CsvTable> {
-    let mut witness = CsvTable::new(
-        "hardness_witness",
-        &["quantity", "value"],
-    );
+    let mut witness = CsvTable::new("hardness_witness", &["quantity", "value"]);
     let report = hardness::verify_witness(1e-12).expect("witness solvable");
     let (lo, hi) = hardness::measured_boundary_window();
     witness.push_row(vec!["verified_budget".into(), fmt(report.budget)]);
     witness.push_row(vec!["measured_window_lo".into(), fmt(lo)]);
     witness.push_row(vec!["measured_window_hi".into(), fmt(hi)]);
     witness.push_row(vec!["paper_window_lo".into(), "8.43 (paper approx)".into()]);
-    witness.push_row(vec!["paper_window_hi".into(), "11.54 (paper approx)".into()]);
+    witness.push_row(vec![
+        "paper_window_hi".into(),
+        "11.54 (paper approx)".into(),
+    ]);
     witness.push_row(vec!["sigma1".into(), fmt(report.solution.speeds[0])]);
     witness.push_row(vec!["sigma2".into(), fmt(report.solution.speeds[1])]);
     witness.push_row(vec!["sigma3".into(), fmt(report.solution.speeds[2])]);

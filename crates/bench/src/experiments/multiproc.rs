@@ -30,8 +30,7 @@ pub fn run() -> Vec<CsvTable> {
         let cyc = makespan::laptop(&inst, &model, 2, budget, 1e-11).expect("solvable");
         let mut best = f64::INFINITY;
         for a in all_assignments(inst.len(), 2) {
-            if let Ok(sol) = makespan::laptop_with_assignment(&inst, &model, &a, budget, 1e-11)
-            {
+            if let Ok(sol) = makespan::laptop_with_assignment(&inst, &model, &a, budget, 1e-11) {
                 best = best.min(sol.makespan);
             }
         }

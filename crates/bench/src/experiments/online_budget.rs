@@ -19,7 +19,14 @@ pub fn run() -> Vec<CsvTable> {
     let model = PolyPower::CUBE;
     let mut table = CsvTable::new(
         "online_budget_ratios",
-        &["workload", "seed", "policy", "ratio", "energy_used", "budget"],
+        &[
+            "workload",
+            "seed",
+            "policy",
+            "ratio",
+            "energy_used",
+            "budget",
+        ],
     );
     for seed in 0..5u64 {
         let workloads: Vec<(&str, Instance)> = vec![

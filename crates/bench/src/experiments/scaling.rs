@@ -1,5 +1,6 @@
 //! E4/E5: running-time scaling — IncMerge's linearity against the
-//! quadratic/cubic baselines.
+//! quadratic/cubic baselines — plus E19: the deadline-stack (YDS)
+//! timeline engine against the seed reference.
 //!
 //! Reproduces two prose claims: §3's "linear time once the jobs are
 //! sorted" (vs the §3.1 dynamic program) and §2's "our algorithm runs
@@ -7,10 +8,18 @@
 //! The table reports wall-clock seconds and the per-point growth factor;
 //! the shape to check is IncMerge ≈ ×2 per doubling, MoveRight ≈ ×4,
 //! DP ≈ ×8 (its feasibility scan makes the implementation cubic).
+//!
+//! E19 ([`yds_scaling`]) sweeps `yds()` (prefix-sum timeline engine)
+//! against `yds_reference()` (the seed `O(n⁴)` loop) on one uniform
+//! random family, recording seconds, the speedup, the YDS round count,
+//! and the energy agreement; `exp-scaling --bench-json` renders it as
+//! `BENCH_yds.json` so successive PRs accumulate a perf trajectory.
 
 use crate::harness::{fmt, time_min, CsvTable};
+use pas_core::deadline::{yds, yds_reference, DeadlineInstance};
 use pas_core::makespan::{dp, incmerge, moveright, Frontier};
 use pas_power::PolyPower;
+use pas_sim::metrics;
 use pas_workload::generators;
 
 /// Sweep sizes. DP is capped (cubic); MoveRight quadratic; IncMerge and
@@ -19,13 +28,7 @@ pub fn run() -> Vec<CsvTable> {
     let model = PolyPower::CUBE;
     let mut table = CsvTable::new(
         "scaling_makespan_solvers",
-        &[
-            "n",
-            "incmerge_s",
-            "frontier_build_s",
-            "moveright_s",
-            "dp_s",
-        ],
+        &["n", "incmerge_s", "frontier_build_s", "moveright_s", "dp_s"],
     );
     for &n in &[64usize, 128, 256, 512, 1024, 2048] {
         let instance = generators::uniform(n, n as f64, (0.2, 2.0), 42);
@@ -58,8 +61,182 @@ pub fn run() -> Vec<CsvTable> {
     vec![table]
 }
 
+/// One measured point of the YDS naive-vs-optimized sweep.
+#[derive(Debug, Clone)]
+pub struct YdsScalingPoint {
+    /// Instance size.
+    pub n: usize,
+    /// Optimized `yds()` seconds (min over repeats).
+    pub optimized_s: f64,
+    /// Repeats behind `optimized_s`.
+    pub optimized_repeats: usize,
+    /// Seed `yds_reference()` seconds (`None` when skipped as too slow).
+    pub reference_s: Option<f64>,
+    /// Repeats behind `reference_s`.
+    pub reference_repeats: Option<usize>,
+    /// YDS rounds on this instance (both engines run the same loop).
+    pub rounds: usize,
+    /// Relative energy gap |opt − ref| / ref under σ³ (`None` when the
+    /// reference was skipped).
+    pub energy_rel_gap: Option<f64>,
+}
+
+impl YdsScalingPoint {
+    /// reference / optimized, when both were measured.
+    pub fn speedup(&self) -> Option<f64> {
+        self.reference_s.map(|r| r / self.optimized_s)
+    }
+}
+
+/// The E19 instance family, shared with the criterion bench
+/// (`benches/bench_deadline.rs`) so both curves always describe the
+/// same instances.
+pub fn e19_instance(n: usize) -> DeadlineInstance {
+    DeadlineInstance::random(n, n as f64, (0.5, 6.0), (0.2, 3.0), 42)
+}
+
+/// `e19_instance` as a string, recorded in `BENCH_yds.json`.
+pub const E19_FAMILY: &str = "DeadlineInstance::random(n, n, (0.5, 6.0), (0.2, 3.0), 42)";
+
+/// Default reference cap for routine E19 runs: past this the `O(n⁴)`
+/// seed engine takes minutes per run.
+pub const E19_REFERENCE_CAP: usize = 512;
+
+/// E19: sweep the YDS engines over uniform random instances of the given
+/// sizes, measuring the reference only up to `reference_cap` (it is
+/// `O(n⁴)`; at n=2000 a single run is minutes). Both engines report the
+/// minimum over the same kind of repeat loop (repeat counts recorded per
+/// point) so the speedup column is apples-to-apples.
+pub fn yds_scaling(sizes: &[usize], reference_cap: usize) -> Vec<YdsScalingPoint> {
+    let model = PolyPower::CUBE;
+    sizes
+        .iter()
+        .map(|&n| {
+            let inst = e19_instance(n);
+            let optimized_repeats = if n <= 512 { 5 } else { 2 };
+            let (out, optimized_s) = time_min(optimized_repeats, || yds(&inst).expect("feasible"));
+            let rounds = out.rounds.len();
+            let (reference_s, reference_repeats, energy_rel_gap) = if n <= reference_cap {
+                let repeats = if n <= 512 { 3 } else { 1 };
+                let (ref_out, secs) = time_min(repeats, || yds_reference(&inst).expect("feasible"));
+                let e_opt = metrics::energy(&out.schedule, &model);
+                let e_ref = metrics::energy(&ref_out.schedule, &model);
+                (
+                    Some(secs),
+                    Some(repeats),
+                    Some((e_opt - e_ref).abs() / e_ref),
+                )
+            } else {
+                (None, None, None)
+            };
+            YdsScalingPoint {
+                n,
+                optimized_s,
+                optimized_repeats,
+                reference_s,
+                reference_repeats,
+                rounds,
+                energy_rel_gap,
+            }
+        })
+        .collect()
+}
+
+/// The default E19 sweep (reference measured at every point, n=2000
+/// included — the acceptance configuration; expect minutes of wall
+/// clock).
+pub fn yds_scaling_default() -> Vec<YdsScalingPoint> {
+    yds_scaling(&[64, 128, 256, 512, 1024, 2000], 2000)
+}
+
+/// Render E19 points as the `scaling_yds` CSV table.
+pub fn yds_table(points: &[YdsScalingPoint]) -> CsvTable {
+    let mut table = CsvTable::new(
+        "scaling_yds",
+        &[
+            "n",
+            "optimized_s",
+            "reference_s",
+            "speedup",
+            "rounds",
+            "energy_rel_gap",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.n.to_string(),
+            fmt(p.optimized_s),
+            p.reference_s.map(fmt).unwrap_or_default(),
+            p.speedup().map(|s| format!("{s:.2}")).unwrap_or_default(),
+            p.rounds.to_string(),
+            p.energy_rel_gap
+                .map(|g| format!("{g:.3e}"))
+                .unwrap_or_default(),
+        ]);
+    }
+    table
+}
+
+/// Render E19 points as the `BENCH_yds.json` document: a scaling curve
+/// plus the headline n=2000 speedup, consumed by future PRs as the perf
+/// trajectory baseline.
+pub fn yds_bench_json(points: &[YdsScalingPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"yds_timeline_engine\",\n");
+    out.push_str(&format!("  \"instance_family\": \"{E19_FAMILY}\",\n"));
+    out.push_str("  \"metric\": \"wall_seconds_min_over_repeats\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"optimized_s\": {:.6}, \"optimized_repeats\": {}, \"reference_s\": {}, \"reference_repeats\": {}, \"speedup\": {}, \"rounds\": {}, \"energy_rel_gap\": {}}}{}\n",
+            p.n,
+            p.optimized_s,
+            p.optimized_repeats,
+            p.reference_s
+                .map(|r| format!("{r:.6}"))
+                .unwrap_or_else(|| "null".to_string()),
+            p.reference_repeats
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            p.speedup()
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "null".to_string()),
+            p.rounds,
+            p.energy_rel_gap
+                .map(|g| format!("{g:.3e}"))
+                .unwrap_or_else(|| "null".to_string()),
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn yds_scaling_point_speedup_and_agreement() {
+        let points = super::yds_scaling(&[48, 96], 96);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.optimized_s >= 0.0 && p.rounds > 0);
+            assert!(p.speedup().unwrap() > 0.0);
+            assert!(
+                p.energy_rel_gap.unwrap() < 1e-9,
+                "gap {:?}",
+                p.energy_rel_gap
+            );
+        }
+        let table = super::yds_table(&points);
+        assert_eq!(table.rows.len(), 2);
+        let json = super::yds_bench_json(&points);
+        assert!(json.contains("\"bench\": \"yds_timeline_engine\""));
+        assert!(json.contains("\"n\": 48"));
+        // The reference cap turns missing measurements into nulls.
+        let capped = super::yds_scaling(&[48, 96], 48);
+        assert!(capped[1].reference_s.is_none());
+        assert!(super::yds_bench_json(&capped).contains("\"reference_s\": null"));
+    }
+
     #[test]
     fn scaling_smoke() {
         // Full run is for the binary; here make sure one small row works.

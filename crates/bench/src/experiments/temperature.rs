@@ -16,8 +16,8 @@ use pas_workload::Instance;
 
 /// Produce the temperature table.
 pub fn run() -> Vec<CsvTable> {
-    let instance = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)])
-        .expect("paper instance");
+    let instance =
+        Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).expect("paper instance");
     let model = PolyPower::CUBE;
     let mut table = CsvTable::new(
         "temperature_vs_energy",

@@ -1,8 +1,8 @@
 //! Shared experiment utilities: CSV tables, timing, parallel sweeps.
 
-use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// A named CSV table produced by an experiment.
@@ -78,28 +78,27 @@ pub fn time_min<T>(repeats: usize, mut f: impl FnMut() -> T) -> (T, f64) {
     (out.expect("repeats >= 1"), best)
 }
 
-/// Run `tasks` across `crossbeam` scoped threads (one per task, which is
-/// fine for the handful of coarse sweep points the experiments use) and
-/// collect results in input order.
+/// Run `tasks` across scoped threads (one per task, which is fine for
+/// the handful of coarse sweep points the experiments use) and collect
+/// results in input order.
 pub fn parallel_sweep<T: Send, I: Send + Sync>(
     inputs: &[I],
     f: impl Fn(&I) -> T + Send + Sync,
 ) -> Vec<T> {
-    let results: Mutex<Vec<Option<T>>> =
-        Mutex::new((0..inputs.len()).map(|_| None).collect());
-    crossbeam::scope(|scope| {
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..inputs.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
         for (k, input) in inputs.iter().enumerate() {
             let results = &results;
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let value = f(input);
-                results.lock()[k] = Some(value);
+                results.lock().expect("sweep threads do not panic")[k] = Some(value);
             });
         }
-    })
-    .expect("sweep threads do not panic");
+    });
     results
         .into_inner()
+        .expect("sweep threads do not panic")
         .into_iter()
         .map(|v| v.expect("every task completed"))
         .collect()

@@ -6,10 +6,23 @@
 //! AVR online. Yao et al. proved it `2^{α−1}·α^α`-competitive against
 //! the optimal (YDS) energy; experiment E12 measures the empirical
 //! ratio, which is far smaller on non-adversarial inputs.
+//!
+//! # Complexity
+//!
+//! The speed profile is piecewise constant with breakpoints only at
+//! releases and deadlines, so it is materialized once on the shared
+//! [`EventAxis`]: a density difference array at event ranks, prefix-summed
+//! into per-segment speeds (`O(n log n)`). Dispatch then walks the
+//! segments with a deadline-keyed [`BinaryHeap`] of released, unfinished
+//! jobs — `O(n log n)` overall, replacing the seed's `O(n)` profile
+//! evaluation × `O(n)` ready-scan per event (`O(n²)`–`O(n³)`).
 
 use crate::deadline::job::DeadlineInstance;
 use crate::error::CoreError;
+use pas_numeric::timeline::{EventAxis, TimeKey};
 use pas_sim::{Schedule, Slice};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Run AVR on `instance`, producing the executed schedule.
 ///
@@ -20,72 +33,70 @@ use pas_sim::{Schedule, Slice};
 pub fn avr(instance: &DeadlineInstance) -> Result<Schedule, CoreError> {
     let jobs = instance.jobs();
     let n = jobs.len();
-    // Event times: releases and deadlines.
-    let mut events: Vec<f64> = jobs
-        .iter()
-        .flat_map(|j| [j.release, j.deadline])
-        .collect();
-    events.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    events.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
+    // The AVR profile: density enters at the release rank, leaves at the
+    // deadline rank; segment speeds are the running prefix.
+    let axis = EventAxis::new(jobs.iter().flat_map(|j| [j.release, j.deadline]));
+    let mut delta = vec![0.0f64; axis.len()];
+    for j in jobs {
+        delta[axis.rank_of(j.release).expect("release is an event")] += j.density();
+        delta[axis.rank_of(j.deadline).expect("deadline is an event")] -= j.density();
+    }
+    // seg_speed[i] = profile speed on [time(i), time(i+1)).
+    let mut seg_speed = delta;
+    let mut running = 0.0f64;
+    for s in seg_speed.iter_mut() {
+        running += *s;
+        *s = running;
+    }
 
-    let profile_speed = |t: f64| -> f64 {
-        jobs.iter()
-            .filter(|j| j.release <= t + 1e-12 && t < j.deadline - 1e-12)
-            .map(|j| j.density())
-            .sum()
-    };
-
+    // Jobs are release-sorted (instance invariant); dispatch EDF over the
+    // segments with a deadline-keyed heap.
     let mut remaining: Vec<f64> = jobs.iter().map(|j| j.work).collect();
+    let mut heap: BinaryHeap<Reverse<TimeKey>> = BinaryHeap::with_capacity(n);
+    let mut next = 0usize;
     let mut slices = Vec::new();
-    let mut t = jobs[0].release;
-    let mut done = 0usize;
-    let mut guard = 10_000 * (n + 1);
-    while done < n {
-        guard -= 1;
-        if guard == 0 {
-            return Err(CoreError::VerificationFailed {
-                reason: "AVR: event budget exhausted".to_string(),
-            });
+    for (i, &speed) in seg_speed
+        .iter()
+        .enumerate()
+        .take(axis.len().saturating_sub(1))
+    {
+        let (start, end) = (axis.time(i), axis.time(i + 1));
+        let mut t = start;
+        while next < n && jobs[next].release <= t + 1e-12 {
+            heap.push(Reverse(TimeKey::new(jobs[next].deadline, next)));
+            next += 1;
         }
-        // Earliest-deadline ready job.
-        let ready = jobs
-            .iter()
-            .enumerate()
-            .filter(|(k, j)| remaining[*k] > 1e-12 && j.release <= t + 1e-12)
-            .min_by(|x, y| x.1.deadline.partial_cmp(&y.1.deadline).expect("finite"));
-        let next_event = events
-            .iter()
-            .copied()
-            .find(|&e| e > t + 1e-12)
-            .unwrap_or(f64::INFINITY);
-        match ready {
-            None => {
-                if !next_event.is_finite() {
-                    return Err(CoreError::VerificationFailed {
-                        reason: "AVR: stalled with jobs remaining".to_string(),
-                    });
-                }
-                t = next_event;
+        while t < end - 1e-12 {
+            let Some(&Reverse(top)) = heap.peek() else {
+                break; // idle until the next event
+            };
+            let k = top.index();
+            if speed <= 0.0 {
+                return Err(CoreError::VerificationFailed {
+                    reason: format!("AVR: zero speed at t={t} with ready work"),
+                });
             }
-            Some((k, job)) => {
-                let speed = profile_speed(t);
-                if speed <= 0.0 {
-                    return Err(CoreError::VerificationFailed {
-                        reason: format!("AVR: zero speed at t={t} with ready work"),
-                    });
-                }
-                let until = (t + remaining[k] / speed).min(next_event);
-                if until > t + 1e-12 {
-                    slices.push(Slice::new(job.id, t, until, speed));
-                    remaining[k] -= speed * (until - t);
-                }
-                if remaining[k] <= 1e-9 * job.work {
-                    remaining[k] = 0.0;
-                    done += 1;
-                }
-                t = until.max(t + 1e-12);
+            let until = (t + remaining[k] / speed).min(end);
+            if until <= t + 1e-12 {
+                // Numerical corner (leftover below time resolution):
+                // force progress.
+                remaining[k] = 0.0;
+                heap.pop();
+                continue;
             }
+            slices.push(Slice::new(jobs[k].id, t, until, speed));
+            remaining[k] -= speed * (until - t);
+            if remaining[k] <= 1e-9 * jobs[k].work {
+                remaining[k] = 0.0;
+                heap.pop();
+            }
+            t = until;
         }
+    }
+    if let Some(k) = remaining.iter().position(|&r| r > 1e-12) {
+        return Err(CoreError::VerificationFailed {
+            reason: format!("AVR: job {} stalled with work remaining", jobs[k].id),
+        });
     }
     let mut schedule = Schedule::from_slices(slices);
     schedule.coalesce(1e-9);
@@ -103,14 +114,11 @@ mod tests {
 
     #[test]
     fn single_job_equals_yds() {
-        let inst =
-            DeadlineInstance::new(vec![DeadlineJob::new(0, 0.0, 4.0, 8.0)]).unwrap();
+        let inst = DeadlineInstance::new(vec![DeadlineJob::new(0, 0.0, 4.0, 8.0)]).unwrap();
         let a = avr(&inst).unwrap();
         let y = yds(&inst).unwrap();
         let model = PolyPower::CUBE;
-        assert!(
-            (metrics::energy(&a, &model) - metrics::energy(&y.schedule, &model)).abs() < 1e-9
-        );
+        assert!((metrics::energy(&a, &model) - metrics::energy(&y.schedule, &model)).abs() < 1e-9);
     }
 
     #[test]

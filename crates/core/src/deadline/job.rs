@@ -78,7 +78,7 @@ impl DeadlineInstance {
                 reason: "duplicate deadline job id".to_string(),
             });
         }
-        jobs.sort_by(|a, b| a.release.partial_cmp(&b.release).expect("finite"));
+        jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
         Ok(DeadlineInstance { jobs })
     }
 
@@ -214,8 +214,7 @@ mod tests {
 
     #[test]
     fn schedule_validation() {
-        let inst =
-            DeadlineInstance::new(vec![DeadlineJob::new(0, 0.0, 2.0, 2.0)]).unwrap();
+        let inst = DeadlineInstance::new(vec![DeadlineJob::new(0, 0.0, 2.0, 2.0)]).unwrap();
         let good = Schedule::from_slices(vec![Slice::new(0, 0.0, 2.0, 1.0)]);
         inst.validate_schedule(&good, 1e-9).unwrap();
         let late = Schedule::from_slices(vec![Slice::new(0, 1.0, 3.0, 1.0)]);

@@ -18,6 +18,14 @@
 //!
 //! Experiment E12 measures the empirical competitive ratios against the
 //! analytic bounds.
+//!
+//! All three schedulers run on the shared
+//! [`timeline`](pas_numeric::timeline) substrate (compressed event axis,
+//! Fenwick work accumulator, sorted-disjoint interval set); see each
+//! module's complexity notes. [`yds_reference`] keeps the seed `O(n⁴)`
+//! implementation as the cross-checking oracle, and E19
+//! (`exp-scaling --bench-json`) records the naive-vs-optimized scaling
+//! curve to `BENCH_yds.json`.
 
 pub mod avr;
 pub mod job;
@@ -27,4 +35,4 @@ pub mod yds;
 pub use avr::avr;
 pub use job::{DeadlineInstance, DeadlineJob};
 pub use oa::oa;
-pub use yds::{yds, YdsOutcome, YdsRound};
+pub use yds::{yds, yds_reference, YdsOutcome, YdsRound};

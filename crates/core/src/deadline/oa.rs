@@ -12,10 +12,23 @@
 //! shrinks at exactly rate `s` — so an event-driven simulation is exact.
 //! Proposed by Yao, Demers, Shenker; Bansal, Kimbrel and Pruhs proved it
 //! `α^α`-competitive (the paper's §2 recounts both results).
+//!
+//! # Complexity
+//!
+//! Remaining work of released, unfinished jobs lives in a [`Fenwick`]
+//! accumulator keyed by deadline rank on the shared [`EventAxis`], so
+//! each event re-plans with `O(D log n)` prefix-sum queries (one per
+//! candidate deadline) instead of the seed's `O(D · n)` filter-and-sum,
+//! and the EDF pick comes from a deadline-keyed [`BinaryHeap`] instead of
+//! an `O(n)` ready-scan: `O(n · D log n)` overall, against the seed's
+//! `O(n² · D)`.
 
 use crate::deadline::job::DeadlineInstance;
 use crate::error::CoreError;
+use pas_numeric::timeline::{EventAxis, Fenwick, TimeKey};
 use pas_sim::{Schedule, Slice};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Run Optimal Available on `instance`.
 ///
@@ -25,9 +38,25 @@ use pas_sim::{Schedule, Slice};
 pub fn oa(instance: &DeadlineInstance) -> Result<Schedule, CoreError> {
     let jobs = instance.jobs();
     let n = jobs.len();
+    let deadlines = EventAxis::new(jobs.iter().map(|j| j.deadline));
+    let rank: Vec<usize> = jobs
+        .iter()
+        .map(|j| {
+            deadlines
+                .rank_of(j.deadline)
+                .expect("every deadline is on the axis")
+        })
+        .collect();
+    // Remaining work of released, unfinished jobs, keyed by deadline
+    // rank; prefix_sum(d + 1) = W_remaining(deadline ≤ time(d)).
+    let mut released_work = Fenwick::new(deadlines.len());
+    // Released, unfinished jobs, earliest deadline on top.
+    let mut heap: BinaryHeap<Reverse<TimeKey>> = BinaryHeap::with_capacity(n);
+
     let mut remaining: Vec<f64> = jobs.iter().map(|j| j.work).collect();
     let mut slices = Vec::new();
     let mut t = jobs[0].release;
+    let mut next = 0usize; // arrival pointer (jobs are release-sorted)
     let mut done = 0usize;
     let mut guard = 10_000 * (n + 1);
 
@@ -38,17 +67,14 @@ pub fn oa(instance: &DeadlineInstance) -> Result<Schedule, CoreError> {
                 reason: "OA: event budget exhausted".to_string(),
             });
         }
-        let next_release = jobs
-            .iter()
-            .map(|j| j.release)
-            .filter(|&r| r > t + 1e-12)
-            .fold(f64::INFINITY, f64::min);
+        while next < n && jobs[next].release <= t + 1e-12 {
+            heap.push(Reverse(TimeKey::new(jobs[next].deadline, next)));
+            released_work.add(rank[next], remaining[next]);
+            next += 1;
+        }
+        let next_release = jobs.get(next).map_or(f64::INFINITY, |j| j.release);
 
-        // Ready jobs (released, unfinished).
-        let ready: Vec<usize> = (0..n)
-            .filter(|&k| remaining[k] > 1e-12 && jobs[k].release <= t + 1e-12)
-            .collect();
-        if ready.is_empty() {
+        let Some(&Reverse(top)) = heap.peek() else {
             if !next_release.is_finite() {
                 return Err(CoreError::VerificationFailed {
                     reason: "OA: stalled with jobs remaining".to_string(),
@@ -56,21 +82,16 @@ pub fn oa(instance: &DeadlineInstance) -> Result<Schedule, CoreError> {
             }
             t = next_release;
             continue;
-        }
+        };
+        let k = top.index();
 
-        // OA speed: the max over deadlines of remaining-work density.
-        let mut deadlines: Vec<f64> = ready.iter().map(|&k| jobs[k].deadline).collect();
-        deadlines.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        deadlines.dedup();
+        // OA speed: the max over deadlines of remaining-work density,
+        // one prefix-sum query per candidate deadline.
         let mut speed = 0.0f64;
-        for &d in &deadlines {
-            let w: f64 = ready
-                .iter()
-                .filter(|&&k| jobs[k].deadline <= d + 1e-12)
-                .map(|&k| remaining[k])
-                .sum();
+        for di in deadlines.rank_below(t)..deadlines.len() {
+            let d = deadlines.time(di);
             if d > t {
-                speed = speed.max(w / (d - t));
+                speed = speed.max(released_work.prefix_sum(di + 1) / (d - t));
             }
         }
         if speed <= 0.0 {
@@ -80,22 +101,17 @@ pub fn oa(instance: &DeadlineInstance) -> Result<Schedule, CoreError> {
         }
 
         // EDF job at that speed until completion or next arrival.
-        let k = *ready
-            .iter()
-            .min_by(|&&a, &&b| {
-                jobs[a]
-                    .deadline
-                    .partial_cmp(&jobs[b].deadline)
-                    .expect("finite")
-            })
-            .expect("non-empty");
         let until = (t + remaining[k] / speed).min(next_release);
         if until > t + 1e-12 {
+            let executed = speed * (until - t);
             slices.push(Slice::new(jobs[k].id, t, until, speed));
-            remaining[k] -= speed * (until - t);
+            remaining[k] -= executed;
+            released_work.add(rank[k], -executed);
         }
         if remaining[k] <= 1e-9 * jobs[k].work {
+            released_work.add(rank[k], -remaining[k]);
             remaining[k] = 0.0;
+            heap.pop();
             done += 1;
         }
         t = until.max(t + 1e-12);
@@ -117,14 +133,11 @@ mod tests {
 
     #[test]
     fn single_job_is_optimal() {
-        let inst =
-            DeadlineInstance::new(vec![DeadlineJob::new(0, 0.0, 4.0, 8.0)]).unwrap();
+        let inst = DeadlineInstance::new(vec![DeadlineJob::new(0, 0.0, 4.0, 8.0)]).unwrap();
         let o = oa(&inst).unwrap();
         let y = yds(&inst).unwrap();
         let model = PolyPower::CUBE;
-        assert!(
-            (metrics::energy(&o, &model) - metrics::energy(&y.schedule, &model)).abs() < 1e-9
-        );
+        assert!((metrics::energy(&o, &model) - metrics::energy(&y.schedule, &model)).abs() < 1e-9);
     }
 
     #[test]

@@ -184,7 +184,10 @@ mod tests {
         let inst = paper_instance();
         let blocks = incmerge::laptop(&inst, &PolyPower::CUBE, 14.0).unwrap();
         let speeds: Vec<f64> = blocks.blocks().iter().map(|b| b.speed).collect();
-        assert!(speeds.iter().all(|&s| (0.8..=2.0).contains(&s)), "{speeds:?}");
+        assert!(
+            speeds.iter().all(|&s| (0.8..=2.0).contains(&s)),
+            "{speeds:?}"
+        );
         let ladder =
             DiscreteSpeeds::new(PolyPower::CUBE, pas_power::discrete::ATHLON64_GHZ.to_vec());
         let report = emulate(&blocks.to_schedule(&inst), &ladder).unwrap();
@@ -200,11 +203,8 @@ mod tests {
         let report = emulate(&sched, &ladder).unwrap();
         // Two-level emulation at most doubles slices: switches bounded.
         assert!(report.switches <= 2 * sched.machine(0).len());
-        let inflated =
-            metrics::makespan_with_switch_overhead(&report.schedule, 0.05, 1e-9);
+        let inflated = metrics::makespan_with_switch_overhead(&report.schedule, 0.05, 1e-9);
         assert!(inflated >= report.makespan);
-        assert!(
-            (inflated - report.makespan - 0.05 * report.switches as f64).abs() < 1e-9
-        );
+        assert!((inflated - report.makespan - 0.05 * report.switches as f64).abs() < 1e-9);
     }
 }

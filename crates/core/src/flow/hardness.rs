@@ -158,7 +158,7 @@ pub fn verify_witness_at(budget: f64, tol: f64) -> Result<WitnessReport, CoreErr
     let (nearest_root, root_distance) = roots
         .iter()
         .map(|&r| (r, (r - s2).abs()))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .unwrap_or((f64::NAN, f64::INFINITY));
 
     Ok(WitnessReport {
@@ -322,8 +322,16 @@ mod tests {
         let report = paper_budget_report(1e-12).unwrap();
         assert_eq!(report.signature, "PP");
         // σ1³:σ2³:σ3³ = 3:2:1 — expressible in radicals.
-        assert!((report.cube_ratios[0] - 3.0).abs() < 1e-6, "{:?}", report.cube_ratios);
-        assert!((report.cube_ratios[1] - 2.0).abs() < 1e-6, "{:?}", report.cube_ratios);
+        assert!(
+            (report.cube_ratios[0] - 3.0).abs() < 1e-6,
+            "{:?}",
+            report.cube_ratios
+        );
+        assert!(
+            (report.cube_ratios[1] - 2.0).abs() < 1e-6,
+            "{:?}",
+            report.cube_ratios
+        );
         // The boundary critical point exists but has strictly larger flow.
         let boundary = report.boundary_flow.expect("root near 1.96 exists");
         assert!(

@@ -6,8 +6,8 @@
 //! point of the (convex) flow-minimization program and therefore globally
 //! optimal for its energy level.
 
-use pas_numeric::compare::is_positive_finite;
 use crate::error::CoreError;
+use pas_numeric::compare::is_positive_finite;
 use pas_workload::Instance;
 
 /// The three-way case split of Theorem 1 at each job boundary.

@@ -13,9 +13,9 @@
 //! server problem to any tolerance — which Theorem 8 shows is the best
 //! achievable by any algorithm over `(+,−,×,÷,ᵏ√)`.
 
-use pas_numeric::compare::is_positive_finite;
 use crate::error::CoreError;
 use crate::flow::kkt::{self, KktReport};
+use pas_numeric::compare::is_positive_finite;
 use pas_numeric::roots::invert_monotone;
 use pas_numeric::NeumaierSum;
 use pas_power::{PolyPower, PowerModel};

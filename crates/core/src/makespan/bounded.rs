@@ -20,9 +20,9 @@
 //! once a minimum speed exists, which is why these functions return a
 //! [`Schedule`] rather than a [`BlockSchedule`](crate::makespan::blocks::BlockSchedule).
 
-use pas_numeric::compare::is_positive_finite;
 use crate::error::CoreError;
 use crate::makespan::incmerge;
+use pas_numeric::compare::is_positive_finite;
 use pas_numeric::roots::invert_monotone;
 use pas_power::{BoundedPower, PowerModel};
 use pas_sim::{metrics, Schedule, Slice};
@@ -119,9 +119,7 @@ pub fn laptop_bounded<M: PowerModel>(
     let floor_energy = model.energy(instance.total_work(), bounded.min_speed());
     if budget < floor_energy * (1.0 - 1e-12) {
         return Err(CoreError::UnreachableTarget {
-            reason: format!(
-                "budget {budget} below the minimum-speed floor {floor_energy}"
-            ),
+            reason: format!("budget {budget} below the minimum-speed floor {floor_energy}"),
         });
     }
 
@@ -147,13 +145,7 @@ pub fn laptop_bounded<M: PowerModel>(
             .unwrap_or(f64::INFINITY)
     };
     let span = (instance.last_release() - instance.first_release()).max(1.0);
-    let x = invert_monotone(
-        |x| -energy_at(x),
-        -budget,
-        span,
-        0.0,
-        budget * 1e-12,
-    )?;
+    let x = invert_monotone(|x| -energy_at(x), -budget, span, 0.0, budget * 1e-12)?;
     server_bounded(instance, bounded, t_min + x)
 }
 

@@ -17,9 +17,9 @@
 //! its release), which can leave budget unspent for some splits — those
 //! splits are simply dominated.
 
-use pas_numeric::compare::is_positive_finite;
 use crate::error::CoreError;
 use crate::makespan::blocks::{Block, BlockSchedule};
+use pas_numeric::compare::is_positive_finite;
 use pas_power::PowerModel;
 use pas_workload::Instance;
 

@@ -114,8 +114,7 @@ pub fn server_exact(
         start: Rational,
         window_end: Rational,
     }
-    let speed_of =
-        |s: &Seg| exact_fit_speed(s.work, s.start, s.window_end);
+    let speed_of = |s: &Seg| exact_fit_speed(s.work, s.start, s.window_end);
     let mut stack: Vec<Seg> = Vec::with_capacity(n);
     for (k, job) in jobs.iter().enumerate() {
         stack.push(Seg {
@@ -133,8 +132,8 @@ pub fn server_exact(
             let top_speed = speed_of(&stack[stack.len() - 1]);
             let prev_speed = speed_of(&stack[stack.len() - 2]);
             let must_merge = match (top_speed, prev_speed) {
-                (_, None) => true,          // predecessor infinite: absorb
-                (None, Some(_)) => false,   // top infinite: it is faster
+                (_, None) => true,        // predecessor infinite: absorb
+                (None, Some(_)) => false, // top infinite: it is faster
                 (Some(t), Some(p)) => t < p,
             };
             if must_merge {
@@ -238,8 +237,7 @@ pub fn breakpoints_exact(jobs: &[ExactJob], alpha: u32) -> Result<Vec<Rational>,
     for k in (1..=stack.len()).rev() {
         let pred = &stack[k - 1];
         if let Some(pred_speed) = speed_of(pred) {
-            let merge_energy =
-                prefix_energies[k] + energy(last_work, pred_speed, alpha);
+            let merge_energy = prefix_energies[k] + energy(last_work, pred_speed, alpha);
             breakpoints.push(merge_energy);
         }
         last_work = last_work + pred.work;
@@ -333,13 +331,8 @@ mod tests {
                 work: r(2, 1),
             },
         ];
-        let inst = Instance::from_pairs(&[
-            (0.0, 3.5),
-            (3.0, 5.0 / 3.0),
-            (4.5, 1.0),
-            (6.0, 2.0),
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_pairs(&[(0.0, 3.5), (3.0, 5.0 / 3.0), (4.5, 1.0), (6.0, 2.0)]).unwrap();
         let exact = breakpoints_exact(&jobs, 3).unwrap();
         let float = Frontier::build(&inst, &PolyPower::new(3.0)).breakpoints();
         assert_eq!(exact.len(), float.len());

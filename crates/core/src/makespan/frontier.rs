@@ -305,8 +305,7 @@ impl Frontier {
         let seg = self.segment_for_energy(e)?;
         let sigma = model.speed_for_block(seg.last_work, e - seg.prefix_energy)?;
         let denom = model.power_derivative(sigma) * sigma - model.power(sigma);
-        Ok(model.power_second_derivative(sigma) * sigma.powi(3)
-            / (seg.last_work * denom.powi(3)))
+        Ok(model.power_second_derivative(sigma) * sigma.powi(3) / (seg.last_work * denom.powi(3)))
     }
 
     /// Sample `(energy, makespan)` at `points` energies evenly spaced in
@@ -334,7 +333,7 @@ impl Frontier {
                 .into_iter()
                 .filter(|e| *e > lo && *e < hi),
         );
-        energies.sort_by(|a, b| a.partial_cmp(b).expect("finite energies"));
+        energies.sort_by(|a, b| a.total_cmp(b));
         energies.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         energies
             .into_iter()

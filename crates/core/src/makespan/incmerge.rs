@@ -10,9 +10,9 @@
 //! the remaining energy budget. Each job ceases to be the head of a block
 //! at most once, so the whole run is `O(n)` after sorting.
 
-use pas_numeric::compare::is_positive_finite;
 use crate::error::CoreError;
 use crate::makespan::blocks::{Block, BlockSchedule};
+use pas_numeric::compare::is_positive_finite;
 use pas_power::PowerModel;
 use pas_workload::Instance;
 

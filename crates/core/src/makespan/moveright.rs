@@ -126,8 +126,7 @@ mod tests {
             let mr = server_moveright(&inst, &model, t).unwrap();
             let im = incmerge::server(&inst, &model, t).unwrap();
             assert!(
-                (mr.energy(&model) - im.energy(&model)).abs()
-                    < 1e-9 * im.energy(&model).max(1.0),
+                (mr.energy(&model) - im.energy(&model)).abs() < 1e-9 * im.energy(&model).max(1.0),
                 "T={t}"
             );
             assert_eq!(mr.blocks().len(), im.blocks().len(), "T={t}");

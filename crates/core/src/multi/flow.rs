@@ -9,10 +9,10 @@
 //! is strictly increasing in `u`, so the outer budget search is a
 //! bracketed inversion, exactly as in the uniprocessor case.
 
-use pas_numeric::compare::is_positive_finite;
 use crate::error::CoreError;
 use crate::flow::solver::solve_for_u;
 use crate::multi::cyclic::{cyclic_assignment, split_instance};
+use pas_numeric::compare::is_positive_finite;
 use pas_numeric::roots::invert_monotone;
 use pas_sim::{Schedule, Slice};
 use pas_workload::Instance;
@@ -250,14 +250,8 @@ mod tests {
         let budget = 8.0;
         let cyclic = laptop(&inst, 3.0, 2, budget, 1e-10).unwrap();
         // Non-cyclic: job 1 leads the pair instead of sitting alone.
-        let swapped = laptop_with_assignment(
-            &inst,
-            3.0,
-            &[vec![1, 2], vec![0]],
-            budget,
-            1e-10,
-        )
-        .unwrap();
+        let swapped =
+            laptop_with_assignment(&inst, 3.0, &[vec![1, 2], vec![0]], budget, 1e-10).unwrap();
         let mut weights: HashMap<u32, f64> = HashMap::new();
         weights.insert(1, 100.0);
         let wf_cyc = metrics::weighted_flow(&cyclic.schedule, &inst, &weights);

@@ -9,10 +9,10 @@
 //! exact up to floating-point tolerance (the per-piece algebra is closed
 //! form; only the outer equalization is iterative).
 
-use pas_numeric::compare::is_positive_finite;
 use crate::error::CoreError;
 use crate::makespan::frontier::Frontier;
 use crate::multi::cyclic::{cyclic_assignment, split_instance};
+use pas_numeric::compare::is_positive_finite;
 use pas_numeric::roots::invert_monotone;
 use pas_power::PowerModel;
 use pas_sim::Schedule;
@@ -49,7 +49,13 @@ pub fn laptop<M: PowerModel>(
     if !instance.is_equal_work(1e-9) {
         return Err(CoreError::NotEqualWork);
     }
-    laptop_with_assignment(instance, model, &cyclic_assignment(instance.len(), m), budget, tol)
+    laptop_with_assignment(
+        instance,
+        model,
+        &cyclic_assignment(instance.len(), m),
+        budget,
+        tol,
+    )
 }
 
 /// Solve the laptop problem for an explicit assignment (any works).
@@ -217,8 +223,7 @@ mod tests {
     #[test]
     fn processors_finish_simultaneously() {
         // Paper Observation 1: all machines end at the common makespan.
-        let inst =
-            Instance::equal_work(&[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 7.0], 1.0).unwrap();
+        let inst = Instance::equal_work(&[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 7.0], 1.0).unwrap();
         let sol = laptop(&inst, &PolyPower::CUBE, 3, 30.0, 1e-12).unwrap();
         sol.schedule.validate(&inst, 1e-7).unwrap();
         for lane in sol.schedule.machines() {

@@ -27,8 +27,8 @@
 
 pub mod cyclic;
 pub mod flow;
-pub mod parallel;
 pub mod makespan;
+pub mod parallel;
 pub mod partition;
 
 pub use cyclic::cyclic_assignment;

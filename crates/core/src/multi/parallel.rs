@@ -3,7 +3,7 @@
 //! Theorem 11 makes exact multiprocessor makespan exponential, so the
 //! exact solver's constant factor matters for the experiment sizes. This
 //! module parallelizes [`crate::multi::partition::min_norm_assignment`]
-//! across the first branching level with `crossbeam` scoped threads:
+//! across the first branching level with `std::thread` scoped threads:
 //! each worker explores the subtree in which job 0 (heaviest) is pinned
 //! to one processor, and all workers share the incumbent best norm
 //! through a lock-free `AtomicU64` (f64 bits, monotone-decreasing via
@@ -13,8 +13,8 @@
 //! exactly (both find the true optimum); the labelling may differ among
 //! norm-ties, so tests compare norms, not labels.
 
-use crossbeam::thread;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
 
 /// Shared incumbent: best norm found so far, stored as f64 bits.
 ///
@@ -72,7 +72,7 @@ pub fn min_norm_assignment_parallel(works: &[f64], m: usize, alpha: f64) -> (Vec
     }
     // Sort jobs descending, as in the sequential solver.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| works[b].partial_cmp(&works[a]).expect("finite works"));
+    order.sort_by(|&a, &b| works[b].total_cmp(&works[a]));
     let sorted: Vec<f64> = order.iter().map(|&i| works[i]).collect();
     let suffix: Vec<f64> = {
         let mut s = vec![0.0; n + 1];
@@ -97,7 +97,7 @@ pub fn min_norm_assignment_parallel(works: &[f64], m: usize, alpha: f64) -> (Vec
                 let sorted = &sorted;
                 let suffix = &suffix;
                 let best = &best;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut loads = vec![0.0f64; m];
                     let mut labels = vec![0usize; n];
                     loads[0] += sorted[0];
@@ -125,12 +125,11 @@ pub fn min_norm_assignment_parallel(works: &[f64], m: usize, alpha: f64) -> (Vec
             .into_iter()
             .map(|h| h.join().expect("worker does not panic"))
             .collect::<Vec<_>>()
-    })
-    .expect("scope does not panic");
+    });
 
     let (norm, labels_sorted) = results
         .into_iter()
-        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite norms"))
+        .min_by(|a, b| a.0.total_cmp(&b.0))
         .expect("at least one branch");
 
     // Map labels back to original job order.
@@ -194,7 +193,7 @@ fn explore(
 /// The same divisible-relaxation lower bound as the sequential solver.
 fn waterfill_bound(loads: &[f64], rest: f64, alpha: f64) -> f64 {
     let mut ls = loads.to_vec();
-    ls.sort_by(|a, b| a.partial_cmp(b).expect("finite loads"));
+    ls.sort_by(|a, b| a.total_cmp(b));
     let m = ls.len();
     let mut r = rest;
     let mut level = ls[0];

@@ -116,7 +116,7 @@ pub fn min_norm_assignment(works: &[f64], m: usize, alpha: f64) -> (Vec<usize>, 
     let n = works.len();
     // Sort jobs descending (classic B&B ordering), remember positions.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| works[b].partial_cmp(&works[a]).expect("finite works"));
+    order.sort_by(|&a, &b| works[b].total_cmp(&works[a]));
     let sorted: Vec<f64> = order.iter().map(|&i| works[i]).collect();
     let suffix_work: Vec<f64> = {
         let mut s = vec![0.0; n + 1];
@@ -136,7 +136,7 @@ pub fn min_norm_assignment(works: &[f64], m: usize, alpha: f64) -> (Vec<usize>, 
     // possible final norm, so it never prunes the true optimum.
     fn bound(loads: &[f64], rest: f64, alpha: f64) -> f64 {
         let mut ls = loads.to_vec();
-        ls.sort_by(|a, b| a.partial_cmp(b).expect("finite loads"));
+        ls.sort_by(|a, b| a.total_cmp(b));
         let m = ls.len();
         let mut r = rest;
         let mut level = ls[0];
@@ -230,7 +230,7 @@ pub fn lpt_assignment(works: &[f64], m: usize, alpha: f64) -> (Vec<usize>, f64) 
     assert!(m > 0, "need at least one processor");
     let n = works.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| works[b].partial_cmp(&works[a]).expect("finite works"));
+    order.sort_by(|&a, &b| works[b].total_cmp(&works[a]));
     let mut loads = vec![0.0f64; m];
     let mut labels = vec![0usize; n];
     for &i in &order {
@@ -238,7 +238,7 @@ pub fn lpt_assignment(works: &[f64], m: usize, alpha: f64) -> (Vec<usize>, f64) 
             .iter()
             .enumerate()
             .map(|(p, &l)| (p, (l + works[i]).powf(alpha) - l.powf(alpha)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("m > 0");
         labels[i] = p;
         loads[p] += works[i];
@@ -260,8 +260,7 @@ pub fn local_search(
     for i in 0..n {
         loads[labels[i]] += works[i];
     }
-    let norm =
-        |loads: &[f64]| -> f64 { loads.iter().map(|l| l.powf(alpha)).sum() };
+    let norm = |loads: &[f64]| -> f64 { loads.iter().map(|l| l.powf(alpha)).sum() };
     let mut current = norm(&loads);
     loop {
         let mut improved = false;

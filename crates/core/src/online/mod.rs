@@ -165,8 +165,8 @@ impl<M: PowerModel> OnlinePolicy for AdaptiveRate<M> {
         let elapsed = (now - self.first_arrival.unwrap_or(now)).max(1e-9);
         // Extrapolated total outstanding work if arrivals continue at the
         // observed average rate for `horizon` more time.
-        let projected = self.seen_work * (1.0 + self.horizon / elapsed)
-            - (self.seen_work - backlog);
+        let projected =
+            self.seen_work * (1.0 + self.horizon / elapsed) - (self.seen_work - backlog);
         let share = (backlog / projected.max(backlog)).clamp(0.0, 1.0);
         let committed = share * (self.budget - energy_spent).max(0.0);
         let speed = self
@@ -255,11 +255,10 @@ pub fn compare_online<M: PowerModel>(
     budget: f64,
     policy: &mut dyn OnlinePolicy,
 ) -> Result<OnlineReport, CoreError> {
-    let outcome = run_online(instance, model, policy).map_err(|e| {
-        CoreError::VerificationFailed {
+    let outcome =
+        run_online(instance, model, policy).map_err(|e| CoreError::VerificationFailed {
             reason: format!("online simulation failed: {e}"),
-        }
-    })?;
+        })?;
     outcome
         .schedule
         .validate(instance, 1e-6)
@@ -335,8 +334,7 @@ mod tests {
         // Hedged and clairvoyant policies stay within a small constant
         // of offline OPT on this instance.
         let mut hedged = FractionalSpend::new(model, budget, 0.6);
-        let mut constant =
-            ConstantSpeed::for_budget(&model, inst.total_work(), budget).unwrap();
+        let mut constant = ConstantSpeed::for_budget(&model, inst.total_work(), budget).unwrap();
         for policy in [&mut hedged as &mut dyn OnlinePolicy, &mut constant] {
             let report = compare_online(&inst, &model, budget, policy).unwrap();
             assert!(
@@ -394,7 +392,11 @@ mod tests {
             let budget = 1.5 * inst.total_work();
             let mut policy = AdaptiveRate::new(model, budget, 10.0);
             let report = compare_online(&inst, &model, budget, &mut policy).unwrap();
-            assert!(report.within_budget, "seed {seed}: energy {}", report.energy);
+            assert!(
+                report.within_budget,
+                "seed {seed}: energy {}",
+                report.energy
+            );
             assert!(
                 report.ratio >= 1.0 - 1e-9 && report.ratio < 50.0,
                 "seed {seed}: ratio {}",

@@ -26,8 +26,8 @@
 //!   optimum; the experiment table (E16) records measured ratios to the
 //!   lower bounds.
 
-use pas_numeric::compare::is_positive_finite;
 use crate::error::CoreError;
+use pas_numeric::compare::is_positive_finite;
 use pas_power::PowerModel;
 use pas_sim::{metrics, Schedule, Slice};
 
@@ -302,7 +302,7 @@ fn graham_unit_speed(instance: &DagInstance, m: usize) -> Vec<(usize, f64, f64)>
             .iter()
             .enumerate()
             .map(|(k, &free)| (k, free.max(pred_done)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("m > 0");
         let end = start + instance.works[v];
         placement[v] = (best_machine, start, end);
@@ -363,8 +363,11 @@ mod tests {
         //   1     2
         //    \   /
         //      3
-        DagInstance::new(vec![1.0, 2.0, 3.0, 1.0], vec![(0, 1), (0, 2), (1, 3), (2, 3)])
-            .unwrap()
+        DagInstance::new(
+            vec![1.0, 2.0, 3.0, 1.0],
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        .unwrap()
     }
 
     #[test]

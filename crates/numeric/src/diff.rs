@@ -17,9 +17,7 @@ pub fn derivative(mut f: impl FnMut(f64) -> f64, x: f64, h: f64) -> f64 {
 
 /// Central-difference second derivative with one Richardson step.
 pub fn second_derivative(mut f: impl FnMut(f64) -> f64, x: f64, h: f64) -> f64 {
-    let d2 = |f: &mut dyn FnMut(f64) -> f64, h: f64| {
-        (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h)
-    };
+    let d2 = |f: &mut dyn FnMut(f64) -> f64, h: f64| (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
     let d_h = d2(&mut f, h);
     let d_h2 = d2(&mut f, h / 2.0);
     (4.0 * d_h2 - d_h) / 3.0

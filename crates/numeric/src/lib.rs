@@ -26,6 +26,10 @@
 //! * **Sturm chains** ([`sturm`]) — certified real-root counting, used
 //!   to prove the Theorem-8 root inventory complete.
 //! * **Comparisons** ([`compare`]) — absolute/relative tolerance helpers.
+//! * **Timeline engine** ([`timeline`]) — coordinate-compressed event
+//!   axis, Fenwick prefix-sum accumulator, and a sorted-disjoint interval
+//!   set. The shared substrate for the deadline stack's critical-interval
+//!   queries (YDS/AVR/OA) and any other sweep over job windows.
 //!
 //! The toolkit deliberately restricts itself to field operations and root
 //! extraction plus iteration: Theorem 8 shows exact flow optimization is
@@ -43,6 +47,7 @@ pub mod rational;
 pub mod roots;
 pub mod sturm;
 pub mod sum;
+pub mod timeline;
 
 pub use compare::{approx_eq, approx_eq_abs, approx_eq_rel};
 pub use poly::Polynomial;
@@ -50,3 +55,4 @@ pub use rational::Rational;
 pub use roots::{bisect, find_decreasing_root, invert_monotone, newton_bisect, Bracket, RootError};
 pub use sturm::SturmChain;
 pub use sum::NeumaierSum;
+pub use timeline::{EventAxis, Fenwick, IntervalSet, TimeKey};

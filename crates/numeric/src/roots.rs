@@ -301,14 +301,7 @@ mod tests {
     #[test]
     fn newton_bisect_quadratic_convergence_on_cubic() {
         // x^3 = 9 (the kind of α-root solve PolyPower does).
-        let r = newton_bisect(
-            |x| (x * x * x - 9.0, 3.0 * x * x),
-            0.0,
-            9.0,
-            1e-15,
-            0.0,
-        )
-        .unwrap();
+        let r = newton_bisect(|x| (x * x * x - 9.0, 3.0 * x * x), 0.0, 9.0, 1e-15, 0.0).unwrap();
         assert!((r - 9f64.powf(1.0 / 3.0)).abs() < 1e-12);
     }
 

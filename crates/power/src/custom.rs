@@ -104,8 +104,7 @@ mod tests {
     #[test]
     fn mixed_polynomial_curve() {
         // P(σ) = σ² + σ⁴ — convex sum, passes, solves blocks.
-        let m =
-            CustomPower::new_audited("mixed", |s: f64| s * s + s.powi(4), 8.0).unwrap();
+        let m = CustomPower::new_audited("mixed", |s: f64| s * s + s.powi(4), 8.0).unwrap();
         let speed = m.speed_for_block(2.0, 10.0).unwrap();
         // Energy per work at that speed is 5: σ + σ³ = 5 -> σ ≈ 1.5159.
         assert!((m.energy_per_work(speed) - 5.0).abs() < 1e-8);

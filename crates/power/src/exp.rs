@@ -104,10 +104,7 @@ mod tests {
         // g's range is (ln 2, ∞): only e > ln 2 ≈ 0.693 is reachable.
         for &e in &[0.7, 1.0, 5.0, 300.0] {
             let s = m.speed_for_energy_per_work(e).unwrap();
-            assert!(
-                (m.energy_per_work(s) - e).abs() / e < 1e-9,
-                "e={e}, s={s}"
-            );
+            assert!((m.energy_per_work(s) - e).abs() / e < 1e-9, "e={e}, s={s}");
         }
     }
 

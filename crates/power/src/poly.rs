@@ -166,8 +166,7 @@ mod tests {
         assert_eq!(m.power_derivative(0.0), 0.0);
         // P'' = 6σ for σ³.
         assert_eq!(m.power_second_derivative(2.0), 12.0);
-        let numeric =
-            pas_numeric::diff::second_derivative(|s| m.power(s), 2.0, 1e-4);
+        let numeric = pas_numeric::diff::second_derivative(|s| m.power(s), 2.0, 1e-4);
         assert!((m.power_second_derivative(2.0) - numeric).abs() < 1e-5);
     }
 

@@ -59,11 +59,7 @@ pub fn total_flow(schedule: &Schedule, instance: &Instance) -> f64 {
 /// Weighted total flow `Σ_i w_i (C_i − r_i)` — the paper's §5 example of
 /// a metric that is *not* symmetric, so Theorem 10's cyclic assignment
 /// does not apply to it. `weights` maps job id to weight (default 1).
-pub fn weighted_flow(
-    schedule: &Schedule,
-    instance: &Instance,
-    weights: &HashMap<u32, f64>,
-) -> f64 {
+pub fn weighted_flow(schedule: &Schedule, instance: &Instance, weights: &HashMap<u32, f64>) -> f64 {
     let completions = schedule.completion_times();
     let mut acc = NeumaierSum::new();
     for job in instance.jobs() {
@@ -223,10 +219,7 @@ mod tests {
     fn weighted_flow_defaults_to_unit_weights() {
         let (inst, sched) = paper_setup();
         let unweighted = total_flow(&sched, &inst);
-        assert_eq!(
-            weighted_flow(&sched, &inst, &HashMap::new()),
-            unweighted
-        );
+        assert_eq!(weighted_flow(&sched, &inst, &HashMap::new()), unweighted);
         let mut weights = HashMap::new();
         weights.insert(0u32, 2.0);
         let wf = weighted_flow(&sched, &inst, &weights);

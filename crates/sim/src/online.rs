@@ -226,12 +226,7 @@ mod tests {
     struct FixedSpeed(f64);
 
     impl OnlinePolicy for FixedSpeed {
-        fn decide(
-            &mut self,
-            _now: f64,
-            ready: &[PendingJob],
-            _energy: f64,
-        ) -> Option<Decision> {
+        fn decide(&mut self, _now: f64, ready: &[PendingJob], _energy: f64) -> Option<Decision> {
             ready.first().map(|p| Decision {
                 job: p.id,
                 speed: self.0,

@@ -75,10 +75,7 @@ impl std::fmt::Display for ScheduleError {
                 job,
                 start,
                 release,
-            } => write!(
-                f,
-                "job {job} starts at {start} before release {release}"
-            ),
+            } => write!(f, "job {job} starts at {start} before release {release}"),
             ScheduleError::UnknownJob { job } => write!(f, "unknown job id {job}"),
             ScheduleError::WorkMismatch {
                 job,
@@ -130,7 +127,7 @@ impl Schedule {
     /// Build a single-processor schedule directly from slices (sorted by
     /// the caller or not — they are sorted here).
     pub fn from_slices(mut slices: Vec<Slice>) -> Self {
-        slices.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+        slices.sort_by(|a, b| a.start.total_cmp(&b.start));
         Schedule {
             machines: vec![slices],
         }
@@ -162,7 +159,7 @@ impl Schedule {
             None => lane.push(slice),
             _ => {
                 lane.push(slice);
-                lane.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+                lane.sort_by(|a, b| a.start.total_cmp(&b.start));
             }
         }
     }
@@ -255,11 +252,8 @@ impl Schedule {
         if self.machines.is_empty() {
             return Err(ScheduleError::NoMachines);
         }
-        let releases: HashMap<u32, f64> = instance
-            .jobs()
-            .iter()
-            .map(|j| (j.id, j.release))
-            .collect();
+        let releases: HashMap<u32, f64> =
+            instance.jobs().iter().map(|j| (j.id, j.release)).collect();
         let works: HashMap<u32, f64> = instance.jobs().iter().map(|j| (j.id, j.work)).collect();
 
         let mut done: HashMap<u32, f64> = HashMap::new();
@@ -268,10 +262,16 @@ impl Schedule {
         for (m, lane) in self.machines.iter().enumerate() {
             for (k, s) in lane.iter().enumerate() {
                 if !s.is_valid() {
-                    return Err(ScheduleError::InvalidSlice { machine: m, index: k });
+                    return Err(ScheduleError::InvalidSlice {
+                        machine: m,
+                        index: k,
+                    });
                 }
                 if k > 0 && s.start < lane[k - 1].end - tol {
-                    return Err(ScheduleError::Overlap { machine: m, index: k });
+                    return Err(ScheduleError::Overlap {
+                        machine: m,
+                        index: k,
+                    });
                 }
                 let Some(&release) = releases.get(&s.job) else {
                     return Err(ScheduleError::UnknownJob { job: s.job });
@@ -284,9 +284,7 @@ impl Schedule {
                     });
                 }
                 match home_machine.insert(s.job, m) {
-                    Some(prev) if prev != m => {
-                        return Err(ScheduleError::Migration { job: s.job })
-                    }
+                    Some(prev) if prev != m => return Err(ScheduleError::Migration { job: s.job }),
                     _ => {}
                 }
                 *done.entry(s.job).or_insert(0.0) += s.work();

@@ -94,7 +94,10 @@ pub fn bursty(
     seed: u64,
 ) -> Instance {
     assert!(bursts > 0 && per_burst > 0, "counts must be positive");
-    assert!(gap >= 0.0 && spread >= 0.0, "durations must be non-negative");
+    assert!(
+        gap >= 0.0 && spread >= 0.0,
+        "durations must be non-negative"
+    );
     assert!(
         work_range.0 > 0.0 && work_range.1 >= work_range.0,
         "work range must be positive and ordered"

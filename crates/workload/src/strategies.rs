@@ -13,11 +13,7 @@ use proptest::prelude::*;
 
 /// Strategy for a single valid job with the given id.
 fn job_with_id(id: u32) -> impl Strategy<Value = Job> {
-    ((0.0..100.0f64), (0.01..10.0f64)).prop_map(move |(release, work)| Job {
-        id,
-        release,
-        work,
-    })
+    ((0.0..100.0f64), (0.01..10.0f64)).prop_map(move |(release, work)| Job { id, release, work })
 }
 
 /// Arbitrary valid instance with `1..=max_jobs` jobs.
@@ -37,9 +33,8 @@ pub fn instances(max_jobs: usize) -> impl Strategy<Value = Instance> {
 /// Arbitrary equal-work instance with `1..=max_jobs` jobs (work in
 /// `[0.1, 5]`, shared by all jobs).
 pub fn equal_work_instances(max_jobs: usize) -> impl Strategy<Value = Instance> {
-    (vec(0.0..100.0f64, 1..=max_jobs), 0.1..5.0f64).prop_map(|(releases, work)| {
-        Instance::equal_work(&releases, work).expect("valid releases")
-    })
+    (vec(0.0..100.0f64, 1..=max_jobs), 0.1..5.0f64)
+        .prop_map(|(releases, work)| Instance::equal_work(&releases, work).expect("valid releases"))
 }
 
 /// Arbitrary all-released-immediately instance (the Theorem 11 family).

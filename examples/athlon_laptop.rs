@@ -20,8 +20,8 @@ use power_aware_scheduling::prelude::*;
 use power_aware_scheduling::sim::render_ascii;
 
 fn main() -> Result<(), CoreError> {
-    let instance = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)])
-        .expect("paper instance");
+    let instance =
+        Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).expect("paper instance");
     let model = PolyPower::CUBE;
     // A budget whose continuous optimum uses speeds within [0.8, 2.0]:
     let budget = 14.0;

@@ -53,7 +53,11 @@ fn main() -> Result<(), CoreError> {
     let witness = multi::partition::partition_witness(&values);
     println!(
         "  works {values:?} (B = {b}): perfect split {}",
-        if witness.is_some() { "EXISTS" } else { "does not exist" }
+        if witness.is_some() {
+            "EXISTS"
+        } else {
+            "does not exist"
+        }
     );
     let works: Vec<f64> = values.iter().map(|&v| v as f64).collect();
     let (labels, norm) = multi::partition::min_norm_assignment(&works, 2, alpha);

@@ -37,7 +37,11 @@ fn main() -> Result<(), CoreError> {
             Box::new(FractionalSpend::new(model, budget, 0.3)),
             Box::new(FractionalSpend::new(model, budget, 0.6)),
             Box::new(AdaptiveRate::new(model, budget, 10.0)),
-            Box::new(ConstantSpeed::for_budget(&model, instance.total_work(), budget)?),
+            Box::new(ConstantSpeed::for_budget(
+                &model,
+                instance.total_work(),
+                budget,
+            )?),
         ];
         for policy in policies.iter_mut() {
             let report = compare_online(&instance, &model, budget, policy.as_mut())?;

@@ -10,8 +10,7 @@
 use power_aware_scheduling::prelude::*;
 
 fn main() -> Result<(), CoreError> {
-    let instance = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)])
-        .expect("valid jobs");
+    let instance = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).expect("valid jobs");
     let model = PolyPower::CUBE;
     let frontier = Frontier::build(&instance, &model);
 

@@ -11,8 +11,7 @@ use power_aware_scheduling::prelude::*;
 fn main() -> Result<(), CoreError> {
     // The §3.2 instance: (release, work) pairs. Instances sort by
     // release automatically and ids map back to input order.
-    let instance = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)])
-        .expect("valid jobs");
+    let instance = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).expect("valid jobs");
     let model = PolyPower::CUBE;
 
     println!("== Laptop problem (fix energy, minimize makespan) ==");

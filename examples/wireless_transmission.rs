@@ -17,14 +17,9 @@ use power_aware_scheduling::prelude::*;
 
 fn main() -> Result<(), CoreError> {
     // Packets arriving at a transmitter: (arrival time, bits·scale).
-    let packets = Instance::from_pairs(&[
-        (0.0, 3.0),
-        (1.0, 1.5),
-        (1.2, 2.0),
-        (4.0, 4.0),
-        (6.5, 1.0),
-    ])
-    .expect("valid packets");
+    let packets =
+        Instance::from_pairs(&[(0.0, 3.0), (1.0, 1.5), (1.2, 2.0), (4.0, 4.0), (6.5, 1.0)])
+            .expect("valid packets");
     let radio = ExpPower::shannon(); // P(rate) = 2^rate − 1
 
     println!("== Server problem: drain the queue by a deadline ==");

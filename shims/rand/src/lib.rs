@@ -1,0 +1,225 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the *small* slice of `rand` 0.8 it actually uses: a seedable
+//! deterministic RNG ([`rngs::StdRng`], here SplitMix64), the
+//! [`distributions::Uniform`] distribution over `f64` and integer types,
+//! and [`Rng::gen_bool`]. Streams are reproducible per seed (which is all
+//! the workspace relies on) but do **not** match upstream `rand` output.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a reproducible RNG from a seed.
+pub trait SeedableRng: Sized {
+    /// Build the RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods layered on [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform `f64` in `[0, 1)` (53 random bits).
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.gen_f64() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// The RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seeded RNG (SplitMix64 core).
+    ///
+    /// Passes through every 64-bit state exactly once; more than adequate
+    /// statistical quality for workload generation and tests.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Distributions over sampleable types.
+pub mod distributions {
+    use super::{Rng, RngCore};
+
+    /// A distribution producing values of type `T`.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+    }
+
+    /// Types with a native uniform sampler.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Sample uniformly from `[low, high)` (`inclusive = false`) or
+        /// `[low, high]` (`inclusive = true`).
+        fn sample_uniform<R: RngCore>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_uniform<R: RngCore>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+            let u = if inclusive {
+                // 53-bit resolution over the closed unit interval.
+                (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64
+            } else {
+                rng.gen_f64()
+            };
+            low + u * (high - low)
+        }
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let hi = if inclusive { high } else { high - 1 };
+                    let span = (hi - low) as u64 + 1;
+                    // Multiply-shift bounded sampling (Lemire); the tiny
+                    // residual bias is irrelevant for test workloads.
+                    let x = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    low + x as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_int!(u64, u32, usize);
+
+    /// Uniform distribution over `[low, high)` or `[low, high]`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+        inclusive: bool,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over the half-open range `[low, high)`.
+        ///
+        /// # Panics
+        /// If `low >= high`.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new requires low < high");
+            Uniform {
+                low,
+                high,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over the closed range `[low, high]`.
+        ///
+        /// # Panics
+        /// If `low > high`.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+            Uniform {
+                low,
+                high,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T {
+            T::sample_uniform(rng, self.low, self.high, self.inclusive)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn reproducible_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let u = Uniform::new_inclusive(0.0, 1.0);
+        let xs: Vec<f64> = (0..8).map(|_| u.sample(&mut a)).collect();
+        let ys: Vec<f64> = (0..8).map(|_| u.sample(&mut b)).collect();
+        let zs: Vec<f64> = (0..8).map(|_| u.sample(&mut c)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniform_f64_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let u = Uniform::new(2.0, 5.0);
+        for _ in 0..10_000 {
+            let x = u.sample(&mut rng);
+            assert!((2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_f64_mean_is_central() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let u = Uniform::new_inclusive(0.0, 1.0);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| u.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_ints_cover_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = Uniform::new_inclusive(1u64, 4u64);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let x = u.sample(&mut rng);
+            assert!((1..=4).contains(&x));
+            seen[x as usize] = true;
+        }
+        assert!(seen[1..].iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Supports exactly the shapes this workspace uses:
+//!
+//! * plain structs with named fields — serialized as a JSON object with
+//!   one entry per field, in declaration order;
+//! * the container attribute `#[serde(try_from = "T", into = "T")]` —
+//!   serialization converts through `Into<T>` (cloning `self`),
+//!   deserialization through `TryFrom<T>`, so invariant-carrying types
+//!   re-validate on the way in.
+//!
+//! Parsing is done directly on the `proc_macro::TokenStream` (no
+//! `syn`/`quote` available offline); unsupported shapes panic at compile
+//! time with a clear message rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive learned about the annotated struct.
+struct StructInfo {
+    name: String,
+    /// `(field, type)` pairs in declaration order (empty when proxying).
+    fields: Vec<(String, String)>,
+    /// `try_from = "T"` proxy type, if present.
+    try_from: Option<String>,
+    /// `into = "T"` proxy type, if present.
+    into: Option<String>,
+}
+
+/// Pull a `key = "value"` assignment out of a `#[serde(...)]` body.
+fn attr_value(body: &str, key: &str) -> Option<String> {
+    let idx = body.find(key)?;
+    let rest = &body[idx + key.len()..];
+    let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Parse the derive input: attributes, struct name, named fields.
+fn parse_struct(input: TokenStream) -> StructInfo {
+    let mut tokens = input.into_iter().peekable();
+    let mut try_from = None;
+    let mut into = None;
+    let mut name = None;
+
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: the next tree is a bracketed group.
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    let body = g.stream().to_string();
+                    if let Some(rest) = body.strip_prefix("serde") {
+                        try_from = try_from.or_else(|| attr_value(rest, "try_from"));
+                        into = into.or_else(|| attr_value(rest, "into"));
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("serde shim derive: expected struct name, got {other:?}"),
+                }
+                break;
+            }
+            // Visibility, `pub(crate)` groups, doc attrs already handled.
+            _ => {}
+        }
+    }
+    let name = name.expect("serde shim derive: only structs are supported");
+
+    // Find the brace-delimited field list (skipping generics, which this
+    // shim does not support).
+    let mut fields = Vec::new();
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde shim derive: generic structs are not supported")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                fields = parse_fields(g.stream());
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break, // unit struct
+            _ => {}
+        }
+    }
+
+    StructInfo {
+        name,
+        fields,
+        try_from,
+        into,
+    }
+}
+
+/// Parse `vis? name: Type,` items from a brace group's stream.
+fn parse_fields(stream: TokenStream) -> Vec<(String, String)> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next(); // the bracketed attribute body
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // Possible `pub(crate)` scope group.
+                    if let Some(TokenTree::Group(_)) = tokens.peek() {
+                        tokens.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    panic!("serde shim derive: unexpected token {other} in field list")
+                }
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        // Collect the type until a comma at angle-bracket depth zero.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(tt) => {
+                    if let TokenTree::Punct(p) = tt {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    ty.push_str(&tt.to_string());
+                    ty.push(' ');
+                    tokens.next();
+                }
+            }
+        }
+        fields.push((name, ty.trim().to_string()));
+    }
+}
+
+/// `#[derive(Serialize)]` — see the crate docs for supported shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let info = parse_struct(input);
+    let name = &info.name;
+    let body = if let Some(proxy) = &info.into {
+        format!(
+            "let proxy: {proxy} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&proxy)"
+        )
+    } else {
+        let entries: Vec<String> = info
+            .fields
+            .iter()
+            .map(|(f, _)| {
+                format!(
+                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                )
+            })
+            .collect();
+        format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` — see the crate docs for supported shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let info = parse_struct(input);
+    let name = &info.name;
+    let body = if let Some(proxy) = &info.try_from {
+        format!(
+            "let proxy: {proxy} = ::serde::Deserialize::from_value(value)?;\n\
+             ::core::convert::TryFrom::try_from(proxy)\n\
+                 .map_err(|e| ::serde::Error::custom(&::std::format!(\"{{e}}\")))"
+        )
+    } else {
+        let inits: Vec<String> = info
+            .fields
+            .iter()
+            .map(|(f, _)| format!("{f}: ::serde::field(entries, \"{f}\")?"))
+            .collect();
+        format!(
+            "let entries = value.as_obj().ok_or_else(|| ::serde::Error::custom(\"expected an object\"))?;\n\
+             ::core::result::Result::Ok({name} {{ {} }})",
+            inits.join(", ")
+        )
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl parses")
+}

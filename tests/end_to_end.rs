@@ -147,7 +147,11 @@ fn discrete_emulation_pipeline() {
         assert!(report.timing_exact, "seed {seed}");
         report.schedule.validate(&instance, 1e-6).unwrap();
         assert!(report.overhead >= 1.0 - 1e-12, "seed {seed}");
-        assert!(report.overhead < 1.05, "seed {seed}: overhead {}", report.overhead);
+        assert!(
+            report.overhead < 1.05,
+            "seed {seed}: overhead {}",
+            report.overhead
+        );
     }
 }
 

@@ -46,8 +46,14 @@ fn figure1_breakpoints_exact() {
     let frontier = Frontier::build(&paper_instance(), &PolyPower::CUBE);
     let bp = frontier.breakpoints();
     assert_eq!(bp.len(), 2);
-    assert!((bp[0] - 17.0).abs() < 1e-9, "paper: configuration change at 17");
-    assert!((bp[1] - 8.0).abs() < 1e-9, "paper: configuration change at 8");
+    assert!(
+        (bp[0] - 17.0).abs() < 1e-9,
+        "paper: configuration change at 17"
+    );
+    assert!(
+        (bp[1] - 8.0).abs() < 1e-9,
+        "paper: configuration change at 8"
+    );
 }
 
 #[test]
@@ -76,7 +82,11 @@ fn figure3_second_derivative_jumps() {
     let cases = [
         // (energy, left value, right value)
         (8.0, 3.0 / 32.0, 0.25),
-        (17.0, 9.0 * 3f64.sqrt() / (4.0 * 12f64.powf(2.5)), 3.0 / 128.0),
+        (
+            17.0,
+            9.0 * 3f64.sqrt() / (4.0 * 12f64.powf(2.5)),
+            3.0 / 128.0,
+        ),
     ];
     for (e, left, right) in cases {
         let l = frontier.makespan_second_derivative(&model, e - h).unwrap();

@@ -51,7 +51,10 @@ fn theorem8_paper_budget_discrepancy_is_stable() {
     // The measured window brackets the verified budget.
     let (lo, hi) = hardness::measured_boundary_window();
     assert!(lo < hardness::VERIFIED_BUDGET && hardness::VERIFIED_BUDGET < hi);
-    assert!(hardness::PAPER_BUDGET < lo, "E=9 lies below the measured window");
+    assert!(
+        hardness::PAPER_BUDGET < lo,
+        "E=9 lies below the measured window"
+    );
 }
 
 #[test]

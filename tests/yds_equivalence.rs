@@ -1,0 +1,140 @@
+//! Equivalence oracle for the optimized YDS timeline engine.
+//!
+//! `yds()` (prefix-sum sweep + interval set + heap EDF) must produce the
+//! same optimal energy as `yds_reference()` (the seed `O(n⁴)`
+//! implementation, kept verbatim) on every instance family — uniform
+//! random, clustered releases (many jobs sharing exact release times,
+//! stressing coordinate compression), and nested windows (maximally many
+//! YDS rounds, stressing the blocked-interval bookkeeping). Both
+//! schedules must also independently satisfy every deadline.
+
+use power_aware_scheduling::deadline::{yds, yds_reference, DeadlineInstance, DeadlineJob};
+use power_aware_scheduling::prelude::*;
+use power_aware_scheduling::sim::metrics;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Relative energy agreement required between the two engines.
+const ENERGY_TOL: f64 = 1e-9;
+
+fn check_equivalence(inst: &DeadlineInstance, label: &str) {
+    let fast = yds(inst).unwrap_or_else(|e| panic!("{label}: optimized yds failed: {e}"));
+    let slow = yds_reference(inst).unwrap_or_else(|e| panic!("{label}: reference yds failed: {e}"));
+    inst.validate_schedule(&fast.schedule, 1e-6)
+        .unwrap_or_else(|e| panic!("{label}: optimized schedule infeasible: {e}"));
+    inst.validate_schedule(&slow.schedule, 1e-6)
+        .unwrap_or_else(|e| panic!("{label}: reference schedule infeasible: {e}"));
+    for model in [PolyPower::new(2.0), PolyPower::CUBE] {
+        let e_fast = metrics::energy(&fast.schedule, &model);
+        let e_slow = metrics::energy(&slow.schedule, &model);
+        assert!(
+            (e_fast - e_slow).abs() <= ENERGY_TOL * e_slow.max(1.0),
+            "{label}: optimized energy {e_fast} vs reference {e_slow}"
+        );
+    }
+    // Both run the YDS loop, so round densities are non-increasing and
+    // the first (peak) densities agree.
+    for pair in fast.rounds.windows(2) {
+        assert!(
+            pair[0].density >= pair[1].density - 1e-9,
+            "{label}: optimized densities increased"
+        );
+    }
+    let d_fast = fast.rounds[0].density;
+    let d_slow = slow.rounds[0].density;
+    assert!(
+        (d_fast - d_slow).abs() <= 1e-9 * d_slow.max(1.0),
+        "{label}: peak density {d_fast} vs {d_slow}"
+    );
+}
+
+/// Clustered releases: `clusters` groups of jobs sharing *exactly* the
+/// same release time — the adversarial case for coordinate compression
+/// (ties everywhere) and for the reference's `O(n)` containment filter.
+fn clustered_instance(n: usize, clusters: usize, span: f64, seed: u64) -> DeadlineInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cluster_of = Uniform::new(0usize, clusters);
+    let window = Uniform::new_inclusive(0.4, 5.0);
+    let work = Uniform::new_inclusive(0.2, 2.5);
+    let starts: Vec<f64> = (0..clusters)
+        .map(|c| c as f64 * span / clusters as f64)
+        .collect();
+    let jobs = (0..n)
+        .map(|i| {
+            let r = starts[cluster_of.sample(&mut rng)];
+            DeadlineJob::new(
+                i as u32,
+                r,
+                r + window.sample(&mut rng),
+                work.sample(&mut rng),
+            )
+        })
+        .collect();
+    DeadlineInstance::new(jobs).expect("clustered jobs are valid")
+}
+
+/// Nested windows: job `i`'s window strictly contains job `i+1`'s, so
+/// every job can land in its own YDS round — the maximal-round-count
+/// stress for the blocked-interval set.
+fn nested_instance(n: usize, seed: u64) -> DeadlineInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shrink = Uniform::new_inclusive(0.05, 0.45);
+    let work = Uniform::new_inclusive(0.1, 1.0);
+    let mut lo = 0.0f64;
+    let mut hi = 4.0 * n as f64;
+    let jobs = (0..n)
+        .map(|i| {
+            let job = DeadlineJob::new(i as u32, lo, hi, work.sample(&mut rng));
+            let width = hi - lo;
+            lo += shrink.sample(&mut rng) * width;
+            hi -= shrink.sample(&mut rng) * width;
+            job
+        })
+        .collect();
+    DeadlineInstance::new(jobs).expect("nested jobs are valid")
+}
+
+#[test]
+fn uniform_random_instances_agree() {
+    for seed in 0..30 {
+        let inst = DeadlineInstance::random(24, 22.0, (0.5, 6.0), (0.2, 3.0), seed);
+        check_equivalence(&inst, &format!("uniform seed {seed}"));
+    }
+}
+
+#[test]
+fn clustered_release_instances_agree() {
+    for seed in 0..15 {
+        let inst = clustered_instance(30, 4, 25.0, seed);
+        check_equivalence(&inst, &format!("clustered seed {seed}"));
+    }
+}
+
+#[test]
+fn nested_window_instances_agree() {
+    for seed in 0..10 {
+        let inst = nested_instance(16, seed);
+        check_equivalence(&inst, &format!("nested seed {seed}"));
+    }
+}
+
+#[test]
+fn sparse_and_dense_extremes_agree() {
+    // Widely separated jobs (every round trivial) and one shared window
+    // (a single round) — the two degenerate ends of the round spectrum.
+    let sparse = DeadlineInstance::new(
+        (0..12)
+            .map(|i| DeadlineJob::new(i, 10.0 * f64::from(i), 10.0 * f64::from(i) + 1.0, 1.0))
+            .collect(),
+    )
+    .unwrap();
+    check_equivalence(&sparse, "sparse");
+    let dense = DeadlineInstance::new(
+        (0..12)
+            .map(|i| DeadlineJob::new(i, 0.0, 6.0, 0.5))
+            .collect(),
+    )
+    .unwrap();
+    check_equivalence(&dense, "dense");
+}
