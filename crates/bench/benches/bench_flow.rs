@@ -1,25 +1,57 @@
-//! Criterion benches for the §4 flow solver (experiments E6–E8).
+//! Criterion benches for the §4 flow solver (experiments E6–E8, E20).
 //!
-//! Measures the inner Theorem-1 fixed point and the full laptop solve
-//! (outer bisection included) as `n` grows, plus the Theorem-8 witness
-//! verification at several tolerances.
+//! Measures the block-decomposition engine against the damped
+//! fixed-point reference on the shared E20 family (`solve_for_u` and the
+//! full laptop solve), the marginal cost of a warm-started curve point
+//! vs a cold one, and the Theorem-8 witness verification at several
+//! tolerances.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pas_core::flow::{hardness, solver};
-use pas_workload::generators;
+use pas_bench::experiments::scaling::e20_instance;
+use pas_core::flow::solver::{self, FlowWorkspace};
+use pas_core::flow::{curve, hardness};
 use std::hint::black_box;
 
 fn bench_flow_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("flow");
     group.sample_size(20);
-    for &n in &[16usize, 64, 256] {
-        let instance = generators::equal_work_poisson(n, 1.0, 1.0, 42);
+    for &n in &[16usize, 64, 256, 1024] {
+        let instance = e20_instance(n);
         let budget = 2.0 * instance.total_work();
         group.bench_with_input(BenchmarkId::new("solve_for_u", n), &n, |b, _| {
             b.iter(|| solver::solve_for_u(black_box(&instance), 3.0, 1.0).unwrap())
         });
+        if n <= 256 {
+            group.bench_with_input(BenchmarkId::new("solve_for_u_reference", n), &n, |b, _| {
+                b.iter(|| solver::solve_for_u_reference(black_box(&instance), 3.0, 1.0).unwrap())
+            });
+        }
         group.bench_with_input(BenchmarkId::new("laptop", n), &n, |b, _| {
             b.iter(|| solver::laptop(black_box(&instance), 3.0, budget, 1e-9).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_curve_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_curve");
+    group.sample_size(10);
+    for &n in &[64usize, 256] {
+        let instance = e20_instance(n);
+        let w = instance.total_work();
+        let energies: Vec<f64> = (0..40).map(|k| w * (0.5 + 3.5 * k as f64 / 39.0)).collect();
+        // The full warm-started sweep (workspace + neighbour seeds)...
+        group.bench_with_input(BenchmarkId::new("sweep_warm", n), &n, |b, _| {
+            b.iter(|| curve::tradeoff_curve(black_box(&instance), 3.0, &energies, 1e-9).unwrap())
+        });
+        // ...vs the same energies each solved cold.
+        group.bench_with_input(BenchmarkId::new("sweep_cold", n), &n, |b, _| {
+            b.iter(|| {
+                let ws = FlowWorkspace::new(black_box(&instance), 3.0).unwrap();
+                for &e in &energies {
+                    ws.laptop(e, 1e-9, None).unwrap();
+                }
+            })
         });
     }
     group.finish();
@@ -38,5 +70,5 @@ fn bench_witness(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flow_solver, bench_witness);
+criterion_group!(benches, bench_flow_solver, bench_curve_sweep, bench_witness);
 criterion_main!(benches);

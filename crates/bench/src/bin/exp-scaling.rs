@@ -1,31 +1,81 @@
 //! Print the `scaling` experiment tables as CSV to stdout.
 //!
 //! Modes:
-//! * no args — the E4/E5 makespan-solver sweep plus a quick E19
-//!   (YDS naive-vs-optimized) sweep with the `O(n⁴)` reference capped at
-//!   n=512 so the run stays fast;
-//! * `--bench-json [PATH]` — the full E19 acceptance sweep (reference
-//!   measured through n=2000; expect several minutes) written as JSON to
-//!   `PATH` (default `BENCH_yds.json`), the perf-trajectory record
-//!   successive PRs compare against.
+//! * no args — the E4/E5 makespan-solver sweep plus quick E19 (YDS) and
+//!   E20 (flow) naive-vs-optimized sweeps with the references capped so
+//!   the run stays fast;
+//! * `--bench-json [DIR]` — the acceptance sweeps written as per-path
+//!   bench files `DIR/BENCH_yds.json` and `DIR/BENCH_flow.json`
+//!   (default `.`), the perf-trajectory records successive PRs compare
+//!   against. Expect tens of minutes: the YDS reference is `O(n⁴)`
+//!   through n=2000 and the flow reference curve is ~120 cold bisection
+//!   solves of an `O(iters·n)` engine at n=1000 — that cost is the
+//!   point;
+//! * `--bench-json --smoke [DIR]` — the same files from a seconds-scale
+//!   tier (small sizes, capped references), exercised in CI so the bench
+//!   plumbing can never rot;
+//! * `--only yds` / `--only flow` — restrict either mode to one path
+//!   (the other `BENCH_*.json` is left untouched).
+use pas_bench::experiments::scaling;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|p| args.get(p + 1))
+        .cloned();
+    if let Some(o) = only.as_deref() {
+        if o != "yds" && o != "flow" {
+            eprintln!("--only takes `yds` or `flow`, got `{o}`");
+            std::process::exit(2);
+        }
+    }
+    let run_yds = only.as_deref().is_none_or(|o| o == "yds");
+    let run_flow = only.as_deref().is_none_or(|o| o == "flow");
+
     if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
-        let path = args
+        let dir = args
             .get(pos + 1)
             .map(String::as_str)
-            .unwrap_or("BENCH_yds.json");
-        let points = pas_bench::experiments::scaling::yds_scaling_default();
-        pas_bench::experiments::scaling::yds_table(&points).print();
-        let json = pas_bench::experiments::scaling::yds_bench_json(&points);
-        std::fs::write(path, &json).expect("write BENCH json");
-        eprintln!("wrote {path}");
+            .filter(|a| !a.starts_with("--"))
+            .unwrap_or(".");
+        if run_yds {
+            let points = if smoke {
+                scaling::yds_scaling(&[64, 128], 128)
+            } else {
+                scaling::yds_scaling_default()
+            };
+            scaling::yds_table(&points).print();
+            let path = format!("{dir}/BENCH_yds.json");
+            std::fs::write(&path, scaling::yds_bench_json(&points)).expect("write BENCH json");
+            eprintln!("wrote {path}");
+        }
+        if run_flow {
+            let points = if smoke {
+                scaling::flow_scaling_smoke()
+            } else {
+                scaling::flow_scaling_default()
+            };
+            scaling::flow_table(&points).print();
+            let path = format!("{dir}/BENCH_flow.json");
+            std::fs::write(&path, scaling::flow_bench_json(&points)).expect("write BENCH json");
+            eprintln!("wrote {path}");
+        }
         return;
     }
-    for table in pas_bench::experiments::scaling::run() {
+    for table in scaling::run() {
         table.print();
         println!();
     }
-    let points = pas_bench::experiments::scaling::yds_scaling(&[64, 128, 256, 512, 1024], 512);
-    pas_bench::experiments::scaling::yds_table(&points).print();
+    if run_yds {
+        let points = scaling::yds_scaling(&[64, 128, 256, 512, 1024], 512);
+        scaling::yds_table(&points).print();
+        println!();
+    }
+    if run_flow {
+        let points = scaling::flow_scaling(&[64, 256, 1024], 40, 256);
+        scaling::flow_table(&points).print();
+    }
 }

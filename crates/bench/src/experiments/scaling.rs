@@ -1,6 +1,8 @@
 //! E4/E5: running-time scaling — IncMerge's linearity against the
 //! quadratic/cubic baselines — plus E19: the deadline-stack (YDS)
-//! timeline engine against the seed reference.
+//! timeline engine against the seed reference, and E20: the flow
+//! block-decomposition solver against the damped fixed-point reference
+//! (`BENCH_flow.json`).
 //!
 //! Reproduces two prose claims: §3's "linear time once the jobs are
 //! sorted" (vs the §3.1 dynamic program) and §2's "our algorithm runs
@@ -17,10 +19,13 @@
 
 use crate::harness::{fmt, time_min, CsvTable};
 use pas_core::deadline::{yds, yds_reference, DeadlineInstance};
+use pas_core::flow::curve::tradeoff_curve;
+use pas_core::flow::solver::{laptop_reference, solve_for_u, solve_for_u_reference};
 use pas_core::makespan::{dp, incmerge, moveright, Frontier};
 use pas_power::PolyPower;
 use pas_sim::metrics;
-use pas_workload::generators;
+use pas_workload::{generators, Instance};
+use std::time::Instant;
 
 /// Sweep sizes. DP is capped (cubic); MoveRight quadratic; IncMerge and
 /// the frontier run the full range.
@@ -211,8 +216,325 @@ pub fn yds_bench_json(points: &[YdsScalingPoint]) -> String {
     out
 }
 
+/// One measured point of the E20 flow naive-vs-block sweep.
+#[derive(Debug, Clone)]
+pub struct FlowScalingPoint {
+    /// Instance size.
+    pub n: usize,
+    /// Block-decomposition `solve_for_u` seconds (min over repeats).
+    pub solve_block_s: f64,
+    /// Reference fixed-point `solve_for_u` seconds (`None` past the cap).
+    pub solve_reference_s: Option<f64>,
+    /// Relative energy gap between the engines at the probe `u`.
+    pub solve_energy_rel_gap: Option<f64>,
+    /// Energies in the tradeoff-curve sweep below.
+    pub curve_points: usize,
+    /// Warm-started workspace `tradeoff_curve` seconds for the sweep.
+    pub curve_block_s: f64,
+    /// Cold `laptop_reference` seconds over the energies it solved
+    /// (`None` past cap).
+    pub curve_reference_s: Option<f64>,
+    /// How many of the energies `laptop_reference` solved.
+    pub curve_reference_ok: Option<usize>,
+    /// How many it failed (the damped fixed point stalls near some
+    /// configuration-change energies — a weakness of the reference
+    /// engine the bench records rather than hides).
+    pub curve_reference_failed: Option<usize>,
+    /// Per-curve-point block-vs-reference energy gap at the solved `u`
+    /// (`None` past the cap; inner `None` where the reference stalled).
+    pub curve_energy_rel_gaps: Option<Vec<Option<f64>>>,
+}
+
+impl FlowScalingPoint {
+    /// reference / block for the single `solve_for_u`.
+    pub fn solve_speedup(&self) -> Option<f64> {
+        self.solve_reference_s.map(|r| r / self.solve_block_s)
+    }
+
+    /// Per-energy reference seconds / per-energy block seconds — robust
+    /// to reference stalls, since each side is averaged over the points
+    /// it actually solved.
+    pub fn curve_speedup(&self) -> Option<f64> {
+        let ok = self.curve_reference_ok.filter(|&k| k > 0)? as f64;
+        let r = self.curve_reference_s?;
+        Some((r / ok) / (self.curve_block_s / self.curve_points as f64))
+    }
+
+    /// Worst per-point engine disagreement over the sweep (`None` when
+    /// the reference was capped out or solved no point at all — zero
+    /// comparisons must not read as perfect agreement).
+    pub fn curve_max_energy_rel_gap(&self) -> Option<f64> {
+        self.curve_energy_rel_gaps
+            .as_ref()?
+            .iter()
+            .flatten()
+            .copied()
+            .fold(None, |m: Option<f64>, g| Some(m.map_or(g, |m| m.max(g))))
+    }
+}
+
+/// The E20 instance family: the E7/E8 tradeoff-curve workload (equal-work
+/// jobs, Poisson releases at rate 1.5 — contact-heavy, so segment
+/// resolution is exercised) generalized from the 3-job hardness witness
+/// to `n` jobs. Shared with `benches/bench_flow.rs`.
+pub fn e20_instance(n: usize) -> Instance {
+    generators::equal_work_poisson(n, 1.5, 1.0, 42)
+}
+
+/// `e20_instance` as a string, recorded in `BENCH_flow.json`.
+pub const E20_FAMILY: &str = "generators::equal_work_poisson(n, 1.5, 1.0, 42)";
+
+/// Default reference cap: past this the fixed-point engine's curve sweep
+/// takes tens of minutes (each cold laptop is ~50 bisection steps of an
+/// `O(iters·n)` iteration).
+pub const E20_REFERENCE_CAP: usize = 1_000;
+
+/// The sweep's energy grid: `curve_points` energies spanning 0.5×W to
+/// 4×W on the instance (W = total work).
+fn e20_energies(instance: &Instance, curve_points: usize) -> Vec<f64> {
+    let w = instance.total_work();
+    (0..curve_points)
+        .map(|k| w * (0.5 + 3.5 * k as f64 / (curve_points - 1).max(1) as f64))
+        .collect()
+}
+
+/// E20: block-decomposition flow solver vs the damped fixed-point
+/// reference — one `solve_for_u` probe and one `curve_points`-point
+/// warm-started `tradeoff_curve` sweep per size, with the reference
+/// measured (and the per-point engine agreement recorded) up to
+/// `reference_cap`.
+pub fn flow_scaling(
+    sizes: &[usize],
+    curve_points: usize,
+    reference_cap: usize,
+) -> Vec<FlowScalingPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let inst = e20_instance(n);
+            let repeats = if n <= 1_000 { 5 } else { 2 };
+            let (block_sol, solve_block_s) =
+                time_min(repeats, || solve_for_u(&inst, 3.0, 1.0).expect("solvable"));
+            let (solve_reference_s, solve_energy_rel_gap) = if n <= reference_cap {
+                // One timed probe doubles as the does-it-converge check,
+                // so a stalling reference costs a single attempt.
+                let (probe, first_s) = time_min(1, || solve_for_u_reference(&inst, 3.0, 1.0));
+                match probe {
+                    Ok(ref_sol) => {
+                        let secs = if n <= 500 {
+                            let (_, more) = time_min(2, || {
+                                solve_for_u_reference(&inst, 3.0, 1.0).expect("convergent")
+                            });
+                            first_s.min(more)
+                        } else {
+                            first_s
+                        };
+                        (
+                            Some(secs),
+                            Some((block_sol.energy - ref_sol.energy).abs() / ref_sol.energy),
+                        )
+                    }
+                    Err(_) => (None, None),
+                }
+            } else {
+                (None, None)
+            };
+
+            let energies = e20_energies(&inst, curve_points);
+            let (curve, curve_block_s) = time_min(1, || {
+                tradeoff_curve(&inst, 3.0, &energies, 1e-10).expect("solvable")
+            });
+            let (curve_reference_s, curve_reference_ok, curve_reference_failed, gaps) =
+                if n <= reference_cap {
+                    let mut secs = 0.0;
+                    let mut ok = 0usize;
+                    let mut failed = 0usize;
+                    for &e in &energies {
+                        let t = Instant::now();
+                        match laptop_reference(&inst, 3.0, e, 1e-10) {
+                            Ok(_) => {
+                                secs += t.elapsed().as_secs_f64();
+                                ok += 1;
+                            }
+                            Err(_) => failed += 1,
+                        }
+                    }
+                    // Per-point engine agreement at each solved u; the
+                    // block side is the curve point itself (tradeoff_curve
+                    // already ran the block engine at exactly this u).
+                    let gaps = curve
+                        .iter()
+                        .map(|pt| {
+                            solve_for_u_reference(&inst, 3.0, pt.u)
+                                .ok()
+                                .map(|slow| (pt.energy - slow.energy).abs() / slow.energy)
+                        })
+                        .collect();
+                    (Some(secs), Some(ok), Some(failed), Some(gaps))
+                } else {
+                    (None, None, None, None)
+                };
+
+            FlowScalingPoint {
+                n,
+                solve_block_s,
+                solve_reference_s,
+                solve_energy_rel_gap,
+                curve_points,
+                curve_block_s,
+                curve_reference_s,
+                curve_reference_ok,
+                curve_reference_failed,
+                curve_energy_rel_gaps: gaps,
+            }
+        })
+        .collect()
+}
+
+/// The full E20 acceptance sweep: n through 10⁴, 120-point curves, the
+/// reference measured through n = 1000 (expect ~20 minutes — the
+/// reference curve alone is ~120 cold bisection solves of an
+/// `O(iters·n)` engine; that cost is the point).
+pub fn flow_scaling_default() -> Vec<FlowScalingPoint> {
+    flow_scaling(&[100, 300, 1_000, 3_000, 10_000], 120, E20_REFERENCE_CAP)
+}
+
+/// The smoke-tier E20 sweep: seconds, not minutes; exercised in CI.
+pub fn flow_scaling_smoke() -> Vec<FlowScalingPoint> {
+    flow_scaling(&[64, 256], 24, 256)
+}
+
+/// Render E20 points as the `scaling_flow` CSV table.
+pub fn flow_table(points: &[FlowScalingPoint]) -> CsvTable {
+    let mut table = CsvTable::new(
+        "scaling_flow",
+        &[
+            "n",
+            "solve_block_s",
+            "solve_reference_s",
+            "solve_speedup",
+            "curve_points",
+            "curve_block_s",
+            "curve_reference_s",
+            "curve_reference_ok",
+            "curve_reference_failed",
+            "curve_speedup",
+            "curve_max_energy_rel_gap",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.n.to_string(),
+            fmt(p.solve_block_s),
+            p.solve_reference_s.map(fmt).unwrap_or_default(),
+            p.solve_speedup()
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_default(),
+            p.curve_points.to_string(),
+            fmt(p.curve_block_s),
+            p.curve_reference_s.map(fmt).unwrap_or_default(),
+            p.curve_reference_ok
+                .map(|k| k.to_string())
+                .unwrap_or_default(),
+            p.curve_reference_failed
+                .map(|k| k.to_string())
+                .unwrap_or_default(),
+            p.curve_speedup()
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_default(),
+            p.curve_max_energy_rel_gap()
+                .map(|g| format!("{g:.3e}"))
+                .unwrap_or_default(),
+        ]);
+    }
+    table
+}
+
+/// Render E20 points as the `BENCH_flow.json` document — the flow path's
+/// perf-trajectory record, sibling to `BENCH_yds.json`.
+pub fn flow_bench_json(points: &[FlowScalingPoint]) -> String {
+    let opt = |v: Option<f64>| {
+        v.map(|x| format!("{x:.6}"))
+            .unwrap_or_else(|| "null".to_string())
+    };
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"flow_block_decomposition\",\n");
+    out.push_str(&format!("  \"instance_family\": \"{E20_FAMILY}\",\n"));
+    out.push_str("  \"metric\": \"wall_seconds_min_over_repeats\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let gaps = p
+            .curve_energy_rel_gaps
+            .as_ref()
+            .map(|g| {
+                let inner: Vec<String> = g
+                    .iter()
+                    .map(|x| {
+                        x.map(|x| format!("{x:.3e}"))
+                            .unwrap_or_else(|| "null".to_string())
+                    })
+                    .collect();
+                format!("[{}]", inner.join(", "))
+            })
+            .unwrap_or_else(|| "null".to_string());
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"solve_block_s\": {:.6}, \"solve_reference_s\": {}, \"solve_speedup\": {}, \"solve_energy_rel_gap\": {}, \"curve_points\": {}, \"curve_block_s\": {:.6}, \"curve_reference_s\": {}, \"curve_reference_ok\": {}, \"curve_reference_failed\": {}, \"curve_speedup\": {}, \"curve_max_energy_rel_gap\": {}, \"curve_energy_rel_gaps\": {}}}{}\n",
+            p.n,
+            p.solve_block_s,
+            opt(p.solve_reference_s),
+            p.solve_speedup()
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "null".to_string()),
+            p.solve_energy_rel_gap
+                .map(|g| format!("{g:.3e}"))
+                .unwrap_or_else(|| "null".to_string()),
+            p.curve_points,
+            p.curve_block_s,
+            opt(p.curve_reference_s),
+            p.curve_reference_ok
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            p.curve_reference_failed
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            p.curve_speedup()
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "null".to_string()),
+            p.curve_max_energy_rel_gap()
+                .map(|g| format!("{g:.3e}"))
+                .unwrap_or_else(|| "null".to_string()),
+            gaps,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn flow_scaling_point_speedup_and_agreement() {
+        let points = super::flow_scaling(&[32, 64], 8, 32);
+        assert_eq!(points.len(), 2);
+        let capped = &points[0];
+        assert!(capped.solve_speedup().unwrap() > 0.0);
+        assert!(capped.curve_speedup().unwrap() > 0.0);
+        assert!(
+            capped.curve_max_energy_rel_gap().unwrap() < 1e-9,
+            "gap {:?}",
+            capped.curve_max_energy_rel_gap()
+        );
+        assert_eq!(capped.curve_energy_rel_gaps.as_ref().unwrap().len(), 8);
+        // Past the cap the reference columns go null.
+        assert!(points[1].solve_reference_s.is_none());
+        assert!(points[1].curve_reference_s.is_none());
+        let table = super::flow_table(&points);
+        assert_eq!(table.rows.len(), 2);
+        let json = super::flow_bench_json(&points);
+        assert!(json.contains("\"bench\": \"flow_block_decomposition\""));
+        assert!(json.contains("\"curve_reference_s\": null"));
+    }
+
     #[test]
     fn yds_scaling_point_speedup_and_agreement() {
         let points = super::yds_scaling(&[48, 96], 96);

@@ -8,9 +8,18 @@
 //! algorithm can do arbitrarily well) and tags each sample with its
 //! configuration signature so those boundary regions are visible in the
 //! output.
+//!
+//! Sweeps share one [`FlowWorkspace`] (instance validation and cascade
+//! sums paid once) and visit energies in **monotone order**, threading
+//! each solved point's `u` into the next `laptop` call as its Newton
+//! seed: adjacent energies have adjacent `u`, so the warm-started search
+//! converges in a couple of evaluations where a cold start pays a full
+//! bracket expansion plus bisection. [`configuration_changes`] reuses
+//! the same workspace (and the nearest endpoint's `u`) for every probe
+//! of its signature bisection.
 
 use crate::error::CoreError;
-use crate::flow::solver;
+use crate::flow::solver::FlowWorkspace;
 use pas_workload::Instance;
 
 /// One sample of the flow↔energy curve.
@@ -28,6 +37,9 @@ pub struct CurvePoint {
 
 /// Sample the optimal flow at each energy in `energies`.
 ///
+/// Energies are solved in ascending order (results are returned in the
+/// caller's order) so each point warm-starts from its lower neighbour.
+///
 /// # Errors
 /// Propagates solver errors (equal-work requirement, invalid budgets).
 pub fn tradeoff_curve(
@@ -36,23 +48,28 @@ pub fn tradeoff_curve(
     energies: &[f64],
     tol: f64,
 ) -> Result<Vec<CurvePoint>, CoreError> {
-    energies
-        .iter()
-        .map(|&e| {
-            let sol = solver::laptop(instance, alpha, e, tol)?;
-            Ok(CurvePoint {
-                energy: sol.energy,
-                flow: sol.total_flow,
-                u: sol.u,
-                signature: sol.kkt.signature(),
-            })
-        })
-        .collect()
+    let ws = FlowWorkspace::new(instance, alpha)?;
+    let mut order: Vec<usize> = (0..energies.len()).collect();
+    order.sort_by(|&i, &j| energies[i].total_cmp(&energies[j]));
+    let mut points: Vec<Option<CurvePoint>> = vec![None; energies.len()];
+    let mut seed = None;
+    for &i in &order {
+        let sol = ws.laptop(energies[i], tol, seed)?;
+        seed = Some(sol.u);
+        points[i] = Some(CurvePoint {
+            energy: sol.energy,
+            flow: sol.total_flow,
+            u: sol.u,
+            signature: sol.kkt.signature(),
+        });
+    }
+    Ok(points.into_iter().map(|p| p.expect("all solved")).collect())
 }
 
 /// The energies (within `[lo, hi]`, refined to `precision`) at which the
 /// optimal configuration changes — the flow analog of the frontier
-/// breakpoints. Found by bisection on the configuration signature.
+/// breakpoints. Found by bisection on the configuration signature, every
+/// probe warm-started from the nearest already-solved energy.
 ///
 /// # Errors
 /// Propagates solver errors.
@@ -63,34 +80,43 @@ pub fn configuration_changes(
     hi: f64,
     precision: f64,
 ) -> Result<Vec<f64>, CoreError> {
-    let sig_at = |e: f64| -> Result<String, CoreError> {
-        Ok(solver::laptop(instance, alpha, e, 1e-10)?.kkt.signature())
+    let ws = FlowWorkspace::new(instance, alpha)?;
+    let sig_at = |e: f64, seed: Option<f64>| -> Result<(String, f64), CoreError> {
+        let sol = ws.laptop(e, 1e-10, seed)?;
+        Ok((sol.kkt.signature(), sol.u))
     };
     let mut changes = Vec::new();
     // Scan on a coarse grid, bisect each change.
     let grid = 64;
     let step = (hi - lo) / grid as f64;
     let mut prev_e = lo;
-    let mut prev_sig = sig_at(lo)?;
+    let (mut prev_sig, mut prev_u) = sig_at(lo, None)?;
     for k in 1..=grid {
         let e = lo + step * k as f64;
-        let sig = sig_at(e)?;
+        let (sig, u) = sig_at(e, Some(prev_u))?;
         if sig != prev_sig {
-            // Bisect to `precision`.
+            // Bisect to `precision`, seeding each probe from the nearest
+            // bracket endpoint's solution.
             let (mut a, mut b) = (prev_e, e);
+            let (mut u_a, mut u_b) = (prev_u, u);
             let sig_a = prev_sig.clone();
             while b - a > precision {
                 let mid = 0.5 * (a + b);
-                if sig_at(mid)? == sig_a {
+                let seed = if mid - a <= b - mid { u_a } else { u_b };
+                let (sig_mid, u_mid) = sig_at(mid, Some(seed))?;
+                if sig_mid == sig_a {
                     a = mid;
+                    u_a = u_mid;
                 } else {
                     b = mid;
+                    u_b = u_mid;
                 }
             }
             changes.push(0.5 * (a + b));
         }
         prev_e = e;
         prev_sig = sig;
+        prev_u = u;
     }
     Ok(changes)
 }
@@ -117,6 +143,16 @@ mod tests {
                 "convexity violated near E={}",
                 b.energy
             );
+        }
+    }
+
+    #[test]
+    fn unsorted_energies_return_in_caller_order() {
+        let inst = Instance::equal_work(&[0.0, 0.0, 1.0], 1.0).unwrap();
+        let energies = [12.0, 5.0, 20.0, 8.0];
+        let pts = tradeoff_curve(&inst, 3.0, &energies, 1e-10).unwrap();
+        for (pt, &e) in pts.iter().zip(&energies) {
+            assert!((pt.energy - e).abs() < 1e-6 * e, "{} vs {e}", pt.energy);
         }
     }
 

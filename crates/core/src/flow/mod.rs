@@ -12,14 +12,18 @@
 //!
 //! These are the KKT conditions of a convex program, so a speed profile
 //! satisfying them **is** optimal ([`kkt`] verifies them for any
-//! solution). [`solver`] resolves the profile for a trial `u = σ_n^α` by
-//! damped fixed-point iteration and binary-searches `u` against the
-//! energy budget (laptop) or the flow target (server) — an
+//! solution). [`solver`] resolves the profile for a trial `u = σ_n^α`
+//! *directly* by block decomposition (a forward contact sweep plus an
+//! exact per-segment cascade solve — see [`solver::FlowWorkspace`]) and
+//! inverts `u` against the energy budget (laptop) or the flow target
+//! (server) with derivative-seeded Newton, the damped fixed-point
+//! iteration surviving as [`solver::solve_for_u_reference`] — an
 //! *arbitrarily-good approximation*, which Theorem 8 shows is the best
 //! possible: [`hardness`] reproduces the paper's three-job witness whose
 //! exact optimum requires roots of a degree-12 polynomial with
 //! unsolvable Galois group. [`curve`] samples the flow↔energy tradeoff,
-//! the flow analog of Figure 1.
+//! the flow analog of Figure 1, warm-starting each point from its
+//! neighbour.
 
 pub mod curve;
 pub mod hardness;
@@ -27,4 +31,7 @@ pub mod kkt;
 pub mod solver;
 
 pub use kkt::{KktReport, Relation};
-pub use solver::{laptop, server, solve_for_u, FlowSolution};
+pub use solver::{
+    laptop, server, solve_for_u, solve_for_u_reference, BusyBlock, FlowSensitivity, FlowSolution,
+    FlowWorkspace,
+};

@@ -10,10 +10,10 @@
 //! bracketed inversion, exactly as in the uniprocessor case.
 
 use crate::error::CoreError;
-use crate::flow::solver::solve_for_u;
+use crate::flow::solver::{resolve_inversion, FlowWorkspace};
 use crate::multi::cyclic::{cyclic_assignment, split_instance};
 use pas_numeric::compare::is_positive_finite;
-use pas_numeric::roots::invert_monotone;
+use pas_numeric::roots::invert_monotone_fdf;
 use pas_sim::{Schedule, Slice};
 use pas_workload::Instance;
 
@@ -77,27 +77,61 @@ pub fn laptop_with_assignment(
         return Err(CoreError::NotEqualWork);
     }
     let parts = split_instance(instance, assignment);
+    // One workspace per non-empty processor, built once and shared by
+    // every evaluation of the outer budget search (paper Observation 2:
+    // all processors share the last-job parameter u).
+    let workspaces = parts
+        .iter()
+        .map(|part| {
+            part.as_ref()
+                .map(|p| FlowWorkspace::new(p, alpha))
+                .transpose()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
 
-    let total_energy = |u: f64| -> f64 {
-        let mut sum = 0.0;
-        for part in parts.iter().flatten() {
-            match solve_for_u(part, alpha, u) {
-                Ok(sol) => sum += sol.energy,
-                Err(_) => return f64::NAN,
+    // Total energy is the sum of per-processor energies, each strictly
+    // increasing in u with a closed-form derivative from its block
+    // structure — so the outer inversion is derivative-seeded Newton,
+    // and the first real solver error is captured rather than surfaced
+    // as a bracket failure.
+    let mut first_err: Option<CoreError> = None;
+    let total_energy_fdf = |u: f64| -> (f64, f64) {
+        if first_err.is_some() {
+            return (f64::NAN, f64::NAN);
+        }
+        let mut e = 0.0;
+        let mut de = 0.0;
+        for ws in workspaces.iter().flatten() {
+            match ws.energy_fdf(u) {
+                Ok((we, wde)) => {
+                    e += we;
+                    de += wde;
+                }
+                Err(err) => {
+                    first_err = Some(err);
+                    return (f64::NAN, f64::NAN);
+                }
             }
         }
-        sum
+        (e, de)
     };
 
     let guess = (budget / instance.total_work()).powf(alpha / (alpha - 1.0));
-    let u = invert_monotone(total_energy, budget, guess, 0.0, budget * tol.max(1e-13))?;
+    let inverted = invert_monotone_fdf(
+        total_energy_fdf,
+        budget,
+        guess,
+        0.0,
+        budget * tol.max(1e-13),
+    );
+    let u = resolve_inversion(inverted, first_err)?;
 
     let mut schedule = Schedule::with_machines(assignment.len());
     let mut flow = 0.0;
     let mut energy = 0.0;
-    for (p, part) in parts.iter().enumerate() {
+    for (p, (part, ws)) in parts.iter().zip(&workspaces).enumerate() {
         let Some(inst) = part else { continue };
-        let sol = solve_for_u(inst, alpha, u)?;
+        let sol = ws.as_ref().expect("workspace exists for part").solve(u)?;
         flow += sol.total_flow;
         energy += sol.energy;
         for i in 0..inst.len() {
