@@ -40,8 +40,20 @@ fn bench_partition_solvers(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[12usize, 16, 20] {
         let works: Vec<f64> = (0..n).map(|k| 0.5 + (k as f64 * 0.77) % 3.0).collect();
-        group.bench_with_input(BenchmarkId::new("bb_exact", n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("bb_incremental", n), &n, |b, _| {
             b.iter(|| partition::min_norm_assignment(black_box(&works), 3, 3.0))
+        });
+        // The kept seed engine, for the speedup denominator (the full
+        // witness sweep lives in exp-scaling --only multi).
+        if n <= 16 {
+            group.bench_with_input(BenchmarkId::new("bb_reference", n), &n, |b, _| {
+                b.iter(|| partition::min_norm_assignment_reference(black_box(&works), 3, 3.0))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("bb_parallel", n), &n, |b, _| {
+            b.iter(|| {
+                pas_core::multi::parallel::min_norm_assignment_parallel(black_box(&works), 3, 3.0)
+            })
         });
         group.bench_with_input(BenchmarkId::new("lpt", n), &n, |b, _| {
             b.iter(|| partition::lpt_assignment(black_box(&works), 3, 3.0))

@@ -1,21 +1,23 @@
 //! Print the `scaling` experiment tables as CSV to stdout.
 //!
 //! Modes:
-//! * no args — the E4/E5 makespan-solver sweep plus quick E19 (YDS) and
-//!   E20 (flow) naive-vs-optimized sweeps with the references capped so
-//!   the run stays fast;
+//! * no args — the E4/E5 makespan-solver sweep plus quick E19 (YDS),
+//!   E20 (flow), and E21 (multiproc partition) naive-vs-optimized
+//!   sweeps with the references capped so the run stays fast;
 //! * `--bench-json [DIR]` — the acceptance sweeps written as per-path
-//!   bench files `DIR/BENCH_yds.json` and `DIR/BENCH_flow.json`
-//!   (default `.`), the perf-trajectory records successive PRs compare
-//!   against. Expect tens of minutes: the YDS reference is `O(n⁴)`
-//!   through n=2000 and the flow reference curve is ~120 cold bisection
-//!   solves of an `O(iters·n)` engine at n=1000 — that cost is the
-//!   point;
+//!   bench files `DIR/BENCH_yds.json`, `DIR/BENCH_flow.json`, and
+//!   `DIR/BENCH_multi.json` (default `.`), the perf-trajectory records
+//!   successive PRs compare against. Expect tens of minutes: the YDS
+//!   reference is `O(n⁴)` through n=2000, the flow reference curve is
+//!   ~120 cold bisection solves of an `O(iters·n)` engine at n=1000,
+//!   and the multiproc reference is an exponential branch and bound
+//!   measured through the n=30/m=8 witness — that cost is the point;
 //! * `--bench-json --smoke [DIR]` — the same files from a seconds-scale
 //!   tier (small sizes, capped references), exercised in CI so the bench
 //!   plumbing can never rot;
-//! * `--only yds` / `--only flow` — restrict either mode to one path
-//!   (the other `BENCH_*.json` is left untouched).
+//! * `--only yds` / `--only flow` / `--only multi` — restrict either
+//!   mode to one path (the other `BENCH_*.json` files are left
+//!   untouched).
 use pas_bench::experiments::scaling;
 
 fn main() {
@@ -27,13 +29,14 @@ fn main() {
         .and_then(|p| args.get(p + 1))
         .cloned();
     if let Some(o) = only.as_deref() {
-        if o != "yds" && o != "flow" {
-            eprintln!("--only takes `yds` or `flow`, got `{o}`");
+        if o != "yds" && o != "flow" && o != "multi" {
+            eprintln!("--only takes `yds`, `flow`, or `multi`, got `{o}`");
             std::process::exit(2);
         }
     }
     let run_yds = only.as_deref().is_none_or(|o| o == "yds");
     let run_flow = only.as_deref().is_none_or(|o| o == "flow");
+    let run_multi = only.as_deref().is_none_or(|o| o == "multi");
 
     if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
         let dir = args
@@ -63,6 +66,17 @@ fn main() {
             std::fs::write(&path, scaling::flow_bench_json(&points)).expect("write BENCH json");
             eprintln!("wrote {path}");
         }
+        if run_multi {
+            let points = if smoke {
+                scaling::multi_scaling_smoke()
+            } else {
+                scaling::multi_scaling_default()
+            };
+            scaling::multi_table(&points).print();
+            let path = format!("{dir}/BENCH_multi.json");
+            std::fs::write(&path, scaling::multi_bench_json(&points)).expect("write BENCH json");
+            eprintln!("wrote {path}");
+        }
         return;
     }
     for table in scaling::run() {
@@ -77,5 +91,10 @@ fn main() {
     if run_flow {
         let points = scaling::flow_scaling(&[64, 256, 1024], 40, 256);
         scaling::flow_table(&points).print();
+        println!();
+    }
+    if run_multi {
+        let points = scaling::multi_scaling_smoke();
+        scaling::multi_table(&points).print();
     }
 }

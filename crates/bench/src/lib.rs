@@ -8,6 +8,13 @@
 //! experiment to stdout, and `exp-all` writes every table under
 //! `results/`. Criterion benches (in `benches/`) cover the performance
 //! claims (IncMerge's linearity vs the DP and MoveRight baselines, etc.).
+//!
+//! The engine-vs-reference rewrites each record a perf trajectory as a
+//! repo-root JSON file via `exp-scaling --bench-json` (see README.md's
+//! `BENCH_*` convention): E19 `BENCH_yds.json` (§2 deadline stack),
+//! E20 `BENCH_flow.json` (§4 flow solver), E21 `BENCH_multi.json`
+//! (§5 multiprocessor partition). `--smoke` is the seconds-scale tier
+//! CI runs so the plumbing cannot rot.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]

@@ -12,6 +12,13 @@ pub enum CoreError {
         /// The offending budget.
         budget: f64,
     },
+    /// A power-law exponent outside `α > 1` (the `P = σ^α` algorithms
+    /// need strict convexity; at `α ≤ 1` their closed forms divide by
+    /// `α − 1` or invert monotonicity).
+    InvalidAlpha {
+        /// The offending exponent.
+        alpha: f64,
+    },
     /// A requested schedule-quality target cannot be met (e.g. a makespan
     /// at or below the last release time, which no finite speed achieves).
     UnreachableTarget {
@@ -50,6 +57,9 @@ impl std::fmt::Display for CoreError {
         match self {
             CoreError::InvalidBudget { budget } => {
                 write!(f, "invalid energy budget {budget} (must be positive)")
+            }
+            CoreError::InvalidAlpha { alpha } => {
+                write!(f, "invalid power-law exponent {alpha} (must be > 1)")
             }
             CoreError::UnreachableTarget { reason } => {
                 write!(f, "unreachable target: {reason}")

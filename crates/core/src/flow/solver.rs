@@ -34,7 +34,7 @@
 //!    blocks in `O(1)`;
 //! 2. segments that do carry violations are closed by an exact
 //!    **right-to-left DP over the violated candidates**
-//!    ([`FlowWorkspace::resolve_segment`]): the unique Theorem-1 chain
+//!    (`FlowWorkspace::resolve_segment`): the unique Theorem-1 chain
 //!    closes each block at the first candidate it can reach at a tail
 //!    within the clamp of the already-resolved suffix. (A violation is
 //!    only a *candidate* — the merged cascade can overspeed either side
@@ -241,7 +241,7 @@ impl<'a> FlowWorkspace<'a> {
     ///    cascade sums). They are *candidates only* — a violation may be
     ///    an artifact of the merged cascade overspeeding either side —
     ///    so the segment's true structure is resolved by
-    ///    [`Self::resolve_segment`], a right-to-left DP over the
+    ///    `Self::resolve_segment`, a right-to-left DP over the
     ///    candidates, when the segment closes. A merged gap is likewise
     ///    only necessary once candidates exist (resolution slows the
     ///    cascade and can push the segment past the release that looked

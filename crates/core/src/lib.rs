@@ -25,6 +25,50 @@
 //! Everything is generic over [`pas_power::PowerModel`] except where the
 //! paper itself specializes (Theorem 1 and Theorem 8 are stated for
 //! `P = σ^α`; the flow solver follows suit and says so in its types).
+//!
+//! # Quick start
+//!
+//! The paper's §3.2 running example (`r = [0, 5, 6]`, `w = [5, 2, 1]`,
+//! `P = σ³`, Figures 1–3), end to end — the same flow as
+//! `examples/quickstart.rs`, doc-tested so it can never rot:
+//!
+//! ```rust
+//! use pas_core::makespan::{self, Frontier};
+//! use pas_power::PolyPower;
+//! use pas_sim::metrics;
+//! use pas_workload::Instance;
+//!
+//! let instance = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).unwrap();
+//! let model = PolyPower::CUBE;
+//!
+//! // Laptop problem: fix energy, minimize makespan (linear time).
+//! let solution = makespan::laptop(&instance, &model, 21.0).unwrap();
+//! assert!((solution.makespan() - (6.0 + 1.0 / 8f64.sqrt())).abs() < 1e-9);
+//!
+//! // The full non-dominated frontier: configurations change at E = 17 and 8,
+//! // and the energy→makespan derivative is closed-form (M'(8) = -1/2).
+//! let frontier = Frontier::build(&instance, &model);
+//! let breakpoints = frontier.breakpoints();
+//! assert_eq!(breakpoints.len(), 2);
+//! assert!((breakpoints[0] - 17.0).abs() < 1e-6 || (breakpoints[0] - 8.0).abs() < 1e-6);
+//! assert!((frontier.makespan_derivative(&model, 8.0).unwrap() + 0.5).abs() < 1e-9);
+//!
+//! // Server problem: fix makespan, minimize energy (the inverse query).
+//! let energy = frontier.energy_for_makespan(&model, 6.5).unwrap();
+//! assert!((energy - 17.0).abs() < 1e-9);
+//!
+//! // Schedules are first-class and validated.
+//! let schedule = solution.to_schedule(&instance);
+//! schedule.validate(&instance, 1e-7).unwrap();
+//! assert!((metrics::energy(&schedule, &model) - 21.0).abs() < 1e-7);
+//!
+//! // §5 multiprocessor: minimizing makespan at immediate releases is the
+//! // L_α-norm assignment problem (Theorem 11) — here an even split.
+//! let (labels, norm) = pas_core::multi::partition::min_norm_assignment(
+//!     &[3.0, 1.0, 2.0, 2.0], 2, 3.0);
+//! assert!((norm - 2.0 * 4.0_f64.powi(3)).abs() < 1e-9);
+//! assert_eq!(labels.len(), 4);
+//! ```
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]

@@ -8,6 +8,11 @@
 //! Theorem-1 solve ([`crate::flow::solver::solve_for_u`]); total energy
 //! is strictly increasing in `u`, so the outer budget search is a
 //! bracketed inversion, exactly as in the uniprocessor case.
+//!
+//! This module is the *equal-work* §5 flow path. Its unequal-work
+//! makespan sibling — where the assignment itself is the hard part —
+//! is [`crate::multi::partition`]'s incremental `L_α`-norm branch and
+//! bound plus [`crate::multi::makespan::laptop_immediate`].
 
 use crate::error::CoreError;
 use crate::flow::solver::{resolve_inversion, FlowWorkspace};

@@ -136,6 +136,77 @@ pub fn laptop_with_assignment<M: PowerModel>(
     })
 }
 
+/// Solve the **unequal-work** multiprocessor laptop problem for jobs
+/// all released at time 0, exactly — the constructive side of
+/// Theorem 11.
+///
+/// With immediate releases, each processor optimally runs its whole
+/// load as one constant-speed block (Lemmas 2–5), so minimizing
+/// makespan under the shared budget is exactly minimizing the `L_α`
+/// norm of the per-processor loads
+/// ([`crate::multi::partition::makespan_for_loads`]). The assignment
+/// comes from the incremental branch and bound
+/// ([`crate::multi::partition::min_norm_assignment`]) — exponential
+/// worst case, NP-hard by Theorem 11, practical to `n ≈ 30–40`.
+///
+/// Only valid for `P = σ^α` (the norm reduction needs it), matching
+/// the paper's Theorem-11 statement.
+///
+/// # Errors
+/// [`CoreError::NotImmediateRelease`] if any job releases after time 0;
+/// [`CoreError::InvalidBudget`] for non-positive budgets;
+/// [`CoreError::InvalidAlpha`] unless `α > 1`.
+///
+/// # Panics
+/// If `m == 0` (as the underlying branch and bound does).
+pub fn laptop_immediate(
+    instance: &Instance,
+    alpha: f64,
+    m: usize,
+    budget: f64,
+) -> Result<MultiMakespan, CoreError> {
+    if !instance.all_released_immediately(1e-12) {
+        return Err(CoreError::NotImmediateRelease);
+    }
+    if !is_positive_finite(budget) {
+        return Err(CoreError::InvalidBudget { budget });
+    }
+    if !(alpha > 1.0 && alpha.is_finite()) {
+        return Err(CoreError::InvalidAlpha { alpha });
+    }
+    let works: Vec<f64> = instance.jobs().iter().map(|j| j.work).collect();
+    let (labels, norm) = crate::multi::partition::min_norm_assignment(&works, m, alpha);
+    let t = (norm / budget).powf(1.0 / (alpha - 1.0));
+
+    let mut loads = vec![0.0f64; m];
+    for (w, &p) in works.iter().zip(&labels) {
+        loads[p] += w;
+    }
+    // Each processor runs its jobs back-to-back at the constant speed
+    // L_p/T, all finishing exactly at the common makespan T.
+    let mut schedule = Schedule::with_machines(m);
+    let mut cursor = vec![0.0f64; m];
+    let mut assignment = vec![Vec::new(); m];
+    let mut energy = 0.0;
+    for (pos, (job, &p)) in instance.jobs().iter().zip(&labels).enumerate() {
+        let speed = loads[p] / t;
+        let dur = job.work / speed;
+        schedule.push(
+            p,
+            pas_sim::Slice::new(job.id, cursor[p], cursor[p] + dur, speed),
+        );
+        cursor[p] += dur;
+        assignment[p].push(pos);
+        energy += speed.powf(alpha) / speed * job.work;
+    }
+    Ok(MultiMakespan {
+        makespan: t,
+        energy,
+        schedule,
+        assignment,
+    })
+}
+
 /// Solve the **server problem** on `m` processors: least total energy
 /// finishing every job by `deadline`, cyclic assignment (equal work).
 ///
@@ -306,6 +377,56 @@ mod tests {
                 (measured - e).abs() < 1e-6 * e,
                 "E={e}: schedule energy {measured}"
             );
+        }
+    }
+
+    #[test]
+    fn laptop_immediate_realizes_the_norm_makespan() {
+        use crate::multi::partition;
+        let works = [3.0, 1.0, 2.0, 2.0, 1.5];
+        let inst = pas_workload::generators::immediate(&works);
+        let model = PolyPower::CUBE;
+        for &budget in &[4.0, 10.0, 25.0] {
+            let sol = laptop_immediate(&inst, 3.0, 2, budget).unwrap();
+            sol.schedule.validate(&inst, 1e-7).unwrap();
+            // Makespan matches the closed form on the optimal norm.
+            let (_, norm) = partition::min_norm_assignment(&works, 2, 3.0);
+            let loads: Vec<f64> = sol
+                .assignment
+                .iter()
+                .map(|jobs| jobs.iter().map(|&pos| inst.jobs()[pos].work).sum())
+                .collect();
+            let t = partition::makespan_for_loads(&loads, 3.0, budget);
+            assert!((sol.makespan - t).abs() < 1e-9 * t);
+            let t_norm = (norm / budget).powf(0.5);
+            assert!((sol.makespan - t_norm).abs() < 1e-9 * t_norm);
+            // The budget is spent exactly.
+            let spent = metrics::energy(&sol.schedule, &model);
+            assert!((spent - budget).abs() < 1e-6 * budget, "spent {spent}");
+            // Every processor finishes at the common makespan.
+            for lane in sol.schedule.machines() {
+                if let Some(last) = lane.last() {
+                    assert!((last.end - sol.makespan).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn laptop_immediate_rejects_late_releases_and_bad_budget() {
+        let late = Instance::from_pairs(&[(0.0, 1.0), (1.0, 2.0)]).unwrap();
+        assert!(matches!(
+            laptop_immediate(&late, 3.0, 2, 4.0),
+            Err(CoreError::NotImmediateRelease)
+        ));
+        let now = pas_workload::generators::immediate(&[1.0, 2.0]);
+        assert!(laptop_immediate(&now, 3.0, 2, 0.0).is_err());
+        // α ≤ 1 breaks the T = (norm/E)^{1/(α−1)} closed form.
+        for bad_alpha in [1.0, 0.5, f64::NAN] {
+            assert!(matches!(
+                laptop_immediate(&now, bad_alpha, 2, 4.0),
+                Err(CoreError::InvalidAlpha { .. })
+            ));
         }
     }
 

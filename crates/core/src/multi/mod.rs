@@ -23,7 +23,17 @@
 //! [`partition`] implements the reduction in both directions, exact
 //! solvers (pseudo-polynomial subset-sum DP; `L_α`-norm branch and
 //! bound), and the LPT / local-search heuristics that the §5 PTAS remark
-//! (Alon et al.) motivates.
+//! (Alon et al.) motivates. The branch and bound is **incremental**:
+//! its search state is a `pas_numeric::SortedLoads` (sorted load vector
+//! with prefix sums), so the waterfill pruning bound is an `O(log m)`
+//! query instead of a per-node re-sort — the seed engine survives as
+//! `partition::min_norm_assignment_reference`, the equivalence oracle,
+//! following the same engine-vs-reference convention as `yds_reference`
+//! and `solve_for_u_reference` (see `BENCH_multi.json` for the measured
+//! gap). [`parallel`] explores the same tree from a shared work deque
+//! sized by `std::thread::available_parallelism`, and
+//! [`makespan`]'s `laptop_immediate` turns the optimal assignment into
+//! an executable immediate-release schedule.
 
 pub mod cyclic;
 pub mod flow;

@@ -3,17 +3,30 @@
 //! Theorem 11 makes exact multiprocessor makespan exponential, so the
 //! exact solver's constant factor matters for the experiment sizes. This
 //! module parallelizes [`crate::multi::partition::min_norm_assignment`]
-//! across the first branching level with `std::thread` scoped threads:
-//! each worker explores the subtree in which job 0 (heaviest) is pinned
-//! to one processor, and all workers share the incumbent best norm
-//! through a lock-free `AtomicU64` (f64 bits, monotone-decreasing via
-//! `fetch_min`-style CAS) so pruning stays global.
+//! (the incremental engine — same `SearchCore`/`descend` search core,
+//! same seeded incumbent) across subtrees:
+//!
+//! * the first few levels of the search tree are expanded breadth-first
+//!   — with the same equal-load symmetry breaking the sequential engine
+//!   uses — into a **shared work deque** of prefix assignments, until
+//!   there are several tasks per worker (so one heavy subtree cannot
+//!   serialize the run);
+//! * the worker count respects [`std::thread::available_parallelism`]
+//!   (capped by the task count) instead of spawning a thread per branch
+//!   unconditionally;
+//! * all workers share the incumbent best norm through a lock-free
+//!   `AtomicU64` (f64 bits, monotone-decreasing CAS), seeded with the
+//!   LPT + local-search upper bound, so pruning stays global from the
+//!   first node.
 //!
 //! Determinism: the *norm* returned equals the sequential solver's
 //! exactly (both find the true optimum); the labelling may differ among
 //! norm-ties, so tests compare norms, not labels.
 
+use crate::multi::partition::{descend, Incumbent, SearchCore};
+use pas_numeric::SortedLoads;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::thread;
 
 /// Shared incumbent: best norm found so far, stored as f64 bits.
@@ -24,8 +37,8 @@ use std::thread;
 struct SharedBest(AtomicU64);
 
 impl SharedBest {
-    fn new() -> Self {
-        SharedBest(AtomicU64::new(f64::INFINITY.to_bits()))
+    fn new(seed: f64) -> Self {
+        SharedBest(AtomicU64::new(seed.to_bits()))
     }
 
     fn get(&self) -> f64 {
@@ -54,70 +67,137 @@ impl SharedBest {
     }
 }
 
+/// A worker-side incumbent: prunes against the global atomic, keeps the
+/// best labelling it found locally (labels are merged after join).
+struct ParIncumbent<'a> {
+    shared: &'a SharedBest,
+    best: f64,
+    labels: Vec<usize>,
+}
+
+impl Incumbent for ParIncumbent<'_> {
+    fn prune_at(&self) -> f64 {
+        self.shared.get()
+    }
+
+    fn offer(&mut self, norm: f64, labels: &[usize]) {
+        if norm < self.best {
+            self.best = norm;
+            self.labels.copy_from_slice(labels);
+        }
+        self.shared.offer(norm);
+    }
+}
+
 /// Exact minimum of `Σ L_p^α` over assignments of `works` to `m`
 /// processors — parallel version of
 /// [`crate::multi::partition::min_norm_assignment`], same result.
 ///
-/// Workers = one per first-level branch (at most `m`, with symmetry
-/// breaking collapsing the empty processors to one branch).
+/// Worker count: [`std::thread::available_parallelism`], capped by the
+/// number of frontier tasks. Use
+/// [`min_norm_assignment_parallel_with`] to pin it explicitly.
 ///
 /// # Panics
 /// If `m == 0`.
 pub fn min_norm_assignment_parallel(works: &[f64], m: usize, alpha: f64) -> (Vec<usize>, f64) {
+    let workers = thread::available_parallelism().map_or(1, usize::from);
+    min_norm_assignment_parallel_with(works, m, alpha, workers)
+}
+
+/// [`min_norm_assignment_parallel`] with an explicit worker count —
+/// also the hook tests use to exercise the deque/atomic machinery on
+/// single-core machines.
+///
+/// # Panics
+/// If `m == 0` or `workers == 0`.
+pub fn min_norm_assignment_parallel_with(
+    works: &[f64],
+    m: usize,
+    alpha: f64,
+    workers: usize,
+) -> (Vec<usize>, f64) {
     assert!(m > 0, "need at least one processor");
+    assert!(workers > 0, "need at least one worker");
     let n = works.len();
-    if n <= 1 || m == 1 {
-        // Nothing to parallelize.
+    if n <= 2 || m == 1 || workers == 1 {
+        // Nothing to parallelize (n ≤ 2 has at most two distinct
+        // branches after symmetry breaking).
         return crate::multi::partition::min_norm_assignment(works, m, alpha);
     }
-    // Sort jobs descending, as in the sequential solver.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| works[b].total_cmp(&works[a]));
-    let sorted: Vec<f64> = order.iter().map(|&i| works[i]).collect();
-    let suffix: Vec<f64> = {
-        let mut s = vec![0.0; n + 1];
-        for i in (0..n).rev() {
-            s[i] = s[i + 1] + sorted[i];
-        }
-        s
-    };
+    let core = SearchCore::new(works, m, alpha);
+    let (seed_labels, seed_norm) = core.seed_incumbent();
 
-    let best = SharedBest::new();
-    // By symmetry, job 0 (heaviest) can be pinned to processor 0: all
-    // first-level branches are equivalent. Parallelize over the SECOND
-    // job's processor — with every other processor still empty, only
-    // "share with job 0" (processor 0) and "open a fresh processor"
-    // (processor 1) are distinct.
-    let branches: Vec<usize> = vec![0, 1];
+    // Expand the top of the tree breadth-first into frontier tasks:
+    // prefix label vectors, symmetry-broken exactly like the sequential
+    // engine, until there are a few tasks per worker (or the tree is
+    // exhausted, in which case the frontier IS the leaf set).
+    let target = 4 * workers;
+    let mut frontier: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut depth = 0usize;
+    while depth < n && frontier.len() < target {
+        let mut next = Vec::with_capacity(frontier.len() * m);
+        for prefix in &frontier {
+            let mut st = SortedLoads::new(m, alpha);
+            for (k, &p) in prefix.iter().enumerate() {
+                st.raise(p, st.load(p) + core.sorted[k]);
+            }
+            let mut prev = f64::NAN;
+            let mut first = true;
+            for pos in 0..m {
+                let slot = st.slot_at(pos);
+                let load = st.load(slot);
+                if !first && load.total_cmp(&prev).is_eq() {
+                    continue;
+                }
+                first = false;
+                prev = load;
+                let mut child = prefix.clone();
+                child.push(slot);
+                next.push(child);
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+
+    let best = SharedBest::new(seed_norm);
+    let queue: Mutex<Vec<Vec<usize>>> = Mutex::new(frontier);
+    let workers = workers.min(queue.lock().expect("unpoisoned").len().max(1));
 
     let results = thread::scope(|scope| {
-        let handles: Vec<_> = branches
-            .iter()
-            .map(|&p1| {
-                let sorted = &sorted;
-                let suffix = &suffix;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let core = &core;
                 let best = &best;
+                let queue = &queue;
                 scope.spawn(move || {
-                    let mut loads = vec![0.0f64; m];
+                    let mut inc = ParIncumbent {
+                        shared: best,
+                        best: f64::INFINITY,
+                        labels: vec![0usize; n],
+                    };
                     let mut labels = vec![0usize; n];
-                    loads[0] += sorted[0];
-                    labels[0] = 0;
-                    loads[p1] += sorted[1];
-                    labels[1] = p1;
-                    let mut local_best_labels = vec![0usize; n];
-                    let mut local_best = f64::INFINITY;
-                    explore(
-                        2,
-                        sorted,
-                        suffix,
-                        &mut loads,
-                        &mut labels,
-                        best,
-                        &mut local_best,
-                        &mut local_best_labels,
-                        alpha,
-                    );
-                    (local_best, local_best_labels)
+                    let mut scratch = vec![0usize; n * m];
+                    loop {
+                        let Some(prefix) = queue.lock().expect("unpoisoned").pop() else {
+                            break;
+                        };
+                        // Rebuild the committed loads for this subtree.
+                        let mut st = SortedLoads::new(m, alpha);
+                        for (k, &p) in prefix.iter().enumerate() {
+                            st.raise(p, st.load(p) + core.sorted[k]);
+                            labels[k] = p;
+                        }
+                        descend(
+                            core,
+                            &mut st,
+                            &mut labels,
+                            prefix.len(),
+                            &mut scratch,
+                            &mut inc,
+                        );
+                    }
+                    (inc.best, inc.labels)
                 })
             })
             .collect();
@@ -127,108 +207,38 @@ pub fn min_norm_assignment_parallel(works: &[f64], m: usize, alpha: f64) -> (Vec
             .collect::<Vec<_>>()
     });
 
+    // Merge worker results with the heuristic seed: if no worker beat
+    // the seed (it was already optimal), the seed labelling stands.
     let (norm, labels_sorted) = results
         .into_iter()
+        .chain(std::iter::once((seed_norm, seed_labels)))
         .min_by(|a, b| a.0.total_cmp(&b.0))
-        .expect("at least one branch");
+        .expect("at least the seed");
 
-    // Map labels back to original job order.
-    let mut out = vec![0usize; n];
-    for (pos, &orig) in order.iter().enumerate() {
-        out[orig] = labels_sorted[pos];
-    }
-    (out, norm)
-}
-
-/// Sequential subtree exploration against the shared incumbent.
-#[allow(clippy::too_many_arguments)] // recursion carries its whole state explicitly
-fn explore(
-    k: usize,
-    sorted: &[f64],
-    suffix: &[f64],
-    loads: &mut [f64],
-    labels: &mut [usize],
-    shared: &SharedBest,
-    local_best: &mut f64,
-    local_best_labels: &mut [usize],
-    alpha: f64,
-) {
-    if waterfill_bound(loads, suffix[k], alpha) >= shared.get() {
-        return;
-    }
-    if k == sorted.len() {
-        let norm: f64 = loads.iter().map(|l| l.powf(alpha)).sum();
-        if norm < *local_best {
-            *local_best = norm;
-            local_best_labels.copy_from_slice(labels);
-        }
-        shared.offer(norm);
-        return;
-    }
-    let mut tried_empty = false;
-    for p in 0..loads.len() {
-        if loads[p] == 0.0 {
-            if tried_empty {
-                continue;
-            }
-            tried_empty = true;
-        }
-        loads[p] += sorted[k];
-        labels[k] = p;
-        explore(
-            k + 1,
-            sorted,
-            suffix,
-            loads,
-            labels,
-            shared,
-            local_best,
-            local_best_labels,
-            alpha,
-        );
-        loads[p] -= sorted[k];
-    }
-}
-
-/// The same divisible-relaxation lower bound as the sequential solver.
-fn waterfill_bound(loads: &[f64], rest: f64, alpha: f64) -> f64 {
-    let mut ls = loads.to_vec();
-    ls.sort_by(|a, b| a.total_cmp(b));
-    let m = ls.len();
-    let mut r = rest;
-    let mut level = ls[0];
-    let mut k = 1usize;
-    while k < m && r > 0.0 {
-        let need = (ls[k] - level) * k as f64;
-        if need <= r {
-            r -= need;
-            level = ls[k];
-            k += 1;
-        } else {
-            level += r / k as f64;
-            r = 0.0;
-        }
-    }
-    if r > 0.0 {
-        level += r / m as f64;
-    }
-    ls.iter().map(|&l| l.max(level).powf(alpha)).sum()
+    (core.unsort_labels(&labels_sorted), norm)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::multi::partition::min_norm_assignment;
+    use crate::multi::partition::{min_norm_assignment, min_norm_assignment_reference};
 
     #[test]
     fn matches_sequential_optimum() {
-        for (n, m) in [(8usize, 2usize), (10, 3), (12, 2), (14, 3)] {
+        for (n, m) in [(8usize, 2usize), (10, 3), (12, 2), (14, 3), (15, 6)] {
             let works: Vec<f64> = (0..n).map(|k| 0.3 + (k as f64 * 0.61) % 2.7).collect();
             let (_, seq) = min_norm_assignment(&works, m, 3.0);
-            let (labels, par) = min_norm_assignment_parallel(&works, m, 3.0);
+            let (_, reference) = min_norm_assignment_reference(&works, m, 3.0);
+            // Pinned worker count so the deque/atomic path runs even on
+            // single-core CI machines.
+            let (labels, par) = super::min_norm_assignment_parallel_with(&works, m, 3.0, 3);
             assert!(
                 (seq - par).abs() < 1e-9 * seq,
                 "n={n} m={m}: sequential {seq} vs parallel {par}"
+            );
+            assert!(
+                (reference - par).abs() < 1e-9 * reference,
+                "n={n} m={m}: reference {reference} vs parallel {par}"
             );
             // The returned labelling realizes the claimed norm.
             let mut loads = vec![0.0f64; m];
@@ -251,7 +261,7 @@ mod tests {
 
     #[test]
     fn shared_best_orders_correctly() {
-        let b = SharedBest::new();
+        let b = SharedBest::new(f64::INFINITY);
         assert!(b.offer(10.0));
         assert!(!b.offer(11.0));
         assert!(b.offer(9.5));
@@ -261,7 +271,17 @@ mod tests {
     #[test]
     fn equal_works_split_evenly() {
         let works = vec![1.0; 9];
-        let (_, norm) = min_norm_assignment_parallel(&works, 3, 2.0);
+        let (_, norm) = super::min_norm_assignment_parallel_with(&works, 3, 2.0, 4);
         assert!((norm - 27.0).abs() < 1e-9); // 3 procs × 3² = 27
+    }
+
+    #[test]
+    fn more_processors_than_jobs() {
+        let works = [2.0, 1.0, 0.5];
+        let (labels, norm) = super::min_norm_assignment_parallel_with(&works, 8, 3.0, 2);
+        // Optimal: every job alone.
+        assert!((norm - (8.0 + 1.0 + 0.125)).abs() < 1e-9);
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), 3);
     }
 }

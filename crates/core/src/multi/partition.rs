@@ -16,6 +16,7 @@
 //! (strict convexity).
 
 use crate::error::CoreError;
+use pas_numeric::SortedLoads;
 use pas_power::PowerModel;
 use pas_workload::{Instance, Job};
 
@@ -105,13 +106,205 @@ pub fn makespan_for_loads(loads: &[f64], alpha: f64, budget: f64) -> f64 {
 }
 
 /// Exact minimum of `Σ L_p^α` over all assignments of `works` to `m`
-/// processors, by branch and bound (jobs sorted descending; convexity
-/// lower bound for pruning; processor-symmetry breaking). Returns the
-/// per-job processor labels and the optimal norm.
+/// processors, by **incremental** branch and bound. Returns the per-job
+/// processor labels and the optimal norm.
 ///
-/// Exponential worst case — this is the NP-hard side of Theorem 11; fine
-/// for the `n ≤ ~24` instances the experiments use.
+/// The search keeps its state in a [`SortedLoads`] (`pas-numeric`): the
+/// per-processor loads stay sorted under `O(shift)` rotations per
+/// push/pop, and the divisible-relaxation waterfill lower bound is a
+/// lazy prefix refresh plus a binary search plus a single `powf` —
+/// instead of the full re-sort and `m`-`powf` re-scan per node that
+/// [`min_norm_assignment_reference`] (the seed engine, kept as the
+/// equivalence oracle) pays. Three further structural savings:
+///
+/// * the incumbent is **seeded** with [`lpt_assignment`] refined by
+///   [`local_search`], so pruning bites from the first node;
+/// * symmetry breaking skips every processor whose load *equals* an
+///   already-tried one (the seed engine only collapsed empty
+///   processors), which also subsumes the `m > n` case;
+/// * the last job goes straight to the least-loaded processor — by
+///   convexity that placement is optimal for the leaf's parent.
+///
+/// Exponential worst case — this is the NP-hard side of Theorem 11 —
+/// but the incremental state and seeded incumbent put `n ≈ 30–40`,
+/// `m ≈ 4–8` within reach (see `BENCH_multi.json`), where the seed
+/// engine handled `n ≤ ~24`.
 pub fn min_norm_assignment(works: &[f64], m: usize, alpha: f64) -> (Vec<usize>, f64) {
+    assert!(m > 0, "need at least one processor");
+    let n = works.len();
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let core = SearchCore::new(works, m, alpha);
+    let (seed_labels, seed_norm) = core.seed_incumbent();
+    let mut inc = SeqIncumbent {
+        best: seed_norm,
+        labels: seed_labels,
+    };
+    let mut st = SortedLoads::new(m, alpha);
+    let mut labels = vec![0usize; n];
+    let mut scratch = vec![0usize; n * m];
+    descend(&core, &mut st, &mut labels, 0, &mut scratch, &mut inc);
+    (core.unsort_labels(&inc.labels), inc.best)
+}
+
+/// Shared immutable state of one `L_α`-norm branch-and-bound run: the
+/// jobs sorted descending, their suffix sums, and the mapping back to
+/// the caller's job order. Used by both the sequential solver above and
+/// the work-deque parallel solver
+/// ([`crate::multi::parallel::min_norm_assignment_parallel`]).
+pub(crate) struct SearchCore {
+    /// Job works, descending (classic B&B ordering).
+    pub(crate) sorted: Vec<f64>,
+    /// `suffix[k]` = total work of jobs `k..`.
+    pub(crate) suffix: Vec<f64>,
+    /// `order[pos]` = original index of the job at sorted position `pos`.
+    pub(crate) order: Vec<usize>,
+    /// Processor count.
+    pub(crate) m: usize,
+    /// Norm exponent.
+    pub(crate) alpha: f64,
+}
+
+impl SearchCore {
+    pub(crate) fn new(works: &[f64], m: usize, alpha: f64) -> Self {
+        let n = works.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| works[b].total_cmp(&works[a]));
+        let sorted: Vec<f64> = order.iter().map(|&i| works[i]).collect();
+        let mut suffix = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            suffix[i] = suffix[i + 1] + sorted[i];
+        }
+        SearchCore {
+            sorted,
+            suffix,
+            order,
+            m,
+            alpha,
+        }
+    }
+
+    /// LPT + local search on the sorted works: the incumbent seed. The
+    /// norm is recomputed fresh from the seed's loads (not the local
+    /// search's running delta sum) so the pruning threshold is never
+    /// below what the seed labelling actually realizes.
+    pub(crate) fn seed_incumbent(&self) -> (Vec<usize>, f64) {
+        let (lpt_labels, _) = lpt_assignment(&self.sorted, self.m, self.alpha);
+        let (labels, _) = local_search(&self.sorted, self.m, self.alpha, lpt_labels);
+        let mut loads = vec![0.0f64; self.m];
+        for (i, &p) in labels.iter().enumerate() {
+            loads[p] += self.sorted[i];
+        }
+        let norm = loads.iter().map(|l| l.powf(self.alpha)).sum();
+        (labels, norm)
+    }
+
+    /// Map sorted-position labels back to the caller's job order.
+    pub(crate) fn unsort_labels(&self, labels: &[usize]) -> Vec<usize> {
+        let mut out = vec![0usize; labels.len()];
+        for (pos, &orig) in self.order.iter().enumerate() {
+            out[orig] = labels[pos];
+        }
+        out
+    }
+}
+
+/// How a branch-and-bound run tracks its best-so-far: the sequential
+/// solver keeps a plain local incumbent; parallel workers also publish
+/// to a shared atomic so pruning stays global.
+pub(crate) trait Incumbent {
+    /// The norm to prune against (global best-so-far).
+    fn prune_at(&self) -> f64;
+    /// A complete labelling realizing `norm` was found.
+    fn offer(&mut self, norm: f64, labels: &[usize]);
+}
+
+struct SeqIncumbent {
+    best: f64,
+    labels: Vec<usize>,
+}
+
+impl Incumbent for SeqIncumbent {
+    fn prune_at(&self) -> f64 {
+        self.best
+    }
+
+    fn offer(&mut self, norm: f64, labels: &[usize]) {
+        if norm < self.best {
+            self.best = norm;
+            self.labels.copy_from_slice(labels);
+        }
+    }
+}
+
+/// Explore the subtree with jobs `k..` unassigned. `st` holds the loads
+/// committed by jobs `..k` (already labelled in `labels[..k]`);
+/// `scratch` is a preallocated `(n − k) · m` candidate buffer so the hot
+/// path never allocates.
+pub(crate) fn descend<I: Incumbent>(
+    core: &SearchCore,
+    st: &mut SortedLoads,
+    labels: &mut [usize],
+    k: usize,
+    scratch: &mut [usize],
+    inc: &mut I,
+) {
+    if st.waterfill_bound(core.suffix[k]) >= inc.prune_at() {
+        return;
+    }
+    let n = core.sorted.len();
+    if k == n {
+        inc.offer(st.total_pow(), labels);
+        return;
+    }
+    let w = core.sorted[k];
+    if k + 1 == n {
+        // Last job: the least-loaded processor minimizes the convex
+        // increment (l + w)^α − l^α, so no branching is needed.
+        let p = st.slot_at(0);
+        let saved = st.raise(p, st.load(p) + w);
+        labels[k] = p;
+        inc.offer(st.total_pow(), labels);
+        st.lower_to(p, saved);
+        return;
+    }
+    // Snapshot the branch candidates before mutating: the first
+    // processor of each equal-load run, in ascending load order.
+    // Equal-load processors are interchangeable for the remaining
+    // subproblem (it depends only on the load multiset), so trying one
+    // per run preserves an optimal leaf; ascending order finds strong
+    // incumbents early.
+    let (cands, rest) = scratch.split_at_mut(core.m);
+    let mut count = 0usize;
+    let mut prev = f64::NAN;
+    for pos in 0..core.m {
+        let slot = st.slot_at(pos);
+        let load = st.load(slot);
+        if count > 0 && load.total_cmp(&prev).is_eq() {
+            continue;
+        }
+        cands[count] = slot;
+        count += 1;
+        prev = load;
+    }
+    for &p in &cands[..count] {
+        let saved = st.raise(p, st.load(p) + w);
+        labels[k] = p;
+        descend(core, st, labels, k + 1, rest, inc);
+        st.lower_to(p, saved);
+    }
+}
+
+/// The seed branch and bound, kept verbatim as the equivalence oracle
+/// for [`min_norm_assignment`] (the same engine-vs-reference convention
+/// as `yds_reference` and `solve_for_u_reference`): re-sorts and
+/// re-scans the loads at every node, collapses only *empty* processors
+/// under symmetry breaking, and starts from an infinite incumbent.
+///
+/// Exponential worst case; fine for the `n ≤ ~24` instances the
+/// original experiments used.
+pub fn min_norm_assignment_reference(works: &[f64], m: usize, alpha: f64) -> (Vec<usize>, f64) {
     assert!(m > 0, "need at least one processor");
     let n = works.len();
     // Sort jobs descending (classic B&B ordering), remember positions.
@@ -416,7 +609,6 @@ mod tests {
     #[test]
     fn min_norm_matches_bruteforce_small() {
         let works = [3.0, 2.8, 2.2, 1.7, 1.1, 0.9];
-        let (labels, norm) = min_norm_assignment(&works, 2, 3.0);
         // Brute force all 2^6 assignments.
         let mut best = f64::INFINITY;
         for mask in 0u32..64 {
@@ -426,8 +618,74 @@ mod tests {
             }
             best = best.min(l[0].powi(3) + l[1].powi(3));
         }
-        assert!((norm - best).abs() < 1e-9, "bb {norm} vs brute {best}");
-        assert_eq!(labels.len(), works.len());
+        for (label, (labels, norm)) in [
+            ("incremental", min_norm_assignment(&works, 2, 3.0)),
+            ("reference", min_norm_assignment_reference(&works, 2, 3.0)),
+        ] {
+            assert!((norm - best).abs() < 1e-9, "{label} {norm} vs brute {best}");
+            assert_eq!(labels.len(), works.len());
+        }
+    }
+
+    #[test]
+    fn incremental_engine_matches_reference() {
+        // Uniform, skewed, and duplicate-heavy families; m spanning 2..6
+        // including m > n.
+        let families: Vec<(&str, Vec<f64>)> = vec![
+            (
+                "uniform",
+                (0..14).map(|k| 0.4 + (k as f64 * 0.67) % 2.3).collect(),
+            ),
+            (
+                "skewed",
+                (1..=12).map(|k| (k as f64).powi(2) * 0.1).collect(),
+            ),
+            (
+                "duplicates",
+                (0..15).map(|k| 1.0 + (k % 3) as f64 * 0.5).collect(),
+            ),
+            ("tiny", vec![2.5]),
+            ("two", vec![1.0, 4.0]),
+        ];
+        for (name, works) in &families {
+            for m in [1usize, 2, 3, 6] {
+                for alpha in [2.0, 3.0] {
+                    let (inc_labels, inc) = min_norm_assignment(works, m, alpha);
+                    let (_, reference) = min_norm_assignment_reference(works, m, alpha);
+                    assert!(
+                        (inc - reference).abs() <= 1e-9 * reference.max(1.0),
+                        "{name} m={m} alpha={alpha}: incremental {inc} vs reference {reference}"
+                    );
+                    // The incremental labelling realizes its claimed norm.
+                    let mut loads = vec![0.0f64; m];
+                    for (w, &p) in works.iter().zip(&inc_labels) {
+                        loads[p] += w;
+                    }
+                    let realized: f64 = loads.iter().map(|l| l.powf(alpha)).sum();
+                    assert!(
+                        (realized - inc).abs() <= 1e-9 * inc.max(1.0),
+                        "{name} m={m} alpha={alpha}: claimed {inc} vs realized {realized}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_processors_than_jobs_spread_out() {
+        let works = [3.0, 1.0];
+        for engine in [min_norm_assignment, min_norm_assignment_reference] {
+            let (labels, norm) = engine(&works, 5, 3.0);
+            assert!((norm - 28.0).abs() < 1e-9, "each job alone: 27 + 1");
+            assert_ne!(labels[0], labels[1]);
+        }
+    }
+
+    #[test]
+    fn empty_works() {
+        let (labels, norm) = min_norm_assignment(&[], 3, 3.0);
+        assert!(labels.is_empty());
+        assert_eq!(norm, 0.0);
     }
 
     #[test]

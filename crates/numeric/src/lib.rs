@@ -29,7 +29,11 @@
 //! * **Timeline engine** ([`timeline`]) — coordinate-compressed event
 //!   axis, Fenwick prefix-sum accumulator, and a sorted-disjoint interval
 //!   set. The shared substrate for the deadline stack's critical-interval
-//!   queries (YDS/AVR/OA) and any other sweep over job windows.
+//!   queries (YDS/AVR/OA, paper §2) and any other sweep over job windows.
+//! * **Sorted loads** ([`loads`]) — an incrementally sorted load vector
+//!   with prefix sums and an `O(log m)` waterfill lower bound, the
+//!   search-state core of the §5 `L_α`-norm branch and bound
+//!   (`multi::partition` in `pas-core`).
 //!
 //! The toolkit deliberately restricts itself to field operations and root
 //! extraction plus iteration: Theorem 8 shows exact flow optimization is
@@ -41,6 +45,7 @@
 
 pub mod compare;
 pub mod diff;
+pub mod loads;
 pub mod minimize;
 pub mod poly;
 pub mod rational;
@@ -50,6 +55,7 @@ pub mod sum;
 pub mod timeline;
 
 pub use compare::{approx_eq, approx_eq_abs, approx_eq_rel};
+pub use loads::SortedLoads;
 pub use poly::Polynomial;
 pub use rational::Rational;
 pub use roots::{bisect, find_decreasing_root, invert_monotone, newton_bisect, Bracket, RootError};

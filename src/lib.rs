@@ -59,9 +59,10 @@
 //! | [`discrete`] | `pas-core` | discrete speed ladders and switch overhead (paper §6) |
 //! | [`numeric`] | `pas-numeric` | rootfinding, polynomials, calculus helpers |
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured record of every figure (including one measured
-//! correction to the paper's §4 example — `flow::hardness` documents it).
+//! See `README.md` for the crate map, the engine-vs-reference testing
+//! convention, and the `BENCH_*` perf-trajectory record. One measured
+//! correction to the paper's §4 example is documented in
+//! [`flow::hardness`].
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]

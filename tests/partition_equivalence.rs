@@ -1,0 +1,137 @@
+//! Equivalence oracle for the incremental `L_α`-norm branch and bound.
+//!
+//! `multi::partition::min_norm_assignment` (incremental sorted-loads
+//! state, seeded incumbent, equal-load symmetry breaking), the kept
+//! seed engine `min_norm_assignment_reference` (per-node re-sort and
+//! re-scan), and the work-deque parallel solver must all return
+//! assignments of identical `L_α` norm — exact optima are unique in
+//! value even when the labelling ties — across uniform, skewed, and
+//! duplicate-weight job families, including `m > n` and single-job
+//! edge cases. Each returned labelling must also *realize* its claimed
+//! norm.
+
+use power_aware_scheduling::multi::parallel::{
+    min_norm_assignment_parallel, min_norm_assignment_parallel_with,
+};
+use power_aware_scheduling::multi::partition::{
+    local_search, lpt_assignment, min_norm_assignment, min_norm_assignment_reference,
+};
+use proptest::prelude::*;
+
+/// Norm agreement required between the engines.
+const NORM_TOL: f64 = 1e-9;
+
+/// Check all three engines on one instance; returns the incremental
+/// engine's norm.
+fn check_engines(works: &[f64], m: usize, alpha: f64, label: &str) -> f64 {
+    let (inc_labels, inc) = min_norm_assignment(works, m, alpha);
+    let (_, reference) = min_norm_assignment_reference(works, m, alpha);
+    let (par_labels, par) = min_norm_assignment_parallel(works, m, alpha);
+    // Pinned worker count exercises the deque/atomic machinery even on
+    // single-core CI machines (the auto variant may delegate there).
+    let (_, par3) = min_norm_assignment_parallel_with(works, m, alpha, 3);
+    assert!(
+        (inc - reference).abs() <= NORM_TOL * reference.max(1.0),
+        "{label}: incremental {inc} vs reference {reference}"
+    );
+    assert!(
+        (par - inc).abs() <= NORM_TOL * inc.max(1.0),
+        "{label}: parallel {par} vs incremental {inc}"
+    );
+    assert!(
+        (par3 - inc).abs() <= NORM_TOL * inc.max(1.0),
+        "{label}: parallel(3 workers) {par3} vs incremental {inc}"
+    );
+    for (engine, labels, norm) in [
+        ("incremental", &inc_labels, inc),
+        ("parallel", &par_labels, par),
+    ] {
+        let mut loads = vec![0.0f64; m];
+        for (w, &p) in works.iter().zip(labels) {
+            assert!(p < m, "{label}: {engine} label {p} out of range");
+            loads[p] += w;
+        }
+        let realized: f64 = loads.iter().map(|l| l.powf(alpha)).sum();
+        assert!(
+            (realized - norm).abs() <= NORM_TOL * norm.max(1.0),
+            "{label}: {engine} claims {norm} but realizes {realized}"
+        );
+    }
+    inc
+}
+
+#[test]
+fn single_job_families() {
+    for m in [1usize, 2, 7] {
+        let norm = check_engines(&[2.5], m, 3.0, &format!("single job, m={m}"));
+        assert!((norm - 2.5f64.powi(3)).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn more_processors_than_jobs() {
+    // m > n: optimum puts every job alone, norm = Σ w^α.
+    let works = [3.0, 2.0, 1.0];
+    for m in [4usize, 8, 16] {
+        let norm = check_engines(&works, m, 3.0, &format!("m={m} > n=3"));
+        assert!((norm - (27.0 + 8.0 + 1.0)).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn duplicate_weight_families() {
+    // All-equal and few-distinct-values instances: the adversarial case
+    // for symmetry breaking (every prefix has many tied loads).
+    for (n, m) in [(9usize, 3usize), (12, 4), (13, 5)] {
+        let works = vec![1.5; n];
+        check_engines(&works, m, 3.0, &format!("all-equal n={n} m={m}"));
+        let works: Vec<f64> = (0..n).map(|k| 1.0 + (k % 3) as f64).collect();
+        check_engines(&works, m, 2.0, &format!("three-valued n={n} m={m}"));
+    }
+}
+
+#[test]
+fn heuristics_bound_the_optimum() {
+    // LPT ≥ local-search ≥ optimum, on a mixed family.
+    let works: Vec<f64> = (0..13).map(|k| 0.4 + (k as f64 * 0.77) % 2.9).collect();
+    let (m, alpha) = (4usize, 3.0);
+    let (_, opt) = min_norm_assignment(&works, m, alpha);
+    let (lpt_labels, lpt) = lpt_assignment(&works, m, alpha);
+    let (_, ls) = local_search(&works, m, alpha, lpt_labels);
+    assert!(opt <= lpt + 1e-9 && opt <= ls + 1e-9);
+    assert!(ls <= lpt + 1e-12);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn uniform_family_norms_agree(
+        works in proptest::collection::vec(0.2f64..4.0, 1..13),
+        m in 1usize..5,
+        alpha in 2.0f64..4.0,
+    ) {
+        check_engines(&works, m, alpha, "proptest uniform");
+    }
+
+    #[test]
+    fn skewed_family_norms_agree(
+        raw in proptest::collection::vec(0.1f64..1.5, 2..12),
+        m in 2usize..5,
+    ) {
+        // Cubing skews the weights: a few dominant jobs, many tiny ones.
+        let works: Vec<f64> = raw.iter().map(|w| w * w * w + 0.05).collect();
+        check_engines(&works, m, 3.0, "proptest skewed");
+    }
+
+    #[test]
+    fn duplicate_family_norms_agree(
+        picks in proptest::collection::vec(0usize..3, 2..14),
+        m in 2usize..5,
+    ) {
+        // Weights drawn from a 3-value set: maximal load ties.
+        let table = [0.5, 1.25, 2.0];
+        let works: Vec<f64> = picks.iter().map(|&i| table[i]).collect();
+        check_engines(&works, m, 3.0, "proptest duplicates");
+    }
+}
