@@ -1,14 +1,17 @@
-//! Criterion benches for the §2 deadline-scheduling substrate (E12) and
-//! the YDS timeline engine vs the seed reference (E19).
+//! Criterion benches for the §2 deadline-scheduling substrate (E12),
+//! the YDS timeline engine vs the seed reference (E19), and the OA
+//! kinetic tournament vs the per-event sweep (E22).
 //!
-//! The naive-vs-optimized group stops the `O(n⁴)` reference at n=512 to
-//! keep `cargo bench` minutes-scale; the full acceptance sweep (through
-//! n=2000, written to `BENCH_yds.json`) lives in
-//! `exp-scaling --bench-json`.
+//! The YDS naive-vs-optimized group stops the `O(n⁴)` reference at
+//! n=512 to keep `cargo bench` minutes-scale; the full acceptance
+//! sweeps (YDS through n=2000 into `BENCH_yds.json`, OA through
+//! n=20000 into `BENCH_oa.json`) live in `exp-scaling --bench-json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pas_bench::experiments::scaling::{e19_instance, E19_REFERENCE_CAP};
-use pas_core::deadline::{avr, oa, yds, yds_reference, DeadlineInstance};
+use pas_bench::experiments::scaling::{
+    e19_instance, e22_clustered, e22_uniform, E19_REFERENCE_CAP,
+};
+use pas_core::deadline::{avr, oa, oa_reference, yds, yds_reference, DeadlineInstance};
 use std::hint::black_box;
 
 fn bench_deadline_algorithms(c: &mut Criterion) {
@@ -46,9 +49,30 @@ fn bench_yds_naive_vs_optimized(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_oa_kinetic_vs_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oa_scaling");
+    group.sample_size(10);
+    for &n in &[256usize, 1024, 4096] {
+        for (family, instance) in [("uniform", e22_uniform(n)), ("clustered", e22_clustered(n))] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("kinetic/{family}"), n),
+                &n,
+                |b, _| b.iter(|| oa(black_box(&instance)).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("reference/{family}"), n),
+                &n,
+                |b, _| b.iter(|| oa_reference(black_box(&instance)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_deadline_algorithms,
-    bench_yds_naive_vs_optimized
+    bench_yds_naive_vs_optimized,
+    bench_oa_kinetic_vs_sweep
 );
 criterion_main!(benches);

@@ -2,22 +2,24 @@
 //!
 //! Modes:
 //! * no args — the E4/E5 makespan-solver sweep plus quick E19 (YDS),
-//!   E20 (flow), and E21 (multiproc partition) naive-vs-optimized
-//!   sweeps with the references capped so the run stays fast;
+//!   E20 (flow), E21 (multiproc partition), and E22 (OA) sweeps with
+//!   the references capped so the run stays fast;
 //! * `--bench-json [DIR]` — the acceptance sweeps written as per-path
-//!   bench files `DIR/BENCH_yds.json`, `DIR/BENCH_flow.json`, and
-//!   `DIR/BENCH_multi.json` (default `.`), the perf-trajectory records
-//!   successive PRs compare against. Expect tens of minutes: the YDS
-//!   reference is `O(n⁴)` through n=2000, the flow reference curve is
-//!   ~120 cold bisection solves of an `O(iters·n)` engine at n=1000,
-//!   and the multiproc reference is an exponential branch and bound
-//!   measured through the n=30/m=8 witness — that cost is the point;
+//!   bench files `DIR/BENCH_yds.json`, `DIR/BENCH_flow.json`,
+//!   `DIR/BENCH_multi.json`, and `DIR/BENCH_oa.json` (default `.`),
+//!   the perf-trajectory records successive PRs compare against.
+//!   Expect tens of minutes: the YDS reference is `O(n⁴)` through
+//!   n=2000, the flow reference curve is ~120 cold bisection solves of
+//!   an `O(iters·n)` engine at n=1000, and the multiproc reference is
+//!   an exponential branch and bound measured through the n=30/m=8
+//!   witness — that cost is the point. (The OA sweep is the cheap one:
+//!   its reference is `O(n·D log n)`, measured through n=20000.);
 //! * `--bench-json --smoke [DIR]` — the same files from a seconds-scale
 //!   tier (small sizes, capped references), exercised in CI so the bench
 //!   plumbing can never rot;
-//! * `--only yds` / `--only flow` / `--only multi` — restrict either
-//!   mode to one path (the other `BENCH_*.json` files are left
-//!   untouched).
+//! * `--only yds` / `--only flow` / `--only multi` / `--only oa` —
+//!   restrict either mode to one path (the other `BENCH_*.json` files
+//!   are left untouched).
 use pas_bench::experiments::scaling;
 
 fn main() {
@@ -29,14 +31,15 @@ fn main() {
         .and_then(|p| args.get(p + 1))
         .cloned();
     if let Some(o) = only.as_deref() {
-        if o != "yds" && o != "flow" && o != "multi" {
-            eprintln!("--only takes `yds`, `flow`, or `multi`, got `{o}`");
+        if o != "yds" && o != "flow" && o != "multi" && o != "oa" {
+            eprintln!("--only takes `yds`, `flow`, `multi`, or `oa`, got `{o}`");
             std::process::exit(2);
         }
     }
     let run_yds = only.as_deref().is_none_or(|o| o == "yds");
     let run_flow = only.as_deref().is_none_or(|o| o == "flow");
     let run_multi = only.as_deref().is_none_or(|o| o == "multi");
+    let run_oa = only.as_deref().is_none_or(|o| o == "oa");
 
     if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
         let dir = args
@@ -77,6 +80,17 @@ fn main() {
             std::fs::write(&path, scaling::multi_bench_json(&points)).expect("write BENCH json");
             eprintln!("wrote {path}");
         }
+        if run_oa {
+            let points = if smoke {
+                scaling::oa_scaling_smoke()
+            } else {
+                scaling::oa_scaling_default()
+            };
+            scaling::oa_table(&points).print();
+            let path = format!("{dir}/BENCH_oa.json");
+            std::fs::write(&path, scaling::oa_bench_json(&points)).expect("write BENCH json");
+            eprintln!("wrote {path}");
+        }
         return;
     }
     for table in scaling::run() {
@@ -96,5 +110,10 @@ fn main() {
     if run_multi {
         let points = scaling::multi_scaling_smoke();
         scaling::multi_table(&points).print();
+        println!();
+    }
+    if run_oa {
+        let points = scaling::oa_scaling(&[256, 1_024, 4_096], 4_096);
+        scaling::oa_table(&points).print();
     }
 }

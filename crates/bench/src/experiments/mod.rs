@@ -3,13 +3,13 @@
 //! | Module | Experiments | Reproduces |
 //! |--------|-------------|------------|
 //! | [`figures`] | E1–E3 | paper Figures 1, 2, 3 |
-//! | [`scaling`] | E4, E5 | §3 linear-time claim vs DP / MoveRight |
+//! | [`scaling`] | E4, E5, E19–E22 | §3 linear-time claim vs DP / MoveRight; the `BENCH_*` naive-vs-optimized sweeps (YDS, flow, multiproc, OA) |
 //! | [`hardness`] | E6 | Theorem 8 witness (+ measured correction) |
 //! | [`flowcurve`] | E7, E8 | §4 flow↔energy curve and Theorem-1 residuals |
 //! | [`multiproc`] | E9, E10 | Theorem 10, multiprocessor makespan/flow |
 //! | [`partition`] | E11 | Theorem 11 reduction, B&B vs heuristics |
 //! | [`deadline_ratios`] | E12 | AVR / OA empirical competitive ratios |
-//! | [`online_budget`] | E13 | §6 online policies vs offline frontier |
+//! | [`online_budget`] | E13 | §6 online policies vs offline frontier (plus the `ReadySet` scale sweep to n=20000) |
 //! | [`discrete_levels`] | E14, E15 | §6 discrete speeds and switch overhead |
 //! | [`precedence_dag`] | E16 | §2 precedence-constrained makespan heuristic vs bounds |
 //! | [`temperature`] | E17 | §2 thermal objective (Bansal–Kimbrel–Pruhs model) |

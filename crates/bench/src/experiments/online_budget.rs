@@ -8,7 +8,7 @@
 //! tension §6 describes); the clairvoyant constant-speed baseline is
 //! near 1 on dense inputs but pays for idle gaps.
 
-use crate::harness::{fmt, CsvTable};
+use crate::harness::{fmt, time_min, CsvTable};
 use pas_core::online::{compare_online, AdaptiveRate, ConstantSpeed, FractionalSpend, SpendAll};
 use pas_power::PolyPower;
 use pas_sim::online::OnlinePolicy;
@@ -62,7 +62,40 @@ pub fn run() -> Vec<CsvTable> {
             }
         }
     }
-    vec![table]
+    vec![table, scaling_table(&[2_000, 10_000, 20_000])]
+}
+
+/// The E13 scale sweep: one full online-vs-offline comparison per size
+/// on a Poisson stream, wall-clocked. The `ReadySet` engine makes every
+/// policy decision `O(1)`, so these rows are sub-second even at
+/// `n = 20000` — the scale the previous `O(n²)` engine could not reach.
+pub fn scaling_table(sizes: &[usize]) -> CsvTable {
+    let model = PolyPower::CUBE;
+    let mut table = CsvTable::new(
+        "online_budget_scaling",
+        &["n", "policy", "seconds", "ratio", "within_budget"],
+    );
+    for &n in sizes {
+        let instance = generators::poisson(n, 0.8, (0.5, 1.5), 7);
+        let budget = 1.5 * instance.total_work();
+        let mut policies: Vec<Box<dyn OnlinePolicy>> = vec![
+            Box::new(AdaptiveRate::new(model, budget, 10.0)),
+            Box::new(FractionalSpend::new(model, budget, 0.5)),
+        ];
+        for policy in policies.iter_mut() {
+            let (report, secs) = time_min(1, || {
+                compare_online(&instance, &model, budget, policy.as_mut()).expect("runs")
+            });
+            table.push_row(vec![
+                n.to_string(),
+                policy.name(),
+                fmt(secs),
+                fmt(report.ratio),
+                report.within_budget.to_string(),
+            ]);
+        }
+    }
+    table
 }
 
 #[cfg(test)]
@@ -73,6 +106,18 @@ mod tests {
         for row in &tables[0].rows {
             let ratio: f64 = row[3].parse().unwrap();
             assert!(ratio >= 1.0 - 1e-6, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn scale_sweep_stays_within_budget() {
+        // Small sizes here; the n=20000 rows run in the binary.
+        let table = super::scaling_table(&[500, 2_000]);
+        assert_eq!(table.rows.len(), 4);
+        for row in &table.rows {
+            let ratio: f64 = row[3].parse().unwrap();
+            assert!(ratio >= 1.0 - 1e-6, "{row:?}");
+            assert_eq!(row[4], "true", "{row:?}");
         }
     }
 }

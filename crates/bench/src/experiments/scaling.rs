@@ -28,9 +28,17 @@
 //! terminates where it is measured; points outside the reference's
 //! reach record `null` reference columns exactly like the other paths'
 //! caps.
+//!
+//! E22 ([`oa_scaling`]) covers the last deadline-stack engine: Optimal
+//! Available on the kinetic tournament (`oa`, `O(log n)` amortized per
+//! re-plan) against the kept per-event rank sweep (`oa_reference`,
+//! `O(D log n)` per re-plan), written as `BENCH_oa.json`. Two families
+//! per size — `uniform` (the E19 shape) and `clustered` (deadlines in
+//! tight bands: near-tie certificates, the tournament's adversarial
+//! case) — with per-point energy agreement recorded like E19/E20.
 
 use crate::harness::{fmt, time_min, CsvTable};
-use pas_core::deadline::{yds, yds_reference, DeadlineInstance};
+use pas_core::deadline::{oa, oa_reference, yds, yds_reference, DeadlineInstance, DeadlineJob};
 use pas_core::flow::curve::tradeoff_curve;
 use pas_core::flow::solver::{laptop_reference, solve_for_u, solve_for_u_reference};
 use pas_core::makespan::{dp, incmerge, moveright, Frontier};
@@ -870,8 +878,215 @@ pub fn multi_bench_json(points: &[MultiScalingPoint]) -> String {
     out
 }
 
+/// One measured point of the E22 OA kinetic-vs-sweep sweep.
+#[derive(Debug, Clone)]
+pub struct OaScalingPoint {
+    /// Instance size.
+    pub n: usize,
+    /// Which E22 family the instance came from (`uniform` /
+    /// `clustered`).
+    pub family: &'static str,
+    /// Kinetic-tournament `oa()` seconds (min over repeats).
+    pub kinetic_s: f64,
+    /// Repeats behind `kinetic_s`.
+    pub kinetic_repeats: usize,
+    /// Per-event-sweep `oa_reference()` seconds (`None` past the cap).
+    pub reference_s: Option<f64>,
+    /// Repeats behind `reference_s`.
+    pub reference_repeats: Option<usize>,
+    /// Relative energy gap |kinetic − reference| / reference under σ³.
+    pub energy_rel_gap: Option<f64>,
+}
+
+impl OaScalingPoint {
+    /// reference / kinetic, when both were measured.
+    pub fn speedup(&self) -> Option<f64> {
+        self.reference_s.map(|r| r / self.kinetic_s)
+    }
+}
+
+/// The E22 `uniform` family: same generator shape as E19, so the two
+/// deadline-stack curves describe comparable instances. Shared with the
+/// criterion bench (`benches/bench_deadline.rs`).
+pub fn e22_uniform(n: usize) -> DeadlineInstance {
+    DeadlineInstance::random(n, n as f64, (0.5, 6.0), (0.2, 3.0), 42)
+}
+
+/// The E22 `clustered` family: deadlines packed into `n/100 + 4` tight
+/// bands (distinct values, `~0.05`-wide jitter), releases a short
+/// window before them. Near-ties everywhere is the adversarial case
+/// for the kinetic tournament's certificates — margins are small, so
+/// revalidation pressure is maximal — while the per-event sweep still
+/// pays for every live rank.
+pub fn e22_clustered(n: usize) -> DeadlineInstance {
+    use rand::distributions::{Distribution, Uniform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let clusters = n / 100 + 4;
+    let span = n as f64;
+    let mut rng = StdRng::seed_from_u64(42);
+    let cluster_of = Uniform::new(0usize, clusters);
+    let jitter = Uniform::new_inclusive(0.0, 0.05);
+    let work = Uniform::new_inclusive(0.2, 2.0);
+    let release_back = Uniform::new_inclusive(0.5, 4.0);
+    let jobs = (0..n)
+        .map(|i| {
+            let center = span * (cluster_of.sample(&mut rng) as f64 + 1.0) / clusters as f64;
+            let d = center + jitter.sample(&mut rng);
+            let r = (d - release_back.sample(&mut rng)).max(0.0);
+            DeadlineJob::new(i as u32, r, d, work.sample(&mut rng))
+        })
+        .collect();
+    DeadlineInstance::new(jobs).expect("clustered jobs are valid")
+}
+
+/// The E22 families as strings, recorded in `BENCH_oa.json`.
+pub const E22_FAMILIES: [&str; 2] = [
+    "uniform: DeadlineInstance::random(n, n, (0.5, 6.0), (0.2, 3.0), 42)",
+    "clustered: n/100+4 bands, 0.05 jitter, release 0.5-4.0 before deadline, seed 42",
+];
+
+/// E22: the kinetic-tournament OA against the per-event-sweep
+/// reference on both families, reference measured up to
+/// `reference_cap`. Unlike the `O(n⁴)` YDS seed, the OA reference is
+/// only `O(n · D log n)`, so the acceptance sweep measures it at every
+/// point including n = 20000 (seconds, not minutes).
+pub fn oa_scaling(sizes: &[usize], reference_cap: usize) -> Vec<OaScalingPoint> {
+    let model = PolyPower::CUBE;
+    let mut points = Vec::new();
+    for &n in sizes {
+        for (family, inst) in [("uniform", e22_uniform(n)), ("clustered", e22_clustered(n))] {
+            let kinetic_repeats = if n <= 5_000 { 5 } else { 3 };
+            let (fast, kinetic_s) = time_min(kinetic_repeats, || oa(&inst).expect("feasible"));
+            let (reference_s, reference_repeats, energy_rel_gap) = if n <= reference_cap {
+                let repeats = if n <= 5_000 { 3 } else { 2 };
+                let (slow, secs) = time_min(repeats, || oa_reference(&inst).expect("feasible"));
+                let e_fast = metrics::energy(&fast, &model);
+                let e_slow = metrics::energy(&slow, &model);
+                (
+                    Some(secs),
+                    Some(repeats),
+                    Some((e_fast - e_slow).abs() / e_slow),
+                )
+            } else {
+                (None, None, None)
+            };
+            points.push(OaScalingPoint {
+                n,
+                family,
+                kinetic_s,
+                kinetic_repeats,
+                reference_s,
+                reference_repeats,
+                energy_rel_gap,
+            });
+        }
+    }
+    points
+}
+
+/// The default E22 sweep (reference measured at every point including
+/// the n = 20000 acceptance configuration).
+pub fn oa_scaling_default() -> Vec<OaScalingPoint> {
+    oa_scaling(&[1_000, 5_000, 20_000], 20_000)
+}
+
+/// The smoke-tier E22 sweep: seconds-scale, exercised in CI.
+pub fn oa_scaling_smoke() -> Vec<OaScalingPoint> {
+    oa_scaling(&[256, 1_024], 1_024)
+}
+
+/// Render E22 points as the `scaling_oa` CSV table.
+pub fn oa_table(points: &[OaScalingPoint]) -> CsvTable {
+    let mut table = CsvTable::new(
+        "scaling_oa",
+        &[
+            "n",
+            "family",
+            "kinetic_s",
+            "reference_s",
+            "speedup",
+            "energy_rel_gap",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.n.to_string(),
+            p.family.to_string(),
+            fmt(p.kinetic_s),
+            p.reference_s.map(fmt).unwrap_or_default(),
+            p.speedup().map(|s| format!("{s:.2}")).unwrap_or_default(),
+            p.energy_rel_gap
+                .map(|g| format!("{g:.3e}"))
+                .unwrap_or_default(),
+        ]);
+    }
+    table
+}
+
+/// Render E22 points as the `BENCH_oa.json` document — the OA path's
+/// perf-trajectory record, sibling to the other `BENCH_*` files.
+pub fn oa_bench_json(points: &[OaScalingPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"oa_kinetic_tournament\",\n");
+    out.push_str(&format!(
+        "  \"instance_families\": [\"{}\", \"{}\"],\n",
+        E22_FAMILIES[0], E22_FAMILIES[1]
+    ));
+    out.push_str("  \"metric\": \"wall_seconds_min_over_repeats\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"family\": \"{}\", \"kinetic_s\": {:.6}, \"kinetic_repeats\": {}, \"reference_s\": {}, \"reference_repeats\": {}, \"speedup\": {}, \"energy_rel_gap\": {}}}{}\n",
+            p.n,
+            p.family,
+            p.kinetic_s,
+            p.kinetic_repeats,
+            p.reference_s
+                .map(|r| format!("{r:.6}"))
+                .unwrap_or_else(|| "null".to_string()),
+            p.reference_repeats
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            p.speedup()
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "null".to_string()),
+            p.energy_rel_gap
+                .map(|g| format!("{g:.3e}"))
+                .unwrap_or_else(|| "null".to_string()),
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn oa_scaling_point_speedup_and_agreement() {
+        let points = super::oa_scaling(&[96, 192], 96);
+        assert_eq!(points.len(), 4); // two families per size
+        for p in &points[..2] {
+            assert_eq!(p.n, 96);
+            assert!(p.speedup().unwrap() > 0.0);
+            assert!(
+                p.energy_rel_gap.unwrap() < 1e-9,
+                "{}: gap {:?}",
+                p.family,
+                p.energy_rel_gap
+            );
+        }
+        // Past the cap the reference columns go null.
+        assert!(points[2].reference_s.is_none());
+        assert!(points[3].energy_rel_gap.is_none());
+        let table = super::oa_table(&points);
+        assert_eq!(table.rows.len(), 4);
+        let json = super::oa_bench_json(&points);
+        assert!(json.contains("\"bench\": \"oa_kinetic_tournament\""));
+        assert!(json.contains("\"family\": \"clustered\""));
+        assert!(json.contains("\"reference_s\": null"));
+    }
+
     #[test]
     fn flow_scaling_point_speedup_and_agreement() {
         let points = super::flow_scaling(&[32, 64], 8, 32);

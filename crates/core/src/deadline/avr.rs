@@ -19,10 +19,42 @@
 
 use crate::deadline::job::DeadlineInstance;
 use crate::error::CoreError;
+use pas_numeric::kinetic::KineticTournament;
 use pas_numeric::timeline::{EventAxis, TimeKey};
 use pas_sim::{Schedule, Slice};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// The AVR profile's **density-step maximum**: the segment start time
+/// and speed of the profile's peak, answered by the kinetic rank tree's
+/// max-prefix aggregate
+/// ([`KineticTournament::peak_prefix`]) over signed density deltas —
+/// the same structure [`oa`](crate::deadline::oa::oa) re-plans on.
+///
+/// This is the piece of the kinetic structure that fits AVR: the speed
+/// profile is a *sum* of active densities, not a max of prefix/(d − t)
+/// ratios, so the tournament's certificate machinery has nothing to
+/// race — but its prefix tree answers "where is the profile highest"
+/// (the peak the bounded-speed regimes of §6 care about) in `O(log n)`
+/// after `O(n log n)` loading. Ties prefer the earliest segment.
+pub fn profile_peak(instance: &DeadlineInstance) -> (f64, f64) {
+    let jobs = instance.jobs();
+    let axis = EventAxis::new(jobs.iter().flat_map(|j| [j.release, j.deadline]));
+    // Any finite start time works: the peak query is time-independent.
+    let mut deltas = KineticTournament::new(axis.times(), axis.time(0));
+    for j in jobs {
+        deltas.add(
+            axis.rank_of(j.release).expect("release is an event"),
+            j.density(),
+        );
+        deltas.add(
+            axis.rank_of(j.deadline).expect("deadline is an event"),
+            -j.density(),
+        );
+    }
+    let (rank, peak) = deltas.peak_prefix();
+    (axis.time(rank), peak)
+}
 
 /// Run AVR on `instance`, producing the executed schedule.
 ///
@@ -156,6 +188,41 @@ mod tests {
             let ratio = a / y;
             assert!(ratio >= 1.0 - 1e-9, "seed {seed}: AVR beat OPT? {ratio}");
             assert!(ratio <= bound, "seed {seed}: ratio {ratio} above bound");
+        }
+    }
+
+    #[test]
+    fn profile_peak_matches_materialized_profile() {
+        for seed in 0..10 {
+            let inst = DeadlineInstance::random(30, 20.0, (0.5, 6.0), (0.2, 2.0), seed);
+            let (at, peak) = profile_peak(&inst);
+            // Materialize the profile the way `avr` does and compare.
+            let axis = pas_numeric::timeline::EventAxis::new(
+                inst.jobs().iter().flat_map(|j| [j.release, j.deadline]),
+            );
+            let mut delta = vec![0.0f64; axis.len()];
+            for j in inst.jobs() {
+                delta[axis.rank_of(j.release).unwrap()] += j.density();
+                delta[axis.rank_of(j.deadline).unwrap()] -= j.density();
+            }
+            let mut running = 0.0f64;
+            let mut best = (0usize, f64::NEG_INFINITY);
+            for (i, d) in delta.iter().enumerate() {
+                running += d;
+                if running > best.1 {
+                    best = (i, running);
+                }
+            }
+            assert!(
+                (peak - best.1).abs() < 1e-9,
+                "seed {seed}: {peak} vs {}",
+                best.1
+            );
+            assert!(
+                (at - axis.time(best.0)).abs() < 1e-12,
+                "seed {seed}: peak at {at} vs {}",
+                axis.time(best.0)
+            );
         }
     }
 

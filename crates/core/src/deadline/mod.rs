@@ -21,18 +21,21 @@
 //!
 //! All three schedulers run on the shared
 //! [`timeline`](pas_numeric::timeline) substrate (compressed event axis,
-//! Fenwick work accumulator, sorted-disjoint interval set); see each
-//! module's complexity notes. [`yds_reference`] keeps the seed `O(n⁴)`
-//! implementation as the cross-checking oracle, and E19
-//! (`exp-scaling --bench-json`) records the naive-vs-optimized scaling
-//! curve to `BENCH_yds.json`.
+//! Fenwick work accumulator, sorted-disjoint interval set), and OA
+//! re-plans on the [`kinetic`](pas_numeric::kinetic) tournament; see
+//! each module's complexity notes. [`yds_reference`] keeps the seed
+//! `O(n⁴)` implementation and [`oa_reference`] the per-event rank sweep
+//! as cross-checking oracles; E19 and E22 (`exp-scaling --bench-json`)
+//! record the naive-vs-optimized scaling curves to `BENCH_yds.json` and
+//! `BENCH_oa.json`. See `DESIGN.md` at the repo root for the full
+//! paper-to-code map.
 
 pub mod avr;
 pub mod job;
 pub mod oa;
 pub mod yds;
 
-pub use avr::avr;
+pub use avr::{avr, profile_peak};
 pub use job::{DeadlineInstance, DeadlineJob};
-pub use oa::oa;
+pub use oa::{oa, oa_reference};
 pub use yds::{yds, yds_reference, YdsOutcome, YdsRound};

@@ -15,27 +15,145 @@
 //!
 //! # Complexity
 //!
-//! Remaining work of released, unfinished jobs lives in a [`Fenwick`]
-//! accumulator keyed by deadline rank on the shared [`EventAxis`], so
-//! each event re-plans with `O(D log n)` prefix-sum queries (one per
-//! candidate deadline) instead of the seed's `O(D · n)` filter-and-sum,
-//! and the EDF pick comes from a deadline-keyed [`BinaryHeap`] instead of
-//! an `O(n)` ready-scan: `O(n · D log n)` overall, against the seed's
-//! `O(n² · D)`.
+//! [`oa`] keeps the remaining work of released, unfinished jobs in a
+//! [`KineticTournament`] keyed by deadline rank: each leaf's key is the
+//! linear-fractional function `t ↦ prefix(d)/(d − t)`, and
+//! certificate-based lazy revalidation makes each re-plan (a weight
+//! update plus one argmax) `O(log n)` amortized, for `O(n log n)`
+//! overall. [`oa_reference`] keeps the previous engine — a [`Fenwick`]
+//! accumulator re-scanned over every live deadline rank per event,
+//! `O(D log n)` per re-plan and `O(n · D log n)` overall — as the
+//! equivalence oracle (`tests/oa_equivalence.rs`); E22
+//! (`exp-scaling --only oa --bench-json`) records the measured
+//! naive-vs-kinetic curve to `BENCH_oa.json`.
 
 use crate::deadline::job::DeadlineInstance;
 use crate::error::CoreError;
+use pas_numeric::kinetic::KineticTournament;
 use pas_numeric::timeline::{EventAxis, Fenwick, TimeKey};
 use pas_sim::{Schedule, Slice};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Run Optimal Available on `instance`.
+/// Run Optimal Available on `instance` (kinetic-tournament engine).
 ///
 /// # Errors
 /// [`CoreError::VerificationFailed`] on internal invariant violations
 /// (never for valid instances).
 pub fn oa(instance: &DeadlineInstance) -> Result<Schedule, CoreError> {
+    let jobs = instance.jobs();
+    let n = jobs.len();
+    let deadlines = EventAxis::new(jobs.iter().map(|j| j.deadline));
+    let rank: Vec<usize> = jobs
+        .iter()
+        .map(|j| {
+            deadlines
+                .rank_of(j.deadline)
+                .expect("every deadline is on the axis")
+        })
+        .collect();
+    // Remaining work of released, unfinished jobs, keyed by deadline
+    // rank; the tournament maintains argmax_d prefix(d)/(d − t).
+    let mut tournament = KineticTournament::new(deadlines.times(), jobs[0].release);
+    // Released, unfinished jobs, earliest deadline on top.
+    let mut heap: BinaryHeap<Reverse<TimeKey>> = BinaryHeap::with_capacity(n);
+
+    let mut remaining: Vec<f64> = jobs.iter().map(|j| j.work).collect();
+    let mut slices = Vec::new();
+    let mut t = jobs[0].release;
+    let mut next = 0usize; // arrival pointer (jobs are release-sorted)
+    let mut done = 0usize;
+    let mut guard = 10_000 * (n + 1);
+
+    while done < n {
+        guard -= 1;
+        if guard == 0 {
+            return Err(CoreError::VerificationFailed {
+                reason: "OA: event budget exhausted".to_string(),
+            });
+        }
+        tournament.advance_to(t);
+        while next < n && jobs[next].release <= t + 1e-12 {
+            heap.push(Reverse(TimeKey::new(jobs[next].deadline, next)));
+            tournament.add(rank[next], remaining[next]);
+            next += 1;
+        }
+        let next_release = jobs.get(next).map_or(f64::INFINITY, |j| j.release);
+
+        let Some(&Reverse(top)) = heap.peek() else {
+            if !next_release.is_finite() {
+                return Err(CoreError::VerificationFailed {
+                    reason: "OA: stalled with jobs remaining".to_string(),
+                });
+            }
+            t = next_release;
+            continue;
+        };
+        let k = top.index();
+
+        // OA speed: one kinetic argmax instead of a rank sweep. The
+        // scan starts at the EDF job's deadline rank: every earlier
+        // deadline has only finished jobs (prefix exactly zero in real
+        // arithmetic), and excluding them keeps accumulated float noise
+        // at drained ranks from being amplified by a tiny `d − t`.
+        let speed = tournament.argmax_from(rank[k]).map_or(0.0, |c| c.ratio);
+        if speed <= 0.0 {
+            return Err(CoreError::VerificationFailed {
+                reason: format!("OA: zero speed at t={t}"),
+            });
+        }
+
+        // EDF job at that speed until completion or next arrival.
+        let until = (t + remaining[k] / speed).min(next_release);
+        if until > t + 1e-12 {
+            // Clamp to the job's remaining work: `speed · Δt` can
+            // overshoot by an ulp at completion, and feeding the excess
+            // into the accumulator as a negative residue would drift it.
+            let executed = (speed * (until - t)).min(remaining[k]);
+            slices.push(Slice::new(jobs[k].id, t, until, speed));
+            remaining[k] -= executed;
+            tournament.add(rank[k], -executed);
+        }
+        if remaining[k] <= 1e-9 * jobs[k].work {
+            tournament.add(rank[k], -remaining[k]);
+            remaining[k] = 0.0;
+            heap.pop();
+            done += 1;
+        }
+        t = until.max(t + 1e-12);
+    }
+
+    let mut schedule = Schedule::from_slices(slices);
+    schedule.coalesce(1e-9);
+    instance.validate_schedule(&schedule, 1e-6)?;
+    Ok(schedule)
+}
+
+/// Run Optimal Available with the previous per-event sweep engine: the
+/// [`Fenwick`] work accumulator re-scanned over every live deadline rank
+/// at each event (`O(D log n)` per re-plan).
+///
+/// Kept as the equivalence oracle for [`oa`]
+/// (`tests/oa_equivalence.rs`) and as the baseline E22 measures
+/// (`BENCH_oa.json`). Two deliberate departures from verbatim
+/// preservation, both shared with [`oa`] because an oracle that injects
+/// noise events cannot certify anything:
+///
+/// * the completion clamp (`executed ≤ remaining`) — without it the
+///   accumulator keeps `~1e-15` residues at *passed* deadlines;
+/// * the sweep starts at the EDF deadline rank — earlier prefixes are
+///   exactly zero in real arithmetic, but any tree of float sums holds
+///   `~1e-15` association noise there, and an event landing within
+///   `~1e-15` of a drained deadline (which OA does systematically — the
+///   critical group completes exactly at its deadline) would amplify
+///   that residue into a garbage speed via `residue / (d − t)`.
+///
+/// Everything else is the pre-kinetic engine unchanged.
+///
+/// # Errors
+/// [`CoreError::VerificationFailed`] on internal invariant violations
+/// (never for valid instances).
+pub fn oa_reference(instance: &DeadlineInstance) -> Result<Schedule, CoreError> {
     let jobs = instance.jobs();
     let n = jobs.len();
     let deadlines = EventAxis::new(jobs.iter().map(|j| j.deadline));
@@ -86,9 +204,11 @@ pub fn oa(instance: &DeadlineInstance) -> Result<Schedule, CoreError> {
         let k = top.index();
 
         // OA speed: the max over deadlines of remaining-work density,
-        // one prefix-sum query per candidate deadline.
+        // one prefix-sum query per candidate deadline. Like `oa`, the
+        // scan starts no earlier than the EDF deadline rank so float
+        // residue at drained ranks cannot masquerade as density.
         let mut speed = 0.0f64;
-        for di in deadlines.rank_below(t)..deadlines.len() {
+        for di in deadlines.rank_below(t).max(rank[k])..deadlines.len() {
             let d = deadlines.time(di);
             if d > t {
                 speed = speed.max(released_work.prefix_sum(di + 1) / (d - t));
@@ -103,7 +223,8 @@ pub fn oa(instance: &DeadlineInstance) -> Result<Schedule, CoreError> {
         // EDF job at that speed until completion or next arrival.
         let until = (t + remaining[k] / speed).min(next_release);
         if until > t + 1e-12 {
-            let executed = speed * (until - t);
+            // Shared overrun clamp — see the function docs.
+            let executed = (speed * (until - t)).min(remaining[k]);
             slices.push(Slice::new(jobs[k].id, t, until, speed));
             remaining[k] -= executed;
             released_work.add(rank[k], -executed);
@@ -160,6 +281,15 @@ mod tests {
         for seed in 0..20 {
             let inst = DeadlineInstance::random(25, 25.0, (0.5, 6.0), (0.2, 2.0), seed);
             let sched = oa(&inst).unwrap();
+            inst.validate_schedule(&sched, 1e-6).unwrap();
+        }
+    }
+
+    #[test]
+    fn reference_engine_meets_deadlines_too() {
+        for seed in 0..10 {
+            let inst = DeadlineInstance::random(25, 25.0, (0.5, 6.0), (0.2, 2.0), seed);
+            let sched = oa_reference(&inst).unwrap();
             inst.validate_schedule(&sched, 1e-6).unwrap();
         }
     }

@@ -26,6 +26,11 @@
 //! paper itself specializes (Theorem 1 and Theorem 8 are stated for
 //! `P = σ^α`; the flow solver follows suit and says so in its types).
 //!
+//! `DESIGN.md` at the repository root carries the full architecture
+//! diagram, the theorem-by-theorem paper-to-code map, and the
+//! engine-vs-reference convention that keeps the four fast engines
+//! (YDS, flow, partition, OA) honest against their kept references.
+//!
 //! # Quick start
 //!
 //! The paper's §3.2 running example (`r = [0, 5, 6]`, `w = [5, 2, 1]`,

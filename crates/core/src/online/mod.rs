@@ -22,7 +22,7 @@
 use crate::error::CoreError;
 use crate::makespan::frontier::Frontier;
 use pas_power::PowerModel;
-use pas_sim::online::{run_online, Decision, OnlinePolicy, PendingJob};
+use pas_sim::online::{run_online, Decision, OnlinePolicy, ReadySet};
 use pas_sim::{metrics, Schedule};
 use pas_workload::Instance;
 
@@ -46,9 +46,9 @@ impl<M: PowerModel> SpendAll<M> {
 }
 
 impl<M: PowerModel> OnlinePolicy for SpendAll<M> {
-    fn decide(&mut self, _now: f64, ready: &[PendingJob], energy_spent: f64) -> Option<Decision> {
+    fn decide(&mut self, _now: f64, ready: &ReadySet, energy_spent: f64) -> Option<Decision> {
         let first = ready.first()?;
-        let backlog: f64 = ready.iter().map(|p| p.remaining).sum();
+        let backlog = ready.backlog();
         let remaining_energy = (self.budget - energy_spent).max(0.0);
         let speed = self
             .model
@@ -92,9 +92,9 @@ impl<M: PowerModel> FractionalSpend<M> {
 }
 
 impl<M: PowerModel> OnlinePolicy for FractionalSpend<M> {
-    fn decide(&mut self, _now: f64, ready: &[PendingJob], energy_spent: f64) -> Option<Decision> {
+    fn decide(&mut self, _now: f64, ready: &ReadySet, energy_spent: f64) -> Option<Decision> {
         let first = ready.first()?;
-        let backlog: f64 = ready.iter().map(|p| p.remaining).sum();
+        let backlog = ready.backlog();
         let committed = self.beta * (self.budget - energy_spent).max(0.0);
         let speed = self
             .model
@@ -129,9 +129,6 @@ pub struct AdaptiveRate<M> {
     budget: f64,
     /// How far ahead (in time units) to extrapolate the observed rate.
     horizon: f64,
-    first_arrival: Option<f64>,
-    seen_work: f64,
-    seen_ids: std::collections::HashSet<u32>,
 }
 
 impl<M: PowerModel> AdaptiveRate<M> {
@@ -145,28 +142,22 @@ impl<M: PowerModel> AdaptiveRate<M> {
             model,
             budget,
             horizon,
-            first_arrival: None,
-            seen_work: 0.0,
-            seen_ids: std::collections::HashSet::new(),
         }
     }
 }
 
 impl<M: PowerModel> OnlinePolicy for AdaptiveRate<M> {
-    fn decide(&mut self, now: f64, ready: &[PendingJob], energy_spent: f64) -> Option<Decision> {
-        for p in ready {
-            if self.seen_ids.insert(p.id) {
-                self.seen_work += p.work;
-                self.first_arrival.get_or_insert(p.release);
-            }
-        }
+    fn decide(&mut self, now: f64, ready: &ReadySet, energy_spent: f64) -> Option<Decision> {
+        // The engine's ReadySet maintains the arrival history the old
+        // implementation tracked with its own HashSet sweep — this
+        // decide is O(1).
         let first = ready.first()?;
-        let backlog: f64 = ready.iter().map(|p| p.remaining).sum();
-        let elapsed = (now - self.first_arrival.unwrap_or(now)).max(1e-9);
+        let backlog = ready.backlog();
+        let seen_work = ready.seen_work();
+        let elapsed = (now - ready.first_arrival().unwrap_or(now)).max(1e-9);
         // Extrapolated total outstanding work if arrivals continue at the
         // observed average rate for `horizon` more time.
-        let projected =
-            self.seen_work * (1.0 + self.horizon / elapsed) - (self.seen_work - backlog);
+        let projected = seen_work * (1.0 + self.horizon / elapsed) - (seen_work - backlog);
         let share = (backlog / projected.max(backlog)).clamp(0.0, 1.0);
         let committed = share * (self.budget - energy_spent).max(0.0);
         let speed = self
@@ -212,7 +203,7 @@ impl ConstantSpeed {
 }
 
 impl OnlinePolicy for ConstantSpeed {
-    fn decide(&mut self, _now: f64, ready: &[PendingJob], _spent: f64) -> Option<Decision> {
+    fn decide(&mut self, _now: f64, ready: &ReadySet, _spent: f64) -> Option<Decision> {
         ready.first().map(|p| Decision {
             job: p.id,
             speed: self.speed,

@@ -1,0 +1,679 @@
+//! Kinetic tournament over deadline ranks: `argmax_d prefix(d)/(d − t)`
+//! under point weight updates and monotone time advance.
+//!
+//! The Optimal Available re-planning query (paper §2, `pas-core`'s
+//! `deadline::oa`) asks, at every event time `t`, for the deadline `d`
+//! maximizing the *remaining-work density* `W(d)/(d − t)` where `W(d)`
+//! is the total remaining work with deadline at most `d`. A flat sweep
+//! answers it in `O(D log n)` per event; this structure answers it in
+//! `O(log n)` amortized by treating each deadline rank as a leaf whose
+//! key is the linear-fractional function `t ↦ prefix(d)/(d − t)` and
+//! racing the leaves in a segment-tree tournament.
+//!
+//! # Certificates
+//!
+//! Each internal node caches the winner of the race between its
+//! children's winners, plus a **certificate**: three budgets measuring
+//! how much the world may move before any cached race in the subtree
+//! can flip —
+//!
+//! * a *time budget* (absolute erosion headroom per unit of elapsed
+//!   time; only races currently won by the *later* leaf erode with
+//!   time, at rate `S_j − S_i`, the weight between the racers),
+//! * a *positive shift budget* (headroom per unit of weight **added**
+//!   left of the whole subtree, which shifts every leaf's numerator up
+//!   uniformly and tilts races toward the earlier leaf — so it only
+//!   erodes races won by the later leaf, at rate `d_j − d_i`),
+//! * a *negative shift budget* (the mirror image: weight **removed**
+//!   on the left erodes earlier-winner races).
+//!
+//! Budgets are aggregated as the `min` over races of
+//! `margin / own-rate`, so a near-tie race is only charged its own
+//! sensitivities — never a distant pair's. A race between *equal*
+//! prefixes (no weight strictly between the racers) is immune to
+//! uniform shifts altogether — both numerators move identically, so
+//! the earlier leaf keeps winning while prefixes stay non-negative;
+//! this exemption is what keeps OA's long not-yet-released suffix from
+//! ever revalidating. Validity is the fractional rule
+//! `Δt/TB + δ⁺/SB⁺ + δ⁻/SB⁻ < 1`, which is sound for the joint
+//! motion because each race's erosion is linear in all three drivers.
+//!
+//! [`add`](KineticTournament::add) recomputes only the `O(log n)`
+//! root-to-leaf path exactly and charges the `O(log n)` subtrees
+//! entirely to the right with a lazy shift tag.
+//! [`advance_to`](KineticTournament::advance_to) is `O(1)`: elapsed
+//! time is charged lazily at the next query. A cached winner is
+//! revalidated only when its subtree's accumulated consumption actually
+//! exceeds the budgets — the amortized `O(log n)`-per-event behavior
+//! the OA event loop observes (E22, `BENCH_oa.json` records the
+//! measured curve).
+//!
+//! The same rank/weight tree also maintains the **maximum inclusive
+//! prefix** aggregate ([`peak_prefix`](KineticTournament::peak_prefix)),
+//! which is exactly AVR's density-step maximum when the leaves are the
+//! event ranks and the weights are signed density deltas (see
+//! `deadline::avr::profile_peak` in `pas-core`). Weights may be
+//! negative for that use; the tournament's own comparisons are only
+//! meaningful for the non-negative prefix profiles OA feeds it.
+//!
+//! Soundness of the certificate algebra: for a cached race between
+//! leaves `i < j` with numerators `S_i ≤ S_j`, the decision quantity is
+//! `M(t, P) = S_i (d_j − t) − S_j (d_i − t)` where `P` is the mass left
+//! of the subtree. `∂M/∂t = S_j − S_i ≥ 0` and `∂M/∂P = d_j − d_i > 0`
+//! are both *constant* until a weight inside the subtree changes — and
+//! any such change recomputes the node exactly, because it lies on the
+//! update path. A positive-`M` (earlier-winner) race can therefore only
+//! be flipped by negative shifts; a negative-`M` race only by time or
+//! positive shifts. Each budget is the `min` over its susceptible races
+//! of `|M| / rate`, and a child's budgets enter scaled by its remaining
+//! fraction, so the aggregate check is conservative, never optimistic.
+
+/// The argmax of a [`KineticTournament`] query: the critical deadline
+/// rank and its density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Critical {
+    /// Winning deadline rank.
+    pub rank: usize,
+    /// The deadline time at that rank.
+    pub deadline: f64,
+    /// Total weight at ranks `0..=rank` (the numerator).
+    pub prefix: f64,
+    /// `prefix / (deadline − now)` — the OA speed if this is the
+    /// critical rank.
+    pub ratio: f64,
+}
+
+const NO_WINNER: usize = usize::MAX;
+
+/// `a / b` with the convention `0 / anything = 0` (so an infinite
+/// budget never produces `0 · ∞`).
+fn frac_of(consumed: f64, budget: f64) -> f64 {
+    if consumed == 0.0 {
+        0.0
+    } else {
+        consumed / budget
+    }
+}
+
+/// Kinetic tournament over fixed sorted x-coordinates ("deadlines")
+/// with mutable leaf weights; see the module docs for the contract.
+#[derive(Debug, Clone)]
+pub struct KineticTournament {
+    /// Leaf x-coordinates, strictly increasing and finite.
+    xs: Vec<f64>,
+    /// Leaf weights.
+    weight: Vec<f64>,
+    /// Subtree weight sums (segment-tree layout, root at 1).
+    sum: Vec<f64>,
+    /// Max inclusive in-subtree prefix (for the AVR density-step peak).
+    maxpref: Vec<f64>,
+    /// Cached winning leaf rank per node.
+    win: Vec<usize>,
+    /// In-subtree inclusive prefix at the cached winner.
+    win_q: Vec<f64>,
+    /// Time budget: elapsed time the subtree tolerates from `t_valid`.
+    tb: Vec<f64>,
+    /// Budget for cumulative positive left-shift (weight added left).
+    sb_pos: Vec<f64>,
+    /// Budget for cumulative negative left-shift (weight removed left).
+    sb_neg: Vec<f64>,
+    /// Positive shift consumed since `t_valid` (tags included).
+    used_pos: Vec<f64>,
+    /// Negative shift consumed since `t_valid` (tags included).
+    used_neg: Vec<f64>,
+    /// Portions of `used_*` not yet propagated to children.
+    pend_pos: Vec<f64>,
+    pend_neg: Vec<f64>,
+    /// Time the node's cache was last recomputed.
+    t_valid: Vec<f64>,
+    /// Current time; only moves forward.
+    now: f64,
+}
+
+impl KineticTournament {
+    /// Build over strictly increasing finite `xs`, all weights zero,
+    /// starting at time `t0`.
+    ///
+    /// # Panics
+    /// If `xs` is not strictly increasing or contains non-finite
+    /// values, or `t0` is not finite.
+    pub fn new(xs: &[f64], t0: f64) -> Self {
+        assert!(t0.is_finite(), "KineticTournament: t0 must be finite");
+        assert!(
+            xs.iter().all(|x| x.is_finite()),
+            "KineticTournament: coordinates must be finite"
+        );
+        assert!(
+            xs.windows(2).all(|p| p[0] < p[1]),
+            "KineticTournament: coordinates must be strictly increasing"
+        );
+        let k = xs.len();
+        let nodes = 4 * k.max(1);
+        let mut kt = KineticTournament {
+            xs: xs.to_vec(),
+            weight: vec![0.0; k],
+            sum: vec![0.0; nodes],
+            maxpref: vec![0.0; nodes],
+            win: vec![NO_WINNER; nodes],
+            win_q: vec![0.0; nodes],
+            tb: vec![f64::INFINITY; nodes],
+            sb_pos: vec![f64::INFINITY; nodes],
+            sb_neg: vec![f64::INFINITY; nodes],
+            used_pos: vec![0.0; nodes],
+            used_neg: vec![0.0; nodes],
+            pend_pos: vec![0.0; nodes],
+            pend_neg: vec![0.0; nodes],
+            t_valid: vec![t0; nodes],
+            now: t0,
+        };
+        if k > 0 {
+            kt.build(1, 0, k);
+        }
+        kt
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the tournament has no ranks.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The current time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The weight at `rank`.
+    ///
+    /// # Panics
+    /// If `rank` is out of bounds.
+    pub fn weight(&self, rank: usize) -> f64 {
+        self.weight[rank]
+    }
+
+    /// Total weight at ranks `0..count` (exact tree descent, `O(log n)`).
+    ///
+    /// # Panics
+    /// If `count` exceeds the rank count.
+    pub fn prefix_sum(&self, count: usize) -> f64 {
+        assert!(count <= self.xs.len(), "prefix_sum out of bounds");
+        if self.xs.is_empty() || count == 0 {
+            return 0.0;
+        }
+        self.prefix_rec(1, 0, self.xs.len(), count)
+    }
+
+    fn prefix_rec(&self, v: usize, lo: usize, hi: usize, count: usize) -> f64 {
+        if count >= hi {
+            return self.sum[v];
+        }
+        let mid = usize::midpoint(lo, hi);
+        if count <= mid {
+            self.prefix_rec(2 * v, lo, mid, count)
+        } else {
+            self.sum[2 * v] + self.prefix_rec(2 * v + 1, mid, hi, count)
+        }
+    }
+
+    /// Advance the clock. `O(1)`: certificates are charged lazily.
+    ///
+    /// # Panics
+    /// If `t` moves backwards by more than `1e-9` (the clock is
+    /// monotone; tiny regressions from event arithmetic are clamped).
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(
+            t >= self.now - 1e-9,
+            "KineticTournament: time moved backwards ({t} < {})",
+            self.now
+        );
+        self.now = self.now.max(t);
+    }
+
+    /// Add `delta` to the weight at `rank` (`O(log n)` exact path
+    /// recomputation plus lazy tags to the right).
+    ///
+    /// # Panics
+    /// If `rank` is out of bounds or `delta` is not finite.
+    pub fn add(&mut self, rank: usize, delta: f64) {
+        assert!(rank < self.xs.len(), "add out of bounds");
+        assert!(delta.is_finite(), "add requires a finite delta");
+        if delta == 0.0 {
+            return;
+        }
+        self.add_rec(1, 0, self.xs.len(), rank, delta, 0.0);
+    }
+
+    fn add_rec(&mut self, v: usize, lo: usize, hi: usize, rank: usize, delta: f64, pfx: f64) {
+        self.sum[v] += delta;
+        if hi - lo == 1 {
+            self.weight[lo] += delta;
+            // Re-derive from the source of truth so the leaf and its
+            // tree node cannot drift apart.
+            self.sum[v] = self.weight[lo];
+            self.maxpref[v] = self.weight[lo];
+            self.win[v] = lo;
+            self.win_q[v] = self.weight[lo];
+            return;
+        }
+        self.pushdown(v);
+        let mid = usize::midpoint(lo, hi);
+        if rank < mid {
+            // Every leaf of the right subtree sees its numerator shift
+            // by `delta`: charge the certificate lazily.
+            let r = 2 * v + 1;
+            if delta > 0.0 {
+                self.used_pos[r] += delta;
+                self.pend_pos[r] += delta;
+            } else {
+                self.used_neg[r] -= delta;
+                self.pend_neg[r] -= delta;
+            }
+            self.add_rec(2 * v, lo, mid, rank, delta, pfx);
+        } else {
+            self.add_rec(2 * v + 1, mid, hi, rank, delta, pfx + self.sum[2 * v]);
+        }
+        self.ensure_valid(2 * v, lo, mid, pfx);
+        self.ensure_valid(2 * v + 1, mid, hi, pfx + self.sum[2 * v]);
+        self.recompute(v, lo, hi, pfx);
+    }
+
+    /// The rank/prefix/ratio maximizing `prefix(d)/(d − now)` over ranks
+    /// with deadline strictly after `now`, or `None` if every deadline
+    /// has passed. Ties prefer the earliest rank.
+    pub fn argmax(&mut self) -> Option<Critical> {
+        self.argmax_from(0)
+    }
+
+    /// [`argmax`](KineticTournament::argmax) restricted to ranks
+    /// `>= min_rank`.
+    ///
+    /// OA queries with `min_rank` = the earliest *unfinished* deadline
+    /// rank: prefixes below it are exactly zero in real arithmetic, but
+    /// carry `~1e-15` of float association noise in any tree-of-sums —
+    /// and a query landing within `~1e-15` of a drained deadline would
+    /// amplify that noise into a garbage ratio. Excluding the
+    /// provably-zero ranks is semantically exact and keeps the noise
+    /// out of the max.
+    pub fn argmax_from(&mut self, min_rank: usize) -> Option<Critical> {
+        let k = self.xs.len();
+        let first_active = self.xs.partition_point(|&x| x <= self.now).max(min_rank);
+        if first_active >= k {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        self.query_rec(1, 0, k, first_active, 0.0, &mut best);
+        let (rank, prefix) = best.expect("active range is non-empty");
+        Some(Critical {
+            rank,
+            deadline: self.xs[rank],
+            prefix,
+            ratio: prefix / (self.xs[rank] - self.now),
+        })
+    }
+
+    fn query_rec(
+        &mut self,
+        v: usize,
+        lo: usize,
+        hi: usize,
+        active: usize,
+        pfx: f64,
+        best: &mut Option<(usize, f64)>,
+    ) {
+        if hi <= active {
+            return;
+        }
+        if lo >= active {
+            self.ensure_valid(v, lo, hi, pfx);
+            let cand = (self.win[v], pfx + self.win_q[v]);
+            *best = Some(match *best {
+                None => cand,
+                Some(b) => self.better(b, cand),
+            });
+            return;
+        }
+        self.pushdown(v);
+        let mid = usize::midpoint(lo, hi);
+        self.query_rec(2 * v, lo, mid, active, pfx, best);
+        self.query_rec(2 * v + 1, mid, hi, active, pfx + self.sum[2 * v], best);
+    }
+
+    /// Pick the better of two candidates (`(rank, prefix)`, first has
+    /// the smaller rank); ties keep the earlier rank.
+    fn better(&self, a: (usize, f64), b: (usize, f64)) -> (usize, f64) {
+        debug_assert!(a.0 < b.0);
+        let m = a.1 * (self.xs[b.0] - self.now) - b.1 * (self.xs[a.0] - self.now);
+        if m >= 0.0 {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// The rank with the maximum inclusive prefix sum and that prefix —
+    /// AVR's density-step maximum when weights are signed density
+    /// deltas. Ties prefer the earliest rank. Time-independent.
+    ///
+    /// # Panics
+    /// If the tournament is empty.
+    pub fn peak_prefix(&self) -> (usize, f64) {
+        assert!(!self.xs.is_empty(), "peak_prefix on an empty tournament");
+        let mut v = 1;
+        let (mut lo, mut hi) = (0usize, self.xs.len());
+        let mut left_mass = 0.0;
+        while hi - lo > 1 {
+            let mid = usize::midpoint(lo, hi);
+            let via_left = self.maxpref[2 * v];
+            let via_right = self.sum[2 * v] + self.maxpref[2 * v + 1];
+            if via_left >= via_right {
+                v *= 2;
+                hi = mid;
+            } else {
+                left_mass += self.sum[2 * v];
+                v = 2 * v + 1;
+                lo = mid;
+            }
+        }
+        (lo, left_mass + self.maxpref[v])
+    }
+
+    fn build(&mut self, v: usize, lo: usize, hi: usize) {
+        if hi - lo == 1 {
+            self.win[v] = lo;
+            return;
+        }
+        let mid = usize::midpoint(lo, hi);
+        self.build(2 * v, lo, mid);
+        self.build(2 * v + 1, mid, hi);
+        self.recompute(v, lo, hi, 0.0);
+    }
+
+    fn pushdown(&mut self, v: usize) {
+        let (pp, pn) = (self.pend_pos[v], self.pend_neg[v]);
+        if pp > 0.0 || pn > 0.0 {
+            for c in [2 * v, 2 * v + 1] {
+                self.used_pos[c] += pp;
+                self.pend_pos[c] += pp;
+                self.used_neg[c] += pn;
+                self.pend_neg[c] += pn;
+            }
+            self.pend_pos[v] = 0.0;
+            self.pend_neg[v] = 0.0;
+        }
+    }
+
+    /// Fraction of the node's certificate consumed (`>= 1` means some
+    /// cached race may have flipped).
+    fn frac(&self, v: usize) -> f64 {
+        frac_of(self.now - self.t_valid[v], self.tb[v])
+            + frac_of(self.used_pos[v], self.sb_pos[v])
+            + frac_of(self.used_neg[v], self.sb_neg[v])
+    }
+
+    /// Charge the certificate; recompute the subtree's cache only where
+    /// the accumulated consumption has actually exceeded the budgets.
+    fn ensure_valid(&mut self, v: usize, lo: usize, hi: usize, pfx: f64) {
+        if hi - lo == 1 || self.frac(v) < 1.0 {
+            return;
+        }
+        self.pushdown(v);
+        let mid = usize::midpoint(lo, hi);
+        self.ensure_valid(2 * v, lo, mid, pfx);
+        self.ensure_valid(2 * v + 1, mid, hi, pfx + self.sum[2 * v]);
+        self.recompute(v, lo, hi, pfx);
+    }
+
+    /// Recompute node `v`'s race from its (valid) children at the
+    /// current time, with `pfx` mass to the left of the subtree.
+    fn recompute(&mut self, v: usize, lo: usize, hi: usize, pfx: f64) {
+        debug_assert!(
+            self.pend_pos[v] == 0.0 && self.pend_neg[v] == 0.0,
+            "recompute with unpushed tags"
+        );
+        let mid = usize::midpoint(lo, hi);
+        let (l, r) = (2 * v, 2 * v + 1);
+        debug_assert!(mid - lo >= 1 && hi - mid >= 1);
+        let lw = self.win[l];
+        let lq = self.win_q[l];
+        let rw = self.win[r];
+        let rq = self.sum[l] + self.win_q[r];
+        let s_l = pfx + lq;
+        let s_r = pfx + rq;
+        // Decision quantity for "earlier rank lw beats later rank rw".
+        let m = s_l * (self.xs[rw] - self.now) - s_r * (self.xs[lw] - self.now);
+        let w = (rq - lq).abs();
+        let d = self.xs[rw] - self.xs[lw];
+        // Own budgets: an earlier-winner race only erodes under
+        // negative shifts; a later-winner race under time or positive
+        // shifts (see the module docs).
+        let (own_tb, own_sp, own_sn);
+        if m >= 0.0 {
+            self.win[v] = lw;
+            self.win_q[v] = lq;
+            own_tb = f64::INFINITY;
+            own_sp = f64::INFINITY;
+            // Equal prefixes (`w == 0`) are *immune* to uniform shifts:
+            // both numerators move identically, so `M = S·Δx` keeps its
+            // sign for as long as prefixes stay non-negative (the
+            // argmax contract). This matters enormously for OA, where
+            // the not-yet-released suffix is one long run of
+            // equal-prefix races — without the exemption every drain
+            // erodes their `S·Δx/Δx = S` budgets and the whole suffix
+            // revalidates each time the backlog turns over.
+            own_sn = if w == 0.0 { f64::INFINITY } else { m / d };
+        } else {
+            self.win[v] = rw;
+            self.win_q[v] = rq;
+            own_tb = if w > 0.0 { -m / w } else { f64::INFINITY };
+            own_sp = -m / d;
+            own_sn = f64::INFINITY;
+        }
+        // Children enter scaled by their remaining fraction: race
+        // margins in a partially-consumed subtree are at least that
+        // fraction of their recorded budgets.
+        let mut tb = own_tb;
+        let mut sp = own_sp;
+        let mut sn = own_sn;
+        for c in [l, r] {
+            let rem = (1.0 - self.frac(c)).max(0.0);
+            tb = tb.min(self.tb[c] * rem);
+            sp = sp.min(self.sb_pos[c] * rem);
+            sn = sn.min(self.sb_neg[c] * rem);
+        }
+        self.tb[v] = tb;
+        self.sb_pos[v] = sp;
+        self.sb_neg[v] = sn;
+        self.maxpref[v] = self.maxpref[l].max(self.sum[l] + self.maxpref[r]);
+        self.t_valid[v] = self.now;
+        self.used_pos[v] = 0.0;
+        self.used_neg[v] = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force oracle: argmax of `prefix(d)/(d − t)` over active
+    /// ranks, earliest rank on exact ties.
+    fn brute_argmax(xs: &[f64], weight: &[f64], t: f64) -> Option<(usize, f64)> {
+        let mut prefix = 0.0;
+        let mut best: Option<(usize, f64, f64)> = None;
+        for (i, (&x, &w)) in xs.iter().zip(weight).enumerate() {
+            prefix += w;
+            if x <= t {
+                continue;
+            }
+            let ratio = prefix / (x - t);
+            match best {
+                Some((_, _, r)) if ratio <= r => {}
+                _ => best = Some((i, prefix, ratio)),
+            }
+        }
+        best.map(|(i, _, r)| (i, r))
+    }
+
+    fn brute_peak(weight: &[f64]) -> (usize, f64) {
+        let mut prefix = 0.0;
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (i, &w) in weight.iter().enumerate() {
+            prefix += w;
+            if prefix > best.1 {
+                best = (i, prefix);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn single_rank() {
+        let mut kt = KineticTournament::new(&[4.0], 0.0);
+        assert_eq!(kt.argmax().unwrap().ratio, 0.0);
+        kt.add(0, 8.0);
+        let c = kt.argmax().unwrap();
+        assert_eq!(c.rank, 0);
+        assert_eq!(c.prefix, 8.0);
+        assert!((c.ratio - 2.0).abs() < 1e-12);
+        kt.advance_to(2.0);
+        assert!((kt.argmax().unwrap().ratio - 4.0).abs() < 1e-12);
+        kt.advance_to(4.0);
+        assert!(kt.argmax().is_none());
+    }
+
+    #[test]
+    fn earlier_rank_wins_exact_ties() {
+        // Ranks at 2 and 4 with prefixes 1 and 2 from t=0: both ratios
+        // are exactly 0.5; the earlier rank must win (the reference
+        // sweep keeps the first maximum it sees).
+        let mut kt = KineticTournament::new(&[2.0, 4.0], 0.0);
+        kt.add(0, 1.0);
+        kt.add(1, 1.0);
+        let c = kt.argmax().unwrap();
+        assert_eq!(c.rank, 0);
+        assert!((c.ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_prefix_ranks_are_still_candidates() {
+        // Weight only at rank 0; later zero-weight ranks share the
+        // prefix but have larger denominators, so rank 0 wins — and
+        // once rank 0's deadline passes, the (stale-prefix) later rank
+        // takes over exactly like the reference sweep.
+        let mut kt = KineticTournament::new(&[1.0, 10.0], 0.0);
+        kt.add(0, 3.0);
+        assert_eq!(kt.argmax().unwrap().rank, 0);
+        kt.advance_to(0.9);
+        assert_eq!(kt.argmax().unwrap().rank, 0);
+        // Drain rank 0 and cross its deadline: rank 1 carries on.
+        kt.add(0, -3.0);
+        kt.advance_to(2.0);
+        let c = kt.argmax().unwrap();
+        assert_eq!(c.rank, 1);
+        assert_eq!(c.prefix, 0.0);
+        assert_eq!(c.ratio, 0.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_interleavings() {
+        // 1e3 random add/advance_to interleavings against the brute
+        // force, on a quantized grid so exact ties actually occur, with
+        // leading zero-weight ranks.
+        let k = 37;
+        let xs: Vec<f64> = (0..k).map(|i| 2.0 + i as f64).collect();
+        let mut state = 0x8899_aabb_ccdd_eeffu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        let mut kt = KineticTournament::new(&xs, 0.0);
+        let mut naive = vec![0.0f64; k];
+        let mut t = 0.0f64;
+        for step in 0..1000 {
+            match next() % 3 {
+                0 | 1 => {
+                    let r = (next() % k as u64) as usize;
+                    // Quantized deltas (multiples of 0.25) force ties;
+                    // keep weights non-negative like an OA profile.
+                    let delta = (next() % 17) as f64 * 0.25 - 2.0;
+                    let delta = delta.max(-naive[r]);
+                    kt.add(r, delta);
+                    naive[r] += delta;
+                }
+                _ => {
+                    t += (next() % 8) as f64 * 0.125;
+                    if t < kt.now() {
+                        t = kt.now();
+                    }
+                    kt.advance_to(t);
+                }
+            }
+            let got = kt.argmax().map(|c| (c.rank, c.ratio));
+            let want = brute_argmax(&xs, &naive, t);
+            match (got, want) {
+                (None, None) => {}
+                (Some((gr, gv)), Some((br, bv))) => {
+                    assert!(
+                        (gv - bv).abs() <= 1e-9 * bv.abs().max(1.0),
+                        "step {step}: ratio {gv} vs brute {bv} (ranks {gr}/{br})"
+                    );
+                }
+                other => panic!("step {step}: {other:?}"),
+            }
+            let (pr, pv) = kt.peak_prefix();
+            let (br, bv) = brute_peak(&naive);
+            assert_eq!(pr, br, "step {step}: peak rank");
+            assert!((pv - bv).abs() < 1e-9, "step {step}: peak {pv} vs {bv}");
+            let cut = (next() % (k as u64 + 1)) as usize;
+            let want_prefix: f64 = naive[..cut].iter().sum();
+            assert!((kt.prefix_sum(cut) - want_prefix).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn argmax_from_excludes_leading_ranks() {
+        // Mass at rank 0 would win unrestricted; from rank 1 the later
+        // rank's (prefix-inclusive) ratio is the answer.
+        let mut kt = KineticTournament::new(&[2.0, 8.0], 0.0);
+        kt.add(0, 4.0);
+        kt.add(1, 1.0);
+        assert_eq!(kt.argmax().unwrap().rank, 0);
+        let c = kt.argmax_from(1).unwrap();
+        assert_eq!(c.rank, 1);
+        assert!((c.ratio - 5.0 / 8.0).abs() < 1e-12);
+        assert!(kt.argmax_from(2).is_none());
+    }
+
+    #[test]
+    fn peak_prefix_handles_negative_deltas() {
+        // AVR-style signed density deltas: +1, +2, -1, -2 — the peak is
+        // after the second delta.
+        let mut kt = KineticTournament::new(&[0.0, 1.0, 2.0, 3.0], -1.0);
+        kt.add(0, 1.0);
+        kt.add(1, 2.0);
+        kt.add(2, -1.0);
+        kt.add(3, -2.0);
+        let (rank, peak) = kt.peak_prefix();
+        assert_eq!(rank, 1);
+        assert!((peak - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_coordinates() {
+        let _ = KineticTournament::new(&[2.0, 1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time moved backwards")]
+    fn rejects_time_regression() {
+        let mut kt = KineticTournament::new(&[1.0], 0.0);
+        kt.advance_to(0.5);
+        kt.advance_to(0.2);
+    }
+}

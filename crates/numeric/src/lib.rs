@@ -30,6 +30,12 @@
 //!   axis, Fenwick prefix-sum accumulator, and a sorted-disjoint interval
 //!   set. The shared substrate for the deadline stack's critical-interval
 //!   queries (YDS/AVR/OA, paper §2) and any other sweep over job windows.
+//! * **Kinetic tournament** ([`kinetic`]) — a certificate-based
+//!   segment-tree tournament maintaining `argmax_d prefix(d)/(d − t)`
+//!   under weight updates and monotone time advance, the `O(log n)`
+//!   amortized re-planning core of Optimal Available (`deadline::oa` in
+//!   `pas-core`); its max-prefix aggregate doubles as AVR's
+//!   density-step maximum.
 //! * **Sorted loads** ([`loads`]) — an incrementally sorted load vector
 //!   with prefix sums and an `O(log m)` waterfill lower bound, the
 //!   search-state core of the §5 `L_α`-norm branch and bound
@@ -45,6 +51,7 @@
 
 pub mod compare;
 pub mod diff;
+pub mod kinetic;
 pub mod loads;
 pub mod minimize;
 pub mod poly;
@@ -55,6 +62,7 @@ pub mod sum;
 pub mod timeline;
 
 pub use compare::{approx_eq, approx_eq_abs, approx_eq_rel};
+pub use kinetic::{Critical, KineticTournament};
 pub use loads::SortedLoads;
 pub use poly::Polynomial;
 pub use rational::Rational;

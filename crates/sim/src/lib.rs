@@ -33,7 +33,7 @@ pub mod schedule;
 pub mod slice;
 
 pub use metrics::Metrics;
-pub use online::{Decision, OnlineOutcome, OnlinePolicy, PendingJob, SimError};
+pub use online::{Decision, OnlineOutcome, OnlinePolicy, PendingJob, ReadySet, SimError};
 pub use render::render_ascii;
 pub use schedule::{Schedule, ScheduleError};
 pub use slice::Slice;

@@ -12,10 +12,23 @@
 //! The engine is single-processor (matching the §6 open problem). It
 //! re-consults the policy at every *event*: a job arrival, a job
 //! completion, or a policy-requested checkpoint.
+//!
+//! # Scale
+//!
+//! Policies see the ready jobs through a [`ReadySet`], which maintains
+//! the running aggregates every natural policy needs — backlog, total
+//! work seen, first arrival — **incrementally**, and resolves job ids
+//! in `O(1)`. A policy whose `decide` uses only those aggregates (all
+//! of the §6 policies in `pas-core::online` do) costs `O(1)` per
+//! event, so a full run is `O(n)` hash-map operations plus slice
+//! assembly — E13 runs at `n` in the tens of thousands. The previous
+//! engine re-summed the backlog per decision and resolved ids by
+//! linear scan (`O(n)` per event, `O(n²)` per run).
 
 use crate::schedule::Schedule;
 use crate::slice::Slice;
 use pas_workload::Instance;
+use std::collections::{HashMap, VecDeque};
 
 /// A job visible to the policy: static data plus remaining work.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,6 +41,103 @@ pub struct PendingJob {
     pub work: f64,
     /// Work still to be done.
     pub remaining: f64,
+}
+
+/// The released, unfinished jobs, with incrementally maintained
+/// aggregates.
+///
+/// All accessors are `O(1)` except [`iter`](ReadySet::iter) (linear in
+/// the ready count, in no particular order); [`first`](ReadySet::first)
+/// is the earliest-released ready job.
+#[derive(Debug, Clone, Default)]
+pub struct ReadySet {
+    /// Dense storage; `slot_of` maps ids to slots (swap-remove keeps it
+    /// dense).
+    jobs: Vec<PendingJob>,
+    slot_of: HashMap<u32, usize>,
+    /// Ids in admission (= release) order; the front is always a live
+    /// id (pruned on removal), so `first` is `O(1)`.
+    queue: VecDeque<u32>,
+    backlog: f64,
+    seen_work: f64,
+    first_arrival: Option<f64>,
+}
+
+impl ReadySet {
+    /// Number of ready jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no job is ready.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The earliest-released ready job.
+    pub fn first(&self) -> Option<&PendingJob> {
+        let id = self.queue.front()?;
+        self.get(*id)
+    }
+
+    /// The ready job with this id.
+    pub fn get(&self, id: u32) -> Option<&PendingJob> {
+        self.slot_of.get(&id).map(|&s| &self.jobs[s])
+    }
+
+    /// Iterate over the ready jobs (no particular order).
+    pub fn iter(&self) -> impl Iterator<Item = &PendingJob> {
+        self.jobs.iter()
+    }
+
+    /// Total remaining work over the ready jobs (maintained
+    /// incrementally; the policies' hedging denominators).
+    pub fn backlog(&self) -> f64 {
+        self.backlog
+    }
+
+    /// Total work of every job ever released (finished or not).
+    pub fn seen_work(&self) -> f64 {
+        self.seen_work
+    }
+
+    /// Release time of the very first arrival, if any job has arrived.
+    pub fn first_arrival(&self) -> Option<f64> {
+        self.first_arrival
+    }
+
+    fn admit(&mut self, job: PendingJob) {
+        self.seen_work += job.work;
+        self.first_arrival.get_or_insert(job.release);
+        self.backlog += job.remaining;
+        self.slot_of.insert(job.id, self.jobs.len());
+        self.queue.push_back(job.id);
+        self.jobs.push(job);
+    }
+
+    /// Record `executed` units of progress on the job in `slot`.
+    fn execute(&mut self, slot: usize, executed: f64) {
+        self.jobs[slot].remaining -= executed;
+        self.backlog -= executed;
+    }
+
+    /// Remove the job in `slot` (completion), dropping any residual
+    /// remaining from the backlog.
+    fn remove(&mut self, slot: usize) {
+        let job = self.jobs.swap_remove(slot);
+        self.backlog -= job.remaining;
+        self.slot_of.remove(&job.id);
+        if let Some(moved) = self.jobs.get(slot) {
+            self.slot_of.insert(moved.id, slot);
+        }
+        // Keep the queue front live so `first` stays O(1).
+        while let Some(front) = self.queue.front() {
+            if self.slot_of.contains_key(front) {
+                break;
+            }
+            self.queue.pop_front();
+        }
+    }
 }
 
 /// A policy's instruction for the time starting now.
@@ -50,11 +160,11 @@ pub struct Decision {
 /// arrival; idling with no future arrivals and unfinished jobs aborts
 /// the simulation with [`SimError::PolicyStalled`].
 pub trait OnlinePolicy {
-    /// Choose what to run now. `ready` lists released, unfinished jobs
-    /// sorted by release; `now` is the current time; `energy_spent` is
-    /// the cumulative energy the engine has metered so far (under the
-    /// engine's power model).
-    fn decide(&mut self, now: f64, ready: &[PendingJob], energy_spent: f64) -> Option<Decision>;
+    /// Choose what to run now. `ready` holds the released, unfinished
+    /// jobs and their running aggregates; `now` is the current time;
+    /// `energy_spent` is the cumulative energy the engine has metered so
+    /// far (under the engine's power model).
+    fn decide(&mut self, now: f64, ready: &ReadySet, energy_spent: f64) -> Option<Decision>;
 
     /// Name for reports.
     fn name(&self) -> String {
@@ -135,7 +245,7 @@ pub fn run_online<M: pas_power::PowerModel>(
     let jobs = instance.jobs();
     let n = jobs.len();
     let mut next_arrival = 0usize; // index into jobs
-    let mut ready: Vec<PendingJob> = Vec::new();
+    let mut ready = ReadySet::default();
     let mut done = 0usize;
     let mut now = jobs[0].release;
     let mut schedule = Schedule::single();
@@ -144,10 +254,10 @@ pub fn run_online<M: pas_power::PowerModel>(
     let mut budget = 10_000 * (n + 1);
 
     // Admit all jobs released at (or before) `now`.
-    let admit = |next_arrival: &mut usize, ready: &mut Vec<PendingJob>, now: f64| {
+    let admit = |next_arrival: &mut usize, ready: &mut ReadySet, now: f64| {
         while *next_arrival < n && jobs[*next_arrival].release <= now + 1e-12 {
             let j = &jobs[*next_arrival];
-            ready.push(PendingJob {
+            ready.admit(PendingJob {
                 id: j.id,
                 release: j.release,
                 work: j.work,
@@ -184,11 +294,11 @@ pub fn run_online<M: pas_power::PowerModel>(
                 if !(speed.is_finite() && speed > 0.0) {
                     return Err(SimError::InvalidSpeed { speed, at: now });
                 }
-                let Some(slot) = ready.iter().position(|p| p.id == job) else {
+                let Some(&slot) = ready.slot_of.get(&job) else {
                     return Err(SimError::UnknownJob { job, at: now });
                 };
                 // Run until completion, next arrival, or checkpoint.
-                let completion_in = ready[slot].remaining / speed;
+                let completion_in = ready.jobs[slot].remaining / speed;
                 let arrival_in = if next_arrival < n {
                     jobs[next_arrival].release - now
                 } else {
@@ -199,10 +309,13 @@ pub fn run_online<M: pas_power::PowerModel>(
                 if dt > 0.0 {
                     schedule.push(0, Slice::new(job, now, now + dt, speed));
                     energy += model.power(speed) * dt;
-                    ready[slot].remaining -= speed * dt;
+                    // Clamp so the backlog accumulator cannot absorb a
+                    // negative residual at completion.
+                    let executed = (speed * dt).min(ready.jobs[slot].remaining);
+                    ready.execute(slot, executed);
                     now += dt;
                 }
-                if ready[slot].remaining <= 1e-9 * ready[slot].work {
+                if ready.jobs[slot].remaining <= 1e-9 * ready.jobs[slot].work {
                     // Snap any residual into the final slice via coalesce
                     // tolerance; mark complete.
                     ready.remove(slot);
@@ -226,7 +339,7 @@ mod tests {
     struct FixedSpeed(f64);
 
     impl OnlinePolicy for FixedSpeed {
-        fn decide(&mut self, _now: f64, ready: &[PendingJob], _energy: f64) -> Option<Decision> {
+        fn decide(&mut self, _now: f64, ready: &ReadySet, _energy: f64) -> Option<Decision> {
             ready.first().map(|p| Decision {
                 job: p.id,
                 speed: self.0,
@@ -257,6 +370,33 @@ mod tests {
     }
 
     #[test]
+    fn ready_set_aggregates_track_the_run() {
+        struct Check {
+            max_seen: f64,
+        }
+        impl OnlinePolicy for Check {
+            fn decide(&mut self, _now: f64, ready: &ReadySet, _energy: f64) -> Option<Decision> {
+                // Aggregates stay consistent with the job list.
+                let listed: f64 = ready.iter().map(|p| p.remaining).sum();
+                assert!((ready.backlog() - listed).abs() < 1e-9);
+                assert!(ready.seen_work() >= listed - 1e-9);
+                assert_eq!(ready.first_arrival(), Some(0.0));
+                self.max_seen = self.max_seen.max(ready.seen_work());
+                ready.first().map(|p| Decision {
+                    job: p.id,
+                    speed: 1.0,
+                    recheck_after: None,
+                })
+            }
+        }
+        let inst = paper_instance();
+        let mut policy = Check { max_seen: 0.0 };
+        let out = run_online(&inst, &PolyPower::CUBE, &mut policy).unwrap();
+        out.schedule.validate(&inst, 1e-6).unwrap();
+        assert!((policy.max_seen - 8.0).abs() < 1e-9, "{}", policy.max_seen);
+    }
+
+    #[test]
     fn slow_speed_creates_no_idle_fast_speed_idles() {
         let inst = paper_instance();
         let model = PolyPower::CUBE;
@@ -271,7 +411,7 @@ mod tests {
     fn stalling_policy_is_reported() {
         struct Lazy;
         impl OnlinePolicy for Lazy {
-            fn decide(&mut self, _: f64, _: &[PendingJob], _: f64) -> Option<Decision> {
+            fn decide(&mut self, _: f64, _: &ReadySet, _: f64) -> Option<Decision> {
                 None
             }
         }
@@ -284,7 +424,7 @@ mod tests {
     fn invalid_decisions_are_reported() {
         struct BadSpeed;
         impl OnlinePolicy for BadSpeed {
-            fn decide(&mut self, _: f64, r: &[PendingJob], _: f64) -> Option<Decision> {
+            fn decide(&mut self, _: f64, r: &ReadySet, _: f64) -> Option<Decision> {
                 r.first().map(|p| Decision {
                     job: p.id,
                     speed: -1.0,
@@ -294,7 +434,7 @@ mod tests {
         }
         struct WrongJob;
         impl OnlinePolicy for WrongJob {
-            fn decide(&mut self, _: f64, _: &[PendingJob], _: f64) -> Option<Decision> {
+            fn decide(&mut self, _: f64, _: &ReadySet, _: f64) -> Option<Decision> {
                 Some(Decision {
                     job: 999,
                     speed: 1.0,
@@ -320,7 +460,7 @@ mod tests {
             speed: f64,
         }
         impl OnlinePolicy for Ramp {
-            fn decide(&mut self, _: f64, r: &[PendingJob], _: f64) -> Option<Decision> {
+            fn decide(&mut self, _: f64, r: &ReadySet, _: f64) -> Option<Decision> {
                 self.speed *= 2.0;
                 r.first().map(|p| Decision {
                     job: p.id,
@@ -346,9 +486,9 @@ mod tests {
         /// job preempts a long one.
         struct Srpt;
         impl OnlinePolicy for Srpt {
-            fn decide(&mut self, _: f64, r: &[PendingJob], _: f64) -> Option<Decision> {
+            fn decide(&mut self, _: f64, r: &ReadySet, _: f64) -> Option<Decision> {
                 r.iter()
-                    .min_by(|a, b| a.remaining.partial_cmp(&b.remaining).unwrap())
+                    .min_by(|a, b| a.remaining.total_cmp(&b.remaining))
                     .map(|p| Decision {
                         job: p.id,
                         speed: 1.0,

@@ -1,0 +1,188 @@
+//! Equivalence oracle for the kinetic-tournament OA engine.
+//!
+//! `oa()` (kinetic tournament re-planning, `O(log n)` amortized per
+//! event) must trace the same schedule as `oa_reference()` (the
+//! previous per-event rank sweep, kept apart from the two shared
+//! numerical guards its docs describe) on every instance family —
+//! uniform random, clustered deadlines (many deadlines packed into
+//! tight bands, the family E22 benchmarks), simultaneous releases,
+//! and property-based instances. Agreement is checked **per event**: the
+//! two speed profiles are compared segment by segment on the merged
+//! slice boundaries, so a single divergent re-planning decision anywhere
+//! in the trajectory fails the test — total-energy agreement alone could
+//! hide compensating errors.
+
+use power_aware_scheduling::deadline::{oa, oa_reference, DeadlineInstance, DeadlineJob};
+use power_aware_scheduling::prelude::*;
+use power_aware_scheduling::sim::metrics;
+use power_aware_scheduling::sim::Schedule;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Relative per-event energy agreement required between the engines.
+const ENERGY_TOL: f64 = 1e-9;
+
+/// Energy of `schedule` (single machine) restricted to `[a, b]` under
+/// `P = σ³`, walking the slice list.
+fn energy_between(schedule: &Schedule, a: f64, b: f64) -> f64 {
+    schedule
+        .machine(0)
+        .iter()
+        .map(|s| {
+            let overlap = (s.end.min(b) - s.start.max(a)).max(0.0);
+            s.speed.powi(3) * overlap
+        })
+        .sum()
+}
+
+fn check_equivalence(inst: &DeadlineInstance, label: &str) {
+    let fast = oa(inst).unwrap_or_else(|e| panic!("{label}: kinetic oa failed: {e}"));
+    let slow = oa_reference(inst).unwrap_or_else(|e| panic!("{label}: reference oa failed: {e}"));
+    inst.validate_schedule(&fast, 1e-6)
+        .unwrap_or_else(|e| panic!("{label}: kinetic schedule infeasible: {e}"));
+    inst.validate_schedule(&slow, 1e-6)
+        .unwrap_or_else(|e| panic!("{label}: reference schedule infeasible: {e}"));
+
+    // Per-event agreement: both engines re-plan at slice boundaries, so
+    // comparing energies between consecutive merged boundaries compares
+    // every re-planning decision individually.
+    let mut bounds: Vec<f64> = fast
+        .machine(0)
+        .iter()
+        .chain(slow.machine(0))
+        .flat_map(|s| [s.start, s.end])
+        .collect();
+    bounds.sort_by(f64::total_cmp);
+    bounds.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let total = metrics::energy(&slow, &PolyPower::CUBE);
+    for pair in bounds.windows(2) {
+        let e_fast = energy_between(&fast, pair[0], pair[1]);
+        let e_slow = energy_between(&slow, pair[0], pair[1]);
+        assert!(
+            (e_fast - e_slow).abs() <= ENERGY_TOL * total.max(1.0),
+            "{label}: event [{}, {}] energy {e_fast} vs reference {e_slow}",
+            pair[0],
+            pair[1]
+        );
+    }
+    // And the totals agree for several power laws.
+    for model in [PolyPower::new(2.0), PolyPower::CUBE] {
+        let e_fast = metrics::energy(&fast, &model);
+        let e_slow = metrics::energy(&slow, &model);
+        assert!(
+            (e_fast - e_slow).abs() <= ENERGY_TOL * e_slow.max(1.0),
+            "{label}: total energy {e_fast} vs reference {e_slow}"
+        );
+    }
+}
+
+/// Clustered deadlines: `clusters` tight bands each holding many
+/// distinct deadlines — the adversarial case for the kinetic
+/// tournament's certificates (near-ties everywhere, so margins are
+/// small and revalidation pressure is maximal). Matches the E22
+/// `clustered` bench family in spirit.
+fn clustered_deadline_instance(
+    n: usize,
+    clusters: usize,
+    span: f64,
+    seed: u64,
+) -> DeadlineInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cluster_of = Uniform::new(0usize, clusters);
+    let jitter = Uniform::new_inclusive(0.0, 0.05 * span / clusters as f64);
+    let work = Uniform::new_inclusive(0.2, 2.0);
+    let release_back = Uniform::new_inclusive(0.5, 4.0);
+    let centers: Vec<f64> = (0..clusters)
+        .map(|c| span * (c as f64 + 1.0) / clusters as f64)
+        .collect();
+    let jobs = (0..n)
+        .map(|i| {
+            let d = centers[cluster_of.sample(&mut rng)] + jitter.sample(&mut rng);
+            let r = (d - release_back.sample(&mut rng)).max(0.0);
+            DeadlineJob::new(i as u32, r, d, work.sample(&mut rng))
+        })
+        .collect();
+    DeadlineInstance::new(jobs).expect("clustered jobs are valid")
+}
+
+#[test]
+fn uniform_random_instances_agree() {
+    for seed in 0..30 {
+        let inst = DeadlineInstance::random(40, 35.0, (0.5, 6.0), (0.2, 3.0), seed);
+        check_equivalence(&inst, &format!("uniform seed {seed}"));
+    }
+}
+
+#[test]
+fn clustered_deadline_instances_agree() {
+    for seed in 0..15 {
+        let inst = clustered_deadline_instance(48, 5, 30.0, seed);
+        check_equivalence(&inst, &format!("clustered seed {seed}"));
+    }
+}
+
+#[test]
+fn simultaneous_release_plans_once_like_reference() {
+    // Everything known at t = 0: one plan, executed to completion.
+    let dense = DeadlineInstance::new(
+        (0..16)
+            .map(|i| DeadlineJob::new(i, 0.0, 2.0 + f64::from(i), 0.5 + 0.1 * f64::from(i)))
+            .collect(),
+    )
+    .unwrap();
+    check_equivalence(&dense, "simultaneous");
+}
+
+#[test]
+fn staggered_urgent_arrivals_agree() {
+    // Late urgent jobs stacked on lazy ones: maximal re-planning churn.
+    let inst = DeadlineInstance::new(vec![
+        DeadlineJob::new(0, 0.0, 20.0, 2.0),
+        DeadlineJob::new(1, 5.0, 7.0, 1.5),
+        DeadlineJob::new(2, 6.0, 6.5, 0.3),
+        DeadlineJob::new(3, 12.0, 13.0, 1.0),
+        DeadlineJob::new(4, 12.5, 19.0, 0.8),
+    ])
+    .unwrap();
+    check_equivalence(&inst, "staggered");
+}
+
+#[test]
+fn moderately_large_instances_agree() {
+    // One bigger point per family so the kinetic path is exercised well
+    // past the sizes the unit tests reach (the 20k acceptance point
+    // lives in E22 / BENCH_oa.json).
+    check_equivalence(
+        &DeadlineInstance::random(400, 300.0, (0.5, 8.0), (0.2, 3.0), 7),
+        "uniform n=400",
+    );
+    check_equivalence(
+        &clustered_deadline_instance(400, 8, 250.0, 7),
+        "clustered n=400",
+    );
+}
+
+/// Strategy: 1..=14 jobs with random windows and works.
+fn deadline_instances() -> impl Strategy<Value = DeadlineInstance> {
+    vec((0.0..25.0f64, 0.4..6.0f64, 0.2..2.5f64), 1..=14).prop_map(|rows| {
+        DeadlineInstance::new(
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (r, window, w))| DeadlineJob::new(i as u32, r, r + window, w))
+                .collect(),
+        )
+        .expect("constructed jobs are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kinetic_and_reference_oa_agree(inst in deadline_instances()) {
+        check_equivalence(&inst, "proptest instance");
+    }
+}
