@@ -6,7 +6,8 @@
 //!   the references capped so the run stays fast;
 //! * `--bench-json [DIR]` — the acceptance sweeps written as per-path
 //!   bench files `DIR/BENCH_yds.json`, `DIR/BENCH_flow.json`,
-//!   `DIR/BENCH_multi.json`, and `DIR/BENCH_oa.json` (default `.`),
+//!   `DIR/BENCH_multi.json`, `DIR/BENCH_oa.json`, and
+//!   `DIR/BENCH_faults.json` (default `.`),
 //!   the perf-trajectory records successive PRs compare against.
 //!   Expect tens of minutes: the YDS reference is `O(n⁴)` through
 //!   n=2000, the flow reference curve is ~120 cold bisection solves of
@@ -17,10 +18,10 @@
 //! * `--bench-json --smoke [DIR]` — the same files from a seconds-scale
 //!   tier (small sizes, capped references), exercised in CI so the bench
 //!   plumbing can never rot;
-//! * `--only yds` / `--only flow` / `--only multi` / `--only oa` —
-//!   restrict either mode to one path (the other `BENCH_*.json` files
-//!   are left untouched).
-use pas_bench::experiments::scaling;
+//! * `--only yds` / `--only flow` / `--only multi` / `--only oa` /
+//!   `--only faults` — restrict either mode to one path (the other
+//!   `BENCH_*.json` files are left untouched).
+use pas_bench::experiments::{faults, scaling};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,8 +32,8 @@ fn main() {
         .and_then(|p| args.get(p + 1))
         .cloned();
     if let Some(o) = only.as_deref() {
-        if o != "yds" && o != "flow" && o != "multi" && o != "oa" {
-            eprintln!("--only takes `yds`, `flow`, `multi`, or `oa`, got `{o}`");
+        if o != "yds" && o != "flow" && o != "multi" && o != "oa" && o != "faults" {
+            eprintln!("--only takes `yds`, `flow`, `multi`, `oa`, or `faults`, got `{o}`");
             std::process::exit(2);
         }
     }
@@ -40,6 +41,7 @@ fn main() {
     let run_flow = only.as_deref().is_none_or(|o| o == "flow");
     let run_multi = only.as_deref().is_none_or(|o| o == "multi");
     let run_oa = only.as_deref().is_none_or(|o| o == "oa");
+    let run_faults = only.as_deref().is_none_or(|o| o == "faults");
 
     if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
         let dir = args
@@ -91,6 +93,17 @@ fn main() {
             std::fs::write(&path, scaling::oa_bench_json(&points)).expect("write BENCH json");
             eprintln!("wrote {path}");
         }
+        if run_faults {
+            let points = if smoke {
+                faults::faults_smoke()
+            } else {
+                faults::faults_default()
+            };
+            faults::faults_table(&points).print();
+            let path = format!("{dir}/BENCH_faults.json");
+            std::fs::write(&path, faults::faults_bench_json(&points)).expect("write BENCH json");
+            eprintln!("wrote {path}");
+        }
         return;
     }
     for table in scaling::run() {
@@ -115,5 +128,10 @@ fn main() {
     if run_oa {
         let points = scaling::oa_scaling(&[256, 1_024, 4_096], 4_096);
         scaling::oa_table(&points).print();
+        println!();
+    }
+    if run_faults {
+        let points = faults::faults_smoke();
+        faults::faults_table(&points).print();
     }
 }

@@ -14,10 +14,12 @@
 //! | [`precedence_dag`] | E16 | §2 precedence-constrained makespan heuristic vs bounds |
 //! | [`temperature`] | E17 | §2 thermal objective (Bansal–Kimbrel–Pruhs model) |
 //! | [`bounded_speed`] | E18 | §6 minimum/maximum speed regimes |
+//! | [`faults`] | E23 | fault-rate × policy resilience sweep (`BENCH_faults.json`) |
 
 pub mod bounded_speed;
 pub mod deadline_ratios;
 pub mod discrete_levels;
+pub mod faults;
 pub mod figures;
 pub mod flowcurve;
 pub mod hardness;
@@ -45,5 +47,6 @@ pub fn run_all() -> Vec<CsvTable> {
     tables.extend(precedence_dag::run());
     tables.extend(temperature::run());
     tables.extend(bounded_speed::run());
+    tables.extend(faults::run());
     tables
 }

@@ -83,7 +83,28 @@ impl std::fmt::Display for CoreError {
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Power(e) => Some(e),
+            CoreError::Numeric(e) => Some(e),
+            CoreError::Instance(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Solver errors compose with `?` into the simulation layer: the
+/// `SimError` wraps the `CoreError` as its message *and* keeps it as the
+/// [`source`](std::error::Error::source), so fault-path code crossing the
+/// `pas-core`/`pas-sim` boundary never flattens the chain. (The impl
+/// lives here rather than in `pas-sim` because `pas-sim` is upstream of
+/// this crate.)
+impl From<CoreError> for pas_sim::SimError {
+    fn from(e: CoreError) -> Self {
+        pas_sim::SimError::solver(e)
+    }
+}
 
 impl From<PowerError> for CoreError {
     fn from(e: PowerError) -> Self {

@@ -28,9 +28,13 @@
 pub mod curve;
 pub mod hardness;
 pub mod kkt;
+pub mod resilient;
 pub mod solver;
 
 pub use kkt::{KktReport, Relation};
+pub use resilient::{
+    laptop_resilient, solve_for_u_resilient, FallbackEvent, FallbackStage, ResilientSolve,
+};
 pub use solver::{
     laptop, server, solve_for_u, solve_for_u_reference, BusyBlock, FlowSensitivity, FlowSolution,
     FlowWorkspace,

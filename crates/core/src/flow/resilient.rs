@@ -1,0 +1,319 @@
+//! Graceful degradation for the flow solvers: a retry → fallback →
+//! error escalation ladder.
+//!
+//! The direct block-decomposition engine can (rarely, near
+//! configuration-change energies) fail its own Theorem-1 verification
+//! or report `NotConverged`; in a serving context "give me a slightly
+//! less certified answer" beats "give me an error". The ladder encodes
+//! that policy explicitly, and — crucially — **audits** it: every rung
+//! that fails is recorded as a [`FallbackEvent`] in the returned
+//! [`ResilientSolve`], so a caller (or the resilience bench) can tell a
+//! pristine answer from one that leaned on a relaxed acceptance bar.
+//!
+//! Rungs for [`solve_for_u_resilient`]:
+//!
+//! 1. [`solve_for_u`] — direct engine,
+//!    standard `1e-6` Theorem-1 residual bar;
+//! 2. direct engine with the residual bar relaxed to
+//!    [`RELAXED_KKT_TOL`];
+//! 3. [`solve_for_u_reference`] —
+//!    the damped fixed-point oracle, standard tolerances;
+//! 4. reference engine with plateau acceptance widened to
+//!    [`RELAXED_PLATEAU_TOL`] and the relaxed residual bar — the last
+//!    rung before error.
+//!
+//! [`laptop_resilient`] applies the same shape to the outer
+//! energy-budget search: standard search → 100× relaxed search
+//! tolerance → reference outer search → error.
+//!
+//! Input errors (`NotEqualWork`, `InvalidBudget`, …) are **not**
+//! retried — a bad question does not get better by asking a sloppier
+//! solver — and surface immediately. When every rung fails, the *first*
+//! rung's error is returned (it describes the un-degraded failure).
+
+use crate::error::CoreError;
+use crate::flow::solver::{
+    laptop, laptop_reference, solve_for_u, solve_for_u_reference, solve_for_u_reference_with,
+    FlowSolution, FlowWorkspace,
+};
+use pas_workload::Instance;
+
+/// Theorem-1 residual bar used by the relaxed rungs (standard is 1e-6).
+pub const RELAXED_KKT_TOL: f64 = 1e-3;
+
+/// Plateau acceptance used by the last-resort reference rung (standard
+/// is 1e-8).
+pub const RELAXED_PLATEAU_TOL: f64 = 1e-4;
+
+/// The rung of the degradation ladder at which a failure occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackStage {
+    /// Direct block-decomposition engine at standard tolerances.
+    Direct,
+    /// Direct engine with the Theorem-1 residual bar relaxed.
+    RelaxedVerification,
+    /// Outer search re-run at a widened search tolerance
+    /// ([`laptop_resilient`] ladder only).
+    RelaxedTolerance,
+    /// Reference fixed-point engine at standard tolerances.
+    ReferenceFixedPoint,
+    /// Reference engine with plateau and residual bars relaxed — the
+    /// rung below this is an error.
+    ReferenceRelaxed,
+}
+
+impl std::fmt::Display for FallbackStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            FallbackStage::Direct => "direct",
+            FallbackStage::RelaxedVerification => "relaxed-verification",
+            FallbackStage::RelaxedTolerance => "relaxed-tolerance",
+            FallbackStage::ReferenceFixedPoint => "reference-fixed-point",
+            FallbackStage::ReferenceRelaxed => "reference-relaxed",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One audited degradation: the rung that failed and why, pushing the
+/// ladder down to the next rung.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FallbackEvent {
+    /// The rung that failed.
+    pub stage: FallbackStage,
+    /// Its error.
+    pub error: CoreError,
+}
+
+/// A solution plus the audit trail of every rung that failed before it
+/// was produced. Empty `fallbacks` means the pristine path succeeded.
+#[derive(Debug, Clone)]
+pub struct ResilientSolve {
+    /// The solution (from the first rung that succeeded).
+    pub solution: FlowSolution,
+    /// Rungs that failed before `solution` was produced, in order.
+    pub fallbacks: Vec<FallbackEvent>,
+}
+
+impl ResilientSolve {
+    /// Whether any degradation occurred (i.e. the solution did not come
+    /// from the standard path at standard tolerances).
+    pub fn degraded(&self) -> bool {
+        !self.fallbacks.is_empty()
+    }
+}
+
+/// Whether an error is worth escalating past: solver-side failures are;
+/// input errors are not (no rung can fix a malformed question).
+fn retryable(e: &CoreError) -> bool {
+    matches!(
+        e,
+        CoreError::NotConverged { .. }
+            | CoreError::VerificationFailed { .. }
+            | CoreError::Numeric(_)
+    )
+}
+
+/// One rung of a ladder: a labelled deferred solve attempt.
+type Rung<'a, T> = (
+    FallbackStage,
+    Box<dyn FnOnce() -> Result<T, CoreError> + 'a>,
+);
+
+/// Run `rungs` in order. First success wins (carrying the audit trail);
+/// a non-retryable error aborts immediately; if every rung fails, the
+/// first rung's error is returned.
+fn escalate<T>(rungs: Vec<Rung<'_, T>>) -> Result<(T, Vec<FallbackEvent>), CoreError> {
+    let mut fallbacks: Vec<FallbackEvent> = Vec::new();
+    for (stage, run) in rungs {
+        match run() {
+            Ok(v) => return Ok((v, fallbacks)),
+            Err(e) if retryable(&e) => fallbacks.push(FallbackEvent { stage, error: e }),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(fallbacks
+        .into_iter()
+        .next()
+        .map(|f| f.error)
+        .expect("ladder has at least one rung"))
+}
+
+/// [`solve_for_u`] behind the degradation
+/// ladder described in the module docs.
+///
+/// # Errors
+/// Input errors immediately; otherwise only if every rung fails, in
+/// which case the first (un-degraded) rung's error is returned.
+pub fn solve_for_u_resilient(
+    instance: &Instance,
+    alpha: f64,
+    u: f64,
+) -> Result<ResilientSolve, CoreError> {
+    let (solution, fallbacks) = escalate(vec![
+        (
+            FallbackStage::Direct,
+            Box::new(move || solve_for_u(instance, alpha, u)) as _,
+        ),
+        (
+            FallbackStage::RelaxedVerification,
+            Box::new(move || {
+                FlowWorkspace::new(instance, alpha)?.solve_with_kkt_tol(u, RELAXED_KKT_TOL)
+            }) as _,
+        ),
+        (
+            FallbackStage::ReferenceFixedPoint,
+            Box::new(move || solve_for_u_reference(instance, alpha, u)) as _,
+        ),
+        (
+            FallbackStage::ReferenceRelaxed,
+            Box::new(move || {
+                solve_for_u_reference_with(instance, alpha, u, RELAXED_PLATEAU_TOL, RELAXED_KKT_TOL)
+            }) as _,
+        ),
+    ])?;
+    Ok(ResilientSolve {
+        solution,
+        fallbacks,
+    })
+}
+
+/// [`laptop`] behind the degradation ladder:
+/// standard search → search tolerance relaxed 100× (capped at 1%) →
+/// reference outer search → error.
+///
+/// # Errors
+/// As [`solve_for_u_resilient`].
+pub fn laptop_resilient(
+    instance: &Instance,
+    alpha: f64,
+    budget: f64,
+    tol: f64,
+) -> Result<ResilientSolve, CoreError> {
+    let relaxed_tol = (tol * 100.0).min(1e-2);
+    let (solution, fallbacks) = escalate(vec![
+        (
+            FallbackStage::Direct,
+            Box::new(move || laptop(instance, alpha, budget, tol)) as _,
+        ),
+        (
+            FallbackStage::RelaxedTolerance,
+            Box::new(move || laptop(instance, alpha, budget, relaxed_tol)) as _,
+        ),
+        (
+            FallbackStage::ReferenceFixedPoint,
+            Box::new(move || laptop_reference(instance, alpha, budget, tol)) as _,
+        ),
+    ])?;
+    Ok(ResilientSolve {
+        solution,
+        fallbacks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_path_records_no_fallbacks() {
+        let inst = Instance::equal_work(&[0.0, 0.7, 1.9, 3.0], 1.0).unwrap();
+        let direct = solve_for_u(&inst, 3.0, 2.0).unwrap();
+        let res = solve_for_u_resilient(&inst, 3.0, 2.0).unwrap();
+        assert!(!res.degraded());
+        assert_eq!(res.solution.total_flow, direct.total_flow);
+        assert_eq!(res.solution.energy, direct.energy);
+
+        let lap = laptop(&inst, 3.0, 20.0, 1e-10).unwrap();
+        let res = laptop_resilient(&inst, 3.0, 20.0, 1e-10).unwrap();
+        assert!(!res.degraded());
+        assert!((res.solution.total_flow - lap.total_flow).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_errors_are_not_retried() {
+        // Unequal work: a malformed question for the §4 solver — must
+        // surface as-is, not be laundered through relaxed rungs.
+        let uneq = Instance::from_pairs(&[(0.0, 1.0), (1.0, 2.0)]).unwrap();
+        let err = solve_for_u_resilient(&uneq, 3.0, 1.0).unwrap_err();
+        assert!(matches!(err, CoreError::NotEqualWork));
+        let eq = Instance::equal_work(&[0.0, 1.0], 1.0).unwrap();
+        let err = solve_for_u_resilient(&eq, 3.0, -1.0).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidBudget { .. }));
+        let err = laptop_resilient(&eq, 3.0, -5.0, 1e-10).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidBudget { .. }));
+    }
+
+    #[test]
+    fn escalation_records_every_failed_rung() {
+        // Exercise the ladder machinery itself with synthetic rungs.
+        let not_conv = || CoreError::NotConverged {
+            solver: "synthetic",
+            residual: 1.0,
+        };
+        // Second rung succeeds: one fallback recorded.
+        let (v, fb) = escalate::<i32>(vec![
+            (FallbackStage::Direct, Box::new(move || Err(not_conv()))),
+            (FallbackStage::RelaxedVerification, Box::new(|| Ok(7))),
+        ])
+        .unwrap();
+        assert_eq!(v, 7);
+        assert_eq!(fb.len(), 1);
+        assert_eq!(fb[0].stage, FallbackStage::Direct);
+
+        // All rungs fail: the FIRST error is returned.
+        let err = escalate::<i32>(vec![
+            (FallbackStage::Direct, Box::new(move || Err(not_conv()))),
+            (
+                FallbackStage::ReferenceFixedPoint,
+                Box::new(|| {
+                    Err(CoreError::VerificationFailed {
+                        reason: "later".into(),
+                    })
+                }),
+            ),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CoreError::NotConverged { .. }));
+
+        // A non-retryable error aborts mid-ladder.
+        let err = escalate::<i32>(vec![
+            (FallbackStage::Direct, Box::new(move || Err(not_conv()))),
+            (
+                FallbackStage::ReferenceFixedPoint,
+                Box::new(|| Err(CoreError::NotEqualWork)),
+            ),
+            (FallbackStage::ReferenceRelaxed, Box::new(|| Ok(9))),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CoreError::NotEqualWork));
+    }
+
+    #[test]
+    fn relaxed_rungs_accept_what_strict_rejects() {
+        // The relaxed-verification rung is the strict engine with a
+        // wider acceptance bar, so anything the strict engine accepts it
+        // accepts too, with identical output.
+        let inst = Instance::equal_work(&[0.0, 0.5, 1.0, 2.5], 1.0).unwrap();
+        let ws = FlowWorkspace::new(&inst, 3.0).unwrap();
+        let strict = ws.solve(1.7).unwrap();
+        let relaxed = ws.solve_with_kkt_tol(1.7, RELAXED_KKT_TOL).unwrap();
+        assert_eq!(strict.speeds, relaxed.speeds);
+        // And the relaxed reference rung matches the standard reference
+        // on well-posed inputs.
+        let std_ref = solve_for_u_reference(&inst, 3.0, 1.7).unwrap();
+        let rel_ref =
+            solve_for_u_reference_with(&inst, 3.0, 1.7, RELAXED_PLATEAU_TOL, RELAXED_KKT_TOL)
+                .unwrap();
+        assert!((std_ref.total_flow - rel_ref.total_flow).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_display_names() {
+        assert_eq!(FallbackStage::Direct.to_string(), "direct");
+        assert_eq!(
+            FallbackStage::ReferenceRelaxed.to_string(),
+            "reference-relaxed"
+        );
+    }
+}

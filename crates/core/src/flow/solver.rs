@@ -562,9 +562,21 @@ impl<'a> FlowWorkspace<'a> {
     /// # Errors
     /// As [`solve_for_u`].
     pub fn solve(&self, u: f64) -> Result<FlowSolution, CoreError> {
+        self.solve_with_kkt_tol(u, KKT_TOL)
+    }
+
+    /// [`FlowWorkspace::solve`] with a caller-chosen Theorem-1 residual
+    /// acceptance bar — the degradation ladder's "relaxed verification"
+    /// rung (`crate::flow::resilient`). The profile construction is
+    /// identical; only the final verification threshold moves.
+    pub(crate) fn solve_with_kkt_tol(
+        &self,
+        u: f64,
+        kkt_tol: f64,
+    ) -> Result<FlowSolution, CoreError> {
         let blocks = self.decompose(u)?;
         let speeds = self.block_speeds(&blocks, u);
-        finish_solution(self.instance, self.alpha, u, speeds)
+        finish_solution_tol(self.instance, self.alpha, u, speeds, kkt_tol)
     }
 
     /// [`FlowWorkspace::solve`] plus the closed-form `dE/du` and `dF/du`
@@ -813,8 +825,21 @@ fn finish_solution(
     u: f64,
     speeds: Vec<f64>,
 ) -> Result<FlowSolution, CoreError> {
+    finish_solution_tol(instance, alpha, u, speeds, KKT_TOL)
+}
+
+/// [`finish_solution`] with an explicit residual acceptance threshold —
+/// the degradation ladder relaxes it (to ~1e-3) before falling back to
+/// the reference engine, trading certified optimality for availability.
+fn finish_solution_tol(
+    instance: &Instance,
+    alpha: f64,
+    u: f64,
+    speeds: Vec<f64>,
+    kkt_tol: f64,
+) -> Result<FlowSolution, CoreError> {
     let report = kkt::verify(instance, &speeds, u, alpha, TIME_TOL)?;
-    if report.max_residual > KKT_TOL {
+    if report.max_residual > kkt_tol {
         return Err(CoreError::VerificationFailed {
             reason: format!(
                 "flow profile violates Theorem 1 (residual {})",
@@ -901,6 +926,25 @@ pub fn solve_for_u_reference(
     instance: &Instance,
     alpha: f64,
     u: f64,
+) -> Result<FlowSolution, CoreError> {
+    solve_for_u_reference_with(instance, alpha, u, PLATEAU_TOL, KKT_TOL)
+}
+
+/// Plateau acceptance threshold for the reference fixed point (see the
+/// comment at its use site). The degradation ladder widens it (to
+/// ~1e-4) on its last-resort rung.
+const PLATEAU_TOL: f64 = 1e-8;
+
+/// [`solve_for_u_reference`] with caller-chosen plateau and Theorem-1
+/// residual thresholds — the degradation ladder's relaxed-reference
+/// rung. The iteration itself is unchanged; only the two acceptance
+/// bars move.
+pub(crate) fn solve_for_u_reference_with(
+    instance: &Instance,
+    alpha: f64,
+    u: f64,
+    plateau_tol: f64,
+    kkt_tol: f64,
 ) -> Result<FlowSolution, CoreError> {
     if !instance.is_equal_work(1e-9) {
         return Err(CoreError::NotEqualWork);
@@ -989,8 +1033,7 @@ pub fn solve_for_u_reference(
     // finish_solution stays the arbiter of validity), while a loud stall
     // — a real non-convergence, like the pre-PR-2 divergences — keeps
     // erroring with the actual last delta.
-    const PLATEAU_TOL: f64 = 1e-8;
-    if !converged && last_delta >= PLATEAU_TOL {
+    if !converged && last_delta >= plateau_tol {
         return Err(CoreError::NotConverged {
             solver: "flow fixed point",
             residual: last_delta,
@@ -1046,7 +1089,7 @@ pub fn solve_for_u_reference(
             break;
         }
     }
-    finish_solution(instance, alpha, u, best)
+    finish_solution_tol(instance, alpha, u, best, kkt_tol)
 }
 
 /// Solve the **laptop problem** for total flow: minimize flow subject to

@@ -78,6 +78,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod budget;
 pub mod deadline;
 pub mod discrete;
 pub mod error;
@@ -87,4 +88,5 @@ pub mod multi;
 pub mod online;
 pub mod precedence;
 
+pub use budget::{Budgeted, Degradation, SolveBudget};
 pub use error::CoreError;

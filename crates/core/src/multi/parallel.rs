@@ -23,6 +23,7 @@
 //! exactly (both find the true optimum); the labelling may differ among
 //! norm-ties, so tests compare norms, not labels.
 
+use crate::budget::{Budgeted, Degradation, SharedGate, SolveBudget};
 use crate::multi::partition::{descend, Incumbent, SearchCore};
 use pas_numeric::SortedLoads;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -116,13 +117,53 @@ pub fn min_norm_assignment_parallel_with(
     alpha: f64,
     workers: usize,
 ) -> (Vec<usize>, f64) {
+    min_norm_assignment_parallel_budgeted_with(works, m, alpha, &SolveBudget::UNLIMITED, workers)
+        .into_value()
+}
+
+/// Budgeted parallel search with the worker count chosen from
+/// [`std::thread::available_parallelism`]. See
+/// [`min_norm_assignment_parallel_budgeted_with`].
+///
+/// # Panics
+/// If `m == 0`.
+pub fn min_norm_assignment_parallel_budgeted(
+    works: &[f64],
+    m: usize,
+    alpha: f64,
+    budget: &SolveBudget,
+) -> Budgeted<(Vec<usize>, f64)> {
+    let workers = thread::available_parallelism().map_or(1, usize::from);
+    min_norm_assignment_parallel_budgeted_with(works, m, alpha, budget, workers)
+}
+
+/// Parallel version of
+/// [`min_norm_assignment_budgeted`](crate::multi::partition::min_norm_assignment_budgeted):
+/// workers share a stop flag and a batched node counter, so exhaustion
+/// is detected within one batch (~64 nodes) per worker; every subtree a
+/// worker abandons contributes its relaxation bound to the shared
+/// certificate, keeping the degraded result's gap sound even though
+/// the frontier is split across threads.
+///
+/// With an unlimited budget this is exactly
+/// [`min_norm_assignment_parallel_with`].
+///
+/// # Panics
+/// If `m == 0` or `workers == 0`.
+pub fn min_norm_assignment_parallel_budgeted_with(
+    works: &[f64],
+    m: usize,
+    alpha: f64,
+    budget: &SolveBudget,
+    workers: usize,
+) -> Budgeted<(Vec<usize>, f64)> {
     assert!(m > 0, "need at least one processor");
     assert!(workers > 0, "need at least one worker");
     let n = works.len();
     if n <= 2 || m == 1 || workers == 1 {
         // Nothing to parallelize (n ≤ 2 has at most two distinct
         // branches after symmetry breaking).
-        return crate::multi::partition::min_norm_assignment(works, m, alpha);
+        return crate::multi::partition::min_norm_assignment_budgeted(works, m, alpha, budget);
     }
     let core = SearchCore::new(works, m, alpha);
     let (seed_labels, seed_norm) = core.seed_incumbent();
@@ -161,6 +202,7 @@ pub fn min_norm_assignment_parallel_with(
     }
 
     let best = SharedBest::new(seed_norm);
+    let gate = SharedGate::new(budget);
     let queue: Mutex<Vec<Vec<usize>>> = Mutex::new(frontier);
     let workers = workers.min(queue.lock().expect("unpoisoned").len().max(1));
 
@@ -170,6 +212,7 @@ pub fn min_norm_assignment_parallel_with(
                 let core = &core;
                 let best = &best;
                 let queue = &queue;
+                let gate = &gate;
                 scope.spawn(move || {
                     let mut inc = ParIncumbent {
                         shared: best,
@@ -178,11 +221,16 @@ pub fn min_norm_assignment_parallel_with(
                     };
                     let mut labels = vec![0usize; n];
                     let mut scratch = vec![0usize; n * m];
+                    let mut wgate = gate.worker();
                     loop {
                         let Some(prefix) = queue.lock().expect("unpoisoned").pop() else {
                             break;
                         };
                         // Rebuild the committed loads for this subtree.
+                        // Even after exhaustion the queue is drained:
+                        // `descend`'s first tick fails and the subtree's
+                        // root bound joins the certificate, so no part
+                        // of the tree escapes accounting.
                         let mut st = SortedLoads::new(m, alpha);
                         for (k, &p) in prefix.iter().enumerate() {
                             st.raise(p, st.load(p) + core.sorted[k]);
@@ -195,6 +243,7 @@ pub fn min_norm_assignment_parallel_with(
                             prefix.len(),
                             &mut scratch,
                             &mut inc,
+                            &mut wgate,
                         );
                     }
                     (inc.best, inc.labels)
@@ -215,7 +264,19 @@ pub fn min_norm_assignment_parallel_with(
         .min_by(|a, b| a.0.total_cmp(&b.0))
         .expect("at least the seed");
 
-    (core.unsort_labels(&labels_sorted), norm)
+    let value = (core.unsort_labels(&labels_sorted), norm);
+    if gate.exhausted() {
+        let lower_bound = norm.min(gate.min_abandoned());
+        Budgeted::Degraded(Degradation {
+            bound_gap: norm - lower_bound,
+            lower_bound,
+            value,
+            nodes: gate.nodes(),
+            elapsed: gate.elapsed(),
+        })
+    } else {
+        Budgeted::Exact(value)
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +334,36 @@ mod tests {
         let works = vec![1.0; 9];
         let (_, norm) = super::min_norm_assignment_parallel_with(&works, 3, 2.0, 4);
         assert!((norm - 27.0).abs() < 1e-9); // 3 procs × 3² = 27
+    }
+
+    #[test]
+    fn budgeted_parallel_degrades_soundly() {
+        let works: Vec<f64> = (0..16).map(|k| 0.3 + (k as f64 * 0.61) % 2.7).collect();
+        let (m, alpha) = (4usize, 3.0);
+        let (_, opt) = min_norm_assignment(&works, m, alpha);
+        // Tiny node budget: must degrade, with a sound certificate.
+        let out = super::min_norm_assignment_parallel_budgeted_with(
+            &works,
+            m,
+            alpha,
+            &SolveBudget::nodes(16),
+            3,
+        );
+        let d = out.degradation().expect("16 nodes cannot finish n=16");
+        assert!(d.bound_gap >= 0.0);
+        assert!(d.lower_bound <= opt + 1e-9 * opt);
+        assert!(d.value.1 >= opt - 1e-9 * opt);
+        // Unlimited budget through the same entry: exact and equal to
+        // the sequential optimum.
+        let exact = super::min_norm_assignment_parallel_budgeted_with(
+            &works,
+            m,
+            alpha,
+            &SolveBudget::UNLIMITED,
+            3,
+        );
+        assert!(!exact.is_degraded());
+        assert!((exact.value().1 - opt).abs() < 1e-9 * opt);
     }
 
     #[test]

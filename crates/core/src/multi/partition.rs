@@ -15,6 +15,7 @@
 //! `Σ L_p^α ≥ 2·(B/2)^α` with equality only at `L_1 = L_2 = B/2`
 //! (strict convexity).
 
+use crate::budget::{BudgetGate, Budgeted, Degradation, SearchGate, SolveBudget};
 use crate::error::CoreError;
 use pas_numeric::SortedLoads;
 use pas_power::PowerModel;
@@ -128,12 +129,38 @@ pub fn makespan_for_loads(loads: &[f64], alpha: f64, budget: f64) -> f64 {
 /// Exponential worst case — this is the NP-hard side of Theorem 11 —
 /// but the incremental state and seeded incumbent put `n ≈ 30–40`,
 /// `m ≈ 4–8` within reach (see `BENCH_multi.json`), where the seed
-/// engine handled `n ≤ ~24`.
+/// engine handled `n ≤ ~24`. Callers with a latency obligation should
+/// use [`min_norm_assignment_budgeted`], which this function *is* (with
+/// an unlimited budget), so the two paths cannot diverge.
 pub fn min_norm_assignment(works: &[f64], m: usize, alpha: f64) -> (Vec<usize>, f64) {
+    min_norm_assignment_budgeted(works, m, alpha, &SolveBudget::UNLIMITED).into_value()
+}
+
+/// [`min_norm_assignment`] under a [`SolveBudget`]: on exhaustion the
+/// best incumbent is returned as [`Budgeted::Degraded`] together with a
+/// **certified** optimality gap (the true optimum provably lies in
+/// `[lower_bound, value.1]`; the bound is the minimum over the
+/// incumbent and every abandoned subtree's divisible-relaxation
+/// waterfill, which never exceeds the subtree's true optimum).
+///
+/// Degradation edges: a zero budget returns the LPT + local-search seed
+/// immediately (with the root relaxation as its bound); an unlimited
+/// budget is **bit-identical** to [`min_norm_assignment`] — the gate
+/// only counts nodes, it never touches the search's float state or
+/// branch order.
+///
+/// # Panics
+/// If `m == 0`.
+pub fn min_norm_assignment_budgeted(
+    works: &[f64],
+    m: usize,
+    alpha: f64,
+    budget: &SolveBudget,
+) -> Budgeted<(Vec<usize>, f64)> {
     assert!(m > 0, "need at least one processor");
     let n = works.len();
     if n == 0 {
-        return (Vec::new(), 0.0);
+        return Budgeted::Exact((Vec::new(), 0.0));
     }
     let core = SearchCore::new(works, m, alpha);
     let (seed_labels, seed_norm) = core.seed_incumbent();
@@ -144,8 +171,29 @@ pub fn min_norm_assignment(works: &[f64], m: usize, alpha: f64) -> (Vec<usize>, 
     let mut st = SortedLoads::new(m, alpha);
     let mut labels = vec![0usize; n];
     let mut scratch = vec![0usize; n * m];
-    descend(&core, &mut st, &mut labels, 0, &mut scratch, &mut inc);
-    (core.unsort_labels(&inc.labels), inc.best)
+    let mut gate = BudgetGate::new(budget);
+    descend(
+        &core,
+        &mut st,
+        &mut labels,
+        0,
+        &mut scratch,
+        &mut inc,
+        &mut gate,
+    );
+    let value = (core.unsort_labels(&inc.labels), inc.best);
+    if gate.exhausted() {
+        let lower_bound = inc.best.min(gate.min_abandoned());
+        Budgeted::Degraded(Degradation {
+            bound_gap: inc.best - lower_bound,
+            lower_bound,
+            value,
+            nodes: gate.nodes(),
+            elapsed: gate.elapsed(),
+        })
+    } else {
+        Budgeted::Exact(value)
+    }
 }
 
 /// Shared immutable state of one `L_α`-norm branch-and-bound run: the
@@ -241,16 +289,25 @@ impl Incumbent for SeqIncumbent {
 /// Explore the subtree with jobs `k..` unassigned. `st` holds the loads
 /// committed by jobs `..k` (already labelled in `labels[..k]`);
 /// `scratch` is a preallocated `(n − k) · m` candidate buffer so the hot
-/// path never allocates.
-pub(crate) fn descend<I: Incumbent>(
+/// path never allocates. The `gate` meters the budget: prune checks run
+/// *first* (so the gate never alters which nodes an exact run visits),
+/// then the gate ticks; on exhaustion the subtree's relaxation bound is
+/// recorded so the caller can certify its incumbent's gap.
+pub(crate) fn descend<I: Incumbent, G: SearchGate>(
     core: &SearchCore,
     st: &mut SortedLoads,
     labels: &mut [usize],
     k: usize,
     scratch: &mut [usize],
     inc: &mut I,
+    gate: &mut G,
 ) {
-    if st.waterfill_bound(core.suffix[k]) >= inc.prune_at() {
+    let bound = st.waterfill_bound(core.suffix[k]);
+    if bound >= inc.prune_at() {
+        return;
+    }
+    if !gate.tick() {
+        gate.abandon(bound);
         return;
     }
     let n = core.sorted.len();
@@ -291,7 +348,7 @@ pub(crate) fn descend<I: Incumbent>(
     for &p in &cands[..count] {
         let saved = st.raise(p, st.load(p) + w);
         labels[k] = p;
-        descend(core, st, labels, k + 1, rest, inc);
+        descend(core, st, labels, k + 1, rest, inc, gate);
         st.lower_to(p, saved);
     }
 }
@@ -716,6 +773,68 @@ mod tests {
         // Balanced loads give strictly smaller makespan.
         let t_bal = makespan_for_loads(&[4.0, 4.0], alpha, budget);
         assert!(t_bal < t);
+    }
+
+    #[test]
+    fn unlimited_budget_is_exact_and_identical() {
+        let works: Vec<f64> = (0..13).map(|k| 0.4 + (k as f64 * 0.53) % 1.9).collect();
+        let (labels, norm) = min_norm_assignment(&works, 3, 3.0);
+        let budgeted = min_norm_assignment_budgeted(&works, 3, 3.0, &SolveBudget::UNLIMITED);
+        assert!(!budgeted.is_degraded());
+        let (b_labels, b_norm) = budgeted.into_value();
+        // Bit-identical, not merely close: same search, same floats.
+        assert_eq!(norm.to_bits(), b_norm.to_bits());
+        assert_eq!(labels, b_labels);
+    }
+
+    #[test]
+    fn zero_node_budget_degrades_to_seed_with_certificate() {
+        let works: Vec<f64> = (0..16).map(|k| 0.3 + (k as f64 * 0.71) % 2.1).collect();
+        let m = 4;
+        let alpha = 3.0;
+        let out = min_norm_assignment_budgeted(&works, m, alpha, &SolveBudget::nodes(0));
+        let d = out.degradation().expect("zero budget must degrade");
+        let (labels, norm) = &d.value;
+        // The incumbent is the heuristic seed and realizes its norm.
+        let mut loads = vec![0.0f64; m];
+        for (w, &p) in works.iter().zip(labels) {
+            loads[p] += w;
+        }
+        let realized: f64 = loads.iter().map(|l| l.powf(alpha)).sum();
+        assert!((realized - norm).abs() <= 1e-9 * norm.max(1.0));
+        // Certificate sanity: gap ≥ 0 and the bound really is a lower
+        // bound on the true optimum.
+        assert!(d.bound_gap >= 0.0);
+        let (_, opt) = min_norm_assignment(&works, m, alpha);
+        assert!(
+            d.lower_bound <= opt + 1e-9 * opt.max(1.0),
+            "bound {} vs optimum {opt}",
+            d.lower_bound
+        );
+        assert!(*norm >= opt - 1e-9 * opt.max(1.0));
+    }
+
+    #[test]
+    fn small_node_budgets_keep_sound_certificates() {
+        let works: Vec<f64> = (0..15).map(|k| 0.5 + (k as f64 * 0.37) % 1.7).collect();
+        let m = 3;
+        let alpha = 3.0;
+        let (_, opt) = min_norm_assignment(&works, m, alpha);
+        for nodes in [1u64, 10, 100, 1000] {
+            let out = min_norm_assignment_budgeted(&works, m, alpha, &SolveBudget::nodes(nodes));
+            let (labels, norm) = out.value().clone();
+            assert_eq!(labels.len(), works.len());
+            assert!(norm >= opt - 1e-9 * opt.max(1.0), "incumbent below optimum");
+            if let Some(d) = out.degradation() {
+                assert!(d.nodes <= nodes, "node accounting: {} > {nodes}", d.nodes);
+                assert!(d.bound_gap >= 0.0);
+                assert!(d.lower_bound <= opt + 1e-9 * opt.max(1.0));
+                assert!((d.bound_gap - (norm - d.lower_bound)).abs() < 1e-12);
+            } else {
+                // Finished within budget: must be the true optimum.
+                assert!((norm - opt).abs() <= 1e-9 * opt.max(1.0));
+            }
+        }
     }
 
     #[test]

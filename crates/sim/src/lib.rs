@@ -22,18 +22,31 @@
 //!   [`online::OnlinePolicy`] and assembles its decisions
 //!   into a `Schedule`, enabling the §6 "future work" online-vs-offline
 //!   experiments under identical accounting.
+//! * [`faults`] — deterministic, seeded fault scenarios (crashes with
+//!   lost or checkpointed progress, cancellations, throttle windows,
+//!   arrival bursts) injected into the engine via
+//!   [`online::run_online_with_faults`], costed by a
+//!   [`faults::ResilienceReport`].
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod faults;
 pub mod metrics;
 pub mod online;
 pub mod render;
 pub mod schedule;
 pub mod slice;
 
+pub use faults::{
+    BurstJob, CrashSemantics, FaultEvent, FaultKind, FaultModel, FaultNotice, FaultPlan,
+    FaultPlanError, ResilienceReport,
+};
 pub use metrics::Metrics;
-pub use online::{Decision, OnlineOutcome, OnlinePolicy, PendingJob, ReadySet, SimError};
+pub use online::{
+    run_online, run_online_with_faults, Decision, OnlineOutcome, OnlinePolicy, PendingJob,
+    ReadySet, SimError,
+};
 pub use render::render_ascii;
 pub use schedule::{Schedule, ScheduleError};
 pub use slice::Slice;

@@ -159,6 +159,62 @@ pub fn max_temperature<M: PowerModel>(schedule: &Schedule, model: &M, a: f64, b:
     peak
 }
 
+/// Number of jobs whose flow `C_i − r_i` exceeds the `slo` bound.
+///
+/// Jobs of the instance that never complete in the schedule (lost to a
+/// crash or cancellation) count as misses — an undelivered job can never
+/// meet its deadline. This is the shared implementation behind
+/// [`ResilienceReport::deadline_misses`](crate::faults::ResilienceReport).
+pub fn deadline_misses(schedule: &Schedule, instance: &Instance, slo: f64) -> usize {
+    let completions = schedule.completion_times();
+    instance
+        .jobs()
+        .iter()
+        .filter(|j| match completions.get(&j.id) {
+            Some(&c) => c - j.release > slo,
+            None => true,
+        })
+        .count()
+}
+
+/// Work actually executed per job: `Σ_slices speed·duration`, keyed by
+/// job id, with compensated accumulation per job.
+///
+/// Under fault injection this is how the *effective* instance is
+/// reconstructed (re-executed work after a lost-progress crash shows up
+/// here, cancelled-before-start jobs do not), so the engine and the
+/// metrics share one notion of "work done".
+pub fn executed_work_by_job(schedule: &Schedule) -> HashMap<u32, f64> {
+    let mut acc: HashMap<u32, NeumaierSum> = HashMap::new();
+    for lane in schedule.machines() {
+        for s in lane {
+            acc.entry(s.job).or_default().add(s.work());
+        }
+    }
+    acc.into_iter().map(|(id, sum)| (id, sum.total())).collect()
+}
+
+/// Work executed inside the half-open interval `[from, to)`, across all
+/// machines, clipping slices that straddle the boundary.
+///
+/// The per-interval counterpart of [`executed_work_by_job`]: binning a
+/// horizon with it yields a lost/delivered-work timeline (e.g. work
+/// burned between a crash and its recovery under lost-progress
+/// semantics).
+pub fn work_in_interval(schedule: &Schedule, from: f64, to: f64) -> f64 {
+    let mut acc = NeumaierSum::new();
+    for lane in schedule.machines() {
+        for s in lane {
+            let lo = s.start.max(from);
+            let hi = s.end.min(to);
+            if hi > lo {
+                acc.add(s.speed * (hi - lo));
+            }
+        }
+    }
+    acc.total()
+}
+
 /// Per-job flow values `(job id, C_i − r_i)`, sorted by id — the raw
 /// series behind flow plots.
 pub fn per_job_flow(schedule: &Schedule, instance: &Instance) -> Vec<(u32, f64)> {
@@ -293,6 +349,48 @@ mod tests {
         assert_eq!(m.total_flow, total_flow(&sched, &inst));
         assert_eq!(m.energy, energy(&sched, &PolyPower::CUBE));
         assert_eq!(m.switches, 2);
+    }
+
+    #[test]
+    fn deadline_misses_count_late_and_missing_jobs() {
+        let (inst, sched) = paper_setup();
+        // Flows: 5, 1, 1/√8. A 2-unit SLO is missed only by job 0.
+        assert_eq!(deadline_misses(&sched, &inst, 2.0), 1);
+        assert_eq!(deadline_misses(&sched, &inst, 10.0), 0);
+        // Drop job 2's slices: it becomes an automatic miss.
+        let partial = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 5.0, 1.0),
+            Slice::new(1, 5.0, 6.0, 2.0),
+        ]);
+        assert_eq!(deadline_misses(&partial, &inst, 10.0), 1);
+    }
+
+    #[test]
+    fn executed_work_sums_per_job_across_slices() {
+        let sched = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 1.0, 2.0),
+            Slice::new(1, 1.0, 2.0, 1.0),
+            Slice::new(0, 2.0, 3.0, 0.5),
+        ]);
+        let w = executed_work_by_job(&sched);
+        assert!((w[&0] - 2.5).abs() < 1e-12);
+        assert!((w[&1] - 1.0).abs() < 1e-12);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn interval_work_clips_straddling_slices() {
+        let sched = Schedule::from_slices(vec![
+            Slice::new(0, 0.0, 2.0, 1.0),
+            Slice::new(1, 3.0, 5.0, 2.0),
+        ]);
+        // [1, 4): 1 unit of job 0 plus 2 units of job 1.
+        assert!((work_in_interval(&sched, 1.0, 4.0) - 3.0).abs() < 1e-12);
+        // Degenerate and empty windows.
+        assert_eq!(work_in_interval(&sched, 4.0, 4.0), 0.0);
+        assert_eq!(work_in_interval(&sched, 10.0, 20.0), 0.0);
+        // Whole horizon = total work.
+        assert!((work_in_interval(&sched, 0.0, 5.0) - 6.0).abs() < 1e-12);
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //!
 //! The engine is single-processor (matching the §6 open problem). It
 //! re-consults the policy at every *event*: a job arrival, a job
-//! completion, or a policy-requested checkpoint.
+//! completion, a policy-requested checkpoint — or, under a
+//! [`FaultPlan`], a fault (crash/recovery, cancellation, throttle
+//! window, arrival burst). [`run_online`] is the fault-free entry
+//! point; [`run_online_with_faults`] injects a deterministic fault
+//! scenario and reports its cost through the outcome's
+//! [`ResilienceReport`].
 //!
 //! # Scale
 //!
@@ -25,10 +30,13 @@
 //! engine re-summed the backlog per decision and resolved ids by
 //! linear scan (`O(n)` per event, `O(n²)` per run).
 
+use crate::faults::{CrashSemantics, FaultKind, FaultNotice, FaultPlan, ResilienceReport};
+use crate::metrics;
 use crate::schedule::Schedule;
 use crate::slice::Slice;
-use pas_workload::Instance;
-use std::collections::{HashMap, VecDeque};
+use pas_workload::{Instance, Job};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// A job visible to the policy: static data plus remaining work.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -138,6 +146,32 @@ impl ReadySet {
             self.queue.pop_front();
         }
     }
+
+    /// Erase all in-flight progress (a lose-progress crash): every
+    /// partially-executed ready job's remaining resets to its full
+    /// work. Returns the total erased progress; the backlog grows by
+    /// the same amount.
+    pub(crate) fn reset_progress(&mut self) -> f64 {
+        let mut erased = 0.0;
+        for j in &mut self.jobs {
+            let done = j.work - j.remaining;
+            if done > 0.0 {
+                erased += done;
+                j.remaining = j.work;
+            }
+        }
+        self.backlog += erased;
+        erased
+    }
+
+    /// Remove a job by id (cancellation), returning its state at
+    /// removal time; `None` if the id is not ready.
+    pub(crate) fn cancel(&mut self, id: u32) -> Option<PendingJob> {
+        let &slot = self.slot_of.get(&id)?;
+        let job = self.jobs[slot];
+        self.remove(slot);
+        Some(job)
+    }
 }
 
 /// A policy's instruction for the time starting now.
@@ -157,14 +191,20 @@ pub struct Decision {
 ///
 /// `decide` is called whenever the world changes (arrival, completion,
 /// or requested checkpoint). Returning `None` idles until the next
-/// arrival; idling with no future arrivals and unfinished jobs aborts
-/// the simulation with [`SimError::PolicyStalled`].
+/// arrival or fault; idling with nothing pending and unfinished jobs
+/// aborts the simulation with [`SimError::PolicyStalled`].
 pub trait OnlinePolicy {
     /// Choose what to run now. `ready` holds the released, unfinished
     /// jobs and their running aggregates; `now` is the current time;
     /// `energy_spent` is the cumulative energy the engine has metered so
     /// far (under the engine's power model).
     fn decide(&mut self, now: f64, ready: &ReadySet, energy_spent: f64) -> Option<Decision>;
+
+    /// The engine's fault channel: called on crashes, recoveries,
+    /// cancellations, and throttle transitions so the policy can
+    /// re-plan. The default ignores the notice, so fault-oblivious
+    /// policies compile and run unchanged.
+    fn notify(&mut self, _notice: &FaultNotice) {}
 
     /// Name for reports.
     fn name(&self) -> String {
@@ -173,9 +213,12 @@ pub trait OnlinePolicy {
 }
 
 /// Simulation failures.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum SimError {
-    /// Policy idled while work remained and no arrivals were pending.
+    /// The engine was asked to run with no jobs at all.
+    EmptyInstance,
+    /// Policy idled while work remained and no arrivals or faults were
+    /// pending.
     PolicyStalled {
         /// Time of the stall.
         at: f64,
@@ -198,11 +241,74 @@ pub enum SimError {
     },
     /// Event budget exceeded (runaway checkpoint loops).
     TooManyEvents,
+    /// An upstream solver or instance error reached the simulation
+    /// layer (e.g. a `pas-core` error converted via `From<CoreError>`).
+    /// Carries the source for [`std::error::Error::source`] chaining;
+    /// equality compares the message only.
+    Solver {
+        /// Rendered description of the upstream failure.
+        message: String,
+        /// The original error, when one was captured.
+        source: Option<Arc<dyn std::error::Error + Send + Sync>>,
+    },
+}
+
+impl SimError {
+    /// Wrap an upstream error, keeping it as the [`source`]
+    /// (`std::error::Error::source`) so the full chain stays
+    /// inspectable across the `pas-core`/`pas-sim` boundary.
+    ///
+    /// [`source`]: std::error::Error::source
+    pub fn solver<E>(err: E) -> SimError
+    where
+        E: std::error::Error + Send + Sync + 'static,
+    {
+        SimError::Solver {
+            message: err.to_string(),
+            source: Some(Arc::new(err)),
+        }
+    }
+
+    /// An upstream failure with a message only (no source to chain).
+    pub fn solver_message(message: impl Into<String>) -> SimError {
+        SimError::Solver {
+            message: message.into(),
+            source: None,
+        }
+    }
+}
+
+impl PartialEq for SimError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (SimError::EmptyInstance, SimError::EmptyInstance)
+            | (SimError::TooManyEvents, SimError::TooManyEvents) => true,
+            (
+                SimError::PolicyStalled { at, unfinished },
+                SimError::PolicyStalled {
+                    at: at2,
+                    unfinished: u2,
+                },
+            ) => at == at2 && unfinished == u2,
+            (SimError::UnknownJob { job, at }, SimError::UnknownJob { job: j2, at: at2 }) => {
+                job == j2 && at == at2
+            }
+            (
+                SimError::InvalidSpeed { speed, at },
+                SimError::InvalidSpeed { speed: s2, at: at2 },
+            ) => speed == s2 && at == at2,
+            (SimError::Solver { message, .. }, SimError::Solver { message: m2, .. }) => {
+                message == m2
+            }
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            SimError::EmptyInstance => write!(f, "simulation has no jobs"),
             SimError::PolicyStalled { at, unfinished } => {
                 write!(f, "policy stalled at t={at} with {unfinished} jobs left")
             }
@@ -213,11 +319,21 @@ impl std::fmt::Display for SimError {
                 write!(f, "policy chose invalid speed {speed} at t={at}")
             }
             SimError::TooManyEvents => write!(f, "event budget exceeded"),
+            SimError::Solver { message, .. } => write!(f, "solver error: {message}"),
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Solver { source, .. } => source
+                .as_deref()
+                .map(|e| e as &(dyn std::error::Error + 'static)),
+            _ => None,
+        }
+    }
+}
 
 /// Result of an online run.
 #[derive(Debug, Clone)]
@@ -226,6 +342,15 @@ pub struct OnlineOutcome {
     pub schedule: Schedule,
     /// Energy spent, metered by the engine under its power model.
     pub energy: f64,
+    /// What the fault scenario cost (all-zero for fault-free runs).
+    pub resilience: ResilienceReport,
+    /// The instance the schedule *actually* answers for: burst jobs
+    /// included, cancelled-without-execution jobs dropped, and each
+    /// job's work set to the work actually executed (re-execution after
+    /// a lost-progress crash makes this exceed the nominal work). The
+    /// schedule always passes [`Schedule::validate`] against it. `None`
+    /// when nothing was executed at all.
+    pub effective: Option<Instance>,
 }
 
 /// Execute `policy` on `instance` under `model`, metering energy.
@@ -241,50 +366,256 @@ pub fn run_online<M: pas_power::PowerModel>(
     model: &M,
     policy: &mut dyn OnlinePolicy,
 ) -> Result<OnlineOutcome, SimError> {
-    // Jobs sorted by release (Instance guarantees it).
-    let jobs = instance.jobs();
-    let n = jobs.len();
-    let mut next_arrival = 0usize; // index into jobs
+    run_online_with_faults(instance, model, policy, &FaultPlan::none())
+}
+
+/// [`run_online`] under a deterministic fault scenario: the plan's
+/// events are merged into the event loop (slices never span a fault
+/// boundary), the policy is [`notified`](OnlinePolicy::notify) of
+/// crashes/recoveries/cancellations/throttle transitions, and the
+/// outcome carries a [`ResilienceReport`] plus the *effective* instance
+/// the surviving schedule validates against.
+///
+/// Fault semantics:
+/// * **Crash** — the machine is down for the duration (policies are not
+///   consulted; arrivals still queue up). With
+///   [`CrashSemantics::LoseProgress`] every partially-executed job
+///   restarts from scratch; checkpointed crashes cost only downtime.
+/// * **Cancel** — the job is removed (or never admitted) and counts as
+///   lost/cancelled work, never as a completion.
+/// * **Throttle** — decision speeds are clamped to the active minimum
+///   cap; each clamp is counted. Policies keep running (degraded), they
+///   are not errored.
+/// * **Burst** — extra jobs with fresh ids join the arrival stream.
+///
+/// # Errors
+/// As [`run_online`].
+pub fn run_online_with_faults<M: pas_power::PowerModel>(
+    instance: &Instance,
+    model: &M,
+    policy: &mut dyn OnlinePolicy,
+    plan: &FaultPlan,
+) -> Result<OnlineOutcome, SimError> {
+    // Materialize the arrival stream: base jobs plus burst jobs under
+    // fresh ids, re-sorted by release.
+    let mut arrivals: Vec<Job> = instance.jobs().to_vec();
+    let mut next_id = arrivals.iter().map(|j| j.id).max().map_or(0, |m| m + 1);
+    let mut burst_jobs = 0usize;
+    for ev in plan.events() {
+        if let FaultKind::ArrivalBurst { jobs } = &ev.kind {
+            for b in jobs {
+                arrivals.push(Job::new(next_id, ev.at + b.offset, b.work));
+                next_id += 1;
+                burst_jobs += 1;
+            }
+        }
+    }
+    arrivals.sort_by(|a, b| a.release.total_cmp(&b.release));
+    run_engine(&arrivals, model, policy, plan, burst_jobs)
+}
+
+/// The engine proper, over a release-sorted arrival list (base jobs +
+/// bursts). Separated from the public wrappers so the empty-arrivals
+/// guard is testable even though `Instance` cannot be empty.
+fn run_engine<M: pas_power::PowerModel>(
+    arrivals: &[Job],
+    model: &M,
+    policy: &mut dyn OnlinePolicy,
+    plan: &FaultPlan,
+    burst_jobs: usize,
+) -> Result<OnlineOutcome, SimError> {
+    let n = arrivals.len();
+    if n == 0 {
+        return Err(SimError::EmptyInstance);
+    }
+    let events = plan.events();
+    let mut report = ResilienceReport {
+        burst_jobs,
+        ..ResilienceReport::default()
+    };
+
+    let mut next_arrival = 0usize; // index into arrivals
     let mut ready = ReadySet::default();
-    let mut done = 0usize;
-    let mut now = jobs[0].release;
+    let mut finished = 0usize; // completions + cancellations
     let mut schedule = Schedule::single();
     let mut energy = 0.0;
-    // Event budget: generous, proportional to n, to stop checkpoint loops.
-    let mut budget = 10_000 * (n + 1);
+    // Per-job energy metered since the job's last restart; drained on
+    // delivery, charged to `wasted_energy` on erasure/cancellation.
+    let mut energy_by_job: HashMap<u32, f64> = HashMap::new();
+    let mut cancelled_pre: HashSet<u32> = HashSet::new(); // cancelled before arrival
+    let mut cancelled_all: HashSet<u32> = HashSet::new();
 
-    // Admit all jobs released at (or before) `now`.
-    let admit = |next_arrival: &mut usize, ready: &mut ReadySet, now: f64| {
-        while *next_arrival < n && jobs[*next_arrival].release <= now + 1e-12 {
-            let j = &jobs[*next_arrival];
-            ready.admit(PendingJob {
-                id: j.id,
-                release: j.release,
-                work: j.work,
-                remaining: j.work,
-            });
+    // Fault state.
+    let mut i_fault = 0usize;
+    let mut in_downtime = false;
+    let mut down_until = f64::NEG_INFINITY;
+    let mut down_since = 0.0f64;
+    let mut erased_this_down = 0.0f64;
+    // (crash start, recovery time) pairs awaiting their first
+    // post-recovery slice, which resolves the recovery latency.
+    let mut pending_recoveries: VecDeque<(f64, f64)> = VecDeque::new();
+    let mut throttles: Vec<(f64, f64)> = Vec::new(); // (until, cap)
+
+    // Start at the first arrival or the first fault, whichever is
+    // earlier (early crashes must still account their downtime).
+    let mut now = arrivals[0].release;
+    if let Some(first_ev) = events.first() {
+        now = now.min(first_ev.at);
+    }
+
+    // Event budget: generous, proportional to the event sources, to
+    // stop checkpoint loops.
+    let mut budget = 10_000 * (n + events.len() + 1);
+
+    // Admit all non-cancelled jobs released at (or before) `now`. The
+    // admission epsilon scales with `now` so same-instant floods at
+    // large timestamps are admitted together instead of spinning.
+    let admit = |next_arrival: &mut usize, ready: &mut ReadySet, now: f64, skip: &HashSet<u32>| {
+        while *next_arrival < n
+            && arrivals[*next_arrival].release <= now + 1e-12 * now.abs().max(1.0)
+        {
+            let j = &arrivals[*next_arrival];
+            if !skip.contains(&j.id) {
+                ready.admit(PendingJob {
+                    id: j.id,
+                    release: j.release,
+                    work: j.work,
+                    remaining: j.work,
+                });
+            }
             *next_arrival += 1;
         }
     };
-    admit(&mut next_arrival, &mut ready, now);
+    admit(&mut next_arrival, &mut ready, now, &cancelled_pre);
 
-    while done < n {
+    while finished < n {
         budget -= 1;
         if budget == 0 {
             return Err(SimError::TooManyEvents);
         }
+
+        // 1. Apply every fault due at the current time. Slices never
+        // span a fault boundary (dt is truncated below), so `now` is
+        // exactly the event time for events inside the active horizon.
+        while i_fault < events.len() && events[i_fault].at <= now {
+            let ev = &events[i_fault];
+            i_fault += 1;
+            match &ev.kind {
+                FaultKind::Crash {
+                    duration,
+                    semantics,
+                } => {
+                    report.crashes += 1;
+                    policy.notify(&FaultNotice::Crashed {
+                        at: now,
+                        semantics: *semantics,
+                    });
+                    if !in_downtime {
+                        in_downtime = true;
+                        down_since = now;
+                        erased_this_down = 0.0;
+                        down_until = now;
+                    }
+                    if *semantics == CrashSemantics::LoseProgress {
+                        for p in ready.iter() {
+                            if p.remaining < p.work {
+                                report.wasted_energy += energy_by_job.remove(&p.id).unwrap_or(0.0);
+                            }
+                        }
+                        let erased = ready.reset_progress();
+                        report.lost_work += erased;
+                        erased_this_down += erased;
+                    }
+                    down_until = down_until.max(now + *duration);
+                }
+                FaultKind::CancelJob { job } => {
+                    if let Some(p) = ready.cancel(*job) {
+                        policy.notify(&FaultNotice::JobCancelled { at: now, job: *job });
+                        report.cancelled_jobs += 1;
+                        report.cancelled_work += p.work;
+                        report.lost_work += p.work - p.remaining;
+                        report.wasted_energy += energy_by_job.remove(job).unwrap_or(0.0);
+                        cancelled_all.insert(*job);
+                        finished += 1;
+                    } else if !cancelled_pre.contains(job) {
+                        if let Some(a) = arrivals[next_arrival..].iter().find(|a| a.id == *job) {
+                            policy.notify(&FaultNotice::JobCancelled { at: now, job: *job });
+                            report.cancelled_jobs += 1;
+                            report.cancelled_work += a.work;
+                            cancelled_pre.insert(*job);
+                            cancelled_all.insert(*job);
+                            finished += 1;
+                        }
+                        // Unknown or already-completed job: no-op.
+                    }
+                }
+                FaultKind::Throttle { duration, cap } => {
+                    let until = now + *duration;
+                    throttles.push((until, *cap));
+                    policy.notify(&FaultNotice::Throttled {
+                        at: now,
+                        until,
+                        cap: *cap,
+                    });
+                }
+                FaultKind::ArrivalBurst { .. } => {
+                    // Burst jobs joined the arrival stream up front.
+                }
+            }
+        }
+        if finished >= n {
+            break;
+        }
+
+        // 2. Expire throttle windows.
+        if !throttles.is_empty() {
+            throttles.retain(|&(until, _)| until > now);
+            if throttles.is_empty() {
+                policy.notify(&FaultNotice::ThrottleLifted { at: now });
+            }
+        }
+
+        // 3. Downtime: fast-forward to recovery (or the next fault,
+        // which may extend the outage), admitting arrivals as time
+        // passes but never consulting the policy.
+        if in_downtime {
+            if now < down_until {
+                let next_fault_at = events.get(i_fault).map_or(f64::INFINITY, |e| e.at);
+                now = down_until.min(next_fault_at);
+                admit(&mut next_arrival, &mut ready, now, &cancelled_pre);
+                continue;
+            }
+            in_downtime = false;
+            let downtime = now - down_since;
+            report.downtime += downtime;
+            pending_recoveries.push_back((down_since, now));
+            policy.notify(&FaultNotice::Recovered {
+                at: now,
+                downtime,
+                lost_work: erased_this_down,
+            });
+        }
+
+        // 4. Consult the policy.
         let decision = policy.decide(now, &ready, energy);
         match decision {
             None => {
-                // Idle until the next arrival.
-                if next_arrival >= n {
+                // Idle until the next arrival or fault.
+                let next_arrival_at = if next_arrival < n {
+                    arrivals[next_arrival].release
+                } else {
+                    f64::INFINITY
+                };
+                let next_fault_at = events.get(i_fault).map_or(f64::INFINITY, |e| e.at);
+                let target = next_arrival_at.min(next_fault_at);
+                if !target.is_finite() {
                     return Err(SimError::PolicyStalled {
                         at: now,
-                        unfinished: n - done,
+                        unfinished: n - finished,
                     });
                 }
-                now = now.max(jobs[next_arrival].release);
-                admit(&mut next_arrival, &mut ready, now);
+                now = now.max(target);
+                admit(&mut next_arrival, &mut ready, now, &cancelled_pre);
             }
             Some(Decision {
                 job,
@@ -297,18 +628,52 @@ pub fn run_online<M: pas_power::PowerModel>(
                 let Some(&slot) = ready.slot_of.get(&job) else {
                     return Err(SimError::UnknownJob { job, at: now });
                 };
-                // Run until completion, next arrival, or checkpoint.
+                // Graceful degradation: clamp to the active throttle
+                // cap instead of failing the decision.
+                let cap = throttles
+                    .iter()
+                    .map(|&(_, c)| c)
+                    .fold(f64::INFINITY, f64::min);
+                let speed = if speed > cap {
+                    report.throttle_clamps += 1;
+                    cap
+                } else {
+                    speed
+                };
+                // Run until completion, next arrival, checkpoint, next
+                // fault, or throttle expiry — whichever comes first.
                 let completion_in = ready.jobs[slot].remaining / speed;
                 let arrival_in = if next_arrival < n {
-                    jobs[next_arrival].release - now
+                    arrivals[next_arrival].release - now
                 } else {
                     f64::INFINITY
                 };
                 let recheck_in = recheck_after.unwrap_or(f64::INFINITY).max(1e-12);
-                let dt = completion_in.min(arrival_in).min(recheck_in);
+                let fault_in = events.get(i_fault).map_or(f64::INFINITY, |e| e.at - now);
+                let expiry_in = throttles
+                    .iter()
+                    .map(|&(u, _)| u)
+                    .fold(f64::INFINITY, f64::min)
+                    - now;
+                let dt = completion_in
+                    .min(arrival_in)
+                    .min(recheck_in)
+                    .min(fault_in)
+                    .min(expiry_in);
                 if dt > 0.0 {
+                    // First work after a recovery resolves its latency.
+                    while let Some(&(crash_at, recovered_at)) = pending_recoveries.front() {
+                        if recovered_at <= now {
+                            report.recovery_latencies.push(now - crash_at);
+                            pending_recoveries.pop_front();
+                        } else {
+                            break;
+                        }
+                    }
                     schedule.push(0, Slice::new(job, now, now + dt, speed));
-                    energy += model.power(speed) * dt;
+                    let spent = model.power(speed) * dt;
+                    energy += spent;
+                    *energy_by_job.entry(job).or_insert(0.0) += spent;
                     // Clamp so the backlog accumulator cannot absorb a
                     // negative residual at completion.
                     let executed = (speed * dt).min(ready.jobs[slot].remaining);
@@ -317,21 +682,71 @@ pub fn run_online<M: pas_power::PowerModel>(
                 }
                 if ready.jobs[slot].remaining <= 1e-9 * ready.jobs[slot].work {
                     // Snap any residual into the final slice via coalesce
-                    // tolerance; mark complete.
+                    // tolerance; mark complete. Delivered energy is not
+                    // overhead.
+                    energy_by_job.remove(&job);
                     ready.remove(slot);
-                    done += 1;
+                    finished += 1;
                 }
-                admit(&mut next_arrival, &mut ready, now);
+                admit(&mut next_arrival, &mut ready, now, &cancelled_pre);
             }
         }
     }
     schedule.coalesce(1e-9);
-    Ok(OnlineOutcome { schedule, energy })
+
+    // Crashes whose recovery never saw another slice: latency runs to
+    // the end of the simulation.
+    for (crash_at, recovered_at) in pending_recoveries {
+        report
+            .recovery_latencies
+            .push(now.max(recovered_at) - crash_at);
+    }
+
+    // The effective instance: exactly the jobs with executed work, at
+    // their executed totals (shared accounting with `metrics`), so the
+    // schedule validates against it even after re-execution or partial
+    // cancellation.
+    let executed = metrics::executed_work_by_job(&schedule);
+    let eff: Vec<Job> = arrivals
+        .iter()
+        .filter_map(|j| executed.get(&j.id).map(|&w| Job::new(j.id, j.release, w)))
+        .filter(|j| j.work > 0.0)
+        .collect();
+    let effective = if eff.is_empty() {
+        None
+    } else {
+        Some(Instance::new(eff).map_err(SimError::solver)?)
+    };
+
+    // Deadline misses against the plan's SLO: delivered jobs via the
+    // shared metric, every cancelled job counted as a miss.
+    if let Some(slo) = plan.slo() {
+        let delivered: Vec<Job> = arrivals
+            .iter()
+            .filter(|j| !cancelled_all.contains(&j.id))
+            .copied()
+            .collect();
+        let mut misses = report.cancelled_jobs;
+        if !delivered.is_empty() {
+            if let Ok(inst) = Instance::new(delivered) {
+                misses += metrics::deadline_misses(&schedule, &inst, slo);
+            }
+        }
+        report.deadline_misses = Some(misses);
+    }
+
+    Ok(OnlineOutcome {
+        schedule,
+        energy,
+        resilience: report,
+        effective,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{BurstJob, FaultEvent, FaultModel};
     use crate::metrics;
     use pas_power::PolyPower;
 
@@ -367,6 +782,15 @@ mod tests {
         assert!(mk >= 4.0 - 1e-9, "makespan {mk}");
         // Energy: 8 work at speed 2 under σ³ -> w·σ² = 32.
         assert!((out.energy - 32.0).abs() < 1e-6, "energy {}", out.energy);
+        // Fault-free runs report a clean resilience record and an
+        // effective instance equivalent to the input.
+        assert!(out.resilience.is_clean());
+        let eff = out.effective.expect("work was executed");
+        eff.jobs().iter().zip(inst.jobs()).for_each(|(e, j)| {
+            assert_eq!(e.id, j.id);
+            assert!((e.work - j.work).abs() < 1e-6 * j.work);
+        });
+        out.schedule.validate(&eff, 1e-6).unwrap();
     }
 
     #[test]
@@ -503,5 +927,272 @@ mod tests {
         // Short job finishes at 2 (preempts), long at 11.
         assert!((completions[&1] - 2.0).abs() < 1e-9);
         assert!((completions[&0] - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_arrivals_are_a_typed_error() {
+        let plan = FaultPlan::none();
+        let err = run_engine(&[], &PolyPower::CUBE, &mut FixedSpeed(1.0), &plan, 0).unwrap_err();
+        assert_eq!(err, SimError::EmptyInstance);
+    }
+
+    #[test]
+    fn same_instant_flood_at_large_timestamp_drops_nothing() {
+        // 500 jobs all released at t = 1e9: the absolute 1e-12 epsilon
+        // is below one ulp there; the relative epsilon must admit the
+        // whole flood and the run must complete every job.
+        let t0 = 1e9;
+        let jobs: Vec<Job> = (0..500).map(|i| Job::new(i, t0, 1.0)).collect();
+        let inst = Instance::new(jobs).unwrap();
+        let out = run_online(&inst, &PolyPower::CUBE, &mut FixedSpeed(4.0)).unwrap();
+        assert_eq!(out.schedule.completion_times().len(), 500);
+        out.schedule.validate(&inst, 1e-6).unwrap();
+        assert!(out.energy.is_finite());
+    }
+
+    #[test]
+    fn checkpointed_crash_costs_only_downtime() {
+        let inst = Instance::from_pairs(&[(0.0, 4.0)]).unwrap();
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: 1.0,
+            kind: FaultKind::Crash {
+                duration: 2.0,
+                semantics: CrashSemantics::Checkpointed,
+            },
+        }])
+        .unwrap();
+        let out =
+            run_online_with_faults(&inst, &PolyPower::CUBE, &mut FixedSpeed(1.0), &plan).unwrap();
+        let r = &out.resilience;
+        assert_eq!(r.crashes, 1);
+        assert!((r.downtime - 2.0).abs() < 1e-9, "downtime {}", r.downtime);
+        assert_eq!(r.lost_work, 0.0);
+        // Work pauses over [1, 3]: completion at 6 instead of 4.
+        let c = out.schedule.completion_times()[&0];
+        assert!((c - 6.0).abs() < 1e-9, "completion {c}");
+        // Recovery latency = downtime (work restarts immediately).
+        assert!((r.max_recovery_latency() - 2.0).abs() < 1e-9);
+        // Energy unchanged vs a fault-free run (same work, same speed).
+        assert!((out.energy - 4.0).abs() < 1e-9);
+        assert_eq!(r.wasted_energy, 0.0);
+        out.schedule
+            .validate(out.effective.as_ref().unwrap(), 1e-6)
+            .unwrap();
+    }
+
+    #[test]
+    fn lost_progress_crash_re_executes_work() {
+        let inst = Instance::from_pairs(&[(0.0, 4.0)]).unwrap();
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: 1.0,
+            kind: FaultKind::Crash {
+                duration: 1.0,
+                semantics: CrashSemantics::LoseProgress,
+            },
+        }])
+        .unwrap();
+        let out =
+            run_online_with_faults(&inst, &PolyPower::CUBE, &mut FixedSpeed(1.0), &plan).unwrap();
+        let r = &out.resilience;
+        assert!((r.lost_work - 1.0).abs() < 1e-9, "lost {}", r.lost_work);
+        // 1 unit executed pre-crash at speed 1 under σ³ = 1 energy wasted.
+        assert!((r.wasted_energy - 1.0).abs() < 1e-9);
+        // Re-execution: completion at 1 (crash) + 1 (down) + 4 (full) = 6.
+        let c = out.schedule.completion_times()[&0];
+        assert!((c - 6.0).abs() < 1e-9, "completion {c}");
+        // Effective work = 5 (1 erased + 4 delivered); validates.
+        let eff = out.effective.as_ref().unwrap();
+        assert!((eff.job(0).work - 5.0).abs() < 1e-6);
+        out.schedule.validate(eff, 1e-6).unwrap();
+        // Total energy covers the re-execution.
+        assert!((out.energy - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancellation_is_not_a_completion() {
+        let inst = Instance::from_pairs(&[(0.0, 2.0), (0.0, 2.0), (10.0, 1.0)]).unwrap();
+        // Cancel job 1 mid-run and job 2 before it arrives.
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: 1.0,
+                kind: FaultKind::CancelJob { job: 1 },
+            },
+            FaultEvent {
+                at: 3.0,
+                kind: FaultKind::CancelJob { job: 2 },
+            },
+        ])
+        .unwrap();
+        let out =
+            run_online_with_faults(&inst, &PolyPower::CUBE, &mut FixedSpeed(1.0), &plan).unwrap();
+        let r = &out.resilience;
+        assert_eq!(r.cancelled_jobs, 2);
+        assert!((r.cancelled_work - 3.0).abs() < 1e-9);
+        let completions = out.schedule.completion_times();
+        assert!(completions.contains_key(&0));
+        // Only job 0 is delivered; the run ends without waiting for job 2.
+        assert!((metrics::makespan(&out.schedule) - 2.0).abs() < 1e-9);
+        out.schedule
+            .validate(out.effective.as_ref().unwrap(), 1e-6)
+            .unwrap();
+    }
+
+    #[test]
+    fn throttle_clamps_and_lifts() {
+        let inst = Instance::from_pairs(&[(0.0, 4.0)]).unwrap();
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: 0.0,
+            kind: FaultKind::Throttle {
+                duration: 2.0,
+                cap: 0.5,
+            },
+        }])
+        .unwrap();
+        let out =
+            run_online_with_faults(&inst, &PolyPower::CUBE, &mut FixedSpeed(2.0), &plan).unwrap();
+        let r = &out.resilience;
+        assert!(r.throttle_clamps >= 1, "clamps {}", r.throttle_clamps);
+        // [0,2] at cap 0.5 -> 1 work done; remaining 3 at speed 2 -> 1.5.
+        let c = out.schedule.completion_times()[&0];
+        assert!((c - 3.5).abs() < 1e-9, "completion {c}");
+        let lane = out.schedule.machine(0);
+        assert!((lane[0].speed - 0.5).abs() < 1e-12);
+        assert!((lane.last().unwrap().speed - 2.0).abs() < 1e-12);
+        out.schedule
+            .validate(out.effective.as_ref().unwrap(), 1e-6)
+            .unwrap();
+    }
+
+    #[test]
+    fn bursts_inject_fresh_jobs() {
+        let inst = Instance::from_pairs(&[(0.0, 1.0)]).unwrap();
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: 2.0,
+            kind: FaultKind::ArrivalBurst {
+                jobs: vec![
+                    BurstJob {
+                        offset: 0.0,
+                        work: 1.0,
+                    },
+                    BurstJob {
+                        offset: 0.5,
+                        work: 2.0,
+                    },
+                ],
+            },
+        }])
+        .unwrap();
+        let out =
+            run_online_with_faults(&inst, &PolyPower::CUBE, &mut FixedSpeed(1.0), &plan).unwrap();
+        assert_eq!(out.resilience.burst_jobs, 2);
+        assert_eq!(out.schedule.completion_times().len(), 3);
+        let eff = out.effective.as_ref().unwrap();
+        assert_eq!(eff.len(), 3);
+        out.schedule.validate(eff, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn slo_counts_deadline_misses() {
+        let inst = Instance::from_pairs(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        // FIFO at speed 1: flows are 1 and 2. SLO 1.5 -> one miss.
+        let plan = FaultPlan::none().with_slo(1.5);
+        let out =
+            run_online_with_faults(&inst, &PolyPower::CUBE, &mut FixedSpeed(1.0), &plan).unwrap();
+        assert_eq!(out.resilience.deadline_misses, Some(1));
+    }
+
+    #[test]
+    fn policies_hear_fault_notices() {
+        #[derive(Default)]
+        struct Listening {
+            crashed: usize,
+            recovered: usize,
+            throttled: usize,
+            lifted: usize,
+            cancelled: usize,
+        }
+        impl OnlinePolicy for Listening {
+            fn decide(&mut self, _: f64, r: &ReadySet, _: f64) -> Option<Decision> {
+                r.first().map(|p| Decision {
+                    job: p.id,
+                    speed: 1.0,
+                    recheck_after: None,
+                })
+            }
+            fn notify(&mut self, notice: &FaultNotice) {
+                match notice {
+                    FaultNotice::Crashed { .. } => self.crashed += 1,
+                    FaultNotice::Recovered { .. } => self.recovered += 1,
+                    FaultNotice::Throttled { .. } => self.throttled += 1,
+                    FaultNotice::ThrottleLifted { .. } => self.lifted += 1,
+                    FaultNotice::JobCancelled { .. } => self.cancelled += 1,
+                }
+            }
+        }
+        let inst = Instance::from_pairs(&[(0.0, 3.0), (0.0, 2.0)]).unwrap();
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: 0.5,
+                kind: FaultKind::Crash {
+                    duration: 0.5,
+                    semantics: CrashSemantics::Checkpointed,
+                },
+            },
+            FaultEvent {
+                at: 1.5,
+                kind: FaultKind::Throttle {
+                    duration: 0.5,
+                    cap: 0.25,
+                },
+            },
+            FaultEvent {
+                at: 2.5,
+                kind: FaultKind::CancelJob { job: 1 },
+            },
+        ])
+        .unwrap();
+        let mut policy = Listening::default();
+        run_online_with_faults(&inst, &PolyPower::CUBE, &mut policy, &plan).unwrap();
+        assert_eq!(policy.crashed, 1);
+        assert_eq!(policy.recovered, 1);
+        assert_eq!(policy.throttled, 1);
+        assert!(policy.lifted >= 1);
+        assert_eq!(policy.cancelled, 1);
+    }
+
+    #[test]
+    fn seeded_plans_replay_identically() {
+        let inst = Instance::from_pairs(&[(0.0, 2.0), (1.0, 2.0), (2.0, 2.0)]).unwrap();
+        let ids: Vec<u32> = inst.jobs().iter().map(|j| j.id).collect();
+        let plan = FaultModel::uniform_mix(0.8).sample(8.0, &ids, 42);
+        let a =
+            run_online_with_faults(&inst, &PolyPower::CUBE, &mut FixedSpeed(1.5), &plan).unwrap();
+        let b =
+            run_online_with_faults(&inst, &PolyPower::CUBE, &mut FixedSpeed(1.5), &plan).unwrap();
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.resilience, b.resilience);
+        assert_eq!(
+            a.schedule.completion_times().len(),
+            b.schedule.completion_times().len()
+        );
+    }
+
+    #[test]
+    fn sim_error_source_chain() {
+        #[derive(Debug)]
+        struct Root;
+        impl std::fmt::Display for Root {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "root cause")
+            }
+        }
+        impl std::error::Error for Root {}
+        let err = SimError::solver(Root);
+        assert!(err.to_string().contains("root cause"));
+        let src = std::error::Error::source(&err).expect("source is chained");
+        assert_eq!(src.to_string(), "root cause");
+        // Equality ignores the unattributable source pointer.
+        assert_eq!(err, SimError::solver_message("root cause"));
+        assert_ne!(err, SimError::TooManyEvents);
     }
 }

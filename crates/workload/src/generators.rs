@@ -143,6 +143,35 @@ pub fn staircase(n: usize, step: f64) -> Instance {
     .expect("generated jobs are valid")
 }
 
+/// Same-instant arrival flood: `n` jobs all released at exactly `at`,
+/// works uniform in `work_range` — the adversarial family for the online
+/// engine's admission epsilon (at large `at` an absolute epsilon falls
+/// below one ulp, so every job must still be admitted together) and for
+/// re-admission after a crash.
+///
+/// # Panics
+/// If `n == 0`, `at` is negative/non-finite, or the work range is
+/// empty/non-positive.
+pub fn flood(n: usize, at: f64, work_range: (f64, f64), seed: u64) -> Instance {
+    assert!(n > 0, "n must be positive");
+    assert!(
+        at.is_finite() && at >= 0.0,
+        "release must be finite and non-negative"
+    );
+    assert!(
+        work_range.0 > 0.0 && work_range.1 >= work_range.0,
+        "work range must be positive and ordered"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let wrk = Uniform::new_inclusive(work_range.0, work_range.1);
+    Instance::new(
+        (0..n)
+            .map(|i| Job::new(i as u32, at, wrk.sample(&mut rng)))
+            .collect(),
+    )
+    .expect("generated jobs are valid")
+}
+
 /// All jobs released immediately with the given works — the Theorem 11 /
 /// Pruhs–van Stee–Uthaisombut special case.
 ///
@@ -268,6 +297,17 @@ mod tests {
             assert!(inst.work(i) < inst.work(i - 1));
             assert_eq!(inst.release(i), i as f64);
         }
+    }
+
+    #[test]
+    fn flood_releases_are_identical() {
+        let inst = flood(40, 1e9, (0.5, 2.0), 13);
+        assert_eq!(inst.len(), 40);
+        for j in inst.jobs() {
+            assert_eq!(j.release, 1e9);
+            assert!((0.5..=2.0).contains(&j.work));
+        }
+        assert_eq!(flood(40, 1e9, (0.5, 2.0), 13), inst);
     }
 
     #[test]

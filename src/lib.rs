@@ -57,6 +57,7 @@
 //! | [`precedence`] | `pas-core` | precedence-constrained makespan (Pruhs–van Stee–Uthaisombut, §2) |
 //! | [`online`] | `pas-core` | budgeted online policies (paper §6) |
 //! | [`discrete`] | `pas-core` | discrete speed ladders and switch overhead (paper §6) |
+//! | [`budget`] | `pas-core` | solve budgets and certified-gap degraded results |
 //! | [`numeric`] | `pas-numeric` | rootfinding, polynomials, calculus helpers |
 //!
 //! See `README.md` for the crate map, the engine-vs-reference testing
@@ -72,6 +73,7 @@ pub use pas_power as power;
 pub use pas_sim as sim;
 pub use pas_workload as workload;
 
+pub use pas_core::budget;
 pub use pas_core::deadline;
 pub use pas_core::discrete;
 pub use pas_core::error;
