@@ -7,7 +7,7 @@
 //! * `--bench-json [DIR]` — the acceptance sweeps written as per-path
 //!   bench files `DIR/BENCH_yds.json`, `DIR/BENCH_flow.json`,
 //!   `DIR/BENCH_multi.json`, `DIR/BENCH_oa.json`, and
-//!   `DIR/BENCH_faults.json` (default `.`),
+//!   `DIR/BENCH_faults.json`, and `DIR/BENCH_serve.json` (default `.`),
 //!   the perf-trajectory records successive PRs compare against.
 //!   Expect tens of minutes: the YDS reference is `O(n⁴)` through
 //!   n=2000, the flow reference curve is ~120 cold bisection solves of
@@ -19,9 +19,9 @@
 //!   tier (small sizes, capped references), exercised in CI so the bench
 //!   plumbing can never rot;
 //! * `--only yds` / `--only flow` / `--only multi` / `--only oa` /
-//!   `--only faults` — restrict either mode to one path (the other
-//!   `BENCH_*.json` files are left untouched).
-use pas_bench::experiments::{faults, scaling};
+//!   `--only faults` / `--only serve` — restrict either mode to one
+//!   path (the other `BENCH_*.json` files are left untouched).
+use pas_bench::experiments::{faults, scaling, serve};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,8 +32,8 @@ fn main() {
         .and_then(|p| args.get(p + 1))
         .cloned();
     if let Some(o) = only.as_deref() {
-        if o != "yds" && o != "flow" && o != "multi" && o != "oa" && o != "faults" {
-            eprintln!("--only takes `yds`, `flow`, `multi`, `oa`, or `faults`, got `{o}`");
+        if !["yds", "flow", "multi", "oa", "faults", "serve"].contains(&o) {
+            eprintln!("--only takes `yds`, `flow`, `multi`, `oa`, `faults`, or `serve`, got `{o}`");
             std::process::exit(2);
         }
     }
@@ -42,6 +42,7 @@ fn main() {
     let run_multi = only.as_deref().is_none_or(|o| o == "multi");
     let run_oa = only.as_deref().is_none_or(|o| o == "oa");
     let run_faults = only.as_deref().is_none_or(|o| o == "faults");
+    let run_serve = only.as_deref().is_none_or(|o| o == "serve");
 
     if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
         let dir = args
@@ -104,6 +105,17 @@ fn main() {
             std::fs::write(&path, faults::faults_bench_json(&points)).expect("write BENCH json");
             eprintln!("wrote {path}");
         }
+        if run_serve {
+            let points = if smoke {
+                serve::serve_smoke()
+            } else {
+                serve::serve_default()
+            };
+            serve::serve_table(&points).print();
+            let path = format!("{dir}/BENCH_serve.json");
+            std::fs::write(&path, serve::serve_bench_json(&points)).expect("write BENCH json");
+            eprintln!("wrote {path}");
+        }
         return;
     }
     for table in scaling::run() {
@@ -133,5 +145,10 @@ fn main() {
     if run_faults {
         let points = faults::faults_smoke();
         faults::faults_table(&points).print();
+        println!();
+    }
+    if run_serve {
+        let points = serve::serve_smoke();
+        serve::serve_table(&points).print();
     }
 }

@@ -15,6 +15,7 @@
 //! | [`temperature`] | E17 | §2 thermal objective (Bansal–Kimbrel–Pruhs model) |
 //! | [`bounded_speed`] | E18 | §6 minimum/maximum speed regimes |
 //! | [`faults`] | E23 | fault-rate × policy resilience sweep (`BENCH_faults.json`) |
+//! | [`serve`] | E24 | serving-layer throughput / decision latency (`BENCH_serve.json`) |
 
 pub mod bounded_speed;
 pub mod deadline_ratios;
@@ -28,6 +29,7 @@ pub mod online_budget;
 pub mod partition;
 pub mod precedence_dag;
 pub mod scaling;
+pub mod serve;
 pub mod temperature;
 
 use crate::harness::CsvTable;
@@ -48,5 +50,6 @@ pub fn run_all() -> Vec<CsvTable> {
     tables.extend(temperature::run());
     tables.extend(bounded_speed::run());
     tables.extend(faults::run());
+    tables.extend(serve::run());
     tables
 }

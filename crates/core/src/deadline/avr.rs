@@ -63,6 +63,7 @@ pub fn profile_peak(instance: &DeadlineInstance) -> (f64, f64) {
 /// validation (would indicate an implementation bug — AVR is always
 /// feasible).
 pub fn avr(instance: &DeadlineInstance) -> Result<Schedule, CoreError> {
+    instance.validate()?;
     let jobs = instance.jobs();
     let n = jobs.len();
     // The AVR profile: density enters at the release rank, leaves at the

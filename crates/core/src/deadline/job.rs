@@ -46,6 +46,45 @@ impl DeadlineJob {
     }
 }
 
+/// Validation failures when building a [`DeadlineInstance`] — the typed
+/// mirror of `pas_workload::InstanceError` for the YDS model, so callers
+/// can branch on the failure kind instead of parsing a
+/// `VerificationFailed` message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeadlineError {
+    /// The job list was empty.
+    Empty,
+    /// A job had a NaN/±inf field, non-positive work, or a deadline at
+    /// or before its release.
+    InvalidJob {
+        /// Index (in the caller's order) of the offending job.
+        index: usize,
+        /// The offending job.
+        job: DeadlineJob,
+    },
+    /// Two jobs share the same `id`.
+    DuplicateId {
+        /// The duplicated identifier.
+        id: u32,
+    },
+}
+
+impl std::fmt::Display for DeadlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeadlineError::Empty => write!(f, "deadline instance has no jobs"),
+            DeadlineError::InvalidJob { index, job } => write!(
+                f,
+                "deadline job #{index} is invalid (needs finite times, \
+                 deadline > release, work > 0): {job:?}"
+            ),
+            DeadlineError::DuplicateId { id } => write!(f, "duplicate deadline job id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DeadlineError {}
+
 /// A validated deadline-scheduling instance, sorted by release time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeadlineInstance {
@@ -57,29 +96,51 @@ impl DeadlineInstance {
     /// uniqueness).
     ///
     /// # Errors
-    /// [`CoreError::VerificationFailed`] describing the offending job.
+    /// [`CoreError::Deadline`] naming the offending job (with the
+    /// [`DeadlineError`] as its `source()`).
     pub fn new(mut jobs: Vec<DeadlineJob>) -> Result<Self, CoreError> {
         if jobs.is_empty() {
-            return Err(CoreError::VerificationFailed {
-                reason: "deadline instance needs at least one job".to_string(),
-            });
+            return Err(DeadlineError::Empty.into());
         }
-        for j in &jobs {
+        for (index, j) in jobs.iter().enumerate() {
             if !j.is_valid() {
-                return Err(CoreError::VerificationFailed {
-                    reason: format!("invalid deadline job {j:?}"),
-                });
+                return Err(DeadlineError::InvalidJob { index, job: *j }.into());
             }
         }
         let mut ids: Vec<u32> = jobs.iter().map(|j| j.id).collect();
         ids.sort_unstable();
-        if ids.windows(2).any(|p| p[0] == p[1]) {
-            return Err(CoreError::VerificationFailed {
-                reason: "duplicate deadline job id".to_string(),
-            });
+        for pair in ids.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(DeadlineError::DuplicateId { id: pair[0] }.into());
+            }
         }
         jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
         Ok(DeadlineInstance { jobs })
+    }
+
+    /// Re-check the construction invariants (the typed validation gate
+    /// the deadline solver entry points call; see
+    /// `pas_workload::Instance::validate` for the rationale).
+    ///
+    /// # Errors
+    /// As [`DeadlineInstance::new`].
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.jobs.is_empty() {
+            return Err(DeadlineError::Empty.into());
+        }
+        for (index, j) in self.jobs.iter().enumerate() {
+            if !j.is_valid() {
+                return Err(DeadlineError::InvalidJob { index, job: *j }.into());
+            }
+        }
+        let mut ids: Vec<u32> = self.jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        for pair in ids.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(DeadlineError::DuplicateId { id: pair[0] }.into());
+            }
+        }
+        Ok(())
     }
 
     /// The jobs, sorted by release time.

@@ -36,6 +36,6 @@ pub mod oa;
 pub mod yds;
 
 pub use avr::{avr, profile_peak};
-pub use job::{DeadlineInstance, DeadlineJob};
+pub use job::{DeadlineError, DeadlineInstance, DeadlineJob};
 pub use oa::{oa, oa_reference};
 pub use yds::{yds, yds_reference, YdsOutcome, YdsRound};

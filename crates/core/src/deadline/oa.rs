@@ -41,6 +41,7 @@ use std::collections::BinaryHeap;
 /// [`CoreError::VerificationFailed`] on internal invariant violations
 /// (never for valid instances).
 pub fn oa(instance: &DeadlineInstance) -> Result<Schedule, CoreError> {
+    instance.validate()?;
     let jobs = instance.jobs();
     let n = jobs.len();
     let deadlines = EventAxis::new(jobs.iter().map(|j| j.deadline));
@@ -154,6 +155,7 @@ pub fn oa(instance: &DeadlineInstance) -> Result<Schedule, CoreError> {
 /// [`CoreError::VerificationFailed`] on internal invariant violations
 /// (never for valid instances).
 pub fn oa_reference(instance: &DeadlineInstance) -> Result<Schedule, CoreError> {
+    instance.validate()?;
     let jobs = instance.jobs();
     let n = jobs.len();
     let deadlines = EventAxis::new(jobs.iter().map(|j| j.deadline));

@@ -80,6 +80,7 @@ const EPS: f64 = 1e-9;
 /// [`CoreError::VerificationFailed`] if the internal invariants break
 /// (cannot happen for valid instances; kept loud rather than silent).
 pub fn yds(instance: &DeadlineInstance) -> Result<YdsOutcome, CoreError> {
+    instance.validate()?;
     let mut remaining: Vec<DeadlineJob> = instance.jobs().to_vec();
     let mut blocked = IntervalSet::new();
     let mut rounds = Vec::new();
@@ -334,6 +335,7 @@ fn edf_into_windows(
 /// [`CoreError::VerificationFailed`] if the internal invariants break
 /// (cannot happen for valid instances; kept loud rather than silent).
 pub fn yds_reference(instance: &DeadlineInstance) -> Result<YdsOutcome, CoreError> {
+    instance.validate()?;
     let mut remaining: Vec<DeadlineJob> = instance.jobs().to_vec();
     let mut blocked: Vec<(f64, f64)> = Vec::new();
     let mut rounds = Vec::new();

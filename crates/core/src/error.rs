@@ -50,6 +50,8 @@ pub enum CoreError {
     Numeric(RootError),
     /// Underlying instance-construction error.
     Instance(InstanceError),
+    /// Underlying deadline-instance validation error.
+    Deadline(crate::deadline::DeadlineError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -79,6 +81,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Power(e) => write!(f, "power model: {e}"),
             CoreError::Numeric(e) => write!(f, "numeric: {e}"),
             CoreError::Instance(e) => write!(f, "instance: {e}"),
+            CoreError::Deadline(e) => write!(f, "deadline instance: {e}"),
         }
     }
 }
@@ -89,6 +92,7 @@ impl std::error::Error for CoreError {
             CoreError::Power(e) => Some(e),
             CoreError::Numeric(e) => Some(e),
             CoreError::Instance(e) => Some(e),
+            CoreError::Deadline(e) => Some(e),
             _ => None,
         }
     }
@@ -121,6 +125,12 @@ impl From<RootError> for CoreError {
 impl From<InstanceError> for CoreError {
     fn from(e: InstanceError) -> Self {
         CoreError::Instance(e)
+    }
+}
+
+impl From<crate::deadline::DeadlineError> for CoreError {
+    fn from(e: crate::deadline::DeadlineError) -> Self {
+        CoreError::Deadline(e)
     }
 }
 

@@ -193,6 +193,7 @@ impl<'a> FlowWorkspace<'a> {
     /// [`CoreError::NotEqualWork`] — the §4 algorithm requires equal
     /// work.
     pub fn new(instance: &'a Instance, alpha: f64) -> Result<Self, CoreError> {
+        instance.validate()?;
         if !instance.is_equal_work(1e-9) {
             return Err(CoreError::NotEqualWork);
         }

@@ -50,6 +50,7 @@ pub fn laptop(
     budget: f64,
     tol: f64,
 ) -> Result<MultiFlow, CoreError> {
+    instance.validate()?;
     if !instance.is_equal_work(1e-9) {
         return Err(CoreError::NotEqualWork);
     }

@@ -46,6 +46,7 @@ pub fn laptop<M: PowerModel>(
     budget: f64,
     tol: f64,
 ) -> Result<MultiMakespan, CoreError> {
+    instance.validate()?;
     if !instance.is_equal_work(1e-9) {
         return Err(CoreError::NotEqualWork);
     }
@@ -165,6 +166,7 @@ pub fn laptop_immediate(
     m: usize,
     budget: f64,
 ) -> Result<MultiMakespan, CoreError> {
+    instance.validate()?;
     if !instance.all_released_immediately(1e-12) {
         return Err(CoreError::NotImmediateRelease);
     }
@@ -222,6 +224,7 @@ pub fn server<M: PowerModel>(
     m: usize,
     deadline: f64,
 ) -> Result<MultiMakespan, CoreError> {
+    instance.validate()?;
     if !instance.is_equal_work(1e-9) {
         return Err(CoreError::NotEqualWork);
     }

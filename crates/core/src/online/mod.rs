@@ -21,7 +21,7 @@
 
 use crate::error::CoreError;
 use crate::makespan::frontier::Frontier;
-use pas_power::PowerModel;
+use pas_power::{PolyPower, PowerModel};
 use pas_sim::online::{run_online, Decision, OnlinePolicy, ReadySet};
 use pas_sim::{metrics, Schedule};
 use pas_workload::Instance;
@@ -60,6 +60,16 @@ impl<M: PowerModel> OnlinePolicy for SpendAll<M> {
             speed,
             recheck_after: None,
         })
+    }
+
+    // Stateless: every decision derives from the ReadySet aggregates,
+    // so a serving-layer snapshot needs nothing from the policy.
+    fn save_state(&self) -> Option<Vec<f64>> {
+        Some(vec![])
+    }
+
+    fn load_state(&mut self, _state: &[f64]) -> bool {
+        true
     }
 
     fn name(&self) -> String {
@@ -106,6 +116,15 @@ impl<M: PowerModel> OnlinePolicy for FractionalSpend<M> {
             speed,
             recheck_after: None,
         })
+    }
+
+    // Stateless (see SpendAll).
+    fn save_state(&self) -> Option<Vec<f64>> {
+        Some(vec![])
+    }
+
+    fn load_state(&mut self, _state: &[f64]) -> bool {
+        true
     }
 
     fn name(&self) -> String {
@@ -174,6 +193,15 @@ impl<M: PowerModel> OnlinePolicy for AdaptiveRate<M> {
         })
     }
 
+    // Stateless: the rate estimate reads ReadySet aggregates only.
+    fn save_state(&self) -> Option<Vec<f64>> {
+        Some(vec![])
+    }
+
+    fn load_state(&mut self, _state: &[f64]) -> bool {
+        true
+    }
+
     fn name(&self) -> String {
         format!("adaptive-rate(h={})", self.horizon)
     }
@@ -211,8 +239,178 @@ impl OnlinePolicy for ConstantSpeed {
         })
     }
 
+    // Stateless (the speed is configuration, not mutable state).
+    fn save_state(&self) -> Option<Vec<f64>> {
+        Some(vec![])
+    }
+
+    fn load_state(&mut self, _state: &[f64]) -> bool {
+        true
+    }
+
     fn name(&self) -> String {
         format!("constant({})", self.speed)
+    }
+}
+
+/// §4-informed re-planning policy with the serving layer's budget
+/// plumbing: each time the backlog changes it re-plans through the
+/// [`flow::resilient`](crate::flow::resilient) escalation ladder
+/// (retry → relaxed → reference → error, every rung bounded), commits
+/// the planned head speed, and caches the plan so steady-state
+/// decisions are O(1). Backlogs larger than `plan_cap` — or ones the
+/// ladder cannot plan (unequal remaining work, ladder exhaustion) —
+/// fall back to the one-block [`SpendAll`]-style speed, so a decision
+/// can *degrade* but never stall: the same contract as
+/// [`SolveBudget`](crate::budget::SolveBudget)'s
+/// degraded-with-certificate results, applied to the online loop.
+///
+/// Unlike the other policies this one carries real mutable state (the
+/// cached plan and the degradation counters), so it implements
+/// [`save_state`](OnlinePolicy::save_state) /
+/// [`load_state`](OnlinePolicy::load_state) non-trivially and is the
+/// stateful test subject for serving-layer snapshot restores.
+#[derive(Debug, Clone)]
+pub struct FlowReplanner {
+    alpha: f64,
+    budget: f64,
+    /// Largest backlog the ladder is asked to plan exactly; bigger
+    /// backlogs use the block fallback (bounded per-decision cost).
+    plan_cap: usize,
+    /// Cached plan: (ready count, backlog at plan time, planned speed).
+    cached: Option<(usize, f64, f64)>,
+    /// Decisions that fell back to the block speed.
+    fallbacks: u64,
+    /// Plans that succeeded only on a degraded ladder rung.
+    degraded_plans: u64,
+}
+
+impl FlowReplanner {
+    /// Create with power-law exponent `alpha > 1`, session energy
+    /// `budget`, and the exact-planning cap `plan_cap ≥ 1`.
+    ///
+    /// # Panics
+    /// If `alpha ≤ 1` or `plan_cap == 0`.
+    pub fn new(alpha: f64, budget: f64, plan_cap: usize) -> Self {
+        assert!(alpha > 1.0, "alpha must exceed 1");
+        assert!(plan_cap > 0, "plan_cap must be positive");
+        FlowReplanner {
+            alpha,
+            budget,
+            plan_cap,
+            cached: None,
+            fallbacks: 0,
+            degraded_plans: 0,
+        }
+    }
+
+    /// Decisions that used the block fallback instead of a ladder plan.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Plans produced by a degraded (non-pristine) ladder rung.
+    pub fn degraded_plans(&self) -> u64 {
+        self.degraded_plans
+    }
+
+    /// The one-block fallback speed for the current backlog.
+    fn block_speed(&self, backlog: f64, committed: f64) -> f64 {
+        PolyPower::new(self.alpha)
+            .speed_for_block(backlog, committed)
+            .unwrap_or(MIN_SPEED)
+            .max(MIN_SPEED)
+    }
+
+    /// Plan the backlog through the resilient ladder; `None` when the
+    /// backlog is unplannable (too big, unequal works, ladder
+    /// exhausted) and the caller must fall back.
+    fn plan(&mut self, ready: &ReadySet, committed: f64) -> Option<f64> {
+        if ready.len() > self.plan_cap {
+            return None;
+        }
+        // All backlog jobs are available *now*: plan them as an
+        // immediate-release §4 instance over their remaining work.
+        let jobs: Vec<pas_workload::Job> = ready
+            .iter()
+            .map(|p| pas_workload::Job::new(p.id, 0.0, p.remaining))
+            .collect();
+        let inst = Instance::new(jobs).ok()?;
+        let solve =
+            crate::flow::resilient::laptop_resilient(&inst, self.alpha, committed, 1e-6).ok()?;
+        if solve.degraded() {
+            self.degraded_plans += 1;
+        }
+        // The plan's head job is the earliest-released ready job
+        // (immediate release keeps admission order), matching the
+        // `ready.first()` the decision runs.
+        solve.solution.speeds.first().copied()
+    }
+}
+
+impl OnlinePolicy for FlowReplanner {
+    fn decide(&mut self, _now: f64, ready: &ReadySet, energy_spent: f64) -> Option<Decision> {
+        let first = ready.first()?;
+        let backlog = ready.backlog();
+        let committed = (self.budget - energy_spent).max(0.0);
+        let speed = match self.cached {
+            Some((len, cached_backlog, speed))
+                if len == ready.len() && cached_backlog.to_bits() == backlog.to_bits() =>
+            {
+                speed
+            }
+            _ => {
+                let speed = match self.plan(ready, committed) {
+                    Some(planned) => planned.max(MIN_SPEED),
+                    None => {
+                        self.fallbacks += 1;
+                        self.block_speed(backlog, committed)
+                    }
+                };
+                self.cached = Some((ready.len(), backlog, speed));
+                speed
+            }
+        };
+        Some(Decision {
+            job: first.id,
+            speed,
+            recheck_after: None,
+        })
+    }
+
+    fn save_state(&self) -> Option<Vec<f64>> {
+        let mut state = vec![self.fallbacks as f64, self.degraded_plans as f64];
+        if let Some((len, backlog, speed)) = self.cached {
+            state.push(1.0);
+            state.push(len as f64);
+            state.push(backlog);
+            state.push(speed);
+        } else {
+            state.push(0.0);
+        }
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &[f64]) -> bool {
+        match state {
+            [fallbacks, degraded, flag] if *flag == 0.0 => {
+                self.fallbacks = *fallbacks as u64;
+                self.degraded_plans = *degraded as u64;
+                self.cached = None;
+                true
+            }
+            [fallbacks, degraded, flag, len, backlog, speed] if *flag == 1.0 => {
+                self.fallbacks = *fallbacks as u64;
+                self.degraded_plans = *degraded as u64;
+                self.cached = Some((*len as usize, *backlog, *speed));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("flow-replanner(a={},cap={})", self.alpha, self.plan_cap)
     }
 }
 
@@ -430,5 +628,68 @@ mod tests {
     #[should_panic(expected = "horizon must be positive")]
     fn rejects_bad_horizon() {
         let _ = AdaptiveRate::new(PolyPower::CUBE, 1.0, 0.0);
+    }
+
+    #[test]
+    fn flow_replanner_plans_equal_work_instances_without_fallback() {
+        // Equal works at time 0: every backlog is plannable, so the
+        // ladder handles all decisions (no block fallbacks) and the run
+        // stays near the *makespan*-optimal frontier — not exactly on
+        // it, because the §4 plan minimizes total flow, which fronts
+        // more speed than the makespan optimum.
+        let inst = Instance::from_pairs(&[(0.0, 2.0), (0.0, 2.0), (0.0, 2.0)]).unwrap();
+        let model = PolyPower::CUBE;
+        let budget = 24.0;
+        let mut policy = FlowReplanner::new(3.0, budget, 64);
+        let report = compare_online(&inst, &model, budget, &mut policy).unwrap();
+        assert!(report.within_budget);
+        assert!(report.ratio < 1.1, "ratio {}", report.ratio);
+        assert_eq!(policy.fallbacks(), 0);
+    }
+
+    #[test]
+    fn flow_replanner_falls_back_on_unequal_backlogs() {
+        // Unequal works: `laptop_resilient` rejects with NotEqualWork
+        // (non-retryable), so every fresh plan is a block fallback —
+        // degraded, never stalled.
+        let inst = paper_instance();
+        let model = PolyPower::CUBE;
+        let budget = 12.0;
+        let mut policy = FlowReplanner::new(3.0, budget, 64);
+        let report = compare_online(&inst, &model, budget, &mut policy).unwrap();
+        assert!(report.ratio.is_finite());
+        assert!(policy.fallbacks() > 0);
+    }
+
+    #[test]
+    fn flow_replanner_plan_cap_bounds_exact_planning() {
+        let inst = Instance::from_pairs(&[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let model = PolyPower::CUBE;
+        let mut policy = FlowReplanner::new(3.0, 8.0, 1);
+        let _ = compare_online(&inst, &model, 8.0, &mut policy).unwrap();
+        // With cap 1 the 3-job backlog can never be planned exactly.
+        assert!(policy.fallbacks() > 0);
+    }
+
+    #[test]
+    fn flow_replanner_state_round_trips() {
+        let inst = paper_instance();
+        let model = PolyPower::CUBE;
+        let mut policy = FlowReplanner::new(3.0, 12.0, 64);
+        let _ = compare_online(&inst, &model, 12.0, &mut policy).unwrap();
+        let state = policy.save_state().expect("replanner is snapshot-capable");
+        let mut fresh = FlowReplanner::new(3.0, 12.0, 64);
+        assert!(fresh.load_state(&state));
+        assert_eq!(fresh.fallbacks(), policy.fallbacks());
+        assert_eq!(fresh.degraded_plans(), policy.degraded_plans());
+        assert_eq!(fresh.cached, policy.cached);
+        // A malformed vector is rejected, not silently accepted.
+        assert!(!fresh.load_state(&[1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must exceed 1")]
+    fn flow_replanner_rejects_bad_alpha() {
+        let _ = FlowReplanner::new(1.0, 1.0, 4);
     }
 }

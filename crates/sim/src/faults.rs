@@ -465,6 +465,12 @@ pub struct ResilienceReport {
     pub throttle_clamps: usize,
     /// Number of jobs injected by arrival bursts.
     pub burst_jobs: usize,
+    /// Jobs rejected or evicted by the serving layer's admission
+    /// control ([`crate::serve`]); always zero for the one-shot entry
+    /// points, which admit everything.
+    pub shed_jobs: usize,
+    /// Total nominal work of shed jobs.
+    pub shed_work: f64,
     /// Per down-period latency from crash start to the first work
     /// executed after recovery (downtime + re-planning delay).
     pub recovery_latencies: Vec<f64>,
@@ -479,12 +485,13 @@ impl ResilienceReport {
         self.recovery_latencies.iter().fold(0.0, |m, &l| m.max(l))
     }
 
-    /// Whether the run saw no fault effects at all.
+    /// Whether the run saw no fault or overload effects at all.
     pub fn is_clean(&self) -> bool {
         self.crashes == 0
             && self.cancelled_jobs == 0
             && self.throttle_clamps == 0
             && self.burst_jobs == 0
+            && self.shed_jobs == 0
             && self.lost_work == 0.0
             && self.downtime == 0.0
     }

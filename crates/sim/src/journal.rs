@@ -1,0 +1,1042 @@
+//! Write-ahead journal and engine snapshots for the serving layer.
+//!
+//! The serving loop ([`crate::serve`]) is deterministic given its
+//! inputs *except* for wall-clock watchdog decisions, so crash recovery
+//! reduces to event sourcing: journal every policy consultation (the
+//! applied decision, whether the policy was actually consulted, and
+//! whether the watchdog tripped) and periodically checkpoint the full
+//! engine state. A restored process replays the journaled decisions —
+//! never re-measuring wall time — and lands on a bit-identical
+//! [`OnlineOutcome`].
+//!
+//! # Bit-exactness
+//!
+//! Every `f64` in a record or snapshot is encoded as its 16-hex-digit
+//! IEEE-754 bit pattern, so persistence is exact for *all* values
+//! (including the engine's `-inf` downtime sentinel) and independent of
+//! any float-formatting subtleties. Aggregate accumulators (backlog,
+//! energy, seen work) are persisted rather than recomputed: they are
+//! running sums whose rounding history a fresh summation would not
+//! reproduce.
+//!
+//! # Torn tails
+//!
+//! Records are single lines, flushed per write. A `SIGKILL` can leave
+//! at most one torn line at the end of the file; the reader stops at
+//! the first malformed line, so recovery resumes from the last durable
+//! record.
+
+use crate::faults::{FaultKind, FaultPlan, ResilienceReport};
+use crate::online::{AdmissionConfig, Decision, EngineState, OnlineOutcome, PendingJob, ReadySet};
+use crate::schedule::Schedule;
+use crate::slice::Slice;
+use pas_workload::Job;
+use serde::Value;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Journal format version; bumped on any incompatible record change.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Failures while writing, parsing, or applying a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalError {
+    /// An I/O failure on the journal file (message of the OS error).
+    Io {
+        /// Rendered OS error.
+        message: String,
+    },
+    /// A record line failed to parse (torn tails are *not* errors; this
+    /// is for structurally bad interior records).
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The journal's header does not match the scenario being restored
+    /// (different instance, fault plan, or format version).
+    ScenarioMismatch {
+        /// What differed.
+        message: String,
+    },
+    /// The journal has no usable header record.
+    MissingHeader,
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io { message } => write!(f, "journal I/O error: {message}"),
+            JournalError::Malformed { line, message } => {
+                write!(f, "malformed journal record at line {line}: {message}")
+            }
+            JournalError::ScenarioMismatch { message } => {
+                write!(f, "journal does not match this scenario: {message}")
+            }
+            JournalError::MissingHeader => write!(f, "journal has no header record"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+fn io_err(e: std::io::Error) -> JournalError {
+    JournalError::Io {
+        message: e.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bit-exact f64 codec.
+
+fn fb(x: f64) -> Value {
+    Value::Str(format!("{:016x}", x.to_bits()))
+}
+
+fn pf(v: &Value) -> Result<f64, String> {
+    match v {
+        Value::Str(s) => u64::from_str_radix(s, 16)
+            .map(f64::from_bits)
+            .map_err(|_| format!("bad f64 bit pattern `{s}`")),
+        _ => Err("expected an f64 bit-pattern string".to_string()),
+    }
+}
+
+fn pu(v: &Value) -> Result<u64, String> {
+    let x = v.as_num().ok_or("expected a number")?;
+    if x.fract() != 0.0 || x < 0.0 || x > 2f64.powi(53) {
+        return Err(format!("number {x} is not an exact unsigned integer"));
+    }
+    Ok(x as u64)
+}
+
+fn obj_field<'v>(entries: &'v [(String, Value)], name: &str) -> Result<&'v Value, String> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field `{name}`"))
+}
+
+// ---------------------------------------------------------------------
+// Scenario and outcome digests (FNV-1a).
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+}
+
+/// Digest of the serving scenario (materialized arrivals, fault plan,
+/// admission config), stored in the journal header so a restore against
+/// the wrong instance, plan, or admission policy fails loudly instead
+/// of replaying garbage.
+pub(crate) fn scenario_digest(
+    arrivals: &[Job],
+    plan: &FaultPlan,
+    admission: Option<&AdmissionConfig>,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(arrivals.len() as u64);
+    for j in arrivals {
+        h.u64(u64::from(j.id));
+        h.f64(j.release);
+        h.f64(j.work);
+    }
+    h.u64(plan.len() as u64);
+    for ev in plan.events() {
+        h.f64(ev.at);
+        match &ev.kind {
+            FaultKind::Crash {
+                duration,
+                semantics,
+            } => {
+                h.u64(1);
+                h.f64(*duration);
+                h.u64(matches!(semantics, crate::faults::CrashSemantics::Checkpointed) as u64);
+            }
+            FaultKind::CancelJob { job } => {
+                h.u64(2);
+                h.u64(u64::from(*job));
+            }
+            FaultKind::Throttle { duration, cap } => {
+                h.u64(3);
+                h.f64(*duration);
+                h.f64(*cap);
+            }
+            FaultKind::ArrivalBurst { jobs } => {
+                h.u64(4);
+                h.u64(jobs.len() as u64);
+                for b in jobs {
+                    h.f64(b.offset);
+                    h.f64(b.work);
+                }
+            }
+        }
+    }
+    match plan.slo() {
+        Some(slo) => {
+            h.u64(1);
+            h.f64(slo);
+        }
+        None => h.u64(0),
+    }
+    match admission {
+        Some(ac) => {
+            h.u64(1);
+            h.u64(ac.capacity as u64);
+            match ac.shed {
+                crate::online::ShedPolicy::RejectNewest => h.u64(1),
+                crate::online::ShedPolicy::EvictOldest => h.u64(2),
+                crate::online::ShedPolicy::DeadlineAware { slo, service_rate } => {
+                    h.u64(3);
+                    h.f64(slo);
+                    h.f64(service_rate);
+                }
+            }
+        }
+        None => h.u64(0),
+    }
+    h.0
+}
+
+/// Bitwise digest of an [`OnlineOutcome`]: every schedule slice, the
+/// energy total, and the full resilience report. Two outcomes with the
+/// same digest are bit-identical in everything the serving layer
+/// promises to reproduce; the kill-and-restore CI job diffs this.
+pub fn outcome_digest(outcome: &OnlineOutcome) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(outcome.schedule.machine_count() as u64);
+    for lane in outcome.schedule.machines() {
+        h.u64(lane.len() as u64);
+        for s in lane {
+            h.u64(u64::from(s.job));
+            h.f64(s.start);
+            h.f64(s.end);
+            h.f64(s.speed);
+        }
+    }
+    h.f64(outcome.energy);
+    let r = &outcome.resilience;
+    h.u64(r.crashes as u64);
+    h.f64(r.downtime);
+    h.f64(r.lost_work);
+    h.u64(r.cancelled_jobs as u64);
+    h.f64(r.cancelled_work);
+    h.f64(r.wasted_energy);
+    h.u64(r.throttle_clamps as u64);
+    h.u64(r.burst_jobs as u64);
+    h.u64(r.shed_jobs as u64);
+    h.f64(r.shed_work);
+    h.u64(r.recovery_latencies.len() as u64);
+    for &l in &r.recovery_latencies {
+        h.f64(l);
+    }
+    match r.deadline_misses {
+        Some(m) => {
+            h.u64(1);
+            h.u64(m as u64);
+        }
+        None => h.u64(0),
+    }
+    h.0
+}
+
+// ---------------------------------------------------------------------
+// Records.
+
+/// One journaled policy consultation: the decision the engine applied.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct DecisionRecord {
+    /// Consultation sequence number (1-based, monotone).
+    pub seq: u64,
+    /// The applied decision (`None` = idle).
+    pub decision: Option<Decision>,
+    /// Whether the wrapped policy was actually consulted (false once
+    /// the watchdog breaker is open); replay only evolves the policy's
+    /// state when it was.
+    pub consulted: bool,
+    /// Whether this consultation tripped the watchdog (wall-clock
+    /// nondeterminism is journaled, never re-measured).
+    pub tripped: bool,
+}
+
+/// A parsed journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Record {
+    /// Scenario header (first record of every journal).
+    Header {
+        /// Format version.
+        version: u64,
+        /// Materialized arrival count.
+        n: u64,
+        /// Fault-plan event count.
+        events: u64,
+        /// [`scenario_digest`] of the inputs.
+        digest: u64,
+    },
+    /// A policy consultation.
+    Decision(DecisionRecord),
+    /// A full engine checkpoint.
+    Snapshot(Box<Snapshot>),
+}
+
+// ---------------------------------------------------------------------
+// Snapshots.
+
+/// A complete, bit-exact checkpoint of the serving engine between two
+/// steps, plus the serving-layer cursors (sequence number, watchdog
+/// state, optional policy state).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Snapshot {
+    pub next_arrival: u64,
+    pub finished: u64,
+    pub i_fault: u64,
+    pub budget: u64,
+    pub in_downtime: bool,
+    pub now: f64,
+    pub energy: f64,
+    pub down_until: f64,
+    pub down_since: f64,
+    pub erased_this_down: f64,
+    pub pending_recoveries: Vec<(f64, f64)>,
+    pub throttles: Vec<(f64, f64)>,
+    pub ready_jobs: Vec<PendingJob>,
+    pub ready_queue: Vec<u32>,
+    pub ready_backlog: f64,
+    pub ready_seen_work: f64,
+    pub ready_first_arrival: Option<f64>,
+    pub energy_by_job: Vec<(u32, f64)>,
+    pub cancelled_pre: Vec<u32>,
+    pub cancelled_all: Vec<u32>,
+    pub shed: Vec<u32>,
+    pub slices: Vec<Slice>,
+    pub report: ResilienceReport,
+    /// Consultation count at capture time (replay resumes after it).
+    pub seq: u64,
+    pub watchdog_trips: u64,
+    pub breaker_open: bool,
+    /// Policy-internal state from
+    /// [`OnlinePolicy::save_state`](crate::online::OnlinePolicy::save_state);
+    /// `None` makes the snapshot unusable as a restore base (genesis
+    /// replay is used instead).
+    pub policy_state: Option<Vec<f64>>,
+}
+
+impl Snapshot {
+    /// Capture the engine plus serving-layer cursors. Hash sets and
+    /// maps are emitted in sorted order so equal states produce equal
+    /// snapshots.
+    pub(crate) fn capture(
+        engine: &EngineState,
+        seq: u64,
+        watchdog_trips: u64,
+        breaker_open: bool,
+        policy_state: Option<Vec<f64>>,
+    ) -> Snapshot {
+        let sorted = |set: &HashSet<u32>| {
+            let mut v: Vec<u32> = set.iter().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let mut energy_by_job: Vec<(u32, f64)> =
+            engine.energy_by_job.iter().map(|(&k, &v)| (k, v)).collect();
+        energy_by_job.sort_unstable_by_key(|&(id, _)| id);
+        let (backlog, seen_work, first_arrival) = engine.ready.accumulators();
+        Snapshot {
+            next_arrival: engine.next_arrival as u64,
+            finished: engine.finished as u64,
+            i_fault: engine.i_fault as u64,
+            budget: engine.budget as u64,
+            in_downtime: engine.in_downtime,
+            now: engine.now,
+            energy: engine.energy,
+            down_until: engine.down_until,
+            down_since: engine.down_since,
+            erased_this_down: engine.erased_this_down,
+            pending_recoveries: engine.pending_recoveries.iter().copied().collect(),
+            throttles: engine.throttles.clone(),
+            ready_jobs: engine.ready.jobs_in_order().to_vec(),
+            ready_queue: engine.ready.queue_in_order().iter().copied().collect(),
+            ready_backlog: backlog,
+            ready_seen_work: seen_work,
+            ready_first_arrival: first_arrival,
+            energy_by_job,
+            cancelled_pre: sorted(&engine.cancelled_pre),
+            cancelled_all: sorted(&engine.cancelled_all),
+            shed: sorted(&engine.shed),
+            slices: engine.schedule.machine(0).to_vec(),
+            report: engine.report.clone(),
+            seq,
+            watchdog_trips,
+            breaker_open,
+            policy_state,
+        }
+    }
+
+    /// Rebuild the engine exactly as captured. `arrivals`, `plan`, and
+    /// `admission` are the (re-materialized) immutable inputs.
+    pub(crate) fn restore_engine(
+        &self,
+        arrivals: Vec<Job>,
+        plan: &FaultPlan,
+        admission: Option<AdmissionConfig>,
+    ) -> EngineState {
+        let mut schedule = Schedule::single();
+        for s in &self.slices {
+            schedule.push(0, *s);
+        }
+        EngineState {
+            n: arrivals.len(),
+            arrivals,
+            events: plan.events().to_vec(),
+            slo: plan.slo(),
+            admission,
+            report: self.report.clone(),
+            next_arrival: self.next_arrival as usize,
+            ready: ReadySet::restore(
+                self.ready_jobs.clone(),
+                self.ready_queue.iter().copied().collect::<VecDeque<u32>>(),
+                self.ready_backlog,
+                self.ready_seen_work,
+                self.ready_first_arrival,
+            ),
+            finished: self.finished as usize,
+            schedule,
+            energy: self.energy,
+            energy_by_job: self
+                .energy_by_job
+                .iter()
+                .copied()
+                .collect::<HashMap<_, _>>(),
+            cancelled_pre: self.cancelled_pre.iter().copied().collect(),
+            cancelled_all: self.cancelled_all.iter().copied().collect(),
+            shed: self.shed.iter().copied().collect(),
+            i_fault: self.i_fault as usize,
+            in_downtime: self.in_downtime,
+            down_until: self.down_until,
+            down_since: self.down_since,
+            erased_this_down: self.erased_this_down,
+            pending_recoveries: self.pending_recoveries.iter().copied().collect(),
+            throttles: self.throttles.clone(),
+            now: self.now,
+            budget: self.budget as usize,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let pairs = |xs: &[(f64, f64)]| {
+            Value::Arr(
+                xs.iter()
+                    .map(|&(a, b)| Value::Arr(vec![fb(a), fb(b)]))
+                    .collect(),
+            )
+        };
+        let ids = |xs: &[u32]| Value::Arr(xs.iter().map(|&x| Value::Num(f64::from(x))).collect());
+        let r = &self.report;
+        Value::Obj(vec![
+            ("na".into(), Value::Num(self.next_arrival as f64)),
+            ("fin".into(), Value::Num(self.finished as f64)),
+            ("if".into(), Value::Num(self.i_fault as f64)),
+            ("bud".into(), Value::Num(self.budget as f64)),
+            ("dn".into(), Value::Bool(self.in_downtime)),
+            ("now".into(), fb(self.now)),
+            ("en".into(), fb(self.energy)),
+            ("du".into(), fb(self.down_until)),
+            ("ds".into(), fb(self.down_since)),
+            ("ed".into(), fb(self.erased_this_down)),
+            ("pr".into(), pairs(&self.pending_recoveries)),
+            ("th".into(), pairs(&self.throttles)),
+            (
+                "rj".into(),
+                Value::Arr(
+                    self.ready_jobs
+                        .iter()
+                        .map(|p| {
+                            Value::Arr(vec![
+                                Value::Num(f64::from(p.id)),
+                                fb(p.release),
+                                fb(p.work),
+                                fb(p.remaining),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("rq".into(), ids(&self.ready_queue)),
+            ("rb".into(), fb(self.ready_backlog)),
+            ("rs".into(), fb(self.ready_seen_work)),
+            (
+                "rf".into(),
+                self.ready_first_arrival.map_or(Value::Null, fb),
+            ),
+            (
+                "ej".into(),
+                Value::Arr(
+                    self.energy_by_job
+                        .iter()
+                        .map(|&(id, e)| Value::Arr(vec![Value::Num(f64::from(id)), fb(e)]))
+                        .collect(),
+                ),
+            ),
+            ("cp".into(), ids(&self.cancelled_pre)),
+            ("ca".into(), ids(&self.cancelled_all)),
+            ("sh".into(), ids(&self.shed)),
+            (
+                "sl".into(),
+                Value::Arr(
+                    self.slices
+                        .iter()
+                        .map(|s| {
+                            Value::Arr(vec![
+                                Value::Num(f64::from(s.job)),
+                                fb(s.start),
+                                fb(s.end),
+                                fb(s.speed),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "rep".into(),
+                Value::Obj(vec![
+                    ("cr".into(), Value::Num(r.crashes as f64)),
+                    ("dt".into(), fb(r.downtime)),
+                    ("lw".into(), fb(r.lost_work)),
+                    ("cj".into(), Value::Num(r.cancelled_jobs as f64)),
+                    ("cw".into(), fb(r.cancelled_work)),
+                    ("we".into(), fb(r.wasted_energy)),
+                    ("tc".into(), Value::Num(r.throttle_clamps as f64)),
+                    ("bj".into(), Value::Num(r.burst_jobs as f64)),
+                    ("sj".into(), Value::Num(r.shed_jobs as f64)),
+                    ("sw".into(), fb(r.shed_work)),
+                    (
+                        "rl".into(),
+                        Value::Arr(r.recovery_latencies.iter().map(|&l| fb(l)).collect()),
+                    ),
+                    (
+                        "dm".into(),
+                        r.deadline_misses
+                            .map_or(Value::Null, |m| Value::Num(m as f64)),
+                    ),
+                ]),
+            ),
+            ("seq".into(), Value::Num(self.seq as f64)),
+            ("wt".into(), Value::Num(self.watchdog_trips as f64)),
+            ("bo".into(), Value::Bool(self.breaker_open)),
+            (
+                "ps".into(),
+                match &self.policy_state {
+                    Some(xs) => Value::Arr(xs.iter().map(|&x| fb(x)).collect()),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Snapshot, String> {
+        let o = v.as_obj().ok_or("snapshot is not an object")?;
+        let pairs = |name: &str| -> Result<Vec<(f64, f64)>, String> {
+            obj_field(o, name)?
+                .as_arr()
+                .ok_or_else(|| format!("`{name}` is not an array"))?
+                .iter()
+                .map(|e| {
+                    let xs = e.as_arr().ok_or("pair is not an array")?;
+                    if xs.len() != 2 {
+                        return Err("pair must have two elements".to_string());
+                    }
+                    Ok((pf(&xs[0])?, pf(&xs[1])?))
+                })
+                .collect()
+        };
+        let ids = |name: &str| -> Result<Vec<u32>, String> {
+            obj_field(o, name)?
+                .as_arr()
+                .ok_or_else(|| format!("`{name}` is not an array"))?
+                .iter()
+                .map(|e| Ok(pu(e)? as u32))
+                .collect()
+        };
+        let num = |name: &str| -> Result<u64, String> { pu(obj_field(o, name)?) };
+        let flt = |name: &str| -> Result<f64, String> { pf(obj_field(o, name)?) };
+        let flag = |name: &str| -> Result<bool, String> {
+            match obj_field(o, name)? {
+                Value::Bool(b) => Ok(*b),
+                _ => Err(format!("`{name}` is not a boolean")),
+            }
+        };
+
+        let ready_jobs = obj_field(o, "rj")?
+            .as_arr()
+            .ok_or("`rj` is not an array")?
+            .iter()
+            .map(|e| {
+                let xs = e.as_arr().ok_or("ready job is not an array")?;
+                if xs.len() != 4 {
+                    return Err("ready job must have four elements".to_string());
+                }
+                Ok(PendingJob {
+                    id: pu(&xs[0])? as u32,
+                    release: pf(&xs[1])?,
+                    work: pf(&xs[2])?,
+                    remaining: pf(&xs[3])?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let energy_by_job = obj_field(o, "ej")?
+            .as_arr()
+            .ok_or("`ej` is not an array")?
+            .iter()
+            .map(|e| {
+                let xs = e.as_arr().ok_or("energy entry is not an array")?;
+                if xs.len() != 2 {
+                    return Err("energy entry must have two elements".to_string());
+                }
+                Ok((pu(&xs[0])? as u32, pf(&xs[1])?))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let slices = obj_field(o, "sl")?
+            .as_arr()
+            .ok_or("`sl` is not an array")?
+            .iter()
+            .map(|e| {
+                let xs = e.as_arr().ok_or("slice is not an array")?;
+                if xs.len() != 4 {
+                    return Err("slice must have four elements".to_string());
+                }
+                Ok(Slice::new(
+                    pu(&xs[0])? as u32,
+                    pf(&xs[1])?,
+                    pf(&xs[2])?,
+                    pf(&xs[3])?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let rep = obj_field(o, "rep")?
+            .as_obj()
+            .ok_or("`rep` is not an object")?;
+        let rnum = |name: &str| -> Result<u64, String> { pu(obj_field(rep, name)?) };
+        let rflt = |name: &str| -> Result<f64, String> { pf(obj_field(rep, name)?) };
+        let report = ResilienceReport {
+            crashes: rnum("cr")? as usize,
+            downtime: rflt("dt")?,
+            lost_work: rflt("lw")?,
+            cancelled_jobs: rnum("cj")? as usize,
+            cancelled_work: rflt("cw")?,
+            wasted_energy: rflt("we")?,
+            throttle_clamps: rnum("tc")? as usize,
+            burst_jobs: rnum("bj")? as usize,
+            shed_jobs: rnum("sj")? as usize,
+            shed_work: rflt("sw")?,
+            recovery_latencies: obj_field(rep, "rl")?
+                .as_arr()
+                .ok_or("`rl` is not an array")?
+                .iter()
+                .map(pf)
+                .collect::<Result<Vec<_>, String>>()?,
+            deadline_misses: match obj_field(rep, "dm")? {
+                Value::Null => None,
+                v => Some(pu(v)? as usize),
+            },
+        };
+        Ok(Snapshot {
+            next_arrival: num("na")?,
+            finished: num("fin")?,
+            i_fault: num("if")?,
+            budget: num("bud")?,
+            in_downtime: flag("dn")?,
+            now: flt("now")?,
+            energy: flt("en")?,
+            down_until: flt("du")?,
+            down_since: flt("ds")?,
+            erased_this_down: flt("ed")?,
+            pending_recoveries: pairs("pr")?,
+            throttles: pairs("th")?,
+            ready_jobs,
+            ready_queue: ids("rq")?,
+            ready_backlog: flt("rb")?,
+            ready_seen_work: flt("rs")?,
+            ready_first_arrival: match obj_field(o, "rf")? {
+                Value::Null => None,
+                v => Some(pf(v)?),
+            },
+            energy_by_job,
+            cancelled_pre: ids("cp")?,
+            cancelled_all: ids("ca")?,
+            shed: ids("sh")?,
+            slices,
+            report,
+            seq: num("seq")?,
+            watchdog_trips: num("wt")?,
+            breaker_open: flag("bo")?,
+            policy_state: match obj_field(o, "ps")? {
+                Value::Null => None,
+                v => Some(
+                    v.as_arr()
+                        .ok_or("`ps` is not an array")?
+                        .iter()
+                        .map(pf)
+                        .collect::<Result<Vec<_>, String>>()?,
+                ),
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The journal itself.
+
+enum Sink {
+    /// In-memory buffer (benchmarks, tests); contents retrievable.
+    Memory(String),
+    /// Line-buffered file, flushed per record so a `SIGKILL` loses at
+    /// most the torn tail.
+    File(std::io::BufWriter<std::fs::File>),
+}
+
+/// An append-only record sink: the serving layer's write-ahead log.
+pub struct Journal {
+    sink: Sink,
+    records: u64,
+    path: Option<PathBuf>,
+}
+
+impl Journal {
+    /// An in-memory journal (no durability; for tests and benchmarks).
+    pub fn memory() -> Journal {
+        Journal {
+            sink: Sink::Memory(String::new()),
+            records: 0,
+            path: None,
+        }
+    }
+
+    /// Create (truncate) a journal file for a fresh serving run.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> Result<Journal, JournalError> {
+        let file = std::fs::File::create(path.as_ref()).map_err(io_err)?;
+        Ok(Journal {
+            sink: Sink::File(std::io::BufWriter::new(file)),
+            records: 0,
+            path: Some(path.as_ref().to_path_buf()),
+        })
+    }
+
+    /// Open an existing journal file for appending (the restore path:
+    /// replayed history stays, new decisions extend it).
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if the file cannot be opened.
+    pub fn append(path: impl AsRef<Path>) -> Result<Journal, JournalError> {
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path.as_ref())
+            .map_err(io_err)?;
+        Ok(Journal {
+            sink: Sink::File(std::io::BufWriter::new(file)),
+            records: 0,
+            path: Some(path.as_ref().to_path_buf()),
+        })
+    }
+
+    /// Records written through *this* handle (not pre-existing ones).
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// The file path, when file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// The accumulated contents, when memory-backed.
+    pub fn contents(&self) -> Option<&str> {
+        match &self.sink {
+            Sink::Memory(s) => Some(s),
+            Sink::File(_) => None,
+        }
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), JournalError> {
+        match &mut self.sink {
+            Sink::Memory(s) => {
+                s.push_str(line);
+                s.push('\n');
+            }
+            Sink::File(w) => {
+                w.write_all(line.as_bytes()).map_err(io_err)?;
+                w.write_all(b"\n").map_err(io_err)?;
+                // Flush per record: a kill can tear at most one line.
+                w.flush().map_err(io_err)?;
+            }
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    pub(crate) fn write_header(
+        &mut self,
+        n: usize,
+        events: usize,
+        digest: u64,
+    ) -> Result<(), JournalError> {
+        self.write_line(&format!(
+            "{{\"t\":\"hdr\",\"v\":{JOURNAL_VERSION},\"n\":{n},\"ev\":{events},\"dig\":\"{digest:016x}\"}}"
+        ))
+    }
+
+    pub(crate) fn write_decision(&mut self, rec: &DecisionRecord) -> Result<(), JournalError> {
+        let mut line = format!(
+            "{{\"t\":\"dec\",\"s\":{},\"c\":{},\"w\":{}",
+            rec.seq, rec.consulted, rec.tripped
+        );
+        match &rec.decision {
+            Some(d) => {
+                line.push_str(&format!(
+                    ",\"j\":{},\"v\":\"{:016x}\"",
+                    d.job,
+                    d.speed.to_bits()
+                ));
+                if let Some(r) = d.recheck_after {
+                    line.push_str(&format!(",\"r\":\"{:016x}\"", r.to_bits()));
+                }
+            }
+            None => line.push_str(",\"j\":null"),
+        }
+        line.push('}');
+        self.write_line(&line)
+    }
+
+    pub(crate) fn write_snapshot(&mut self, snap: &Snapshot) -> Result<(), JournalError> {
+        let state = serde_json::to_string(&snap.to_value()).map_err(|e| JournalError::Io {
+            message: e.to_string(),
+        })?;
+        self.write_line(&format!(
+            "{{\"t\":\"snap\",\"s\":{},\"st\":{state}}}",
+            snap.seq
+        ))
+    }
+}
+
+/// Parse a journal's records. A malformed or truncated *final* line is
+/// a torn tail (normal after `SIGKILL`) and is silently dropped; a
+/// malformed interior line is a hard error.
+pub(crate) fn read_records(text: &str) -> Result<Vec<Record>, JournalError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_record(line) {
+            Ok(rec) => out.push(rec),
+            Err(message) => {
+                if i + 1 == lines.len() {
+                    break; // torn tail
+                }
+                return Err(JournalError::Malformed {
+                    line: i + 1,
+                    message,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_record(line: &str) -> Result<Record, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    let o = v.as_obj().ok_or("record is not an object")?;
+    let tag = match obj_field(o, "t")? {
+        Value::Str(s) => s.clone(),
+        _ => return Err("`t` is not a string".to_string()),
+    };
+    match tag.as_str() {
+        "hdr" => {
+            let digest = match obj_field(o, "dig")? {
+                Value::Str(s) => {
+                    u64::from_str_radix(s, 16).map_err(|_| format!("bad digest `{s}`"))?
+                }
+                _ => return Err("`dig` is not a string".to_string()),
+            };
+            Ok(Record::Header {
+                version: pu(obj_field(o, "v")?)?,
+                n: pu(obj_field(o, "n")?)?,
+                events: pu(obj_field(o, "ev")?)?,
+                digest,
+            })
+        }
+        "dec" => {
+            let decision = match obj_field(o, "j")? {
+                Value::Null => None,
+                j => Some(Decision {
+                    job: pu(j)? as u32,
+                    speed: pf(obj_field(o, "v")?)?,
+                    recheck_after: match o.iter().find(|(k, _)| k == "r") {
+                        Some((_, r)) => Some(pf(r)?),
+                        None => None,
+                    },
+                }),
+            };
+            let flag = |name: &str| -> Result<bool, String> {
+                match obj_field(o, name)? {
+                    Value::Bool(b) => Ok(*b),
+                    _ => Err(format!("`{name}` is not a boolean")),
+                }
+            };
+            Ok(Record::Decision(DecisionRecord {
+                seq: pu(obj_field(o, "s")?)?,
+                decision,
+                consulted: flag("c")?,
+                tripped: flag("w")?,
+            }))
+        }
+        "snap" => Ok(Record::Snapshot(Box::new(Snapshot::from_value(
+            obj_field(o, "st")?,
+        )?))),
+        other => Err(format!("unknown record tag `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_bits_round_trip_exactly() {
+        for &x in &[
+            0.0,
+            -0.0,
+            1.5,
+            1e9 + 1e-3,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::MIN_POSITIVE,
+        ] {
+            let v = fb(x);
+            assert_eq!(pf(&v).unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn decision_records_round_trip() {
+        let recs = vec![
+            DecisionRecord {
+                seq: 1,
+                decision: Some(Decision {
+                    job: 7,
+                    speed: 1.25,
+                    recheck_after: Some(0.5),
+                }),
+                consulted: true,
+                tripped: false,
+            },
+            DecisionRecord {
+                seq: 2,
+                decision: None,
+                consulted: true,
+                tripped: true,
+            },
+            DecisionRecord {
+                seq: 3,
+                decision: Some(Decision {
+                    job: 0,
+                    speed: 1e-9,
+                    recheck_after: None,
+                }),
+                consulted: false,
+                tripped: false,
+            },
+        ];
+        let mut j = Journal::memory();
+        j.write_header(10, 2, 0xdead_beef).unwrap();
+        for r in &recs {
+            j.write_decision(r).unwrap();
+        }
+        let parsed = read_records(j.contents().unwrap()).unwrap();
+        assert_eq!(parsed.len(), 4);
+        assert_eq!(
+            parsed[0],
+            Record::Header {
+                version: JOURNAL_VERSION,
+                n: 10,
+                events: 2,
+                digest: 0xdead_beef,
+            }
+        );
+        for (rec, want) in parsed[1..].iter().zip(&recs) {
+            assert_eq!(rec, &Record::Decision(want.clone()));
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_interior_corruption_is_an_error() {
+        let mut j = Journal::memory();
+        j.write_header(1, 0, 1).unwrap();
+        j.write_decision(&DecisionRecord {
+            seq: 1,
+            decision: None,
+            consulted: true,
+            tripped: false,
+        })
+        .unwrap();
+        let good = j.contents().unwrap().to_string();
+        // Torn tail: final line cut mid-record.
+        let torn = format!("{good}{{\"t\":\"dec\",\"s\":2,");
+        let recs = read_records(&torn).unwrap();
+        assert_eq!(recs.len(), 2);
+        // Interior corruption is not silently skipped.
+        let corrupt = format!("not json\n{good}");
+        assert!(matches!(
+            read_records(&corrupt),
+            Err(JournalError::Malformed { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn scenario_digest_separates_scenarios() {
+        let a = vec![Job::new(0, 0.0, 1.0), Job::new(1, 1.0, 2.0)];
+        let b = vec![Job::new(0, 0.0, 1.0), Job::new(1, 1.0, 2.5)];
+        let plan = FaultPlan::none();
+        assert_eq!(
+            scenario_digest(&a, &plan, None),
+            scenario_digest(&a, &plan, None)
+        );
+        assert_ne!(
+            scenario_digest(&a, &plan, None),
+            scenario_digest(&b, &plan, None)
+        );
+        let slo = FaultPlan::none().with_slo(2.0);
+        assert_ne!(
+            scenario_digest(&a, &plan, None),
+            scenario_digest(&a, &slo, None)
+        );
+        let ac = AdmissionConfig {
+            capacity: 8,
+            shed: crate::online::ShedPolicy::RejectNewest,
+        };
+        assert_ne!(
+            scenario_digest(&a, &plan, None),
+            scenario_digest(&a, &plan, Some(&ac))
+        );
+    }
+}

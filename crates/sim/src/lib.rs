@@ -32,21 +32,25 @@
 #![deny(unsafe_code)]
 
 pub mod faults;
+pub mod journal;
 pub mod metrics;
 pub mod online;
 pub mod render;
 pub mod schedule;
+pub mod serve;
 pub mod slice;
 
 pub use faults::{
     BurstJob, CrashSemantics, FaultEvent, FaultKind, FaultModel, FaultNotice, FaultPlan,
     FaultPlanError, ResilienceReport,
 };
+pub use journal::{outcome_digest, Journal, JournalError};
 pub use metrics::Metrics;
 pub use online::{
-    run_online, run_online_with_faults, Decision, OnlineOutcome, OnlinePolicy, PendingJob,
-    ReadySet, SimError,
+    run_online, run_online_with_faults, AdmissionConfig, Decision, OnlineOutcome, OnlinePolicy,
+    PendingJob, ReadySet, ShedPolicy, SimError,
 };
 pub use render::render_ascii;
 pub use schedule::{Schedule, ScheduleError};
+pub use serve::{ServeConfig, ServeOutcome, ServeStats, Server, WatchdogConfig};
 pub use slice::Slice;

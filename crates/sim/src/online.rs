@@ -30,7 +30,9 @@
 //! engine re-summed the backlog per decision and resolved ids by
 //! linear scan (`O(n)` per event, `O(n²)` per run).
 
-use crate::faults::{CrashSemantics, FaultKind, FaultNotice, FaultPlan, ResilienceReport};
+use crate::faults::{
+    CrashSemantics, FaultEvent, FaultKind, FaultNotice, FaultPlan, ResilienceReport,
+};
 use crate::metrics;
 use crate::schedule::Schedule;
 use crate::slice::Slice;
@@ -172,6 +174,46 @@ impl ReadySet {
         self.remove(slot);
         Some(job)
     }
+
+    /// The dense job storage in slot order (the iteration order
+    /// policies see) — for the snapshot codec.
+    pub(crate) fn jobs_in_order(&self) -> &[PendingJob] {
+        &self.jobs
+    }
+
+    /// The admission-order id queue — for the snapshot codec.
+    pub(crate) fn queue_in_order(&self) -> &VecDeque<u32> {
+        &self.queue
+    }
+
+    /// The raw aggregate accumulators `(backlog, seen_work,
+    /// first_arrival)`. Snapshots must persist these bitwise rather
+    /// than recompute them: they are running sums whose rounding
+    /// history differs from a fresh summation.
+    pub(crate) fn accumulators(&self) -> (f64, f64, Option<f64>) {
+        (self.backlog, self.seen_work, self.first_arrival)
+    }
+
+    /// Rebuild a `ReadySet` from snapshotted parts, bit-identical to
+    /// the captured one: same slot order, same queue, same accumulator
+    /// bits (`slot_of` is derived).
+    pub(crate) fn restore(
+        jobs: Vec<PendingJob>,
+        queue: VecDeque<u32>,
+        backlog: f64,
+        seen_work: f64,
+        first_arrival: Option<f64>,
+    ) -> ReadySet {
+        let slot_of = jobs.iter().enumerate().map(|(s, j)| (j.id, s)).collect();
+        ReadySet {
+            jobs,
+            slot_of,
+            queue,
+            backlog,
+            seen_work,
+            first_arrival,
+        }
+    }
 }
 
 /// A policy's instruction for the time starting now.
@@ -205,6 +247,25 @@ pub trait OnlinePolicy {
     /// re-plan. The default ignores the notice, so fault-oblivious
     /// policies compile and run unchanged.
     fn notify(&mut self, _notice: &FaultNotice) {}
+
+    /// Capture the policy's internal mutable state as a flat `f64`
+    /// vector for a serving-layer snapshot ([`crate::serve`]).
+    ///
+    /// Return `Some(vec![])` for a stateless policy (everything it
+    /// needs is re-derivable from the [`ReadySet`]), `Some(state)` for
+    /// a stateful one, and `None` (the default) when the policy cannot
+    /// be snapshotted — restores then fall back to replaying the
+    /// journal from genesis, which is slower but always exact.
+    fn save_state(&self) -> Option<Vec<f64>> {
+        None
+    }
+
+    /// Restore state captured by [`save_state`](OnlinePolicy::save_state);
+    /// returns whether the policy accepted it. The default rejects, so
+    /// snapshot-oblivious policies are restored via genesis replay.
+    fn load_state(&mut self, _state: &[f64]) -> bool {
+        false
+    }
 
     /// Name for reports.
     fn name(&self) -> String {
@@ -396,8 +457,15 @@ pub fn run_online_with_faults<M: pas_power::PowerModel>(
     policy: &mut dyn OnlinePolicy,
     plan: &FaultPlan,
 ) -> Result<OnlineOutcome, SimError> {
-    // Materialize the arrival stream: base jobs plus burst jobs under
-    // fresh ids, re-sorted by release.
+    let (arrivals, burst_jobs) = materialize_arrivals(instance, plan);
+    run_engine(&arrivals, model, policy, plan, burst_jobs)
+}
+
+/// Materialize the arrival stream: base jobs plus burst jobs under
+/// fresh ids, re-sorted by release. Shared by the one-shot wrappers and
+/// the serving layer (which must rebuild the identical stream when
+/// restoring from a journal).
+pub(crate) fn materialize_arrivals(instance: &Instance, plan: &FaultPlan) -> (Vec<Job>, usize) {
     let mut arrivals: Vec<Job> = instance.jobs().to_vec();
     let mut next_id = arrivals.iter().map(|j| j.id).max().map_or(0, |m| m + 1);
     let mut burst_jobs = 0usize;
@@ -411,7 +479,7 @@ pub fn run_online_with_faults<M: pas_power::PowerModel>(
         }
     }
     arrivals.sort_by(|a, b| a.release.total_cmp(&b.release));
-    run_engine(&arrivals, model, policy, plan, burst_jobs)
+    (arrivals, burst_jobs)
 }
 
 /// The engine proper, over a release-sorted arrival list (base jobs +
@@ -424,138 +492,322 @@ fn run_engine<M: pas_power::PowerModel>(
     plan: &FaultPlan,
     burst_jobs: usize,
 ) -> Result<OnlineOutcome, SimError> {
-    let n = arrivals.len();
-    if n == 0 {
-        return Err(SimError::EmptyInstance);
+    let mut engine = EngineState::new(arrivals.to_vec(), plan, burst_jobs, None)?;
+    while !engine.done() {
+        engine.step(model, policy)?;
     }
-    let events = plan.events();
-    let mut report = ResilienceReport {
-        burst_jobs,
-        ..ResilienceReport::default()
-    };
+    engine.finish()
+}
 
-    let mut next_arrival = 0usize; // index into arrivals
-    let mut ready = ReadySet::default();
-    let mut finished = 0usize; // completions + cancellations
-    let mut schedule = Schedule::single();
-    let mut energy = 0.0;
-    // Per-job energy metered since the job's last restart; drained on
-    // delivery, charged to `wasted_energy` on erasure/cancellation.
-    let mut energy_by_job: HashMap<u32, f64> = HashMap::new();
-    let mut cancelled_pre: HashSet<u32> = HashSet::new(); // cancelled before arrival
-    let mut cancelled_all: HashSet<u32> = HashSet::new();
+/// Load-shedding rule for a bounded admission queue. Used by the
+/// serving layer ([`crate::serve`]); the one-shot `run_online*` entry
+/// points admit everything. All rules are deterministic functions of
+/// the engine state, so shed decisions replay exactly from a journal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShedPolicy {
+    /// Reject the arriving job when the queue is full.
+    RejectNewest,
+    /// Evict the earliest-admitted ready job to make room for the
+    /// arrival; any partial progress on the victim is wasted (counted
+    /// as lost work / wasted energy).
+    EvictOldest,
+    /// Backpressure with an SLO model: shed an arrival when the queue
+    /// is full **or** when its predicted flow
+    /// `(backlog + work) / service_rate` already exceeds `slo` — the
+    /// job would miss its deadline anyway, so rejecting it up front
+    /// protects the jobs that can still make it.
+    DeadlineAware {
+        /// Flow SLO the prediction is checked against (`> 0`).
+        slo: f64,
+        /// Assumed sustained service speed (`> 0`).
+        service_rate: f64,
+    },
+}
 
-    // Fault state.
-    let mut i_fault = 0usize;
-    let mut in_downtime = false;
-    let mut down_until = f64::NEG_INFINITY;
-    let mut down_since = 0.0f64;
-    let mut erased_this_down = 0.0f64;
-    // (crash start, recovery time) pairs awaiting their first
-    // post-recovery slice, which resolves the recovery latency.
-    let mut pending_recoveries: VecDeque<(f64, f64)> = VecDeque::new();
-    let mut throttles: Vec<(f64, f64)> = Vec::new(); // (until, cap)
+/// Bounded admission queue for the serving layer: at most `capacity`
+/// admitted-but-unfinished jobs, with `shed` deciding what happens at
+/// the bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Maximum number of ready (admitted, unfinished) jobs.
+    pub capacity: usize,
+    /// What to do when admission would exceed the capacity (or, for
+    /// deadline-aware shedding, when the SLO is already hopeless).
+    pub shed: ShedPolicy,
+}
 
-    // Start at the first arrival or the first fault, whichever is
-    // earlier (early crashes must still account their downtime).
-    let mut now = arrivals[0].release;
-    if let Some(first_ev) = events.first() {
-        now = now.min(first_ev.at);
-    }
+enum Gate {
+    Admit,
+    Shed,
+    EvictOldest,
+}
 
-    // Event budget: generous, proportional to the event sources, to
-    // stop checkpoint loops.
-    let mut budget = 10_000 * (n + events.len() + 1);
-
-    // Admit all non-cancelled jobs released at (or before) `now`. The
-    // admission epsilon scales with `now` so same-instant floods at
-    // large timestamps are admitted together instead of spinning.
-    let admit = |next_arrival: &mut usize, ready: &mut ReadySet, now: f64, skip: &HashSet<u32>| {
-        while *next_arrival < n
-            && arrivals[*next_arrival].release <= now + 1e-12 * now.abs().max(1.0)
-        {
-            let j = &arrivals[*next_arrival];
-            if !skip.contains(&j.id) {
-                ready.admit(PendingJob {
-                    id: j.id,
-                    release: j.release,
-                    work: j.work,
-                    remaining: j.work,
-                });
+fn gate(ac: &AdmissionConfig, job: &Job, ready: &ReadySet) -> Gate {
+    let full = ready.len() >= ac.capacity;
+    match ac.shed {
+        ShedPolicy::RejectNewest => {
+            if full {
+                Gate::Shed
+            } else {
+                Gate::Admit
             }
-            *next_arrival += 1;
         }
-    };
-    admit(&mut next_arrival, &mut ready, now, &cancelled_pre);
+        ShedPolicy::EvictOldest => {
+            if full {
+                Gate::EvictOldest
+            } else {
+                Gate::Admit
+            }
+        }
+        ShedPolicy::DeadlineAware { slo, service_rate } => {
+            if full || (ready.backlog() + job.work) / service_rate > slo {
+                Gate::Shed
+            } else {
+                Gate::Admit
+            }
+        }
+    }
+}
 
-    while finished < n {
-        budget -= 1;
-        if budget == 0 {
+/// The engine's full mutable state, advanced one event at a time.
+///
+/// [`run_engine`] drives it in a plain loop (the one-shot semantics are
+/// bit-identical to the pre-refactor monolith); the serving layer
+/// ([`crate::serve`]) drives it step by step so it can journal every
+/// decision, snapshot between steps, and restore a crashed process to
+/// the exact state it died in. Every field is `pub(crate)` so the
+/// snapshot codec in [`crate::journal`] can capture and rebuild the
+/// state bit-for-bit.
+pub(crate) struct EngineState {
+    pub(crate) arrivals: Vec<Job>,
+    pub(crate) events: Vec<FaultEvent>,
+    pub(crate) slo: Option<f64>,
+    pub(crate) admission: Option<AdmissionConfig>,
+    pub(crate) n: usize,
+    pub(crate) report: ResilienceReport,
+    pub(crate) next_arrival: usize,
+    pub(crate) ready: ReadySet,
+    /// Completions + cancellations + sheds (jobs the run no longer
+    /// waits for).
+    pub(crate) finished: usize,
+    pub(crate) schedule: Schedule,
+    pub(crate) energy: f64,
+    /// Per-job energy metered since the job's last restart; drained on
+    /// delivery, charged to `wasted_energy` on erasure/cancellation.
+    pub(crate) energy_by_job: HashMap<u32, f64>,
+    /// Cancelled before arrival (never admitted).
+    pub(crate) cancelled_pre: HashSet<u32>,
+    pub(crate) cancelled_all: HashSet<u32>,
+    /// Jobs rejected/evicted by admission control.
+    pub(crate) shed: HashSet<u32>,
+    pub(crate) i_fault: usize,
+    pub(crate) in_downtime: bool,
+    pub(crate) down_until: f64,
+    pub(crate) down_since: f64,
+    pub(crate) erased_this_down: f64,
+    /// (crash start, recovery time) pairs awaiting their first
+    /// post-recovery slice, which resolves the recovery latency.
+    pub(crate) pending_recoveries: VecDeque<(f64, f64)>,
+    /// Active throttle windows as (until, cap).
+    pub(crate) throttles: Vec<(f64, f64)>,
+    pub(crate) now: f64,
+    /// Event budget: generous, proportional to the event sources, to
+    /// stop checkpoint loops.
+    pub(crate) budget: usize,
+}
+
+impl EngineState {
+    pub(crate) fn new(
+        arrivals: Vec<Job>,
+        plan: &FaultPlan,
+        burst_jobs: usize,
+        admission: Option<AdmissionConfig>,
+    ) -> Result<EngineState, SimError> {
+        let n = arrivals.len();
+        if n == 0 {
+            return Err(SimError::EmptyInstance);
+        }
+        let events = plan.events().to_vec();
+        // Start at the first arrival or the first fault, whichever is
+        // earlier (early crashes must still account their downtime).
+        let mut now = arrivals[0].release;
+        if let Some(first_ev) = events.first() {
+            now = now.min(first_ev.at);
+        }
+        let budget = 10_000 * (n + events.len() + 1);
+        let mut engine = EngineState {
+            arrivals,
+            events,
+            slo: plan.slo(),
+            admission,
+            n,
+            report: ResilienceReport {
+                burst_jobs,
+                ..ResilienceReport::default()
+            },
+            next_arrival: 0,
+            ready: ReadySet::default(),
+            finished: 0,
+            schedule: Schedule::single(),
+            energy: 0.0,
+            energy_by_job: HashMap::new(),
+            cancelled_pre: HashSet::new(),
+            cancelled_all: HashSet::new(),
+            shed: HashSet::new(),
+            i_fault: 0,
+            in_downtime: false,
+            down_until: f64::NEG_INFINITY,
+            down_since: 0.0,
+            erased_this_down: 0.0,
+            pending_recoveries: VecDeque::new(),
+            throttles: Vec::new(),
+            now,
+            budget,
+        };
+        engine.admit_due();
+        Ok(engine)
+    }
+
+    /// Whether every job has been completed, cancelled, or shed.
+    pub(crate) fn done(&self) -> bool {
+        self.finished >= self.n
+    }
+
+    /// Admit all non-cancelled jobs released at (or before) `now`,
+    /// gated by admission control when configured. The admission
+    /// epsilon scales with `now` so same-instant floods at large
+    /// timestamps are admitted together instead of spinning.
+    fn admit_due(&mut self) {
+        while self.next_arrival < self.n
+            && self.arrivals[self.next_arrival].release
+                <= self.now + 1e-12 * self.now.abs().max(1.0)
+        {
+            let j = self.arrivals[self.next_arrival];
+            self.next_arrival += 1;
+            if self.cancelled_pre.contains(&j.id) {
+                continue;
+            }
+            if let Some(ac) = self.admission {
+                match gate(&ac, &j, &self.ready) {
+                    Gate::Admit => {}
+                    Gate::Shed => {
+                        self.shed.insert(j.id);
+                        self.report.shed_jobs += 1;
+                        self.report.shed_work += j.work;
+                        self.finished += 1;
+                        continue;
+                    }
+                    Gate::EvictOldest => {
+                        if let Some(victim) = self.ready.first().map(|p| p.id) {
+                            self.evict_ready(victim);
+                        }
+                    }
+                }
+            }
+            self.ready.admit(PendingJob {
+                id: j.id,
+                release: j.release,
+                work: j.work,
+                remaining: j.work,
+            });
+        }
+    }
+
+    /// Shed an already-admitted job (EvictOldest making room): its
+    /// partial progress becomes lost work and wasted energy, exactly
+    /// like a cancellation, but accounted under the shed counters.
+    fn evict_ready(&mut self, id: u32) {
+        if let Some(p) = self.ready.cancel(id) {
+            self.shed.insert(id);
+            self.report.shed_jobs += 1;
+            self.report.shed_work += p.work;
+            self.report.lost_work += p.work - p.remaining;
+            self.report.wasted_energy += self.energy_by_job.remove(&id).unwrap_or(0.0);
+            self.finished += 1;
+        }
+    }
+
+    /// Advance the simulation by one event: apply due faults, expire
+    /// throttles, fast-forward downtime, or consult the policy and
+    /// execute one slice. One call corresponds exactly to one iteration
+    /// of the pre-refactor engine loop.
+    pub(crate) fn step<M: pas_power::PowerModel>(
+        &mut self,
+        model: &M,
+        policy: &mut dyn OnlinePolicy,
+    ) -> Result<(), SimError> {
+        self.budget -= 1;
+        if self.budget == 0 {
             return Err(SimError::TooManyEvents);
         }
 
         // 1. Apply every fault due at the current time. Slices never
         // span a fault boundary (dt is truncated below), so `now` is
         // exactly the event time for events inside the active horizon.
-        while i_fault < events.len() && events[i_fault].at <= now {
-            let ev = &events[i_fault];
-            i_fault += 1;
-            match &ev.kind {
+        while self.i_fault < self.events.len() && self.events[self.i_fault].at <= self.now {
+            let ev = self.events[self.i_fault].clone();
+            self.i_fault += 1;
+            match ev.kind {
                 FaultKind::Crash {
                     duration,
                     semantics,
                 } => {
-                    report.crashes += 1;
+                    self.report.crashes += 1;
                     policy.notify(&FaultNotice::Crashed {
-                        at: now,
-                        semantics: *semantics,
+                        at: self.now,
+                        semantics,
                     });
-                    if !in_downtime {
-                        in_downtime = true;
-                        down_since = now;
-                        erased_this_down = 0.0;
-                        down_until = now;
+                    if !self.in_downtime {
+                        self.in_downtime = true;
+                        self.down_since = self.now;
+                        self.erased_this_down = 0.0;
+                        self.down_until = self.now;
                     }
-                    if *semantics == CrashSemantics::LoseProgress {
-                        for p in ready.iter() {
+                    if semantics == CrashSemantics::LoseProgress {
+                        for p in self.ready.iter() {
                             if p.remaining < p.work {
-                                report.wasted_energy += energy_by_job.remove(&p.id).unwrap_or(0.0);
+                                self.report.wasted_energy +=
+                                    self.energy_by_job.remove(&p.id).unwrap_or(0.0);
                             }
                         }
-                        let erased = ready.reset_progress();
-                        report.lost_work += erased;
-                        erased_this_down += erased;
+                        let erased = self.ready.reset_progress();
+                        self.report.lost_work += erased;
+                        self.erased_this_down += erased;
                     }
-                    down_until = down_until.max(now + *duration);
+                    self.down_until = self.down_until.max(self.now + duration);
                 }
                 FaultKind::CancelJob { job } => {
-                    if let Some(p) = ready.cancel(*job) {
-                        policy.notify(&FaultNotice::JobCancelled { at: now, job: *job });
-                        report.cancelled_jobs += 1;
-                        report.cancelled_work += p.work;
-                        report.lost_work += p.work - p.remaining;
-                        report.wasted_energy += energy_by_job.remove(job).unwrap_or(0.0);
-                        cancelled_all.insert(*job);
-                        finished += 1;
-                    } else if !cancelled_pre.contains(job) {
-                        if let Some(a) = arrivals[next_arrival..].iter().find(|a| a.id == *job) {
-                            policy.notify(&FaultNotice::JobCancelled { at: now, job: *job });
-                            report.cancelled_jobs += 1;
-                            report.cancelled_work += a.work;
-                            cancelled_pre.insert(*job);
-                            cancelled_all.insert(*job);
-                            finished += 1;
+                    if let Some(p) = self.ready.cancel(job) {
+                        policy.notify(&FaultNotice::JobCancelled { at: self.now, job });
+                        self.report.cancelled_jobs += 1;
+                        self.report.cancelled_work += p.work;
+                        self.report.lost_work += p.work - p.remaining;
+                        self.report.wasted_energy += self.energy_by_job.remove(&job).unwrap_or(0.0);
+                        self.cancelled_all.insert(job);
+                        self.finished += 1;
+                    } else if !self.cancelled_pre.contains(&job) {
+                        let pending = self.arrivals[self.next_arrival..]
+                            .iter()
+                            .find(|a| a.id == job)
+                            .copied();
+                        if let Some(a) = pending {
+                            policy.notify(&FaultNotice::JobCancelled { at: self.now, job });
+                            self.report.cancelled_jobs += 1;
+                            self.report.cancelled_work += a.work;
+                            self.cancelled_pre.insert(job);
+                            self.cancelled_all.insert(job);
+                            self.finished += 1;
                         }
                         // Unknown or already-completed job: no-op.
                     }
                 }
                 FaultKind::Throttle { duration, cap } => {
-                    let until = now + *duration;
-                    throttles.push((until, *cap));
+                    let until = self.now + duration;
+                    self.throttles.push((until, cap));
                     policy.notify(&FaultNotice::Throttled {
-                        at: now,
+                        at: self.now,
                         until,
-                        cap: *cap,
+                        cap,
                     });
                 }
                 FaultKind::ArrivalBurst { .. } => {
@@ -563,59 +815,67 @@ fn run_engine<M: pas_power::PowerModel>(
                 }
             }
         }
-        if finished >= n {
-            break;
+        if self.finished >= self.n {
+            return Ok(());
         }
 
         // 2. Expire throttle windows.
-        if !throttles.is_empty() {
-            throttles.retain(|&(until, _)| until > now);
-            if throttles.is_empty() {
-                policy.notify(&FaultNotice::ThrottleLifted { at: now });
+        if !self.throttles.is_empty() {
+            let now = self.now;
+            self.throttles.retain(|&(until, _)| until > now);
+            if self.throttles.is_empty() {
+                policy.notify(&FaultNotice::ThrottleLifted { at: self.now });
             }
         }
 
         // 3. Downtime: fast-forward to recovery (or the next fault,
         // which may extend the outage), admitting arrivals as time
         // passes but never consulting the policy.
-        if in_downtime {
-            if now < down_until {
-                let next_fault_at = events.get(i_fault).map_or(f64::INFINITY, |e| e.at);
-                now = down_until.min(next_fault_at);
-                admit(&mut next_arrival, &mut ready, now, &cancelled_pre);
-                continue;
+        if self.in_downtime {
+            if self.now < self.down_until {
+                let next_fault_at = self
+                    .events
+                    .get(self.i_fault)
+                    .map_or(f64::INFINITY, |e| e.at);
+                self.now = self.down_until.min(next_fault_at);
+                self.admit_due();
+                return Ok(());
             }
-            in_downtime = false;
-            let downtime = now - down_since;
-            report.downtime += downtime;
-            pending_recoveries.push_back((down_since, now));
+            self.in_downtime = false;
+            let downtime = self.now - self.down_since;
+            self.report.downtime += downtime;
+            self.pending_recoveries
+                .push_back((self.down_since, self.now));
             policy.notify(&FaultNotice::Recovered {
-                at: now,
+                at: self.now,
                 downtime,
-                lost_work: erased_this_down,
+                lost_work: self.erased_this_down,
             });
         }
 
         // 4. Consult the policy.
-        let decision = policy.decide(now, &ready, energy);
+        let decision = policy.decide(self.now, &self.ready, self.energy);
         match decision {
             None => {
                 // Idle until the next arrival or fault.
-                let next_arrival_at = if next_arrival < n {
-                    arrivals[next_arrival].release
+                let next_arrival_at = if self.next_arrival < self.n {
+                    self.arrivals[self.next_arrival].release
                 } else {
                     f64::INFINITY
                 };
-                let next_fault_at = events.get(i_fault).map_or(f64::INFINITY, |e| e.at);
+                let next_fault_at = self
+                    .events
+                    .get(self.i_fault)
+                    .map_or(f64::INFINITY, |e| e.at);
                 let target = next_arrival_at.min(next_fault_at);
                 if !target.is_finite() {
                     return Err(SimError::PolicyStalled {
-                        at: now,
-                        unfinished: n - finished,
+                        at: self.now,
+                        unfinished: self.n - self.finished,
                     });
                 }
-                now = now.max(target);
-                admit(&mut next_arrival, &mut ready, now, &cancelled_pre);
+                self.now = self.now.max(target);
+                self.admit_due();
             }
             Some(Decision {
                 job,
@@ -623,38 +883,46 @@ fn run_engine<M: pas_power::PowerModel>(
                 recheck_after,
             }) => {
                 if !(speed.is_finite() && speed > 0.0) {
-                    return Err(SimError::InvalidSpeed { speed, at: now });
+                    return Err(SimError::InvalidSpeed {
+                        speed,
+                        at: self.now,
+                    });
                 }
-                let Some(&slot) = ready.slot_of.get(&job) else {
-                    return Err(SimError::UnknownJob { job, at: now });
+                let Some(&slot) = self.ready.slot_of.get(&job) else {
+                    return Err(SimError::UnknownJob { job, at: self.now });
                 };
                 // Graceful degradation: clamp to the active throttle
                 // cap instead of failing the decision.
-                let cap = throttles
+                let cap = self
+                    .throttles
                     .iter()
                     .map(|&(_, c)| c)
                     .fold(f64::INFINITY, f64::min);
                 let speed = if speed > cap {
-                    report.throttle_clamps += 1;
+                    self.report.throttle_clamps += 1;
                     cap
                 } else {
                     speed
                 };
                 // Run until completion, next arrival, checkpoint, next
                 // fault, or throttle expiry — whichever comes first.
-                let completion_in = ready.jobs[slot].remaining / speed;
-                let arrival_in = if next_arrival < n {
-                    arrivals[next_arrival].release - now
+                let completion_in = self.ready.jobs[slot].remaining / speed;
+                let arrival_in = if self.next_arrival < self.n {
+                    self.arrivals[self.next_arrival].release - self.now
                 } else {
                     f64::INFINITY
                 };
                 let recheck_in = recheck_after.unwrap_or(f64::INFINITY).max(1e-12);
-                let fault_in = events.get(i_fault).map_or(f64::INFINITY, |e| e.at - now);
-                let expiry_in = throttles
+                let fault_in = self
+                    .events
+                    .get(self.i_fault)
+                    .map_or(f64::INFINITY, |e| e.at - self.now);
+                let expiry_in = self
+                    .throttles
                     .iter()
                     .map(|&(u, _)| u)
                     .fold(f64::INFINITY, f64::min)
-                    - now;
+                    - self.now;
                 let dt = completion_in
                     .min(arrival_in)
                     .min(recheck_in)
@@ -662,85 +930,94 @@ fn run_engine<M: pas_power::PowerModel>(
                     .min(expiry_in);
                 if dt > 0.0 {
                     // First work after a recovery resolves its latency.
-                    while let Some(&(crash_at, recovered_at)) = pending_recoveries.front() {
-                        if recovered_at <= now {
-                            report.recovery_latencies.push(now - crash_at);
-                            pending_recoveries.pop_front();
+                    while let Some(&(crash_at, recovered_at)) = self.pending_recoveries.front() {
+                        if recovered_at <= self.now {
+                            self.report.recovery_latencies.push(self.now - crash_at);
+                            self.pending_recoveries.pop_front();
                         } else {
                             break;
                         }
                     }
-                    schedule.push(0, Slice::new(job, now, now + dt, speed));
+                    self.schedule
+                        .push(0, Slice::new(job, self.now, self.now + dt, speed));
                     let spent = model.power(speed) * dt;
-                    energy += spent;
-                    *energy_by_job.entry(job).or_insert(0.0) += spent;
+                    self.energy += spent;
+                    *self.energy_by_job.entry(job).or_insert(0.0) += spent;
                     // Clamp so the backlog accumulator cannot absorb a
                     // negative residual at completion.
-                    let executed = (speed * dt).min(ready.jobs[slot].remaining);
-                    ready.execute(slot, executed);
-                    now += dt;
+                    let executed = (speed * dt).min(self.ready.jobs[slot].remaining);
+                    self.ready.execute(slot, executed);
+                    self.now += dt;
                 }
-                if ready.jobs[slot].remaining <= 1e-9 * ready.jobs[slot].work {
+                if self.ready.jobs[slot].remaining <= 1e-9 * self.ready.jobs[slot].work {
                     // Snap any residual into the final slice via coalesce
                     // tolerance; mark complete. Delivered energy is not
                     // overhead.
-                    energy_by_job.remove(&job);
-                    ready.remove(slot);
-                    finished += 1;
+                    self.energy_by_job.remove(&job);
+                    self.ready.remove(slot);
+                    self.finished += 1;
                 }
-                admit(&mut next_arrival, &mut ready, now, &cancelled_pre);
+                self.admit_due();
             }
         }
-    }
-    schedule.coalesce(1e-9);
-
-    // Crashes whose recovery never saw another slice: latency runs to
-    // the end of the simulation.
-    for (crash_at, recovered_at) in pending_recoveries {
-        report
-            .recovery_latencies
-            .push(now.max(recovered_at) - crash_at);
+        Ok(())
     }
 
-    // The effective instance: exactly the jobs with executed work, at
-    // their executed totals (shared accounting with `metrics`), so the
-    // schedule validates against it even after re-execution or partial
-    // cancellation.
-    let executed = metrics::executed_work_by_job(&schedule);
-    let eff: Vec<Job> = arrivals
-        .iter()
-        .filter_map(|j| executed.get(&j.id).map(|&w| Job::new(j.id, j.release, w)))
-        .filter(|j| j.work > 0.0)
-        .collect();
-    let effective = if eff.is_empty() {
-        None
-    } else {
-        Some(Instance::new(eff).map_err(SimError::solver)?)
-    };
+    /// Seal the run: coalesce the schedule, resolve dangling recovery
+    /// latencies, build the effective instance, and count SLO misses.
+    pub(crate) fn finish(mut self) -> Result<OnlineOutcome, SimError> {
+        self.schedule.coalesce(1e-9);
 
-    // Deadline misses against the plan's SLO: delivered jobs via the
-    // shared metric, every cancelled job counted as a miss.
-    if let Some(slo) = plan.slo() {
-        let delivered: Vec<Job> = arrivals
+        // Crashes whose recovery never saw another slice: latency runs
+        // to the end of the simulation.
+        for (crash_at, recovered_at) in std::mem::take(&mut self.pending_recoveries) {
+            self.report
+                .recovery_latencies
+                .push(self.now.max(recovered_at) - crash_at);
+        }
+
+        // The effective instance: exactly the jobs with executed work,
+        // at their executed totals (shared accounting with `metrics`),
+        // so the schedule validates against it even after re-execution,
+        // partial cancellation, or a mid-queue eviction.
+        let executed = metrics::executed_work_by_job(&self.schedule);
+        let eff: Vec<Job> = self
+            .arrivals
             .iter()
-            .filter(|j| !cancelled_all.contains(&j.id))
-            .copied()
+            .filter_map(|j| executed.get(&j.id).map(|&w| Job::new(j.id, j.release, w)))
+            .filter(|j| j.work > 0.0)
             .collect();
-        let mut misses = report.cancelled_jobs;
-        if !delivered.is_empty() {
-            if let Ok(inst) = Instance::new(delivered) {
-                misses += metrics::deadline_misses(&schedule, &inst, slo);
-            }
-        }
-        report.deadline_misses = Some(misses);
-    }
+        let effective = if eff.is_empty() {
+            None
+        } else {
+            Some(Instance::new(eff).map_err(SimError::solver)?)
+        };
 
-    Ok(OnlineOutcome {
-        schedule,
-        energy,
-        resilience: report,
-        effective,
-    })
+        // Deadline misses against the plan's SLO: delivered jobs via
+        // the shared metric; every cancelled or shed job is a miss.
+        if let Some(slo) = self.slo {
+            let delivered: Vec<Job> = self
+                .arrivals
+                .iter()
+                .filter(|j| !self.cancelled_all.contains(&j.id) && !self.shed.contains(&j.id))
+                .copied()
+                .collect();
+            let mut misses = self.report.cancelled_jobs + self.report.shed_jobs;
+            if !delivered.is_empty() {
+                if let Ok(inst) = Instance::new(delivered) {
+                    misses += metrics::deadline_misses(&self.schedule, &inst, slo);
+                }
+            }
+            self.report.deadline_misses = Some(misses);
+        }
+
+        Ok(OnlineOutcome {
+            schedule: self.schedule,
+            energy: self.energy,
+            resilience: self.report,
+            effective,
+        })
+    }
 }
 
 #[cfg(test)]

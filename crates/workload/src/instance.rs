@@ -120,6 +120,37 @@ impl Instance {
         )
     }
 
+    /// Re-check the construction invariants: non-empty, every job
+    /// finite with positive work, unique ids, sorted by release.
+    ///
+    /// `Instance::new` already enforces all of this, so on a correctly
+    /// constructed value this always succeeds — it exists as the single
+    /// typed validation gate the solver entry points call, so corrupted
+    /// or hand-deserialized instances fail with a precise
+    /// [`InstanceError`] (carried up solver error chains via
+    /// `source()`) instead of poisoning a solve with NaNs.
+    ///
+    /// # Errors
+    /// The same [`InstanceError`] taxonomy as [`Instance::new`].
+    pub fn validate(&self) -> Result<(), InstanceError> {
+        if self.jobs.is_empty() {
+            return Err(InstanceError::Empty);
+        }
+        for (index, job) in self.jobs.iter().enumerate() {
+            if !job.is_valid() {
+                return Err(InstanceError::InvalidJob { index, job: *job });
+            }
+        }
+        let mut ids: Vec<u32> = self.jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        for pair in ids.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(InstanceError::DuplicateId { id: pair[0] });
+            }
+        }
+        Ok(())
+    }
+
     /// Number of jobs.
     pub fn len(&self) -> usize {
         self.jobs.len()
@@ -289,6 +320,13 @@ mod tests {
             Instance::new(vec![Job::new(1, 0.0, 1.0), Job::new(1, 2.0, 1.0)]),
             Err(InstanceError::DuplicateId { id: 1 })
         ));
+    }
+
+    #[test]
+    fn validate_accepts_constructed_instances() {
+        let inst = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0)]).unwrap();
+        inst.validate().unwrap();
+        inst.shift_time(1.0).unwrap().validate().unwrap();
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Crash→restore round trip for the serving layer, driven from a real
+//! file journal — the kill-and-restore determinism demo (and the CI
+//! job behind it).
+//!
+//! ```text
+//! # Uninterrupted run: writes fresh.journal, prints the outcome digest.
+//! cargo run --example serve_restore -- --journal fresh.journal
+//!
+//! # Crash simulation: stop after 40 engine steps (or SIGKILL the
+//! # process mid-run — add --stall-ms 5 to widen the window).
+//! cargo run --example serve_restore -- --journal crash.journal --steps 40
+//!
+//! # Restore from whatever the dead process flushed and finish.
+//! cargo run --example serve_restore -- --journal crash.journal --restore
+//! ```
+//!
+//! The digest printed by the restored run is **bit-identical** to the
+//! uninterrupted run's — same schedule slices, same energy, same
+//! resilience counters — no matter where the crash landed, because the
+//! journal (not the wall clock) is the source of truth. CI runs exactly
+//! this sequence with a SIGKILL and diffs the two digests.
+
+use power_aware_scheduling::online::FlowReplanner;
+use power_aware_scheduling::power::PolyPower;
+use power_aware_scheduling::sim::online::{Decision, OnlinePolicy, ReadySet};
+use power_aware_scheduling::sim::{
+    outcome_digest, FaultModel, FaultNotice, FaultPlan, Journal, ServeConfig, ServeOutcome, Server,
+};
+use power_aware_scheduling::workload::{generators, Instance};
+
+/// The fixed demo scenario: a seeded Poisson workload with a seeded
+/// crash/cancel/throttle/burst plan on top. Every invocation of this
+/// example builds the identical scenario, so digests are comparable
+/// across processes.
+const SEED: u64 = 2006;
+const N_JOBS: usize = 200;
+
+fn scenario() -> (Instance, FaultPlan) {
+    let instance = generators::poisson(N_JOBS, 0.8, (0.5, 1.5), SEED);
+    let horizon = instance.last_release() + instance.total_work();
+    let ids: Vec<u32> = instance.jobs().iter().map(|j| j.id).collect();
+    let rate = 24.0 / horizon.max(1.0);
+    let plan = FaultModel::uniform_mix(rate).sample(horizon, &ids, SEED);
+    (instance, plan)
+}
+
+/// Wraps the real policy and sleeps before each consultation — widens
+/// the window a SIGKILL can land in without changing any decision.
+struct Stall<P> {
+    inner: P,
+    ms: u64,
+}
+
+impl<P: OnlinePolicy> OnlinePolicy for Stall<P> {
+    fn decide(&mut self, now: f64, ready: &ReadySet, energy_spent: f64) -> Option<Decision> {
+        if self.ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(self.ms));
+        }
+        self.inner.decide(now, ready, energy_spent)
+    }
+
+    fn notify(&mut self, notice: &FaultNotice) {
+        self.inner.notify(notice);
+    }
+
+    fn save_state(&self) -> Option<Vec<f64>> {
+        self.inner.save_state()
+    }
+
+    fn load_state(&mut self, state: &[f64]) -> bool {
+        self.inner.load_state(state)
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|p| args.get(p + 1))
+        .cloned()
+}
+
+fn report(label: &str, served: &ServeOutcome) {
+    println!("{label}:");
+    println!(
+        "  outcome_digest   {:016x}",
+        outcome_digest(&served.outcome)
+    );
+    println!("  energy           {}", served.outcome.energy);
+    println!("  steps            {}", served.stats.steps);
+    println!("  decisions        {}", served.stats.decisions);
+    println!("  replayed         {}", served.stats.replayed_decisions);
+    println!("  snapshots        {}", served.stats.snapshots);
+    println!(
+        "  crashes/downtime {}/{}",
+        served.outcome.resilience.crashes, served.outcome.resilience.downtime
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let journal_path = flag_value(&args, "--journal").unwrap_or_else(|| "serve.journal".into());
+    let restore = args.iter().any(|a| a == "--restore");
+    let steps: Option<u64> = flag_value(&args, "--steps").map(|s| s.parse().expect("--steps N"));
+    let stall_ms: u64 = flag_value(&args, "--stall-ms")
+        .map(|s| s.parse().expect("--stall-ms MS"))
+        .unwrap_or(0);
+
+    let (instance, plan) = scenario();
+    let model = PolyPower::CUBE;
+    let budget = 2.0 * instance.total_work();
+    let config = ServeConfig {
+        snapshot_every: Some(32),
+        ..ServeConfig::default()
+    };
+    let mut policy = Stall {
+        inner: FlowReplanner::new(3.0, budget, 32),
+        ms: stall_ms,
+    };
+
+    if restore {
+        let prior = std::fs::read_to_string(&journal_path).expect("read prior journal");
+        let sink = Journal::append(&journal_path).expect("append to journal");
+        let server = Server::restore(&instance, &model, &plan, config, &prior, sink, &mut policy)
+            .expect("restore from journal");
+        println!(
+            "restored from {journal_path} ({} decisions to replay)",
+            server.pending_replay()
+        );
+        let served = server.run(&mut policy).expect("restored run succeeds");
+        report("restored run", &served);
+        return;
+    }
+
+    let sink = Journal::create(&journal_path).expect("create journal");
+    let mut server =
+        Server::new(&instance, &model, &plan, config, sink).expect("serve setup succeeds");
+    match steps {
+        Some(max) => {
+            let done = server.run_for(&mut policy, max).expect("partial run");
+            if done {
+                let served = server.finish().expect("finish succeeds");
+                report("finished before the cut", &served);
+            } else {
+                println!(
+                    "stopped after {max} steps; journal left at {journal_path} \
+                     (restart with --restore)"
+                );
+            }
+        }
+        None => {
+            let served = server.run(&mut policy).expect("serve run succeeds");
+            report("uninterrupted run", &served);
+        }
+    }
+}

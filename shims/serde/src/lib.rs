@@ -104,6 +104,18 @@ pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<
     }
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Num(*self)
@@ -226,6 +238,12 @@ mod tests {
     fn vec_round_trip() {
         let xs = vec![1.0f64, 2.0, 3.0];
         assert_eq!(Vec::<f64>::from_value(&xs.to_value()).unwrap(), xs);
+    }
+
+    #[test]
+    fn value_is_its_own_codec() {
+        let v = Value::Obj(vec![("k".to_string(), Value::Arr(vec![Value::Num(1.0)]))]);
+        assert_eq!(Value::from_value(&v.to_value()).unwrap(), v);
     }
 
     #[test]
