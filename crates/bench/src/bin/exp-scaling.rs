@@ -6,9 +6,10 @@
 //!   the references capped so the run stays fast;
 //! * `--bench-json [DIR]` — the acceptance sweeps written as per-path
 //!   bench files `DIR/BENCH_yds.json`, `DIR/BENCH_flow.json`,
-//!   `DIR/BENCH_multi.json`, `DIR/BENCH_oa.json`, and
-//!   `DIR/BENCH_faults.json`, and `DIR/BENCH_serve.json` (default `.`),
-//!   the perf-trajectory records successive PRs compare against.
+//!   `DIR/BENCH_multi.json`, `DIR/BENCH_oa.json`,
+//!   `DIR/BENCH_faults.json`, `DIR/BENCH_serve.json`, and
+//!   `DIR/BENCH_policies.json` (default `.`), the perf-trajectory
+//!   records successive PRs compare against.
 //!   Expect tens of minutes: the YDS reference is `O(n⁴)` through
 //!   n=2000, the flow reference curve is ~120 cold bisection solves of
 //!   an `O(iters·n)` engine at n=1000, and the multiproc reference is
@@ -19,9 +20,10 @@
 //!   tier (small sizes, capped references), exercised in CI so the bench
 //!   plumbing can never rot;
 //! * `--only yds` / `--only flow` / `--only multi` / `--only oa` /
-//!   `--only faults` / `--only serve` — restrict either mode to one
-//!   path (the other `BENCH_*.json` files are left untouched).
-use pas_bench::experiments::{faults, scaling, serve};
+//!   `--only faults` / `--only serve` / `--only policies` — restrict
+//!   either mode to one path (the other `BENCH_*.json` files are left
+//!   untouched).
+use pas_bench::experiments::{faults, online_budget, scaling, serve};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,8 +34,10 @@ fn main() {
         .and_then(|p| args.get(p + 1))
         .cloned();
     if let Some(o) = only.as_deref() {
-        if !["yds", "flow", "multi", "oa", "faults", "serve"].contains(&o) {
-            eprintln!("--only takes `yds`, `flow`, `multi`, `oa`, `faults`, or `serve`, got `{o}`");
+        if !["yds", "flow", "multi", "oa", "faults", "serve", "policies"].contains(&o) {
+            eprintln!(
+                "--only takes `yds`, `flow`, `multi`, `oa`, `faults`, `serve`, or `policies`, got `{o}`"
+            );
             std::process::exit(2);
         }
     }
@@ -43,6 +47,7 @@ fn main() {
     let run_oa = only.as_deref().is_none_or(|o| o == "oa");
     let run_faults = only.as_deref().is_none_or(|o| o == "faults");
     let run_serve = only.as_deref().is_none_or(|o| o == "serve");
+    let run_policies = only.as_deref().is_none_or(|o| o == "policies");
 
     if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
         let dir = args
@@ -116,6 +121,18 @@ fn main() {
             std::fs::write(&path, serve::serve_bench_json(&points)).expect("write BENCH json");
             eprintln!("wrote {path}");
         }
+        if run_policies {
+            let points = if smoke {
+                online_budget::policies_smoke()
+            } else {
+                online_budget::policies_default()
+            };
+            online_budget::policies_table(&points).print();
+            let path = format!("{dir}/BENCH_policies.json");
+            std::fs::write(&path, online_budget::policies_bench_json(&points))
+                .expect("write BENCH json");
+            eprintln!("wrote {path}");
+        }
         return;
     }
     for table in scaling::run() {
@@ -150,5 +167,10 @@ fn main() {
     if run_serve {
         let points = serve::serve_smoke();
         serve::serve_table(&points).print();
+        println!();
+    }
+    if run_policies {
+        let points = online_budget::policies_smoke();
+        online_budget::policies_table(&points).print();
     }
 }

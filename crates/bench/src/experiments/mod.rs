@@ -9,7 +9,7 @@
 //! | [`multiproc`] | E9, E10 | Theorem 10, multiprocessor makespan/flow |
 //! | [`partition`] | E11 | Theorem 11 reduction, B&B vs heuristics |
 //! | [`deadline_ratios`] | E12 | AVR / OA empirical competitive ratios |
-//! | [`online_budget`] | E13 | §6 online policies vs offline frontier (plus the `ReadySet` scale sweep to n=20000) |
+//! | [`online_budget`] | E13 | §6 online policies vs offline frontier (plus the arena-engine scale sweep to n=20000 and the flat-vs-growing policy ladder, `BENCH_policies.json`) |
 //! | [`discrete_levels`] | E14, E15 | §6 discrete speeds and switch overhead |
 //! | [`precedence_dag`] | E16 | §2 precedence-constrained makespan heuristic vs bounds |
 //! | [`temperature`] | E17 | §2 thermal objective (Bansal–Kimbrel–Pruhs model) |

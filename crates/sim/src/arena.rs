@@ -1,0 +1,577 @@
+//! Data-oriented job-state arena for the online engine.
+//!
+//! [`ShardedReadySet`] replaces the AoS `Vec<PendingJob>` behind the
+//! original [`ReadySet`](crate::online::ReadySet) with a
+//! struct-of-arrays slab: one parallel array per field (`ids`,
+//! `releases`, `works`, `remainings`), stable slots recycled through a
+//! free list, and a `BandLedger` sharding the live jobs by *deadline
+//! band* — `NUM_BANDS` equal-width release-time bands (under the
+//! engine's uniform SLO, a job's deadline is its release plus a
+//! constant, so release bands and deadline bands coincide). The ledger
+//! maintains per-band live counts, remaining work, and total arrived
+//! work incrementally, which is what the windowed-density policies
+//! (`Bkp` in `pas-core::online`) consume in `O(bands)` per decision.
+//!
+//! Arrivals are ingested in batches: the engine hands the whole run of
+//! due jobs to `admit_batch`, which
+//! grows every array once and then applies the per-job accumulator
+//! updates in arrival order — the floating-point operation sequence is
+//! exactly the one-at-a-time sequence, so batching changes throughput,
+//! never bits.
+//!
+//! # Bit-identity contract
+//!
+//! The arena and the retained reference implementation answer every
+//! observation the engine or a policy can make with the *same bits*:
+//! both run the identical per-job accumulator updates in the identical
+//! (admission) order, and both delegate band accounting to this
+//! module's `BandLedger` so the shard arithmetic is literally the same
+//! code. `tests/online_equivalence.rs` holds the two engines to that
+//! contract across proptested event streams, fault plans, and
+//! crash/restore cuts.
+
+use crate::online::{PendingJob, ReadyStore, ReadyView};
+use pas_workload::Job;
+use std::collections::{HashMap, VecDeque};
+
+/// Number of deadline bands the ready set is sharded into.
+pub const NUM_BANDS: usize = 8;
+
+/// Per-band aggregate shards over the released jobs.
+///
+/// Bands partition release time into `NUM_BANDS` equal windows of
+/// `width` starting at `origin` (both fixed for a run, derived from the
+/// materialized arrival stream); releases past the last edge clamp into
+/// the final band. All three aggregates are running sums maintained
+/// with one addition or subtraction per engine mutation, so both
+/// ready-set implementations produce bit-identical band values by
+/// sharing this type.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BandLedger {
+    origin: f64,
+    width: f64,
+    /// Live (admitted, unfinished) jobs per band.
+    live: Vec<u64>,
+    /// Remaining work of the live jobs per band.
+    remaining: Vec<f64>,
+    /// Total work ever admitted per band (finished or not).
+    arrived: Vec<f64>,
+}
+
+impl Default for BandLedger {
+    fn default() -> BandLedger {
+        BandLedger::new(0.0, 1.0)
+    }
+}
+
+impl BandLedger {
+    pub(crate) fn new(origin: f64, width: f64) -> BandLedger {
+        debug_assert!(width > 0.0, "band width must be positive, got {width}");
+        BandLedger {
+            origin,
+            width,
+            live: vec![0; NUM_BANDS],
+            remaining: vec![0.0; NUM_BANDS],
+            arrived: vec![0.0; NUM_BANDS],
+        }
+    }
+
+    /// Band index for a release time (clamped into `0..NUM_BANDS`).
+    pub(crate) fn band_of(&self, release: f64) -> usize {
+        let b = ((release - self.origin) / self.width).floor();
+        if b.is_nan() || b < 0.0 {
+            0
+        } else {
+            (b as usize).min(NUM_BANDS - 1)
+        }
+    }
+
+    pub(crate) fn on_admit(&mut self, job: &PendingJob) {
+        let b = self.band_of(job.release);
+        self.live[b] += 1;
+        self.remaining[b] += job.remaining;
+        self.arrived[b] += job.work;
+    }
+
+    pub(crate) fn on_execute(&mut self, release: f64, executed: f64) {
+        let b = self.band_of(release);
+        self.remaining[b] -= executed;
+    }
+
+    /// A job leaves the set (completion, cancellation, eviction): its
+    /// residual remaining work leaves the band, its arrived work stays.
+    pub(crate) fn on_remove(&mut self, job: &PendingJob) {
+        let b = self.band_of(job.release);
+        self.live[b] -= 1;
+        self.remaining[b] -= job.remaining;
+    }
+
+    /// A lose-progress crash put `done` units back on a job's plate.
+    pub(crate) fn on_reset(&mut self, release: f64, done: f64) {
+        let b = self.band_of(release);
+        self.remaining[b] += done;
+    }
+
+    pub(crate) fn origin(&self) -> f64 {
+        self.origin
+    }
+
+    pub(crate) fn width(&self) -> f64 {
+        self.width
+    }
+
+    pub(crate) fn live(&self, band: usize) -> usize {
+        self.live[band] as usize
+    }
+
+    pub(crate) fn remaining(&self, band: usize) -> f64 {
+        self.remaining[band]
+    }
+
+    pub(crate) fn arrived(&self, band: usize) -> f64 {
+        self.arrived[band]
+    }
+
+    /// Snapshot parts `(origin, width, live, remaining, arrived)`; the
+    /// running sums must be persisted bitwise, never recomputed.
+    pub(crate) fn parts(&self) -> (f64, f64, &[u64], &[f64], &[f64]) {
+        (
+            self.origin,
+            self.width,
+            &self.live,
+            &self.remaining,
+            &self.arrived,
+        )
+    }
+
+    /// Rebuild from snapshot parts, bit-identical to the captured
+    /// ledger.
+    pub(crate) fn restore(
+        origin: f64,
+        width: f64,
+        live: Vec<u64>,
+        remaining: Vec<f64>,
+        arrived: Vec<f64>,
+    ) -> BandLedger {
+        BandLedger {
+            origin,
+            width,
+            live,
+            remaining,
+            arrived,
+        }
+    }
+}
+
+/// Struct-of-arrays arena behind the online engine: the data-oriented
+/// replacement for [`ReadySet`](crate::online::ReadySet).
+///
+/// Jobs live in parallel arrays indexed by *slot*; a slot is stable for
+/// a job's whole residency (no swap-remove compaction), vacated slots
+/// are recycled LIFO through a free list, and `slot_of` resolves ids in
+/// `O(1)`. The admission-order id queue makes
+/// [`first`](ReadyView::first) `O(1)` and gives every policy-visible
+/// iteration ([`ReadyView::for_each`]) a canonical order. Band
+/// aggregates are served by the shared `BandLedger`.
+///
+/// Policies never see this type directly — they see the
+/// [`ReadyView`] trait — so the arena is interchangeable with the
+/// retained reference implementation, a contract enforced bit-for-bit
+/// by `tests/online_equivalence.rs`.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedReadySet {
+    ids: Vec<u32>,
+    releases: Vec<f64>,
+    works: Vec<f64>,
+    remainings: Vec<f64>,
+    /// Vacant slots, recycled LIFO. Vacant array cells keep their stale
+    /// values — they are unreachable (not in `slot_of`, skipped by the
+    /// queue) and fully overwritten on reuse.
+    free: Vec<usize>,
+    slot_of: HashMap<u32, usize>,
+    /// Ids in admission order; the front is always live (pruned on
+    /// removal), stale interior ids are skipped during iteration.
+    queue: VecDeque<u32>,
+    backlog: f64,
+    seen_work: f64,
+    first_arrival: Option<f64>,
+    bands: BandLedger,
+}
+
+impl ShardedReadySet {
+    fn place(&mut self, job: PendingJob) -> usize {
+        match self.free.pop() {
+            Some(slot) => {
+                self.ids[slot] = job.id;
+                self.releases[slot] = job.release;
+                self.works[slot] = job.work;
+                self.remainings[slot] = job.remaining;
+                slot
+            }
+            None => {
+                let slot = self.ids.len();
+                self.ids.push(job.id);
+                self.releases.push(job.release);
+                self.works.push(job.work);
+                self.remainings.push(job.remaining);
+                slot
+            }
+        }
+    }
+
+    fn job_at(&self, slot: usize) -> PendingJob {
+        PendingJob {
+            id: self.ids[slot],
+            release: self.releases[slot],
+            work: self.works[slot],
+            remaining: self.remainings[slot],
+        }
+    }
+
+    /// Snapshot parts for the journal codec: `(slot_count, live slots
+    /// as (slot, job) in slot order, free list in pop order last-first,
+    /// queue, backlog, seen_work, first_arrival)`. Stale cell contents
+    /// are *not* captured — they are unobservable — but the free-list
+    /// order is, because it decides which slot the next admit reuses.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn snapshot_parts(
+        &self,
+    ) -> (
+        usize,
+        Vec<(usize, PendingJob)>,
+        &[usize],
+        &VecDeque<u32>,
+        f64,
+        f64,
+        Option<f64>,
+    ) {
+        let mut live: Vec<(usize, PendingJob)> = Vec::with_capacity(self.slot_of.len());
+        for slot in 0..self.ids.len() {
+            if self.slot_of.get(&self.ids[slot]) == Some(&slot) {
+                live.push((slot, self.job_at(slot)));
+            }
+        }
+        (
+            self.ids.len(),
+            live,
+            &self.free,
+            &self.queue,
+            self.backlog,
+            self.seen_work,
+            self.first_arrival,
+        )
+    }
+
+    pub(crate) fn bands(&self) -> &BandLedger {
+        &self.bands
+    }
+
+    /// Rebuild an arena from snapshot parts, bit-identical to the
+    /// captured one: same slots, same free-list order, same queue, same
+    /// accumulator and ledger bits (`slot_of` is derived; vacant cells
+    /// are zeroed, which is unobservable).
+    #[allow(clippy::too_many_arguments)] // snapshot parts arrive as one flat record
+    pub(crate) fn restore(
+        slot_count: usize,
+        live: Vec<(usize, PendingJob)>,
+        free: Vec<usize>,
+        queue: VecDeque<u32>,
+        backlog: f64,
+        seen_work: f64,
+        first_arrival: Option<f64>,
+        bands: BandLedger,
+    ) -> ShardedReadySet {
+        let mut set = ShardedReadySet {
+            ids: vec![0; slot_count],
+            releases: vec![0.0; slot_count],
+            works: vec![0.0; slot_count],
+            remainings: vec![0.0; slot_count],
+            free,
+            slot_of: HashMap::with_capacity(live.len()),
+            queue,
+            backlog,
+            seen_work,
+            first_arrival,
+            bands,
+        };
+        for (slot, job) in live {
+            set.ids[slot] = job.id;
+            set.releases[slot] = job.release;
+            set.works[slot] = job.work;
+            set.remainings[slot] = job.remaining;
+            set.slot_of.insert(job.id, slot);
+        }
+        set
+    }
+}
+
+impl ReadyView for ShardedReadySet {
+    fn len(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    fn first(&self) -> Option<PendingJob> {
+        let &id = self.queue.front()?;
+        self.get(id)
+    }
+
+    fn get(&self, id: u32) -> Option<PendingJob> {
+        self.slot_of.get(&id).map(|&s| self.job_at(s))
+    }
+
+    fn backlog(&self) -> f64 {
+        self.backlog
+    }
+
+    fn seen_work(&self) -> f64 {
+        self.seen_work
+    }
+
+    fn first_arrival(&self) -> Option<f64> {
+        self.first_arrival
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&PendingJob)) {
+        for id in &self.queue {
+            if let Some(&slot) = self.slot_of.get(id) {
+                f(&self.job_at(slot));
+            }
+        }
+    }
+
+    fn band_count(&self) -> usize {
+        NUM_BANDS
+    }
+
+    fn band_origin(&self) -> f64 {
+        self.bands.origin()
+    }
+
+    fn band_width(&self) -> f64 {
+        self.bands.width()
+    }
+
+    fn band_live(&self, band: usize) -> usize {
+        self.bands.live(band)
+    }
+
+    fn band_remaining(&self, band: usize) -> f64 {
+        self.bands.remaining(band)
+    }
+
+    fn band_arrived(&self, band: usize) -> f64 {
+        self.bands.arrived(band)
+    }
+}
+
+impl ReadyStore for ShardedReadySet {
+    fn with_bands(origin: f64, width: f64) -> ShardedReadySet {
+        ShardedReadySet {
+            bands: BandLedger::new(origin, width),
+            ..ShardedReadySet::default()
+        }
+    }
+
+    fn admit(&mut self, job: PendingJob) {
+        self.seen_work += job.work;
+        self.first_arrival.get_or_insert(job.release);
+        self.backlog += job.remaining;
+        self.bands.on_admit(&job);
+        let slot = self.place(job);
+        self.slot_of.insert(job.id, slot);
+        self.queue.push_back(job.id);
+    }
+
+    fn admit_batch(&mut self, jobs: &[Job]) {
+        // Grow every array once; the per-job updates then run in
+        // arrival order with exactly the one-at-a-time operation
+        // sequence (bit-identity over throughput).
+        let fresh = jobs.len().saturating_sub(self.free.len());
+        self.ids.reserve(fresh);
+        self.releases.reserve(fresh);
+        self.works.reserve(fresh);
+        self.remainings.reserve(fresh);
+        self.slot_of.reserve(jobs.len());
+        self.queue.reserve(jobs.len());
+        for j in jobs {
+            self.admit(PendingJob {
+                id: j.id,
+                release: j.release,
+                work: j.work,
+                remaining: j.work,
+            });
+        }
+    }
+
+    fn slot(&self, id: u32) -> Option<usize> {
+        self.slot_of.get(&id).copied()
+    }
+
+    fn remaining_at(&self, slot: usize) -> f64 {
+        self.remainings[slot]
+    }
+
+    fn work_at(&self, slot: usize) -> f64 {
+        self.works[slot]
+    }
+
+    fn execute(&mut self, slot: usize, executed: f64) {
+        self.remainings[slot] -= executed;
+        self.backlog -= executed;
+        self.bands.on_execute(self.releases[slot], executed);
+    }
+
+    fn remove(&mut self, slot: usize) {
+        let job = self.job_at(slot);
+        self.backlog -= job.remaining;
+        self.bands.on_remove(&job);
+        self.slot_of.remove(&job.id);
+        self.free.push(slot);
+        // Keep the queue front live so `first` stays O(1).
+        while let Some(front) = self.queue.front() {
+            if self.slot_of.contains_key(front) {
+                break;
+            }
+            self.queue.pop_front();
+        }
+    }
+
+    fn reset_progress(&mut self) -> f64 {
+        // Canonical admission order: both implementations sum the
+        // erased progress over the queue, so the running total sees the
+        // same additions in the same order.
+        let mut erased = 0.0;
+        for i in 0..self.queue.len() {
+            let id = self.queue[i];
+            let Some(&slot) = self.slot_of.get(&id) else {
+                continue;
+            };
+            let done = self.works[slot] - self.remainings[slot];
+            if done > 0.0 {
+                erased += done;
+                self.remainings[slot] = self.works[slot];
+                self.bands.on_reset(self.releases[slot], done);
+            }
+        }
+        self.backlog += erased;
+        erased
+    }
+
+    fn cancel(&mut self, id: u32) -> Option<PendingJob> {
+        let &slot = self.slot_of.get(&id)?;
+        let job = self.job_at(slot);
+        self.remove(slot);
+        Some(job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pj(id: u32, release: f64, work: f64) -> PendingJob {
+        PendingJob {
+            id,
+            release,
+            work,
+            remaining: work,
+        }
+    }
+
+    #[test]
+    fn slots_are_stable_and_recycled() {
+        let mut set = ShardedReadySet::with_bands(0.0, 1.0);
+        set.admit(pj(0, 0.0, 2.0));
+        set.admit(pj(1, 1.0, 3.0));
+        set.admit(pj(2, 2.0, 4.0));
+        let s1 = set.slot(1).unwrap();
+        // Removing the middle job must not move anyone else.
+        set.remove(s1);
+        assert_eq!(set.slot(0), Some(0));
+        assert_eq!(set.slot(2), Some(2));
+        // The vacated slot is reused by the next admit.
+        set.admit(pj(3, 3.0, 1.0));
+        assert_eq!(set.slot(3), Some(s1));
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.get(3).unwrap().work, 1.0);
+    }
+
+    #[test]
+    fn iteration_is_admission_order_and_skips_dead_ids() {
+        let mut set = ShardedReadySet::with_bands(0.0, 1.0);
+        for id in 0..5 {
+            set.admit(pj(id, id as f64, 1.0));
+        }
+        set.cancel(2).unwrap();
+        set.cancel(0).unwrap();
+        let mut seen = Vec::new();
+        set.for_each(&mut |p| seen.push(p.id));
+        assert_eq!(seen, vec![1, 3, 4]);
+        assert_eq!(set.first().unwrap().id, 1);
+    }
+
+    #[test]
+    fn band_ledger_tracks_admit_execute_remove_reset() {
+        let mut set = ShardedReadySet::with_bands(0.0, 2.0);
+        set.admit(pj(0, 0.5, 4.0)); // band 0
+        set.admit(pj(1, 5.0, 2.0)); // band 2
+        set.admit(pj(2, 100.0, 1.0)); // clamps into band 7
+        assert_eq!(set.band_live(0), 1);
+        assert_eq!(set.band_live(2), 1);
+        assert_eq!(set.band_live(7), 1);
+        assert_eq!(set.band_arrived(0), 4.0);
+
+        let s0 = set.slot(0).unwrap();
+        set.execute(s0, 1.5);
+        assert_eq!(set.band_remaining(0), 2.5);
+        // Reset puts the executed work back.
+        let erased = set.reset_progress();
+        assert_eq!(erased, 1.5);
+        assert_eq!(set.band_remaining(0), 4.0);
+
+        set.cancel(1).unwrap();
+        assert_eq!(set.band_live(2), 0);
+        assert_eq!(set.band_remaining(2), 0.0);
+        assert_eq!(set.band_arrived(2), 2.0, "arrived work survives removal");
+    }
+
+    #[test]
+    fn snapshot_round_trips_bitwise() {
+        let mut set = ShardedReadySet::with_bands(0.0, 1.0);
+        for id in 0..4 {
+            set.admit(pj(id, 0.3 * id as f64, 1.0 + id as f64));
+        }
+        let s = set.slot(1).unwrap();
+        set.execute(s, 0.7);
+        set.remove(s);
+        set.cancel(3).unwrap();
+
+        let (count, live, free, queue, backlog, seen, first) = set.snapshot_parts();
+        let restored = ShardedReadySet::restore(
+            count,
+            live,
+            free.to_vec(),
+            queue.clone(),
+            backlog,
+            seen,
+            first,
+            set.bands().clone(),
+        );
+        assert_eq!(restored.len(), set.len());
+        assert_eq!(restored.backlog().to_bits(), set.backlog().to_bits());
+        assert_eq!(restored.seen_work().to_bits(), set.seen_work().to_bits());
+        assert_eq!(restored.bands(), set.bands());
+        // Behavioral equivalence after restore: the next admit reuses
+        // the same slot in both.
+        let mut a = set.clone();
+        let mut b = restored;
+        a.admit(pj(9, 4.0, 2.0));
+        b.admit(pj(9, 4.0, 2.0));
+        assert_eq!(a.slot(9), b.slot(9));
+        let mut ja = Vec::new();
+        let mut jb = Vec::new();
+        a.for_each(&mut |p| ja.push(*p));
+        b.for_each(&mut |p| jb.push(*p));
+        assert_eq!(ja, jb);
+    }
+}

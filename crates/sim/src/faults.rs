@@ -302,6 +302,42 @@ impl FaultModel {
         }
     }
 
+    /// Cap the *expected number of events* over `horizon` at
+    /// `target_events` by uniformly rescaling all four category rates.
+    ///
+    /// Rates are per-unit-time, so a model tuned for `horizon ≈ 30`
+    /// silently explodes when sampled over a huge horizon (a crash rate
+    /// of 0.25 over `1e9` time units is 250 million events — an OOM in
+    /// [`sample`](FaultModel::sample), not a plan). Callers that sweep
+    /// horizons — property tests in particular — should route rates
+    /// through this budget instead of hand-capping each one. Models
+    /// whose expectation is already within budget are unchanged.
+    ///
+    /// # Panics
+    /// If `target_events` is negative/non-finite or `horizon` is
+    /// negative/non-finite.
+    #[must_use]
+    pub fn with_event_budget(mut self, target_events: f64, horizon: f64) -> Self {
+        assert!(
+            target_events.is_finite() && target_events >= 0.0,
+            "target_events must be >= 0"
+        );
+        assert!(
+            horizon.is_finite() && horizon >= 0.0,
+            "horizon must be >= 0"
+        );
+        let total_rate = self.crash_rate + self.cancel_rate + self.throttle_rate + self.burst_rate;
+        let expected = total_rate * horizon;
+        if expected > target_events && expected > 0.0 {
+            let scale = target_events / expected;
+            self.crash_rate *= scale;
+            self.cancel_rate *= scale;
+            self.throttle_rate *= scale;
+            self.burst_rate *= scale;
+        }
+        self
+    }
+
     /// Sample a deterministic plan over `[0, horizon)`: each category is
     /// a Poisson process at its rate; cancellation targets are drawn
     /// from `candidate_jobs` (no cancels are generated when it is
@@ -500,6 +536,34 @@ impl ResilienceReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn event_budget_caps_huge_horizons() {
+        // Regression: uniform_mix(1.0) over a 1e9 horizon expects a
+        // billion events — sampling that would OOM. The budget rescales
+        // rates so the plan stays small (Poisson tail: well under 2×
+        // the target) and sampling stays fast.
+        let horizon = 1e9;
+        let model = FaultModel::uniform_mix(1.0).with_event_budget(32.0, horizon);
+        let total = model.crash_rate + model.cancel_rate + model.throttle_rate + model.burst_rate;
+        assert!((total * horizon - 32.0).abs() < 1e-6, "expected {total}");
+        let plan = model.sample(horizon, &[1, 2, 3], 7);
+        assert!(
+            plan.events().len() < 64,
+            "plan has {} events",
+            plan.events().len()
+        );
+    }
+
+    #[test]
+    fn event_budget_leaves_small_models_alone() {
+        let model = FaultModel::uniform_mix(0.2);
+        let capped = model.clone().with_event_budget(100.0, 30.0);
+        assert_eq!(model, capped);
+        // Zero-rate models are a no-op even at absurd horizons.
+        let calm = FaultModel::calm().with_event_budget(1.0, 1e12);
+        assert_eq!(calm, FaultModel::calm());
+    }
 
     #[test]
     fn plan_sorts_and_validates() {

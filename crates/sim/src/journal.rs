@@ -26,8 +26,9 @@
 //! the first malformed line, so recovery resumes from the last durable
 //! record.
 
+use crate::arena::{BandLedger, ShardedReadySet};
 use crate::faults::{FaultKind, FaultPlan, ResilienceReport};
-use crate::online::{AdmissionConfig, Decision, EngineState, OnlineOutcome, PendingJob, ReadySet};
+use crate::online::{AdmissionConfig, Decision, EngineState, OnlineOutcome, PendingJob};
 use crate::schedule::Schedule;
 use crate::slice::Slice;
 use pas_workload::Job;
@@ -37,7 +38,9 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Journal format version; bumped on any incompatible record change.
-pub const JOURNAL_VERSION: u64 = 1;
+/// v2: snapshots encode the sharded-arena ready state (stable slots,
+/// free list, band ledger) instead of the dense AoS job vector.
+pub const JOURNAL_VERSION: u64 = 2;
 
 /// Failures while writing, parsing, or applying a journal.
 #[derive(Debug, Clone, PartialEq)]
@@ -316,11 +319,25 @@ pub(crate) struct Snapshot {
     pub erased_this_down: f64,
     pub pending_recoveries: Vec<(f64, f64)>,
     pub throttles: Vec<(f64, f64)>,
-    pub ready_jobs: Vec<PendingJob>,
+    /// Arena extent: total slots (live + vacant).
+    pub ready_slot_count: u64,
+    /// Live slots as `(slot, job)` in slot order. Vacant cell contents
+    /// are unobservable and not captured.
+    pub ready_slots: Vec<(u64, PendingJob)>,
+    /// Free list in stack order (the tail is popped first); decides
+    /// which slot the next admit reuses, so it must be exact.
+    pub ready_free: Vec<u64>,
     pub ready_queue: Vec<u32>,
     pub ready_backlog: f64,
     pub ready_seen_work: f64,
     pub ready_first_arrival: Option<f64>,
+    /// Band-shard ledger: origin, width, and the per-band running sums
+    /// (persisted bitwise, never recomputed).
+    pub band_origin: f64,
+    pub band_width: f64,
+    pub band_live: Vec<u64>,
+    pub band_remaining: Vec<f64>,
+    pub band_arrived: Vec<f64>,
     pub energy_by_job: Vec<(u32, f64)>,
     pub cancelled_pre: Vec<u32>,
     pub cancelled_all: Vec<u32>,
@@ -357,7 +374,10 @@ impl Snapshot {
         let mut energy_by_job: Vec<(u32, f64)> =
             engine.energy_by_job.iter().map(|(&k, &v)| (k, v)).collect();
         energy_by_job.sort_unstable_by_key(|&(id, _)| id);
-        let (backlog, seen_work, first_arrival) = engine.ready.accumulators();
+        let (slot_count, live, free, queue, backlog, seen_work, first_arrival) =
+            engine.ready.snapshot_parts();
+        let (band_origin, band_width, band_live, band_remaining, band_arrived) =
+            engine.ready.bands().parts();
         Snapshot {
             next_arrival: engine.next_arrival as u64,
             finished: engine.finished as u64,
@@ -371,11 +391,18 @@ impl Snapshot {
             erased_this_down: engine.erased_this_down,
             pending_recoveries: engine.pending_recoveries.iter().copied().collect(),
             throttles: engine.throttles.clone(),
-            ready_jobs: engine.ready.jobs_in_order().to_vec(),
-            ready_queue: engine.ready.queue_in_order().iter().copied().collect(),
+            ready_slot_count: slot_count as u64,
+            ready_slots: live.into_iter().map(|(s, j)| (s as u64, j)).collect(),
+            ready_free: free.iter().map(|&s| s as u64).collect(),
+            ready_queue: queue.iter().copied().collect(),
             ready_backlog: backlog,
             ready_seen_work: seen_work,
             ready_first_arrival: first_arrival,
+            band_origin,
+            band_width,
+            band_live: band_live.to_vec(),
+            band_remaining: band_remaining.to_vec(),
+            band_arrived: band_arrived.to_vec(),
             energy_by_job,
             cancelled_pre: sorted(&engine.cancelled_pre),
             cancelled_all: sorted(&engine.cancelled_all),
@@ -409,12 +436,24 @@ impl Snapshot {
             admission,
             report: self.report.clone(),
             next_arrival: self.next_arrival as usize,
-            ready: ReadySet::restore(
-                self.ready_jobs.clone(),
+            ready: ShardedReadySet::restore(
+                self.ready_slot_count as usize,
+                self.ready_slots
+                    .iter()
+                    .map(|&(s, j)| (s as usize, j))
+                    .collect(),
+                self.ready_free.iter().map(|&s| s as usize).collect(),
                 self.ready_queue.iter().copied().collect::<VecDeque<u32>>(),
                 self.ready_backlog,
                 self.ready_seen_work,
                 self.ready_first_arrival,
+                BandLedger::restore(
+                    self.band_origin,
+                    self.band_width,
+                    self.band_live.clone(),
+                    self.band_remaining.clone(),
+                    self.band_arrived.clone(),
+                ),
             ),
             finished: self.finished as usize,
             schedule,
@@ -462,13 +501,15 @@ impl Snapshot {
             ("ed".into(), fb(self.erased_this_down)),
             ("pr".into(), pairs(&self.pending_recoveries)),
             ("th".into(), pairs(&self.throttles)),
+            ("rc".into(), Value::Num(self.ready_slot_count as f64)),
             (
                 "rj".into(),
                 Value::Arr(
-                    self.ready_jobs
+                    self.ready_slots
                         .iter()
-                        .map(|p| {
+                        .map(|&(slot, p)| {
                             Value::Arr(vec![
+                                Value::Num(slot as f64),
                                 Value::Num(f64::from(p.id)),
                                 fb(p.release),
                                 fb(p.work),
@@ -478,12 +519,40 @@ impl Snapshot {
                         .collect(),
                 ),
             ),
+            (
+                "fl".into(),
+                Value::Arr(
+                    self.ready_free
+                        .iter()
+                        .map(|&s| Value::Num(s as f64))
+                        .collect(),
+                ),
+            ),
             ("rq".into(), ids(&self.ready_queue)),
             ("rb".into(), fb(self.ready_backlog)),
             ("rs".into(), fb(self.ready_seen_work)),
             (
                 "rf".into(),
                 self.ready_first_arrival.map_or(Value::Null, fb),
+            ),
+            ("bdo".into(), fb(self.band_origin)),
+            ("bdw".into(), fb(self.band_width)),
+            (
+                "bdl".into(),
+                Value::Arr(
+                    self.band_live
+                        .iter()
+                        .map(|&c| Value::Num(c as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "bdr".into(),
+                Value::Arr(self.band_remaining.iter().map(|&x| fb(x)).collect()),
+            ),
+            (
+                "bda".into(),
+                Value::Arr(self.band_arrived.iter().map(|&x| fb(x)).collect()),
             ),
             (
                 "ej".into(),
@@ -583,23 +652,42 @@ impl Snapshot {
             }
         };
 
-        let ready_jobs = obj_field(o, "rj")?
+        let ready_slots = obj_field(o, "rj")?
             .as_arr()
             .ok_or("`rj` is not an array")?
             .iter()
             .map(|e| {
-                let xs = e.as_arr().ok_or("ready job is not an array")?;
-                if xs.len() != 4 {
-                    return Err("ready job must have four elements".to_string());
+                let xs = e.as_arr().ok_or("ready slot is not an array")?;
+                if xs.len() != 5 {
+                    return Err("ready slot must have five elements".to_string());
                 }
-                Ok(PendingJob {
-                    id: pu(&xs[0])? as u32,
-                    release: pf(&xs[1])?,
-                    work: pf(&xs[2])?,
-                    remaining: pf(&xs[3])?,
-                })
+                Ok((
+                    pu(&xs[0])?,
+                    PendingJob {
+                        id: pu(&xs[1])? as u32,
+                        release: pf(&xs[2])?,
+                        work: pf(&xs[3])?,
+                        remaining: pf(&xs[4])?,
+                    },
+                ))
             })
             .collect::<Result<Vec<_>, String>>()?;
+        let nums = |name: &str| -> Result<Vec<u64>, String> {
+            obj_field(o, name)?
+                .as_arr()
+                .ok_or_else(|| format!("`{name}` is not an array"))?
+                .iter()
+                .map(pu)
+                .collect()
+        };
+        let flts = |name: &str| -> Result<Vec<f64>, String> {
+            obj_field(o, name)?
+                .as_arr()
+                .ok_or_else(|| format!("`{name}` is not an array"))?
+                .iter()
+                .map(pf)
+                .collect()
+        };
         let energy_by_job = obj_field(o, "ej")?
             .as_arr()
             .ok_or("`ej` is not an array")?
@@ -669,7 +757,9 @@ impl Snapshot {
             erased_this_down: flt("ed")?,
             pending_recoveries: pairs("pr")?,
             throttles: pairs("th")?,
-            ready_jobs,
+            ready_slot_count: num("rc")?,
+            ready_slots,
+            ready_free: nums("fl")?,
             ready_queue: ids("rq")?,
             ready_backlog: flt("rb")?,
             ready_seen_work: flt("rs")?,
@@ -677,6 +767,11 @@ impl Snapshot {
                 Value::Null => None,
                 v => Some(pf(v)?),
             },
+            band_origin: flt("bdo")?,
+            band_width: flt("bdw")?,
+            band_live: nums("bdl")?,
+            band_remaining: flts("bdr")?,
+            band_arrived: flts("bda")?,
             energy_by_job,
             cancelled_pre: ids("cp")?,
             cancelled_all: ids("ca")?,

@@ -21,7 +21,10 @@
 //! * [`online`] — an event-driven engine that feeds arrivals to an
 //!   [`online::OnlinePolicy`] and assembles its decisions
 //!   into a `Schedule`, enabling the §6 "future work" online-vs-offline
-//!   experiments under identical accounting.
+//!   experiments under identical accounting. Job state lives in the
+//!   data-oriented [`arena`] (struct-of-arrays slab sharded by deadline
+//!   band); the original AoS path is retained in [`reference`](mod@reference) and held
+//!   bit-identical by `tests/online_equivalence.rs`.
 //! * [`faults`] — deterministic, seeded fault scenarios (crashes with
 //!   lost or checkpointed progress, cancellations, throttle windows,
 //!   arrival bursts) injected into the engine via
@@ -31,15 +34,18 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod arena;
 pub mod faults;
 pub mod journal;
 pub mod metrics;
 pub mod online;
+pub mod reference;
 pub mod render;
 pub mod schedule;
 pub mod serve;
 pub mod slice;
 
+pub use arena::ShardedReadySet;
 pub use faults::{
     BurstJob, CrashSemantics, FaultEvent, FaultKind, FaultModel, FaultNotice, FaultPlan,
     FaultPlanError, ResilienceReport,
@@ -47,8 +53,11 @@ pub use faults::{
 pub use journal::{outcome_digest, Journal, JournalError};
 pub use metrics::Metrics;
 pub use online::{
-    run_online, run_online_with_faults, AdmissionConfig, Decision, OnlineOutcome, OnlinePolicy,
-    PendingJob, ReadySet, ShedPolicy, SimError,
+    run_online, run_online_gated, run_online_with_faults, AdmissionConfig, Decision, OnlineOutcome,
+    OnlinePolicy, PendingJob, ReadySet, ReadyView, ShedPolicy, SimError,
+};
+pub use reference::{
+    run_online_gated_reference, run_online_reference, run_online_with_faults_reference,
 };
 pub use render::render_ascii;
 pub use schedule::{Schedule, ScheduleError};

@@ -20,16 +20,28 @@
 //!
 //! # Scale
 //!
-//! Policies see the ready jobs through a [`ReadySet`], which maintains
-//! the running aggregates every natural policy needs — backlog, total
-//! work seen, first arrival — **incrementally**, and resolves job ids
-//! in `O(1)`. A policy whose `decide` uses only those aggregates (all
-//! of the §6 policies in `pas-core::online` do) costs `O(1)` per
-//! event, so a full run is `O(n)` hash-map operations plus slice
-//! assembly — E13 runs at `n` in the tens of thousands. The previous
-//! engine re-summed the backlog per decision and resolved ids by
-//! linear scan (`O(n)` per event, `O(n²)` per run).
+//! Policies see the ready jobs through the [`ReadyView`] trait, which
+//! exposes the running aggregates every natural policy needs — backlog,
+//! total work seen, first arrival, per-deadline-band shard sums —
+//! maintained **incrementally**, with job ids resolved in `O(1)`. A
+//! policy whose `decide` uses only those aggregates (all of the §6
+//! policies in `pas-core::online` do) costs `O(1)` per event, so a
+//! full run is `O(n)` hash-map operations plus slice assembly — E13
+//! runs at `n` in the tens of thousands.
+//!
+//! Two interchangeable storage engines implement the view: the
+//! data-oriented [`ShardedReadySet`]
+//! arena (struct-of-arrays slab, stable free-listed slots, batched
+//! arrival ingestion — the default), and the original AoS [`ReadySet`]
+//! retained as the reference path (driven by
+//! [`crate::reference::run_online_reference`]). The event loop is
+//! generic over the `ReadyStore` engine trait, so both paths execute
+//! the identical floating-point operation sequence and produce
+//! bit-identical outcomes — a contract `tests/online_equivalence.rs`
+//! enforces across proptested event streams, fault plans, and
+//! crash/restore cuts.
 
+use crate::arena::{BandLedger, ShardedReadySet, NUM_BANDS};
 use crate::faults::{
     CrashSemantics, FaultEvent, FaultKind, FaultNotice, FaultPlan, ResilienceReport,
 };
@@ -53,12 +65,140 @@ pub struct PendingJob {
     pub remaining: f64,
 }
 
-/// The released, unfinished jobs, with incrementally maintained
-/// aggregates.
+/// The policy's window onto the released, unfinished jobs.
 ///
-/// All accessors are `O(1)` except [`iter`](ReadySet::iter) (linear in
-/// the ready count, in no particular order); [`first`](ReadySet::first)
-/// is the earliest-released ready job.
+/// Both storage engines — the data-oriented
+/// [`ShardedReadySet`] arena and the
+/// retained AoS [`ReadySet`] reference — implement this view with
+/// bit-identical answers, so a policy cannot tell which engine is
+/// underneath (and `tests/online_equivalence.rs` checks that it
+/// couldn't cheat if it tried).
+///
+/// All aggregate accessors are `O(1)`; band accessors are `O(1)` per
+/// band; [`for_each`](ReadyView::for_each) visits the ready jobs in
+/// **admission order** (the canonical policy-visible iteration order).
+pub trait ReadyView {
+    /// Number of ready jobs.
+    fn len(&self) -> usize;
+
+    /// Whether no job is ready.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The earliest-admitted ready job.
+    fn first(&self) -> Option<PendingJob>;
+
+    /// The ready job with this id.
+    fn get(&self, id: u32) -> Option<PendingJob>;
+
+    /// Total remaining work over the ready jobs (maintained
+    /// incrementally; the policies' hedging denominators).
+    fn backlog(&self) -> f64;
+
+    /// Total work of every job ever released (finished or not).
+    fn seen_work(&self) -> f64;
+
+    /// Release time of the very first arrival, if any job has arrived.
+    fn first_arrival(&self) -> Option<f64>;
+
+    /// Visit every ready job in admission order.
+    fn for_each(&self, f: &mut dyn FnMut(&PendingJob));
+
+    /// The ready jobs in admission order, collected. Allocates; prefer
+    /// [`for_each`](ReadyView::for_each) or the aggregates in hot
+    /// policies.
+    fn jobs(&self) -> Vec<PendingJob> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(&mut |p| out.push(*p));
+        out
+    }
+
+    /// Number of deadline bands the run is sharded into.
+    fn band_count(&self) -> usize;
+
+    /// Release time where band 0 starts.
+    fn band_origin(&self) -> f64;
+
+    /// Width (in release time) of each band.
+    fn band_width(&self) -> f64;
+
+    /// Live (admitted, unfinished) jobs in this band.
+    fn band_live(&self, band: usize) -> usize;
+
+    /// Remaining work of the live jobs in this band.
+    fn band_remaining(&self, band: usize) -> f64;
+
+    /// Total work ever admitted in this band (finished or not) — the
+    /// windowed-density policies' numerator.
+    fn band_arrived(&self, band: usize) -> f64;
+}
+
+/// Engine-facing mutation contract the event loop drives. Everything
+/// policy-visible lives in [`ReadyView`]; this adds the slot-level
+/// operations the engine needs, with the invariant that every
+/// implementation performs the identical floating-point accumulator
+/// updates in the identical order (the bit-identity contract).
+pub(crate) trait ReadyStore: ReadyView {
+    /// An empty store whose band shards start at `origin` with `width`.
+    fn with_bands(origin: f64, width: f64) -> Self
+    where
+        Self: Sized;
+
+    /// Admit one job (accumulators first, then placement).
+    fn admit(&mut self, job: PendingJob);
+
+    /// Admit a release-ordered batch of arrivals. The default is the
+    /// one-at-a-time loop; the arena overrides it to pre-grow its
+    /// arrays, keeping the per-job operation sequence (and therefore
+    /// the bits) identical.
+    fn admit_batch(&mut self, jobs: &[Job]) {
+        for j in jobs {
+            self.admit(PendingJob {
+                id: j.id,
+                release: j.release,
+                work: j.work,
+                remaining: j.work,
+            });
+        }
+    }
+
+    /// Resolve a job id to its storage slot.
+    fn slot(&self, id: u32) -> Option<usize>;
+
+    /// Remaining work of the job in `slot`.
+    fn remaining_at(&self, slot: usize) -> f64;
+
+    /// Total work of the job in `slot`.
+    fn work_at(&self, slot: usize) -> f64;
+
+    /// Record `executed` units of progress on the job in `slot`.
+    fn execute(&mut self, slot: usize, executed: f64);
+
+    /// Remove the job in `slot` (completion), dropping any residual
+    /// remaining from the backlog.
+    fn remove(&mut self, slot: usize);
+
+    /// Erase all in-flight progress (a lose-progress crash): every
+    /// partially-executed ready job's remaining resets to its full
+    /// work, summed in admission order. Returns the total erased
+    /// progress; the backlog grows by the same amount.
+    fn reset_progress(&mut self) -> f64;
+
+    /// Remove a job by id (cancellation), returning its state at
+    /// removal time; `None` if the id is not ready.
+    fn cancel(&mut self, id: u32) -> Option<PendingJob>;
+}
+
+/// The released, unfinished jobs as an AoS `Vec` — the original
+/// storage engine, retained as the reference path for the differential
+/// harness (the default engine is the
+/// [`ShardedReadySet`] arena).
+///
+/// Kept per the workspace convention that a displaced engine survives
+/// as `*_reference` with an equivalence suite: drive it via
+/// [`crate::reference::run_online_reference`] and compare
+/// [`outcome_digest`](crate::journal::outcome_digest)s.
 #[derive(Debug, Clone, Default)]
 pub struct ReadySet {
     /// Dense storage; `slot_of` maps ids to slots (swap-remove keeps it
@@ -71,71 +211,117 @@ pub struct ReadySet {
     backlog: f64,
     seen_work: f64,
     first_arrival: Option<f64>,
+    bands: BandLedger,
 }
 
 impl ReadySet {
-    /// Number of ready jobs.
-    pub fn len(&self) -> usize {
-        self.jobs.len()
-    }
-
-    /// Whether no job is ready.
-    pub fn is_empty(&self) -> bool {
-        self.jobs.is_empty()
-    }
-
-    /// The earliest-released ready job.
-    pub fn first(&self) -> Option<&PendingJob> {
-        let id = self.queue.front()?;
-        self.get(*id)
-    }
-
-    /// The ready job with this id.
-    pub fn get(&self, id: u32) -> Option<&PendingJob> {
-        self.slot_of.get(&id).map(|&s| &self.jobs[s])
-    }
-
-    /// Iterate over the ready jobs (no particular order).
+    /// Iterate over the ready jobs in dense slot order (an
+    /// implementation order — policies should use the canonical
+    /// admission-order [`ReadyView::for_each`] instead).
     pub fn iter(&self) -> impl Iterator<Item = &PendingJob> {
         self.jobs.iter()
     }
+}
 
-    /// Total remaining work over the ready jobs (maintained
-    /// incrementally; the policies' hedging denominators).
-    pub fn backlog(&self) -> f64 {
+impl ReadyView for ReadySet {
+    fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn first(&self) -> Option<PendingJob> {
+        let &id = self.queue.front()?;
+        self.get(id)
+    }
+
+    fn get(&self, id: u32) -> Option<PendingJob> {
+        self.slot_of.get(&id).map(|&s| self.jobs[s])
+    }
+
+    fn backlog(&self) -> f64 {
         self.backlog
     }
 
-    /// Total work of every job ever released (finished or not).
-    pub fn seen_work(&self) -> f64 {
+    fn seen_work(&self) -> f64 {
         self.seen_work
     }
 
-    /// Release time of the very first arrival, if any job has arrived.
-    pub fn first_arrival(&self) -> Option<f64> {
+    fn first_arrival(&self) -> Option<f64> {
         self.first_arrival
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&PendingJob)) {
+        for id in &self.queue {
+            if let Some(&slot) = self.slot_of.get(id) {
+                f(&self.jobs[slot]);
+            }
+        }
+    }
+
+    fn band_count(&self) -> usize {
+        NUM_BANDS
+    }
+
+    fn band_origin(&self) -> f64 {
+        self.bands.origin()
+    }
+
+    fn band_width(&self) -> f64 {
+        self.bands.width()
+    }
+
+    fn band_live(&self, band: usize) -> usize {
+        self.bands.live(band)
+    }
+
+    fn band_remaining(&self, band: usize) -> f64 {
+        self.bands.remaining(band)
+    }
+
+    fn band_arrived(&self, band: usize) -> f64 {
+        self.bands.arrived(band)
+    }
+}
+
+impl ReadyStore for ReadySet {
+    fn with_bands(origin: f64, width: f64) -> ReadySet {
+        ReadySet {
+            bands: BandLedger::new(origin, width),
+            ..ReadySet::default()
+        }
     }
 
     fn admit(&mut self, job: PendingJob) {
         self.seen_work += job.work;
         self.first_arrival.get_or_insert(job.release);
         self.backlog += job.remaining;
+        self.bands.on_admit(&job);
         self.slot_of.insert(job.id, self.jobs.len());
         self.queue.push_back(job.id);
         self.jobs.push(job);
     }
 
-    /// Record `executed` units of progress on the job in `slot`.
+    fn slot(&self, id: u32) -> Option<usize> {
+        self.slot_of.get(&id).copied()
+    }
+
+    fn remaining_at(&self, slot: usize) -> f64 {
+        self.jobs[slot].remaining
+    }
+
+    fn work_at(&self, slot: usize) -> f64 {
+        self.jobs[slot].work
+    }
+
     fn execute(&mut self, slot: usize, executed: f64) {
         self.jobs[slot].remaining -= executed;
         self.backlog -= executed;
+        self.bands.on_execute(self.jobs[slot].release, executed);
     }
 
-    /// Remove the job in `slot` (completion), dropping any residual
-    /// remaining from the backlog.
     fn remove(&mut self, slot: usize) {
         let job = self.jobs.swap_remove(slot);
         self.backlog -= job.remaining;
+        self.bands.on_remove(&job);
         self.slot_of.remove(&job.id);
         if let Some(moved) = self.jobs.get(slot) {
             self.slot_of.insert(moved.id, slot);
@@ -149,70 +335,31 @@ impl ReadySet {
         }
     }
 
-    /// Erase all in-flight progress (a lose-progress crash): every
-    /// partially-executed ready job's remaining resets to its full
-    /// work. Returns the total erased progress; the backlog grows by
-    /// the same amount.
-    pub(crate) fn reset_progress(&mut self) -> f64 {
+    fn reset_progress(&mut self) -> f64 {
+        // Canonical admission order (matching the arena), so the
+        // running total sees the same additions in the same order.
         let mut erased = 0.0;
-        for j in &mut self.jobs {
-            let done = j.work - j.remaining;
+        for i in 0..self.queue.len() {
+            let id = self.queue[i];
+            let Some(&slot) = self.slot_of.get(&id) else {
+                continue;
+            };
+            let done = self.jobs[slot].work - self.jobs[slot].remaining;
             if done > 0.0 {
                 erased += done;
-                j.remaining = j.work;
+                self.jobs[slot].remaining = self.jobs[slot].work;
+                self.bands.on_reset(self.jobs[slot].release, done);
             }
         }
         self.backlog += erased;
         erased
     }
 
-    /// Remove a job by id (cancellation), returning its state at
-    /// removal time; `None` if the id is not ready.
-    pub(crate) fn cancel(&mut self, id: u32) -> Option<PendingJob> {
+    fn cancel(&mut self, id: u32) -> Option<PendingJob> {
         let &slot = self.slot_of.get(&id)?;
         let job = self.jobs[slot];
         self.remove(slot);
         Some(job)
-    }
-
-    /// The dense job storage in slot order (the iteration order
-    /// policies see) — for the snapshot codec.
-    pub(crate) fn jobs_in_order(&self) -> &[PendingJob] {
-        &self.jobs
-    }
-
-    /// The admission-order id queue — for the snapshot codec.
-    pub(crate) fn queue_in_order(&self) -> &VecDeque<u32> {
-        &self.queue
-    }
-
-    /// The raw aggregate accumulators `(backlog, seen_work,
-    /// first_arrival)`. Snapshots must persist these bitwise rather
-    /// than recompute them: they are running sums whose rounding
-    /// history differs from a fresh summation.
-    pub(crate) fn accumulators(&self) -> (f64, f64, Option<f64>) {
-        (self.backlog, self.seen_work, self.first_arrival)
-    }
-
-    /// Rebuild a `ReadySet` from snapshotted parts, bit-identical to
-    /// the captured one: same slot order, same queue, same accumulator
-    /// bits (`slot_of` is derived).
-    pub(crate) fn restore(
-        jobs: Vec<PendingJob>,
-        queue: VecDeque<u32>,
-        backlog: f64,
-        seen_work: f64,
-        first_arrival: Option<f64>,
-    ) -> ReadySet {
-        let slot_of = jobs.iter().enumerate().map(|(s, j)| (j.id, s)).collect();
-        ReadySet {
-            jobs,
-            slot_of,
-            queue,
-            backlog,
-            seen_work,
-            first_arrival,
-        }
     }
 }
 
@@ -236,11 +383,12 @@ pub struct Decision {
 /// arrival or fault; idling with nothing pending and unfinished jobs
 /// aborts the simulation with [`SimError::PolicyStalled`].
 pub trait OnlinePolicy {
-    /// Choose what to run now. `ready` holds the released, unfinished
-    /// jobs and their running aggregates; `now` is the current time;
+    /// Choose what to run now. `ready` is the view onto the released,
+    /// unfinished jobs and their running aggregates (identical whichever
+    /// storage engine backs it); `now` is the current time;
     /// `energy_spent` is the cumulative energy the engine has metered so
     /// far (under the engine's power model).
-    fn decide(&mut self, now: f64, ready: &ReadySet, energy_spent: f64) -> Option<Decision>;
+    fn decide(&mut self, now: f64, ready: &dyn ReadyView, energy_spent: f64) -> Option<Decision>;
 
     /// The engine's fault channel: called on crashes, recoveries,
     /// cancellations, and throttle transitions so the policy can
@@ -252,7 +400,7 @@ pub trait OnlinePolicy {
     /// vector for a serving-layer snapshot ([`crate::serve`]).
     ///
     /// Return `Some(vec![])` for a stateless policy (everything it
-    /// needs is re-derivable from the [`ReadySet`]), `Some(state)` for
+    /// needs is re-derivable from the [`ReadyView`]), `Some(state)` for
     /// a stateful one, and `None` (the default) when the policy cannot
     /// be snapshotted — restores then fall back to replaying the
     /// journal from genesis, which is slower but always exact.
@@ -482,6 +630,27 @@ pub(crate) fn materialize_arrivals(instance: &Instance, plan: &FaultPlan) -> (Ve
     (arrivals, burst_jobs)
 }
 
+/// [`run_online_with_faults`] behind a bounded admission queue: the
+/// one-shot equivalent of serving the instance through
+/// [`crate::serve::Server`] with admission control but no journal.
+/// Shed decisions are deterministic functions of the engine state, so
+/// this is also the reference surface the differential harness uses to
+/// compare the gated admission path across storage engines (see
+/// [`crate::reference::run_online_gated_reference`]).
+///
+/// # Errors
+/// As [`run_online`].
+pub fn run_online_gated<M: pas_power::PowerModel>(
+    instance: &Instance,
+    model: &M,
+    policy: &mut dyn OnlinePolicy,
+    plan: &FaultPlan,
+    admission: AdmissionConfig,
+) -> Result<OnlineOutcome, SimError> {
+    let (arrivals, burst_jobs) = materialize_arrivals(instance, plan);
+    run_engine_in::<ShardedReadySet, M>(&arrivals, model, policy, plan, burst_jobs, Some(admission))
+}
+
 /// The engine proper, over a release-sorted arrival list (base jobs +
 /// bursts). Separated from the public wrappers so the empty-arrivals
 /// guard is testable even though `Instance` cannot be empty.
@@ -492,7 +661,21 @@ fn run_engine<M: pas_power::PowerModel>(
     plan: &FaultPlan,
     burst_jobs: usize,
 ) -> Result<OnlineOutcome, SimError> {
-    let mut engine = EngineState::new(arrivals.to_vec(), plan, burst_jobs, None)?;
+    run_engine_in::<ShardedReadySet, M>(arrivals, model, policy, plan, burst_jobs, None)
+}
+
+/// The event loop, generic over the storage engine — the single code
+/// path both the arena and the retained reference execute, which is
+/// what makes their outcomes bit-comparable.
+pub(crate) fn run_engine_in<R: ReadyStore, M: pas_power::PowerModel>(
+    arrivals: &[Job],
+    model: &M,
+    policy: &mut dyn OnlinePolicy,
+    plan: &FaultPlan,
+    burst_jobs: usize,
+    admission: Option<AdmissionConfig>,
+) -> Result<OnlineOutcome, SimError> {
+    let mut engine = EngineState::<R>::new(arrivals.to_vec(), plan, burst_jobs, admission)?;
     while !engine.done() {
         engine.step(model, policy)?;
     }
@@ -542,7 +725,7 @@ enum Gate {
     EvictOldest,
 }
 
-fn gate(ac: &AdmissionConfig, job: &Job, ready: &ReadySet) -> Gate {
+fn gate(ac: &AdmissionConfig, job: &Job, ready: &dyn ReadyView) -> Gate {
     let full = ready.len() >= ac.capacity;
     match ac.shed {
         ShedPolicy::RejectNewest => {
@@ -578,7 +761,12 @@ fn gate(ac: &AdmissionConfig, job: &Job, ready: &ReadySet) -> Gate {
 /// the exact state it died in. Every field is `pub(crate)` so the
 /// snapshot codec in [`crate::journal`] can capture and rebuild the
 /// state bit-for-bit.
-pub(crate) struct EngineState {
+///
+/// Generic over the `ReadyStore` storage engine: the default is the
+/// [`ShardedReadySet`] arena; [`crate::reference`] instantiates the
+/// same loop over the retained [`ReadySet`] for the differential
+/// harness.
+pub(crate) struct EngineState<R: ReadyStore = ShardedReadySet> {
     pub(crate) arrivals: Vec<Job>,
     pub(crate) events: Vec<FaultEvent>,
     pub(crate) slo: Option<f64>,
@@ -586,7 +774,7 @@ pub(crate) struct EngineState {
     pub(crate) n: usize,
     pub(crate) report: ResilienceReport,
     pub(crate) next_arrival: usize,
-    pub(crate) ready: ReadySet,
+    pub(crate) ready: R,
     /// Completions + cancellations + sheds (jobs the run no longer
     /// waits for).
     pub(crate) finished: usize,
@@ -616,13 +804,13 @@ pub(crate) struct EngineState {
     pub(crate) budget: usize,
 }
 
-impl EngineState {
+impl<R: ReadyStore> EngineState<R> {
     pub(crate) fn new(
         arrivals: Vec<Job>,
         plan: &FaultPlan,
         burst_jobs: usize,
         admission: Option<AdmissionConfig>,
-    ) -> Result<EngineState, SimError> {
+    ) -> Result<EngineState<R>, SimError> {
         let n = arrivals.len();
         if n == 0 {
             return Err(SimError::EmptyInstance);
@@ -634,6 +822,17 @@ impl EngineState {
         if let Some(first_ev) = events.first() {
             now = now.min(first_ev.at);
         }
+        // Deadline-band shards: equal-width release windows spanning
+        // the materialized arrival stream. Derived deterministically
+        // from `arrivals`, so journal restores recompute the identical
+        // parameters.
+        let origin = arrivals[0].release;
+        let span = arrivals[n - 1].release - origin;
+        let width = if span > 0.0 {
+            span / NUM_BANDS as f64
+        } else {
+            1.0
+        };
         let budget = 10_000 * (n + events.len() + 1);
         let mut engine = EngineState {
             arrivals,
@@ -646,7 +845,7 @@ impl EngineState {
                 ..ResilienceReport::default()
             },
             next_arrival: 0,
-            ready: ReadySet::default(),
+            ready: R::with_bands(origin, width),
             finished: 0,
             schedule: Schedule::single(),
             energy: 0.0,
@@ -677,11 +876,27 @@ impl EngineState {
     /// gated by admission control when configured. The admission
     /// epsilon scales with `now` so same-instant floods at large
     /// timestamps are admitted together instead of spinning.
+    ///
+    /// Without a gate or pre-cancellations in play, the whole due run
+    /// is handed to the store as one batch
+    /// ([`ReadyStore::admit_batch`]), which ingests it with the same
+    /// per-job operation sequence as the one-at-a-time path — identical
+    /// bits, one allocation.
     fn admit_due(&mut self) {
-        while self.next_arrival < self.n
-            && self.arrivals[self.next_arrival].release
-                <= self.now + 1e-12 * self.now.abs().max(1.0)
-        {
+        let horizon = self.now + 1e-12 * self.now.abs().max(1.0);
+        if self.admission.is_none() && self.cancelled_pre.is_empty() {
+            let start = self.next_arrival;
+            let mut end = start;
+            while end < self.n && self.arrivals[end].release <= horizon {
+                end += 1;
+            }
+            if end > start {
+                self.ready.admit_batch(&self.arrivals[start..end]);
+                self.next_arrival = end;
+            }
+            return;
+        }
+        while self.next_arrival < self.n && self.arrivals[self.next_arrival].release <= horizon {
             let j = self.arrivals[self.next_arrival];
             self.next_arrival += 1;
             if self.cancelled_pre.contains(&j.id) {
@@ -764,11 +979,18 @@ impl EngineState {
                         self.down_until = self.now;
                     }
                     if semantics == CrashSemantics::LoseProgress {
-                        for p in self.ready.iter() {
+                        // Canonical admission order for the wasted-energy
+                        // sum, so both storage engines accumulate the
+                        // same additions in the same order.
+                        let mut partial: Vec<u32> = Vec::new();
+                        self.ready.for_each(&mut |p| {
                             if p.remaining < p.work {
-                                self.report.wasted_energy +=
-                                    self.energy_by_job.remove(&p.id).unwrap_or(0.0);
+                                partial.push(p.id);
                             }
+                        });
+                        for id in partial {
+                            self.report.wasted_energy +=
+                                self.energy_by_job.remove(&id).unwrap_or(0.0);
                         }
                         let erased = self.ready.reset_progress();
                         self.report.lost_work += erased;
@@ -888,7 +1110,7 @@ impl EngineState {
                         at: self.now,
                     });
                 }
-                let Some(&slot) = self.ready.slot_of.get(&job) else {
+                let Some(slot) = self.ready.slot(job) else {
                     return Err(SimError::UnknownJob { job, at: self.now });
                 };
                 // Graceful degradation: clamp to the active throttle
@@ -906,7 +1128,7 @@ impl EngineState {
                 };
                 // Run until completion, next arrival, checkpoint, next
                 // fault, or throttle expiry — whichever comes first.
-                let completion_in = self.ready.jobs[slot].remaining / speed;
+                let completion_in = self.ready.remaining_at(slot) / speed;
                 let arrival_in = if self.next_arrival < self.n {
                     self.arrivals[self.next_arrival].release - self.now
                 } else {
@@ -945,11 +1167,11 @@ impl EngineState {
                     *self.energy_by_job.entry(job).or_insert(0.0) += spent;
                     // Clamp so the backlog accumulator cannot absorb a
                     // negative residual at completion.
-                    let executed = (speed * dt).min(self.ready.jobs[slot].remaining);
+                    let executed = (speed * dt).min(self.ready.remaining_at(slot));
                     self.ready.execute(slot, executed);
                     self.now += dt;
                 }
-                if self.ready.jobs[slot].remaining <= 1e-9 * self.ready.jobs[slot].work {
+                if self.ready.remaining_at(slot) <= 1e-9 * self.ready.work_at(slot) {
                     // Snap any residual into the final slice via coalesce
                     // tolerance; mark complete. Delivered energy is not
                     // overhead.
@@ -1031,7 +1253,7 @@ mod tests {
     struct FixedSpeed(f64);
 
     impl OnlinePolicy for FixedSpeed {
-        fn decide(&mut self, _now: f64, ready: &ReadySet, _energy: f64) -> Option<Decision> {
+        fn decide(&mut self, _now: f64, ready: &dyn ReadyView, _energy: f64) -> Option<Decision> {
             ready.first().map(|p| Decision {
                 job: p.id,
                 speed: self.0,
@@ -1076,9 +1298,14 @@ mod tests {
             max_seen: f64,
         }
         impl OnlinePolicy for Check {
-            fn decide(&mut self, _now: f64, ready: &ReadySet, _energy: f64) -> Option<Decision> {
+            fn decide(
+                &mut self,
+                _now: f64,
+                ready: &dyn ReadyView,
+                _energy: f64,
+            ) -> Option<Decision> {
                 // Aggregates stay consistent with the job list.
-                let listed: f64 = ready.iter().map(|p| p.remaining).sum();
+                let listed: f64 = ready.jobs().iter().map(|p| p.remaining).sum();
                 assert!((ready.backlog() - listed).abs() < 1e-9);
                 assert!(ready.seen_work() >= listed - 1e-9);
                 assert_eq!(ready.first_arrival(), Some(0.0));
@@ -1112,7 +1339,7 @@ mod tests {
     fn stalling_policy_is_reported() {
         struct Lazy;
         impl OnlinePolicy for Lazy {
-            fn decide(&mut self, _: f64, _: &ReadySet, _: f64) -> Option<Decision> {
+            fn decide(&mut self, _: f64, _: &dyn ReadyView, _: f64) -> Option<Decision> {
                 None
             }
         }
@@ -1125,7 +1352,7 @@ mod tests {
     fn invalid_decisions_are_reported() {
         struct BadSpeed;
         impl OnlinePolicy for BadSpeed {
-            fn decide(&mut self, _: f64, r: &ReadySet, _: f64) -> Option<Decision> {
+            fn decide(&mut self, _: f64, r: &dyn ReadyView, _: f64) -> Option<Decision> {
                 r.first().map(|p| Decision {
                     job: p.id,
                     speed: -1.0,
@@ -1135,7 +1362,7 @@ mod tests {
         }
         struct WrongJob;
         impl OnlinePolicy for WrongJob {
-            fn decide(&mut self, _: f64, _: &ReadySet, _: f64) -> Option<Decision> {
+            fn decide(&mut self, _: f64, _: &dyn ReadyView, _: f64) -> Option<Decision> {
                 Some(Decision {
                     job: 999,
                     speed: 1.0,
@@ -1161,7 +1388,7 @@ mod tests {
             speed: f64,
         }
         impl OnlinePolicy for Ramp {
-            fn decide(&mut self, _: f64, r: &ReadySet, _: f64) -> Option<Decision> {
+            fn decide(&mut self, _: f64, r: &dyn ReadyView, _: f64) -> Option<Decision> {
                 self.speed *= 2.0;
                 r.first().map(|p| Decision {
                     job: p.id,
@@ -1187,8 +1414,9 @@ mod tests {
         /// job preempts a long one.
         struct Srpt;
         impl OnlinePolicy for Srpt {
-            fn decide(&mut self, _: f64, r: &ReadySet, _: f64) -> Option<Decision> {
-                r.iter()
+            fn decide(&mut self, _: f64, r: &dyn ReadyView, _: f64) -> Option<Decision> {
+                r.jobs()
+                    .into_iter()
                     .min_by(|a, b| a.remaining.total_cmp(&b.remaining))
                     .map(|p| Decision {
                         job: p.id,
@@ -1389,7 +1617,7 @@ mod tests {
             cancelled: usize,
         }
         impl OnlinePolicy for Listening {
-            fn decide(&mut self, _: f64, r: &ReadySet, _: f64) -> Option<Decision> {
+            fn decide(&mut self, _: f64, r: &dyn ReadyView, _: f64) -> Option<Decision> {
                 r.first().map(|p| Decision {
                     job: p.id,
                     speed: 1.0,

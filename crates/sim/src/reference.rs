@@ -1,0 +1,94 @@
+//! Reference online engine over the retained AoS [`ReadySet`].
+//!
+//! Per the workspace convention, a displaced engine survives as a
+//! `*_reference` entry point with an equivalence suite. The event loop
+//! here is the *same generic code* as the production path — only the
+//! storage engine differs: the arena
+//! ([`ShardedReadySet`](crate::arena::ShardedReadySet), struct-of-arrays
+//! slab with free-listed stable slots and batched ingestion) versus the
+//! original dense `Vec<PendingJob>` with swap-remove compaction. What
+//! the differential harness (`tests/online_equivalence.rs`) therefore
+//! proves is that the two *storage layouts* are observationally
+//! indistinguishable: identical policy decisions, identical slices,
+//! identical energy bits, identical
+//! [`outcome_digest`](crate::journal::outcome_digest)s — across event
+//! streams, fault plans, admission gating, and crash/restore cuts.
+
+use crate::faults::FaultPlan;
+use crate::online::{
+    materialize_arrivals, run_engine_in, AdmissionConfig, OnlineOutcome, OnlinePolicy, ReadySet,
+    SimError,
+};
+use pas_workload::Instance;
+
+/// [`run_online`](crate::online::run_online) on the retained
+/// [`ReadySet`] reference storage.
+///
+/// # Errors
+/// As [`run_online`](crate::online::run_online).
+pub fn run_online_reference<M: pas_power::PowerModel>(
+    instance: &Instance,
+    model: &M,
+    policy: &mut dyn OnlinePolicy,
+) -> Result<OnlineOutcome, SimError> {
+    run_online_with_faults_reference(instance, model, policy, &FaultPlan::none())
+}
+
+/// [`run_online_with_faults`](crate::online::run_online_with_faults) on
+/// the retained [`ReadySet`] reference storage.
+///
+/// # Errors
+/// As [`run_online`](crate::online::run_online).
+pub fn run_online_with_faults_reference<M: pas_power::PowerModel>(
+    instance: &Instance,
+    model: &M,
+    policy: &mut dyn OnlinePolicy,
+    plan: &FaultPlan,
+) -> Result<OnlineOutcome, SimError> {
+    let (arrivals, burst_jobs) = materialize_arrivals(instance, plan);
+    run_engine_in::<ReadySet, M>(&arrivals, model, policy, plan, burst_jobs, None)
+}
+
+/// [`run_online_gated`](crate::online::run_online_gated) on the
+/// retained [`ReadySet`] reference storage.
+///
+/// # Errors
+/// As [`run_online`](crate::online::run_online).
+pub fn run_online_gated_reference<M: pas_power::PowerModel>(
+    instance: &Instance,
+    model: &M,
+    policy: &mut dyn OnlinePolicy,
+    plan: &FaultPlan,
+    admission: AdmissionConfig,
+) -> Result<OnlineOutcome, SimError> {
+    let (arrivals, burst_jobs) = materialize_arrivals(instance, plan);
+    run_engine_in::<ReadySet, M>(&arrivals, model, policy, plan, burst_jobs, Some(admission))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::outcome_digest;
+    use crate::online::{run_online, Decision, ReadyView};
+    use pas_power::PolyPower;
+
+    struct FixedSpeed(f64);
+    impl OnlinePolicy for FixedSpeed {
+        fn decide(&mut self, _: f64, ready: &dyn ReadyView, _: f64) -> Option<Decision> {
+            ready.first().map(|p| Decision {
+                job: p.id,
+                speed: self.0,
+                recheck_after: None,
+            })
+        }
+    }
+
+    #[test]
+    fn reference_matches_arena_on_the_paper_instance() {
+        let inst = Instance::from_pairs(&[(0.0, 5.0), (5.0, 2.0), (6.0, 1.0)]).unwrap();
+        let a = run_online(&inst, &PolyPower::CUBE, &mut FixedSpeed(2.0)).unwrap();
+        let b = run_online_reference(&inst, &PolyPower::CUBE, &mut FixedSpeed(2.0)).unwrap();
+        assert_eq!(outcome_digest(&a), outcome_digest(&b));
+        assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+    }
+}

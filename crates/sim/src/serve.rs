@@ -32,7 +32,7 @@ use crate::journal::{
 };
 use crate::online::{
     materialize_arrivals, AdmissionConfig, Decision, EngineState, OnlineOutcome, OnlinePolicy,
-    ReadySet, SimError,
+    ReadyView, SimError,
 };
 use pas_workload::Instance;
 use std::collections::VecDeque;
@@ -431,7 +431,7 @@ impl Hook<'_> {
 }
 
 impl OnlinePolicy for Hook<'_> {
-    fn decide(&mut self, now: f64, ready: &ReadySet, energy_spent: f64) -> Option<Decision> {
+    fn decide(&mut self, now: f64, ready: &dyn ReadyView, energy_spent: f64) -> Option<Decision> {
         *self.seq += 1;
 
         // Replay path: the journal is authoritative. The wrapped policy
@@ -516,7 +516,7 @@ mod tests {
     struct Greedy;
 
     impl OnlinePolicy for Greedy {
-        fn decide(&mut self, _: f64, ready: &ReadySet, _: f64) -> Option<Decision> {
+        fn decide(&mut self, _: f64, ready: &dyn ReadyView, _: f64) -> Option<Decision> {
             ready.first().map(|p| Decision {
                 job: p.id,
                 speed: 1.0,
@@ -667,7 +667,7 @@ mod tests {
     }
 
     impl OnlinePolicy for Wedged {
-        fn decide(&mut self, _: f64, ready: &ReadySet, _: f64) -> Option<Decision> {
+        fn decide(&mut self, _: f64, ready: &dyn ReadyView, _: f64) -> Option<Decision> {
             self.calls += 1;
             let start = Instant::now();
             while start.elapsed() < Duration::from_millis(2) {

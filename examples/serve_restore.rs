@@ -22,7 +22,7 @@
 
 use power_aware_scheduling::online::FlowReplanner;
 use power_aware_scheduling::power::PolyPower;
-use power_aware_scheduling::sim::online::{Decision, OnlinePolicy, ReadySet};
+use power_aware_scheduling::sim::online::{Decision, OnlinePolicy, ReadyView};
 use power_aware_scheduling::sim::{
     outcome_digest, FaultModel, FaultNotice, FaultPlan, Journal, ServeConfig, ServeOutcome, Server,
 };
@@ -52,7 +52,7 @@ struct Stall<P> {
 }
 
 impl<P: OnlinePolicy> OnlinePolicy for Stall<P> {
-    fn decide(&mut self, now: f64, ready: &ReadySet, energy_spent: f64) -> Option<Decision> {
+    fn decide(&mut self, now: f64, ready: &dyn ReadyView, energy_spent: f64) -> Option<Decision> {
         if self.ms > 0 {
             std::thread::sleep(std::time::Duration::from_millis(self.ms));
         }

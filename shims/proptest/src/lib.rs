@@ -227,6 +227,19 @@ pub mod test_runner {
             }
         }
 
+        /// The raw SplitMix64 state. Captured at the *start* of each
+        /// generated case so a failure can be persisted and replayed
+        /// exactly (see [`crate::regressions`]).
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuild an RNG at a captured [`state`](TestRng::state):
+        /// generates the identical value stream from that point.
+        pub fn from_state(state: u64) -> Self {
+            TestRng { state }
+        }
+
         /// Next raw 64-bit word.
         pub fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -240,6 +253,90 @@ pub mod test_runner {
         pub fn unit_f64(&mut self) -> f64 {
             (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
         }
+    }
+}
+
+/// Failure persistence: the shim's analogue of proptest's
+/// `proptest-regressions/` files.
+///
+/// When a generated case fails, [`proptest!`] appends a
+/// `cc <16-hex-rng-state> # note` line to
+/// `proptest-regressions/<source-file-stem>.txt` (relative to the test
+/// process's working directory — the package root under `cargo test`).
+/// On every subsequent run the persisted states are replayed *before*
+/// any novel cases, so a once-seen failure keeps failing until the bug
+/// is actually fixed — commit the file and the whole team replays it.
+/// Lines starting with `#` and blank lines are comments. Set the
+/// `PROPTEST_SHIM_REGRESSIONS` environment variable to redirect the
+/// directory (used by the shim's own tests to avoid polluting the
+/// repository). All IO is best-effort: an unwritable filesystem
+/// degrades to the old no-persistence behavior, never to a test error.
+pub mod regressions {
+    use std::io::Write;
+    use std::path::{Path, PathBuf};
+
+    /// The persistence file for a test source file (`file!()` of the
+    /// `proptest!` invocation site).
+    pub fn regression_path(source_file: &str) -> PathBuf {
+        let stem = Path::new(source_file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unknown".to_string());
+        let dir = std::env::var_os("PROPTEST_SHIM_REGRESSIONS")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("proptest-regressions"));
+        dir.join(format!("{stem}.txt"))
+    }
+
+    /// Load persisted RNG states (`cc <16hex>` lines), deduplicated in
+    /// file order. Missing or unreadable files yield the empty list.
+    pub fn load_persisted(path: &Path) -> Vec<u64> {
+        let Ok(contents) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for line in contents.lines() {
+            let line = line.trim();
+            let Some(rest) = line.strip_prefix("cc ") else {
+                continue;
+            };
+            let hex = rest.split(&[' ', '#']).next().unwrap_or("").trim();
+            if let Ok(state) = u64::from_str_radix(hex, 16) {
+                if !out.contains(&state) {
+                    out.push(state);
+                }
+            }
+        }
+        out
+    }
+
+    /// Append a failing case's RNG state (best-effort; duplicates are
+    /// skipped so re-running an unfixed failure doesn't grow the file).
+    pub fn persist_failure(path: &Path, state: u64, note: &str) {
+        if load_persisted(path).contains(&state) {
+            return;
+        }
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let fresh = !path.exists();
+        let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        else {
+            return;
+        };
+        if fresh {
+            let _ = writeln!(
+                file,
+                "# Seeds for failure cases found by the proptest shim. It is\n\
+                 # recommended to check this file in to source control so that\n\
+                 # everyone who runs the test benefits from these saved cases."
+            );
+        }
+        let note = note.replace(['\n', '\r'], " ");
+        let _ = writeln!(file, "cc {state:016x} # {note}");
     }
 }
 
@@ -262,14 +359,62 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let cfg: $crate::test_runner::ProptestConfig = $cfg;
-                let mut rng = $crate::test_runner::TestRng::deterministic();
-                for case in 0..cfg.cases {
+                let regressions = $crate::regressions::regression_path(::core::file!());
+                // One case at a captured RNG state: regenerate the
+                // arguments and run the body, converting a panic into
+                // a failure so it can be persisted like a prop_assert.
+                // `mut` is needed whenever the body captures state
+                // mutably, which depends on the expansion site.
+                #[allow(unused_mut)]
+                let mut run_case = |state: u64| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    let mut rng = $crate::test_runner::TestRng::from_state(state);
                     $(
                         let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
                     )*
-                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| { $body ::core::result::Result::Ok(()) })();
-                    if let ::core::result::Result::Err(e) = outcome {
+                    match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || { $body ::core::result::Result::Ok(()) },
+                    )) {
+                        ::core::result::Result::Ok(outcome) => outcome,
+                        ::core::result::Result::Err(panic) => {
+                            let msg = panic
+                                .downcast_ref::<&str>()
+                                .map(|s| ::std::string::ToString::to_string(s))
+                                .or_else(|| panic.downcast_ref::<::std::string::String>().cloned())
+                                .unwrap_or_else(|| ::std::string::String::from("panicked"));
+                            ::core::result::Result::Err(
+                                $crate::test_runner::TestCaseError::fail(msg),
+                            )
+                        }
+                    }
+                };
+                // Replay persisted failures before any novel cases, so
+                // a once-seen failure keeps failing until fixed.
+                for state in $crate::regressions::load_persisted(&regressions) {
+                    if let ::core::result::Result::Err(e) = run_case(state) {
+                        ::core::panic!(
+                            "proptest persisted case {:016x} (from {}) failed: {}",
+                            state,
+                            regressions.display(),
+                            e,
+                        );
+                    }
+                }
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                for case in 0..cfg.cases {
+                    // Capture the case's start state, then advance the
+                    // shared stream past its draws so persistence never
+                    // perturbs which novel cases run.
+                    let state = rng.state();
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                        let _ = &$arg;
+                    )*
+                    if let ::core::result::Result::Err(e) = run_case(state) {
+                        $crate::regressions::persist_failure(
+                            &regressions,
+                            state,
+                            &::std::format!("{} case {}/{}", stringify!($name), case + 1, cfg.cases),
+                        );
                         ::core::panic!("proptest case {}/{} failed: {}", case + 1, cfg.cases, e);
                     }
                 }
@@ -345,7 +490,13 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "proptest case")]
-    fn failures_report_case_index() {
+    fn failures_report_case_index_and_persist() {
+        // Redirect persistence away from the source tree, and clear any
+        // file left by a previous run so the failure is a *novel* case
+        // (a persisted replay panics with a different message).
+        let dir = std::env::temp_dir().join(format!("proptest-shim-test-{}", std::process::id()));
+        std::env::set_var("PROPTEST_SHIM_REGRESSIONS", &dir);
+        let _ = std::fs::remove_file(dir.join("lib.txt"));
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(4))]
             #[allow(unused)]
@@ -353,6 +504,43 @@ mod tests {
                 prop_assert!(x < 0.0, "x was {}", x);
             }
         }
-        always_fails();
+        let outcome = std::panic::catch_unwind(always_fails);
+        // The failing state was persisted for replay before re-raising.
+        let persisted = crate::regressions::load_persisted(&dir.join("lib.txt"));
+        assert_eq!(persisted.len(), 1, "expected one persisted state");
+        assert_eq!(persisted[0], TestRng::deterministic().state());
+        std::panic::resume_unwind(outcome.unwrap_err());
+    }
+
+    #[test]
+    fn persisted_states_round_trip_and_dedupe() {
+        let dir = std::env::temp_dir().join(format!("proptest-shim-rt-{}", std::process::id()));
+        let path = dir.join("round_trip.txt");
+        let _ = std::fs::remove_file(&path);
+        assert!(crate::regressions::load_persisted(&path).is_empty());
+        crate::regressions::persist_failure(&path, 0xDEAD_BEEF_0000_0001, "first");
+        crate::regressions::persist_failure(&path, 0xDEAD_BEEF_0000_0002, "second\nnewline");
+        // Duplicate state: skipped, file does not grow.
+        crate::regressions::persist_failure(&path, 0xDEAD_BEEF_0000_0001, "again");
+        assert_eq!(
+            crate::regressions::load_persisted(&path),
+            vec![0xDEAD_BEEF_0000_0001, 0xDEAD_BEEF_0000_0002]
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('#'), "header comment expected: {text}");
+        assert_eq!(text.matches("cc ").count(), 2);
+        assert!(!text.contains("newline\n") || text.contains("second newline"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replaying_a_state_regenerates_the_same_values() {
+        let mut a = TestRng::deterministic();
+        let _ = a.next_u64();
+        let state = a.state();
+        let v1 = (0.0..1.0f64).generate(&mut a);
+        let mut b = TestRng::from_state(state);
+        let v2 = (0.0..1.0f64).generate(&mut b);
+        assert_eq!(v1.to_bits(), v2.to_bits());
     }
 }

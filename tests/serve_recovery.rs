@@ -9,10 +9,11 @@
 //! [`outcome_digest`], which hashes every f64 by bit pattern.
 //!
 //! The proptest strategies randomize the workload, the cut point, the
-//! snapshot cadence, the fault rate, and the admission gate; the
-//! explicit `regression_*` tests mirror the checked-in
-//! `proptest-regressions/serve_recovery.txt` corpus (the offline
-//! proptest stand-in does not auto-load it).
+//! snapshot cadence, the fault rate, and the admission gate. The
+//! checked-in `proptest-regressions/serve_recovery.txt` corpus is
+//! auto-loaded by the proptest stand-in and replayed before any novel
+//! cases; the explicit `regression_*` tests additionally pin the
+//! scenarios those entries were distilled into, under stable names.
 
 use power_aware_scheduling::online::FlowReplanner;
 use power_aware_scheduling::power::PolyPower;
@@ -31,12 +32,13 @@ fn sample_plan(instance: &Instance, rate: f64, seed: u64) -> FaultPlan {
     if rate <= 0.0 {
         return FaultPlan::none();
     }
-    // The rates are per unit time; cap the expected event count so a
+    // The rates are per unit time; budget the expected event count so a
     // huge-span instance (the t=1e9 flood) cannot blow up the plan.
     let horizon = instance.last_release() + instance.total_work();
-    let rate = rate.min(32.0 / horizon.max(1.0));
     let ids: Vec<u32> = instance.jobs().iter().map(|j| j.id).collect();
-    FaultModel::uniform_mix(rate).sample(horizon, &ids, seed)
+    FaultModel::uniform_mix(rate)
+        .with_event_budget(32.0, horizon)
+        .sample(horizon, &ids, seed)
 }
 
 /// Digest of the uninterrupted serving run.
@@ -269,7 +271,7 @@ fn torn_tail_restores_cleanly() {
 /// The same-instant-flood edge end-to-end: hundreds of arrivals at the
 /// *identical* timestamp t=1e9, pushed through the full serve loop.
 /// Nothing may be spuriously dropped (no admission gate is configured),
-/// and the `ReadySet` iteration order must be stable: jobs execute in
+/// and the ready-store iteration order must be stable: jobs execute in
 /// admission order, which for a same-instant flood is id order.
 #[test]
 fn same_instant_flood_drops_nothing_and_keeps_order() {
@@ -314,7 +316,7 @@ fn same_instant_flood_drops_nothing_and_keeps_order() {
 }
 
 /// Crash→restore through the middle of a same-instant flood: the
-/// restored `ReadySet` must preserve the queue order captured by the
+/// restored ready arena must preserve the queue order captured by the
 /// snapshot, or the digests diverge.
 #[test]
 fn flood_crash_restore_is_bit_identical() {
@@ -332,12 +334,13 @@ fn flood_crash_restore_is_bit_identical() {
 }
 
 // ---------------------------------------------------------------------
-// Checked-in corpus (proptest-regressions/serve_recovery.txt). The
-// offline proptest stand-in has no failure persistence, so each corpus
-// entry is mirrored here as an explicit case.
+// Named regressions. The checked-in corpus
+// (proptest-regressions/serve_recovery.txt) is replayed automatically
+// by the proptest stand-in; these tests pin the distilled scenarios
+// under stable names so a reappearance is attributable at a glance.
 // ---------------------------------------------------------------------
 
-/// cc corpus entry 1: early cut (step 1) before the first decision,
+/// Corpus scenario 1: early cut (step 1) before the first decision,
 /// genesis replay path.
 #[test]
 fn regression_cut_before_first_decision() {
@@ -347,7 +350,7 @@ fn regression_cut_before_first_decision() {
     check_cut(&instance, &plan, config, 1);
 }
 
-/// cc corpus entry 2: cut lands exactly on a snapshot boundary — the
+/// Corpus scenario 2: cut lands exactly on a snapshot boundary — the
 /// restore must resume *from* the snapshot, not double-apply it.
 #[test]
 fn regression_cut_on_snapshot_boundary() {
@@ -362,7 +365,7 @@ fn regression_cut_on_snapshot_boundary() {
     }
 }
 
-/// cc corpus entry 3: eviction under a tiny admission queue with
+/// Corpus scenario 3: eviction under a tiny admission queue with
 /// partial progress on the victim (wasted energy must replay bitwise).
 #[test]
 fn regression_evict_with_partial_progress() {
@@ -381,7 +384,7 @@ fn regression_evict_with_partial_progress() {
     }
 }
 
-/// cc corpus entry 4: deadline-aware shedding with an SLO plan on top —
+/// Corpus scenario 4: deadline-aware shedding with an SLO plan on top —
 /// `deadline_misses` and `shed_work` must survive the round trip.
 #[test]
 fn regression_deadline_aware_sheds_replay() {
