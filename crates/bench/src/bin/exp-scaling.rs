@@ -7,8 +7,9 @@
 //! * `--bench-json [DIR]` — the acceptance sweeps written as per-path
 //!   bench files `DIR/BENCH_yds.json`, `DIR/BENCH_flow.json`,
 //!   `DIR/BENCH_multi.json`, `DIR/BENCH_oa.json`,
-//!   `DIR/BENCH_faults.json`, `DIR/BENCH_serve.json`, and
-//!   `DIR/BENCH_policies.json` (default `.`), the perf-trajectory
+//!   `DIR/BENCH_faults.json`, `DIR/BENCH_serve.json`,
+//!   `DIR/BENCH_policies.json`, and `DIR/BENCH_fleet.json` (default
+//!   `.`), the perf-trajectory
 //!   records successive PRs compare against.
 //!   Expect tens of minutes: the YDS reference is `O(n⁴)` through
 //!   n=2000, the flow reference curve is ~120 cold bisection solves of
@@ -20,10 +21,10 @@
 //!   tier (small sizes, capped references), exercised in CI so the bench
 //!   plumbing can never rot;
 //! * `--only yds` / `--only flow` / `--only multi` / `--only oa` /
-//!   `--only faults` / `--only serve` / `--only policies` — restrict
-//!   either mode to one path (the other `BENCH_*.json` files are left
-//!   untouched).
-use pas_bench::experiments::{faults, online_budget, scaling, serve};
+//!   `--only faults` / `--only serve` / `--only policies` /
+//!   `--only fleet` — restrict either mode to one path (the other
+//!   `BENCH_*.json` files are left untouched).
+use pas_bench::experiments::{faults, fleet, online_budget, scaling, serve};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,9 +35,13 @@ fn main() {
         .and_then(|p| args.get(p + 1))
         .cloned();
     if let Some(o) = only.as_deref() {
-        if !["yds", "flow", "multi", "oa", "faults", "serve", "policies"].contains(&o) {
+        if ![
+            "yds", "flow", "multi", "oa", "faults", "serve", "policies", "fleet",
+        ]
+        .contains(&o)
+        {
             eprintln!(
-                "--only takes `yds`, `flow`, `multi`, `oa`, `faults`, `serve`, or `policies`, got `{o}`"
+                "--only takes `yds`, `flow`, `multi`, `oa`, `faults`, `serve`, `policies`, or `fleet`, got `{o}`"
             );
             std::process::exit(2);
         }
@@ -48,6 +53,7 @@ fn main() {
     let run_faults = only.as_deref().is_none_or(|o| o == "faults");
     let run_serve = only.as_deref().is_none_or(|o| o == "serve");
     let run_policies = only.as_deref().is_none_or(|o| o == "policies");
+    let run_fleet = only.as_deref().is_none_or(|o| o == "fleet");
 
     if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
         let dir = args
@@ -133,6 +139,19 @@ fn main() {
                 .expect("write BENCH json");
             eprintln!("wrote {path}");
         }
+        if run_fleet {
+            let points = if smoke {
+                fleet::fleet_smoke()
+            } else {
+                fleet::fleet_default()
+            };
+            let equivalence = fleet::single_host_equivalence();
+            fleet::fleet_table(&points).print();
+            let path = format!("{dir}/BENCH_fleet.json");
+            std::fs::write(&path, fleet::fleet_bench_json(&points, equivalence))
+                .expect("write BENCH json");
+            eprintln!("wrote {path}");
+        }
         return;
     }
     for table in scaling::run() {
@@ -162,6 +181,11 @@ fn main() {
     if run_faults {
         let points = faults::faults_smoke();
         faults::faults_table(&points).print();
+        println!();
+    }
+    if run_fleet {
+        let points = fleet::fleet_smoke();
+        fleet::fleet_table(&points).print();
         println!();
     }
     if run_serve {

@@ -1,0 +1,314 @@
+//! E25: the fleet-scaling sweep — host count × dispatch policy.
+//!
+//! A heterogeneous fleet (four cycling host archetypes: bare cubic,
+//! ladder+qOA, idle+sleep+BKP, capped ladder) serves a heavy-tailed
+//! workload of roughly `jobs_per_host` jobs per host. For each host
+//! count the sweep records wall time of a full deterministic run plus
+//! the fleet-level outcome: dynamic/static energy, flow, makespan,
+//! sleeps, sheds, and the fleet digest. The shape to expect: wall time
+//! grows roughly linearly in total job count (each host's engine run is
+//! linear in its own queue, dispatch is an `O(hosts)` scan per
+//! arrival), static energy grows with host count (more idle floors to
+//! pay), and the digest is bit-stable across re-runs of the same sweep.
+//!
+//! The JSON document also embeds the single-host equivalence check —
+//! a 1-host fleet re-run against the bare `pas_sim` engine at digest
+//! level — so the perf record is self-certifying: a trajectory entry
+//! with `"single_host_equivalence": false` is evidence of a correctness
+//! regression, not a perf change.
+
+use std::time::Instant;
+
+use crate::harness::{fmt, CsvTable};
+use pas_fleet::{run, DispatchPolicy, EnginePower, FleetScenario, HostConfig, HostPolicy};
+use pas_power::{DiscreteSpeeds, HostPower, PolyPower, SleepConfig};
+use pas_sim::journal::outcome_digest;
+use pas_sim::run_online_with_faults;
+use pas_workload::{generators, Instance};
+
+/// One fleet run at one host count.
+#[derive(Debug, Clone)]
+pub struct FleetScalingPoint {
+    /// Number of hosts.
+    pub hosts: usize,
+    /// Total jobs dispatched.
+    pub jobs: usize,
+    /// Dispatch policy name.
+    pub dispatch: &'static str,
+    /// Seed of the run.
+    pub seed: u64,
+    /// Wall time of the full run (dispatch + every host engine).
+    pub wall_ms: f64,
+    /// Engine-metered dynamic energy across the fleet.
+    pub dynamic_energy: f64,
+    /// Idle/sleep static energy across the fleet.
+    pub static_energy: f64,
+    /// Total flow across the fleet.
+    pub total_flow: f64,
+    /// Latest completion across hosts.
+    pub makespan: f64,
+    /// Jobs completed fleet-wide.
+    pub completed_jobs: usize,
+    /// Arrivals no host could take plus per-host admission sheds.
+    pub shed_jobs: usize,
+    /// Sleep transitions across hosts.
+    pub sleep_transitions: usize,
+    /// The fleet digest (bit-stable across re-runs).
+    pub digest: u64,
+}
+
+/// The four cycling host archetypes: the heterogeneity axis of the
+/// sweep.
+fn archetype(id: u32) -> HostConfig {
+    let cube = PolyPower::CUBE;
+    match id % 4 {
+        0 => HostConfig::new(id, HostPower::dynamic_only(EnginePower::Poly(cube))),
+        1 => {
+            let ladder = DiscreteSpeeds::new(cube, vec![0.8, 1.8, 2.0]);
+            let mut h = HostConfig::new(id, HostPower::with_idle(EnginePower::Ladder(ladder), 0.1));
+            h.policy = HostPolicy::Qoa {
+                allowance: 4.0,
+                alpha: 3.0,
+                q: 5.0,
+            };
+            h
+        }
+        2 => {
+            let mut h = HostConfig::new(
+                id,
+                HostPower::with_idle(EnginePower::Poly(cube), 0.3).with_sleep(SleepConfig {
+                    threshold: 2.0,
+                    sleep_power: 0.05,
+                    wake_energy: 1.0,
+                }),
+            );
+            h.policy = HostPolicy::Bkp { factor: 1.3 };
+            h
+        }
+        _ => {
+            let ladder = DiscreteSpeeds::new(cube, vec![0.5, 1.0, 1.5, 2.5]);
+            let mut h =
+                HostConfig::new(id, HostPower::with_idle(EnginePower::Ladder(ladder), 0.05));
+            h.speed_cap = Some(1.5);
+            h.policy = HostPolicy::Fixed { speed: 1.2 };
+            h
+        }
+    }
+}
+
+fn dispatch_name(d: DispatchPolicy) -> &'static str {
+    match d {
+        DispatchPolicy::RoundRobin => "round_robin",
+        DispatchPolicy::LeastAssigned => "least_assigned",
+        DispatchPolicy::WeightedFastest => "weighted_fastest",
+    }
+}
+
+/// Build the sweep's workload for a given fleet size: heavy-tailed
+/// (bounded-Pareto) works on Poisson arrivals, sized to roughly
+/// `jobs_per_host` jobs per host over a fixed arrival window.
+pub fn fleet_workload(hosts: usize, jobs_per_host: usize, seed: u64) -> Instance {
+    let n = hosts * jobs_per_host;
+    // Arrival window ~50 time units regardless of n, so bigger fleets
+    // face proportionally denser traffic (the scaling stressor).
+    generators::heavy_tailed(n, n as f64 / 50.0, 0.2, 8.0, 1.5, seed)
+}
+
+/// Run the sweep over `host_counts`, all three dispatch policies per
+/// count.
+pub fn fleet_scaling(
+    host_counts: &[usize],
+    jobs_per_host: usize,
+    seed: u64,
+) -> Vec<FleetScalingPoint> {
+    let mut points = Vec::new();
+    for &hosts in host_counts {
+        assert!(hosts > 0, "host counts must be positive");
+        let workload = fleet_workload(hosts, jobs_per_host, seed);
+        let horizon = workload.last_release() + 50.0;
+        for dispatch in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::LeastAssigned,
+            DispatchPolicy::WeightedFastest,
+        ] {
+            let host_cfgs: Vec<HostConfig> = (0..hosts as u32).map(archetype).collect();
+            let mut scenario = FleetScenario::new(host_cfgs, workload.clone(), horizon, seed);
+            scenario.dispatch = dispatch;
+            let t = Instant::now();
+            let out = run(&scenario).expect("fleet run succeeds");
+            let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            points.push(FleetScalingPoint {
+                hosts,
+                jobs: workload.len(),
+                dispatch: dispatch_name(dispatch),
+                seed,
+                wall_ms,
+                dynamic_energy: out.dynamic_energy,
+                static_energy: out.static_energy,
+                total_flow: out.total_flow,
+                makespan: out.makespan,
+                completed_jobs: out.completed_jobs,
+                shed_jobs: out.shed_jobs(),
+                sleep_transitions: out.hosts.iter().map(|h| h.sleep_transitions).sum(),
+                digest: out.digest,
+            });
+        }
+    }
+    points
+}
+
+/// The digest-level single-host equivalence check the JSON embeds: a
+/// 1-host fleet (the ladder+qOA archetype, the hardest configuration)
+/// must reproduce the bare engine bit-for-bit.
+pub fn single_host_equivalence() -> bool {
+    let workload = fleet_workload(1, 24, 7);
+    let host = archetype(1);
+    let mut cfgs = vec![host];
+    cfgs[0].id = 0;
+    let scenario = FleetScenario::new(cfgs, workload.clone(), workload.last_release() + 50.0, 7);
+    let fleet = match run(&scenario) {
+        Ok(out) => out,
+        Err(_) => return false,
+    };
+    let cfg = &scenario.hosts[0];
+    let ids: Vec<u32> = workload.jobs().iter().map(|j| j.id).collect();
+    let plan = scenario.host_plan(cfg.id, &ids);
+    let model = cfg.power.model();
+    let mut policy = cfg.policy.build(model);
+    match run_online_with_faults(&workload, model, policy.as_mut(), &plan) {
+        Ok(bare) => fleet.hosts[0].digest == outcome_digest(&bare),
+        Err(_) => false,
+    }
+}
+
+/// The acceptance-tier sweep: host-count scaling through 1000+ hosts.
+pub fn fleet_default() -> Vec<FleetScalingPoint> {
+    fleet_scaling(&[10, 100, 400, 1000], 20, 11)
+}
+
+/// The smoke-tier sweep: seconds-scale, exercised in CI.
+pub fn fleet_smoke() -> Vec<FleetScalingPoint> {
+    fleet_scaling(&[4, 16], 8, 11)
+}
+
+/// Render points as the `fleet_scaling` CSV table.
+pub fn fleet_table(points: &[FleetScalingPoint]) -> CsvTable {
+    let mut table = CsvTable::new(
+        "fleet_scaling",
+        &[
+            "hosts",
+            "jobs",
+            "dispatch",
+            "seed",
+            "wall_ms",
+            "dynamic_energy",
+            "static_energy",
+            "total_flow",
+            "makespan",
+            "completed_jobs",
+            "shed_jobs",
+            "sleep_transitions",
+            "digest",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.hosts.to_string(),
+            p.jobs.to_string(),
+            p.dispatch.to_string(),
+            p.seed.to_string(),
+            fmt(p.wall_ms),
+            fmt(p.dynamic_energy),
+            fmt(p.static_energy),
+            fmt(p.total_flow),
+            fmt(p.makespan),
+            p.completed_jobs.to_string(),
+            p.shed_jobs.to_string(),
+            p.sleep_transitions.to_string(),
+            format!("{:016x}", p.digest),
+        ]);
+    }
+    table
+}
+
+/// Render points as the `BENCH_fleet.json` document. `equivalence` is
+/// the result of [`single_host_equivalence`], embedded so the perf
+/// record certifies the fleet layer is still semantically transparent.
+pub fn fleet_bench_json(points: &[FleetScalingPoint], equivalence: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"fleet_scaling\",\n");
+    out.push_str(
+        "  \"fleet\": \"4 cycling host archetypes (cubic, ladder+qOA, idle+sleep+BKP, capped ladder) on heavy-tailed Poisson traffic\",\n",
+    );
+    out.push_str(
+        "  \"metric\": \"wall time + fleet-level energy/flow/shed/sleep per host count and dispatch policy\",\n",
+    );
+    out.push_str(&format!(
+        "  \"single_host_equivalence\": {equivalence},\n  \"points\": [\n"
+    ));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"hosts\": {}, \"jobs\": {}, \"dispatch\": \"{}\", \"seed\": {}, \"wall_ms\": {:.3}, \"dynamic_energy\": {:.6}, \"static_energy\": {:.6}, \"total_flow\": {:.6}, \"makespan\": {:.6}, \"completed_jobs\": {}, \"shed_jobs\": {}, \"sleep_transitions\": {}, \"digest\": \"{:016x}\"}}{}\n",
+            p.hosts,
+            p.jobs,
+            p.dispatch,
+            p.seed,
+            p.wall_ms,
+            p.dynamic_energy,
+            p.static_energy,
+            p.total_flow,
+            p.makespan,
+            p.completed_jobs,
+            p.shed_jobs,
+            p.sleep_transitions,
+            p.digest,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Produce the smoke-tier table (used by `exp-all`).
+pub fn run_experiment() -> Vec<CsvTable> {
+    vec![fleet_table(&fleet_smoke())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_covers_the_matrix_and_is_deterministic() {
+        let a = fleet_scaling(&[3, 6], 4, 2);
+        let b = fleet_scaling(&[3, 6], 4, 2);
+        // 2 host counts × 3 dispatch policies.
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.digest, y.digest, "{}x{}", x.hosts, x.dispatch);
+            assert_eq!(x.dynamic_energy.to_bits(), y.dynamic_energy.to_bits());
+        }
+        for p in &a {
+            assert!(p.dynamic_energy > 0.0, "{p:?}");
+            assert!(p.static_energy > 0.0, "idle archetypes must charge, {p:?}");
+            assert!(p.completed_jobs > 0, "{p:?}");
+            assert!(p.makespan > 0.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn equivalence_gate_holds() {
+        assert!(single_host_equivalence());
+    }
+
+    #[test]
+    fn json_embeds_the_gate_and_one_object_per_point() {
+        let points = fleet_scaling(&[2], 3, 1);
+        let json = fleet_bench_json(&points, true);
+        assert!(json.contains("\"single_host_equivalence\": true"));
+        assert_eq!(json.matches("\"hosts\"").count(), points.len());
+        assert!(json.ends_with("  ]\n}\n"));
+        let table = fleet_table(&points);
+        assert_eq!(table.rows.len(), points.len());
+    }
+}

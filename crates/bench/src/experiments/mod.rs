@@ -16,12 +16,14 @@
 //! | [`bounded_speed`] | E18 | §6 minimum/maximum speed regimes |
 //! | [`faults`] | E23 | fault-rate × policy resilience sweep (`BENCH_faults.json`) |
 //! | [`serve`] | E24 | serving-layer throughput / decision latency (`BENCH_serve.json`) |
+//! | [`fleet`] | E25 | fleet-scaling sweep: host count × dispatch policy, heterogeneous power envelopes (`BENCH_fleet.json`) |
 
 pub mod bounded_speed;
 pub mod deadline_ratios;
 pub mod discrete_levels;
 pub mod faults;
 pub mod figures;
+pub mod fleet;
 pub mod flowcurve;
 pub mod hardness;
 pub mod multiproc;
@@ -51,5 +53,6 @@ pub fn run_all() -> Vec<CsvTable> {
     tables.extend(bounded_speed::run());
     tables.extend(faults::run());
     tables.extend(serve::run());
+    tables.extend(fleet::run_experiment());
     tables
 }

@@ -1,0 +1,37 @@
+//! # pas-fleet — deterministic discrete-event fleet simulation
+//!
+//! A fleet of heterogeneous hosts, each running the ordinary `pas_sim`
+//! single-machine online engine behind a dispatcher, under host-level
+//! power envelopes ([`pas_power::HostPower`]: idle floors, sleep
+//! states) and per-host power models (continuous `σ^α` or
+//! [`pas_power::DiscreteSpeeds`] ladders).
+//!
+//! The design splits a run into two deterministic phases (see
+//! [`sim`]): an event-calendar **dispatch** phase with seeded
+//! tie-breaking ([`event::EventQueue`]) that records every decision
+//! into a bit-exact [`trace::EventTrace`], and an **execute** phase
+//! that is a pure function of the resulting assignments. That split is
+//! what the differential harness leans on:
+//!
+//! - same seed → bit-identical trace and fleet digest ([`run`]);
+//! - a single-host fleet is bit-identical to the bare engine;
+//! - `record → serialize → parse → [`replay`]` reproduces the digest;
+//! - a hand-computable golden oracle pins idle/sleep energy accounting.
+//!
+//! Simulated time is advanced only by event timestamps — wall-clock
+//! time appears nowhere in this crate.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod event;
+pub mod host;
+pub mod scenario;
+pub mod sim;
+pub mod trace;
+
+pub use event::{EventQueue, FleetEvent, FleetEventKind};
+pub use host::{EnginePower, FixedSpeed, HostConfig, HostPolicy};
+pub use scenario::{DispatchPolicy, FleetScenario, ScenarioError};
+pub use sim::{replay, run, FleetError, FleetOutcome, HostReport};
+pub use trace::{EventTrace, TraceParseError, TraceRecord};

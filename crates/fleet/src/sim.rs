@@ -1,0 +1,667 @@
+//! The fleet run: dispatch phase, per-host engine phase, aggregation.
+//!
+//! A run is **two deterministic phases**:
+//!
+//! 1. **Dispatch** — the event calendar (workload arrivals, host
+//!    joins/leaves/failures) is drained in monotone, seed-tie-broken
+//!    order ([`crate::event::EventQueue`]); the dispatcher routes every
+//!    arrival to an eligible host (joined, not departed, not down) per
+//!    the scenario's [`DispatchPolicy`]. Every processed event and
+//!    every routing decision is appended to an [`EventTrace`].
+//! 2. **Execute** — each host, in id order, runs the ordinary
+//!    `pas_sim` single-machine online engine over its assigned jobs
+//!    under its own power model, policy, and fault plan
+//!    ([`FleetScenario::host_plan`]), then static idle/sleep energy is
+//!    charged over the host's on-window gaps via
+//!    [`pas_power::HostPower::gap_energy`].
+//!
+//! [`replay`] skips phase 1 and takes routing from a recorded trace;
+//! because phase 2 is a pure function of `(scenario, assignments)` and
+//! the fleet digest hashes the serialized trace plus the per-host
+//! outcome digests, record→replay reproduces the digest bit-for-bit.
+//!
+//! A deliberate modelling note: hosts that were assigned **no** jobs
+//! never spin up an engine, so background-fault arrival bursts on idle
+//! hosts are not materialized (bursts are engine-injected load); their
+//! crashes still subtract from the idle window, since a crashed host is
+//! off, not idling.
+
+use std::collections::BTreeMap;
+
+use pas_sim::faults::FaultKind;
+use pas_sim::journal::outcome_digest;
+use pas_sim::metrics;
+use pas_sim::online::{run_online_gated, run_online_with_faults, OnlineOutcome, SimError};
+use pas_workload::Job;
+
+use crate::event::{EventQueue, FleetEvent, FleetEventKind};
+use crate::scenario::{DispatchPolicy, FleetScenario, ScenarioError};
+use crate::trace::{EventTrace, TraceRecord};
+
+/// Fleet-run failures.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The scenario failed validation.
+    Scenario(ScenarioError),
+    /// A host's engine run failed.
+    Host {
+        /// The host whose engine failed.
+        host: u32,
+        /// The underlying simulation error.
+        error: SimError,
+    },
+    /// A replay trace does not match the scenario.
+    TraceMismatch {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Scenario(e) => write!(f, "invalid scenario: {e}"),
+            FleetError::Host { host, error } => write!(f, "host {host}: {error}"),
+            FleetError::TraceMismatch { reason } => write!(f, "trace mismatch: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<ScenarioError> for FleetError {
+    fn from(e: ScenarioError) -> Self {
+        FleetError::Scenario(e)
+    }
+}
+
+/// One host's share of a fleet run.
+#[derive(Debug)]
+pub struct HostReport {
+    /// Host id.
+    pub host: u32,
+    /// Jobs routed to this host.
+    pub jobs_assigned: usize,
+    /// Engine-metered dynamic energy.
+    pub dynamic_energy: f64,
+    /// Idle/sleep static energy over the host's on-window.
+    pub static_energy: f64,
+    /// Number of idle gaps long enough to trigger a sleep transition.
+    pub sleep_transitions: usize,
+    /// Sum of job flows (`C_i − r_i`) against the host's effective
+    /// instance.
+    pub total_flow: f64,
+    /// Completion time of the host's last slice (0 when idle all run).
+    pub makespan: f64,
+    /// `pas_sim::outcome_digest` of the engine outcome (0 when no
+    /// engine ran).
+    pub digest: u64,
+    /// Jobs shed by this host's admission gate.
+    pub shed_jobs: usize,
+    /// Speed-cap / throttle clamps applied.
+    pub throttle_clamps: usize,
+    /// SLO misses charged to this host.
+    pub deadline_misses: usize,
+    /// The full engine outcome (`None` when the host ran nothing).
+    pub outcome: Option<OnlineOutcome>,
+}
+
+/// Aggregated result of a fleet run.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Per-host reports, in host-id order.
+    pub hosts: Vec<HostReport>,
+    /// The recorded (or replayed) event trace.
+    pub trace: EventTrace,
+    /// Arrivals no eligible host could take.
+    pub fleet_shed_jobs: usize,
+    /// Work of those arrivals.
+    pub fleet_shed_work: f64,
+    /// Total engine-metered dynamic energy.
+    pub dynamic_energy: f64,
+    /// Total idle/sleep static energy.
+    pub static_energy: f64,
+    /// Total flow across hosts.
+    pub total_flow: f64,
+    /// Latest completion across hosts.
+    pub makespan: f64,
+    /// Jobs completed (appearing in a host schedule) across the fleet.
+    pub completed_jobs: usize,
+    /// The fleet digest: FNV-1a over the serialized trace, the per-host
+    /// outcome digests and static energies, and the aggregates. Two
+    /// runs agree on this iff they agree on every event, routing
+    /// decision, schedule bit, and energy bit.
+    pub digest: u64,
+}
+
+impl FleetOutcome {
+    /// Dynamic + static energy.
+    pub fn total_energy(&self) -> f64 {
+        self.dynamic_energy + self.static_energy
+    }
+
+    /// Total jobs shed anywhere: unroutable at the fleet frontier plus
+    /// per-host admission sheds.
+    pub fn shed_jobs(&self) -> usize {
+        self.fleet_shed_jobs + self.hosts.iter().map(|h| h.shed_jobs).sum::<usize>()
+    }
+}
+
+/// FNV-1a 64-bit, the workspace digest idiom.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// Dispatch-phase state for one host.
+struct HostState {
+    id: u32,
+    joined: bool,
+    left: bool,
+    down_until: f64,
+    assigned: Vec<usize>,
+    assigned_work: f64,
+    rating: f64,
+}
+
+/// Run a scenario end to end (dispatch + execute).
+///
+/// # Errors
+/// [`FleetError`] on an invalid scenario or a host engine failure.
+pub fn run(scenario: &FleetScenario) -> Result<FleetOutcome, FleetError> {
+    scenario.validate()?;
+    let (trace, assignments, shed_jobs, shed_work) = dispatch(scenario);
+    execute(scenario, trace, &assignments, shed_jobs, shed_work)
+}
+
+/// Replay a recorded trace against the same scenario: phase 1 is taken
+/// verbatim from the trace (routing included), phase 2 re-executes.
+///
+/// # Errors
+/// [`FleetError::TraceMismatch`] when the trace's seed or arrival
+/// records disagree with the scenario (bit-exact comparison);
+/// otherwise as [`run`].
+pub fn replay(scenario: &FleetScenario, trace: &EventTrace) -> Result<FleetOutcome, FleetError> {
+    scenario.validate()?;
+    if trace.seed != scenario.seed {
+        return Err(FleetError::TraceMismatch {
+            reason: format!(
+                "trace seed {:016x} != scenario seed {:016x}",
+                trace.seed, scenario.seed
+            ),
+        });
+    }
+    let mut assignments: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for h in &scenario.hosts {
+        assignments.insert(h.id, Vec::new());
+    }
+    let mut shed_jobs = 0usize;
+    let mut shed_work = 0.0f64;
+    for rec in &trace.records {
+        if let TraceRecord::Arrival {
+            index,
+            job_id,
+            release,
+            work,
+            routed,
+            ..
+        } = rec
+        {
+            if *index >= scenario.workload.len() {
+                return Err(FleetError::TraceMismatch {
+                    reason: format!("arrival index {index} out of range"),
+                });
+            }
+            let job = scenario.workload.job(*index);
+            if job.id != *job_id
+                || job.release.to_bits() != release.to_bits()
+                || job.work.to_bits() != work.to_bits()
+            {
+                return Err(FleetError::TraceMismatch {
+                    reason: format!("arrival {index} does not match the scenario workload"),
+                });
+            }
+            match routed {
+                Some(host) => match assignments.get_mut(host) {
+                    Some(list) => list.push(*index),
+                    None => {
+                        return Err(FleetError::TraceMismatch {
+                            reason: format!("arrival {index} routed to unknown host {host}"),
+                        })
+                    }
+                },
+                None => {
+                    shed_jobs += 1;
+                    shed_work += job.work;
+                }
+            }
+        }
+    }
+    execute(scenario, trace.clone(), &assignments, shed_jobs, shed_work)
+}
+
+/// Phase 1: drain the calendar, route arrivals, record the trace.
+fn dispatch(scenario: &FleetScenario) -> (EventTrace, BTreeMap<u32, Vec<usize>>, usize, f64) {
+    let mut queue = EventQueue::new(scenario.seed);
+    for h in &scenario.hosts {
+        queue.push(FleetEvent {
+            at: h.available_from,
+            kind: FleetEventKind::HostJoin { host: h.id },
+        });
+    }
+    for (index, job) in scenario.workload.jobs().iter().enumerate() {
+        queue.push(FleetEvent {
+            at: job.release,
+            kind: FleetEventKind::Arrival { index, job: *job },
+        });
+    }
+    for ev in &scenario.events {
+        queue.push(ev.clone());
+    }
+
+    // Host states in id order (the canonical eligibility scan order).
+    let mut states: Vec<HostState> = scenario
+        .hosts
+        .iter()
+        .map(|h| HostState {
+            id: h.id,
+            joined: false,
+            left: false,
+            down_until: f64::NEG_INFINITY,
+            assigned: Vec::new(),
+            assigned_work: 0.0,
+            rating: h.speed_rating(),
+        })
+        .collect();
+    states.sort_by_key(|s| s.id);
+
+    let mut records = Vec::new();
+    let mut rr = 0usize;
+    let mut shed_jobs = 0usize;
+    let mut shed_work = 0.0f64;
+
+    while let Some(ev) = queue.pop() {
+        match ev.kind {
+            FleetEventKind::HostJoin { host } => {
+                if let Some(s) = states.iter_mut().find(|s| s.id == host) {
+                    s.joined = true;
+                }
+                records.push(TraceRecord::Join { at: ev.at, host });
+            }
+            FleetEventKind::HostLeave { host } => {
+                if let Some(s) = states.iter_mut().find(|s| s.id == host) {
+                    s.left = true;
+                }
+                records.push(TraceRecord::Leave { at: ev.at, host });
+            }
+            FleetEventKind::HostFail { host, duration } => {
+                if let Some(s) = states.iter_mut().find(|s| s.id == host) {
+                    s.down_until = s.down_until.max(ev.at + duration);
+                }
+                records.push(TraceRecord::Fail {
+                    at: ev.at,
+                    host,
+                    duration,
+                });
+            }
+            FleetEventKind::Arrival { index, job } => {
+                let eligible: Vec<usize> = states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.joined && !s.left && ev.at >= s.down_until)
+                    .map(|(i, _)| i)
+                    .collect();
+                let chosen = if eligible.is_empty() {
+                    None
+                } else {
+                    let pick = match scenario.dispatch {
+                        DispatchPolicy::RoundRobin => {
+                            let p = eligible[rr % eligible.len()];
+                            rr += 1;
+                            p
+                        }
+                        DispatchPolicy::LeastAssigned => *eligible
+                            .iter()
+                            .min_by(|&&a, &&b| {
+                                states[a]
+                                    .assigned_work
+                                    .total_cmp(&states[b].assigned_work)
+                                    .then(states[a].id.cmp(&states[b].id))
+                            })
+                            .expect("non-empty"),
+                        DispatchPolicy::WeightedFastest => *eligible
+                            .iter()
+                            .max_by(|&&a, &&b| {
+                                let score = |s: &HostState| s.rating / (1.0 + s.assigned_work);
+                                score(&states[a])
+                                    .total_cmp(&score(&states[b]))
+                                    // On score ties prefer the lower id
+                                    // (max_by keeps the later maximum).
+                                    .then(states[b].id.cmp(&states[a].id))
+                            })
+                            .expect("non-empty"),
+                    };
+                    states[pick].assigned.push(index);
+                    states[pick].assigned_work += job.work;
+                    Some(states[pick].id)
+                };
+                if chosen.is_none() {
+                    shed_jobs += 1;
+                    shed_work += job.work;
+                }
+                records.push(TraceRecord::Arrival {
+                    at: ev.at,
+                    index,
+                    job_id: job.id,
+                    release: job.release,
+                    work: job.work,
+                    routed: chosen,
+                });
+            }
+        }
+    }
+
+    let assignments: BTreeMap<u32, Vec<usize>> =
+        states.into_iter().map(|s| (s.id, s.assigned)).collect();
+    let trace = EventTrace {
+        seed: scenario.seed,
+        records,
+    };
+    (trace, assignments, shed_jobs, shed_work)
+}
+
+/// Merge possibly-overlapping intervals (already clipped) and return
+/// the complement gaps within `[start, end]`.
+fn idle_gaps(mut occupied: Vec<(f64, f64)>, start: f64, end: f64) -> Vec<f64> {
+    if end <= start {
+        return Vec::new();
+    }
+    occupied.retain(|&(a, b)| b > start && a < end);
+    for iv in &mut occupied {
+        iv.0 = iv.0.max(start);
+        iv.1 = iv.1.min(end);
+    }
+    occupied.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut gaps = Vec::new();
+    let mut cursor = start;
+    for (a, b) in occupied {
+        if a > cursor {
+            gaps.push(a - cursor);
+        }
+        cursor = cursor.max(b);
+    }
+    if end > cursor {
+        gaps.push(end - cursor);
+    }
+    gaps
+}
+
+/// Phase 2: run every host's engine, charge static power, aggregate.
+fn execute(
+    scenario: &FleetScenario,
+    trace: EventTrace,
+    assignments: &BTreeMap<u32, Vec<usize>>,
+    fleet_shed_jobs: usize,
+    fleet_shed_work: f64,
+) -> Result<FleetOutcome, FleetError> {
+    let mut reports = Vec::with_capacity(scenario.hosts.len());
+
+    let mut ids: Vec<u32> = scenario.hosts.iter().map(|h| h.id).collect();
+    ids.sort_unstable();
+
+    for host_id in ids {
+        let cfg = scenario.host(host_id).expect("validated host");
+        let mut indices = assignments.get(&host_id).cloned().unwrap_or_default();
+        // Dispatch appends in event-pop order, which shuffles
+        // same-release ties by seed; the workload's canonical order is
+        // by index (Instance::new stable-sorts by release, preserving
+        // insertion order on ties), so sorting by index makes a
+        // single-host fleet's sub-instance *identical* to the workload
+        // — the bare-engine equivalence the harness pins.
+        indices.sort_unstable();
+
+        let jobs: Vec<Job> = indices.iter().map(|&i| *scenario.workload.job(i)).collect();
+        let candidate_ids: Vec<u32> = jobs.iter().map(|j| j.id).collect();
+        let plan = scenario.host_plan(host_id, &candidate_ids);
+
+        let outcome = if jobs.is_empty() {
+            None
+        } else {
+            let instance =
+                pas_workload::Instance::new(jobs).expect("assigned jobs form a valid instance");
+            let model = cfg.power.model();
+            let mut policy = cfg.policy.build(model);
+            let result = match cfg.admission {
+                Some(adm) => run_online_gated(&instance, model, policy.as_mut(), &plan, adm),
+                None => run_online_with_faults(&instance, model, policy.as_mut(), &plan),
+            };
+            Some(result.map_err(|error| FleetError::Host {
+                host: host_id,
+                error,
+            })?)
+        };
+
+        // --- static energy over the on-window ---
+        let sched_end = outcome
+            .as_ref()
+            .map(|o| metrics::makespan(&o.schedule))
+            .unwrap_or(0.0);
+        let leave_at = scenario.events.iter().find_map(|ev| match ev.kind {
+            FleetEventKind::HostLeave { host } if host == host_id => Some(ev.at),
+            _ => None,
+        });
+        let window_start = cfg.available_from;
+        let window_end = match leave_at {
+            Some(t) => t.max(sched_end),
+            None => scenario.horizon.max(sched_end),
+        };
+        let mut occupied: Vec<(f64, f64)> = Vec::new();
+        if let Some(o) = &outcome {
+            for machine in o.schedule.machines() {
+                for s in machine {
+                    occupied.push((s.start, s.end));
+                }
+            }
+        }
+        // A crashed host is off, not idling: downtime leaves the
+        // static-power window.
+        for ev in plan.events() {
+            if let FaultKind::Crash { duration, .. } = ev.kind {
+                occupied.push((ev.at, ev.at + duration));
+            }
+        }
+        let mut static_energy = 0.0;
+        let mut sleeps = 0usize;
+        for gap in idle_gaps(occupied, window_start, window_end) {
+            static_energy += cfg.power.gap_energy(gap);
+            if cfg.power.sleeps_during(gap) {
+                sleeps += 1;
+            }
+        }
+
+        let (total_flow, digest) = match &outcome {
+            Some(o) => {
+                let flow = o
+                    .effective
+                    .as_ref()
+                    .map(|inst| metrics::total_flow(&o.schedule, inst))
+                    .unwrap_or(0.0);
+                (flow, outcome_digest(o))
+            }
+            None => (0.0, 0),
+        };
+
+        reports.push(HostReport {
+            host: host_id,
+            jobs_assigned: indices.len(),
+            dynamic_energy: outcome.as_ref().map(|o| o.energy).unwrap_or(0.0),
+            static_energy,
+            sleep_transitions: sleeps,
+            total_flow,
+            makespan: sched_end,
+            digest,
+            shed_jobs: outcome
+                .as_ref()
+                .map(|o| o.resilience.shed_jobs)
+                .unwrap_or(0),
+            throttle_clamps: outcome
+                .as_ref()
+                .map(|o| o.resilience.throttle_clamps)
+                .unwrap_or(0),
+            deadline_misses: outcome
+                .as_ref()
+                .and_then(|o| o.resilience.deadline_misses)
+                .unwrap_or(0),
+            outcome,
+        });
+    }
+
+    let dynamic_energy: f64 = reports.iter().map(|r| r.dynamic_energy).sum();
+    let static_energy: f64 = reports.iter().map(|r| r.static_energy).sum();
+    let total_flow: f64 = reports.iter().map(|r| r.total_flow).sum();
+    let makespan = reports.iter().map(|r| r.makespan).fold(0.0, f64::max);
+    let completed_jobs = reports
+        .iter()
+        .map(|r| {
+            r.outcome
+                .as_ref()
+                .map(|o| o.schedule.completion_times().len())
+                .unwrap_or(0)
+        })
+        .sum();
+
+    let mut fnv = Fnv::new();
+    fnv.bytes(trace.serialize().as_bytes());
+    for r in &reports {
+        fnv.u64(u64::from(r.host));
+        fnv.u64(r.digest);
+        fnv.f64(r.static_energy);
+        fnv.u64(r.sleep_transitions as u64);
+    }
+    fnv.u64(fleet_shed_jobs as u64);
+    fnv.f64(fleet_shed_work);
+    fnv.f64(dynamic_energy);
+    fnv.f64(total_flow);
+    let digest = fnv.0;
+
+    Ok(FleetOutcome {
+        hosts: reports,
+        trace,
+        fleet_shed_jobs,
+        fleet_shed_work,
+        dynamic_energy,
+        static_energy,
+        total_flow,
+        makespan,
+        completed_jobs,
+        digest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{EnginePower, HostConfig};
+    use pas_power::{HostPower, PolyPower};
+    use pas_workload::Instance;
+
+    fn hosts(n: u32) -> Vec<HostConfig> {
+        (0..n)
+            .map(|id| {
+                HostConfig::new(
+                    id,
+                    HostPower::dynamic_only(EnginePower::Poly(PolyPower::CUBE)),
+                )
+            })
+            .collect()
+    }
+
+    fn workload(n: usize) -> Instance {
+        Instance::new(
+            (0..n)
+                .map(|i| Job::new(i as u32, i as f64 * 0.5, 1.0))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_robin_spreads_jobs() {
+        let s = FleetScenario::new(hosts(3), workload(9), 20.0, 1);
+        let out = run(&s).unwrap();
+        assert_eq!(out.fleet_shed_jobs, 0);
+        for h in &out.hosts {
+            assert_eq!(h.jobs_assigned, 3, "round-robin must spread evenly");
+        }
+        assert_eq!(out.completed_jobs, 9);
+        assert!(out.dynamic_energy > 0.0);
+        assert_eq!(out.static_energy, 0.0, "dynamic-only hosts");
+    }
+
+    #[test]
+    fn least_assigned_balances_work() {
+        let mut s = FleetScenario::new(hosts(2), workload(8), 20.0, 3);
+        s.dispatch = DispatchPolicy::LeastAssigned;
+        let out = run(&s).unwrap();
+        let a = out.hosts[0].jobs_assigned;
+        let b = out.hosts[1].jobs_assigned;
+        assert_eq!(a + b, 8);
+        assert_eq!(a, 4);
+        assert_eq!(b, 4);
+    }
+
+    #[test]
+    fn no_eligible_host_sheds_at_the_frontier() {
+        let mut hs = hosts(1);
+        hs[0].available_from = 100.0; // joins long after the workload
+        let s = FleetScenario::new(hs, workload(4), 200.0, 1);
+        let out = run(&s).unwrap();
+        assert_eq!(out.fleet_shed_jobs, 4);
+        assert!((out.fleet_shed_work - 4.0).abs() < 1e-12);
+        assert_eq!(out.completed_jobs, 0);
+        assert_eq!(out.hosts[0].digest, 0);
+    }
+
+    #[test]
+    fn idle_gap_helper_merges_and_clips() {
+        // Window [0, 10], busy [2,4] and [3,5], down [8,12].
+        let gaps = idle_gaps(vec![(2.0, 4.0), (3.0, 5.0), (8.0, 12.0)], 0.0, 10.0);
+        assert_eq!(gaps, vec![2.0, 3.0]);
+        assert!(idle_gaps(vec![], 5.0, 5.0).is_empty());
+        assert_eq!(idle_gaps(vec![], 0.0, 7.0), vec![7.0]);
+    }
+
+    #[test]
+    fn replay_rejects_mismatched_seed_and_workload() {
+        let s = FleetScenario::new(hosts(2), workload(4), 20.0, 1);
+        let out = run(&s).unwrap();
+        let mut wrong_seed = s.clone();
+        wrong_seed.seed = 2;
+        assert!(matches!(
+            replay(&wrong_seed, &out.trace),
+            Err(FleetError::TraceMismatch { .. })
+        ));
+        let mut wrong_jobs = s.clone();
+        wrong_jobs.workload =
+            Instance::new(vec![Job::new(0, 0.0, 9.0), Job::new(1, 0.5, 1.0)]).unwrap();
+        assert!(matches!(
+            replay(&wrong_jobs, &out.trace),
+            Err(FleetError::TraceMismatch { .. })
+        ));
+    }
+}

@@ -130,6 +130,61 @@ impl<M: PowerModel> DiscreteSpeeds<M> {
         self.model.power(split.lo_speed) * split.lo_time
             + self.model.power(split.hi_speed) * split.hi_time
     }
+
+    /// Largest ratio between adjacent levels, `max_i s_{i+1}/s_i` (`1.0`
+    /// for a single-level ladder).
+    ///
+    /// This is the ladder's "coarseness": for an underlying
+    /// [`crate::PolyPower`] with exponent `α`, the emulation curve of the
+    /// [`PowerModel`] impl below is sandwiched as
+    /// `model.power(σ) ≤ ladder.power(σ) ≤ r^α · model.power(σ)` with
+    /// `r = max_adjacent_ratio()`, which is what the proptest bracketing
+    /// family in `crates/power/tests` pins across every solver entry.
+    pub fn max_adjacent_ratio(&self) -> f64 {
+        self.levels
+            .windows(2)
+            .map(|w| w[1] / w[0])
+            .fold(1.0, f64::max)
+    }
+}
+
+/// The two-level emulation power curve, as a [`PowerModel`].
+///
+/// For a target speed inside the ladder range, the cheapest
+/// hardware-executable emulation time-slices the two adjacent levels
+/// bracketing it ([`DiscreteSpeeds::two_level_split`]); its average power
+/// over the emulation window is exactly the **linear interpolation** of
+/// the underlying model between those levels. Outside the ladder range
+/// the curve falls back to the continuous model (the engine never asks
+/// for such speeds once caps are applied, and the fallback keeps the
+/// trait contract intact: `P(0)=0`, continuity, convexity).
+///
+/// Contract check: the curve is continuous (interpolation meets the
+/// model at every level), increasing, and convex — chord slopes of a
+/// convex function increase with the segment, and the boundary slopes
+/// `P'(s_min)`/`P'(s_max)` bracket the first/last chord. It is only
+/// *weakly* convex on the interior of each segment, but the quantity
+/// every algorithm actually consults, `g(σ) = P(σ)/σ`, stays **strictly
+/// increasing**: each chord `aσ + b` has `b < 0` (it lies above a convex
+/// curve through the origin), so `g(σ) = a + b/σ` strictly increases.
+impl<M: PowerModel> PowerModel for DiscreteSpeeds<M> {
+    fn power(&self, speed: f64) -> f64 {
+        let (lo, hi) = (self.min_speed(), self.max_speed());
+        if !(lo..=hi).contains(&speed) {
+            return self.model.power(speed);
+        }
+        let (i, j) = self.bracketing_levels(speed);
+        if i == j {
+            return self.model.power(self.levels[i]);
+        }
+        let (sl, sh) = (self.levels[i], self.levels[j]);
+        let (pl, ph) = (self.model.power(sl), self.model.power(sh));
+        pl + (ph - pl) * (speed - sl) / (sh - sl)
+    }
+
+    fn name(&self) -> String {
+        format!("ladder{}[{}]", self.levels.len(), self.model.name())
+    }
 }
 
 /// Result of emulating a continuous speed with two adjacent levels.
@@ -236,5 +291,84 @@ mod tests {
     #[should_panic(expected = "at least one speed level")]
     fn rejects_empty() {
         let _ = DiscreteSpeeds::new(PolyPower::CUBE, vec![]);
+    }
+
+    #[test]
+    fn power_model_impl_matches_split_energy() {
+        // g(σ)·work under the ladder model must equal the energy of the
+        // explicit two-level emulation — same construction, two codepaths.
+        let d = athlon();
+        for &target in &[0.9, 1.2, 1.79, 1.95] {
+            let split = d.two_level_split(3.0, target);
+            let via_trait = d.energy(3.0, target);
+            let via_split = d.split_energy(&split);
+            assert!(
+                (via_trait - via_split).abs() < 1e-12 * via_split,
+                "target {target}: trait {via_trait} vs split {via_split}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_model_impl_is_continuous_at_levels_and_ends() {
+        let d = athlon();
+        for &s in d.levels() {
+            assert!((d.power(s) - PolyPower::CUBE.power(s)).abs() < 1e-12);
+            let eps = 1e-9;
+            assert!((d.power(s - eps) - d.power(s)).abs() < 1e-6);
+            assert!((d.power(s + eps) - d.power(s)).abs() < 1e-6);
+        }
+        // Outside the ladder: continuous-model fallback.
+        assert_eq!(d.power(0.0), 0.0);
+        assert_eq!(d.power(0.5), PolyPower::CUBE.power(0.5));
+        assert_eq!(d.power(3.0), PolyPower::CUBE.power(3.0));
+    }
+
+    #[test]
+    fn power_model_impl_sandwiched_by_adjacent_ratio() {
+        let d = athlon();
+        let r = d.max_adjacent_ratio();
+        assert!((r - 1.8 / 0.8).abs() < 1e-12);
+        let scale = r.powf(3.0);
+        let mut s = 0.05;
+        while s < 2.5 {
+            let base = PolyPower::CUBE.power(s);
+            let ladder = d.power(s);
+            assert!(ladder >= base - 1e-12, "lower bound at {s}");
+            assert!(ladder <= scale * base + 1e-12, "upper bound at {s}");
+            s += 0.031;
+        }
+    }
+
+    #[test]
+    fn power_model_impl_g_strictly_increasing() {
+        let d = athlon();
+        let mut prev = 0.0;
+        let mut s = 0.1;
+        while s < 2.6 {
+            let g = d.energy_per_work(s);
+            assert!(g > prev, "g must strictly increase at {s}");
+            prev = g;
+            s += 0.017;
+        }
+    }
+
+    #[test]
+    fn power_model_impl_inverse_round_trips() {
+        let d = athlon();
+        for &e in &[0.1, 0.7, 1.5, 3.0] {
+            let s = d.speed_for_energy_per_work(e).unwrap();
+            assert!(
+                (d.energy_per_work(s) - e).abs() < 1e-9 * e.max(1.0),
+                "e={e}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_level_ladder_ratio_is_one() {
+        let d = DiscreteSpeeds::new(PolyPower::CUBE, vec![1.5]);
+        assert_eq!(d.max_adjacent_ratio(), 1.0);
+        assert_eq!(d.power(1.5), PolyPower::CUBE.power(1.5));
     }
 }

@@ -1,0 +1,248 @@
+//! Host-level static power: idle floors and sleep states.
+//!
+//! The paper's model (and the [`PowerModel`] contract) has `P(0) = 0`:
+//! an idle processor is free. The §6 "future work" discussion and the
+//! fleet-scale related work (PAPERS.md) both point out that real hosts
+//! burn a static floor while powered on, and that deep sleep states
+//! trade a wake-up energy cost for a lower floor.
+//!
+//! Folding an idle floor into [`PowerModel::power`] would break the
+//! contract (continuity and `P(0)=0` are load-bearing for every solver),
+//! so static power lives *outside* the trait: [`HostPower`] wraps a
+//! dynamic model together with an idle floor and an optional
+//! [`SleepConfig`], and the fleet simulator charges
+//! [`HostPower::gap_energy`] for every idle gap in a host's schedule.
+//! Solvers keep seeing only the dynamic model.
+
+use crate::model::PowerModel;
+
+/// Sleep-state parameters for a host.
+///
+/// The controller policy is the standard timeout race: a host that has
+/// been idle for [`SleepConfig::threshold`] time units transitions to
+/// sleep, drawing [`SleepConfig::sleep_power`] instead of the idle
+/// floor, and pays [`SleepConfig::wake_energy`] once when the next job
+/// forces it awake.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SleepConfig {
+    /// Idle time after which the host enters the sleep state.
+    pub threshold: f64,
+    /// Static power drawn while asleep (must not exceed the idle floor).
+    pub sleep_power: f64,
+    /// One-shot energy cost of waking back up.
+    pub wake_energy: f64,
+}
+
+impl SleepConfig {
+    /// Validate the configuration against an idle floor.
+    ///
+    /// # Panics
+    /// If any field is non-finite or negative, or `sleep_power` exceeds
+    /// `idle_power` (sleeping would then never help and the accounting
+    /// below would be misleading).
+    fn validate(&self, idle_power: f64) {
+        assert!(
+            self.threshold.is_finite() && self.threshold >= 0.0,
+            "sleep threshold must be finite and non-negative: {}",
+            self.threshold
+        );
+        assert!(
+            self.sleep_power.is_finite() && self.sleep_power >= 0.0,
+            "sleep power must be finite and non-negative: {}",
+            self.sleep_power
+        );
+        assert!(
+            self.wake_energy.is_finite() && self.wake_energy >= 0.0,
+            "wake energy must be finite and non-negative: {}",
+            self.wake_energy
+        );
+        assert!(
+            self.sleep_power <= idle_power,
+            "sleep power {} must not exceed the idle floor {}",
+            self.sleep_power,
+            idle_power
+        );
+    }
+}
+
+/// A dynamic [`PowerModel`] plus host-level static power accounting.
+///
+/// `HostPower` deliberately does **not** implement [`PowerModel`]: the
+/// static floor is charged per idle gap by the fleet layer, never seen
+/// by the per-machine solvers (whose optimality arguments require
+/// `P(0)=0`).
+#[derive(Debug, Clone)]
+pub struct HostPower<M> {
+    model: M,
+    idle_power: f64,
+    sleep: Option<SleepConfig>,
+}
+
+impl<M: PowerModel> HostPower<M> {
+    /// A host with no static power at all — gap energy is identically
+    /// zero, matching the paper's pure-dynamic model.
+    pub fn dynamic_only(model: M) -> Self {
+        HostPower {
+            model,
+            idle_power: 0.0,
+            sleep: None,
+        }
+    }
+
+    /// A host drawing a constant `idle_power` floor whenever it is on
+    /// but not executing work.
+    ///
+    /// # Panics
+    /// If `idle_power` is non-finite or negative.
+    pub fn with_idle(model: M, idle_power: f64) -> Self {
+        assert!(
+            idle_power.is_finite() && idle_power >= 0.0,
+            "idle power must be finite and non-negative: {idle_power}"
+        );
+        HostPower {
+            model,
+            idle_power,
+            sleep: None,
+        }
+    }
+
+    /// Add a sleep state on top of the idle floor.
+    ///
+    /// # Panics
+    /// If the configuration is invalid (see [`SleepConfig`]).
+    pub fn with_sleep(mut self, sleep: SleepConfig) -> Self {
+        sleep.validate(self.idle_power);
+        self.sleep = Some(sleep);
+        self
+    }
+
+    /// The dynamic model solvers should see.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The idle floor in power units.
+    pub fn idle_power(&self) -> f64 {
+        self.idle_power
+    }
+
+    /// The sleep configuration, if any.
+    pub fn sleep(&self) -> Option<&SleepConfig> {
+        self.sleep.as_ref()
+    }
+
+    /// Whether an idle gap of length `gap` triggers a sleep transition.
+    pub fn sleeps_during(&self, gap: f64) -> bool {
+        match &self.sleep {
+            Some(s) => gap >= s.threshold,
+            None => false,
+        }
+    }
+
+    /// Static energy charged for an idle gap of length `gap`.
+    ///
+    /// Without a sleep state this is `idle_power · gap`. With one, a gap
+    /// at least as long as the threshold costs
+    /// `idle_power · threshold + sleep_power · (gap − threshold) +
+    /// wake_energy` (idle until the timeout fires, sleep for the rest,
+    /// one wake-up at the end).
+    ///
+    /// Negative or zero gaps cost nothing.
+    pub fn gap_energy(&self, gap: f64) -> f64 {
+        if gap <= 0.0 {
+            return 0.0;
+        }
+        match &self.sleep {
+            Some(s) if gap >= s.threshold => {
+                self.idle_power * s.threshold + s.sleep_power * (gap - s.threshold) + s.wake_energy
+            }
+            _ => self.idle_power * gap,
+        }
+    }
+
+    /// The gap length beyond which sleeping is cheaper than idling, or
+    /// `None` when it never is (no sleep state, or the wake cost can
+    /// never be amortized because `sleep_power == idle_power`).
+    ///
+    /// Useful for hand-computing golden oracles: for gaps shorter than
+    /// the break-even point a sleep transition *costs* energy relative
+    /// to idling.
+    pub fn sleep_break_even(&self) -> Option<f64> {
+        let s = self.sleep.as_ref()?;
+        let saving_rate = self.idle_power - s.sleep_power;
+        if saving_rate <= 0.0 {
+            return None;
+        }
+        Some(s.threshold + s.wake_energy / saving_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::PolyPower;
+
+    fn sleepy() -> HostPower<PolyPower> {
+        HostPower::with_idle(PolyPower::CUBE, 2.0).with_sleep(SleepConfig {
+            threshold: 5.0,
+            sleep_power: 0.5,
+            wake_energy: 3.0,
+        })
+    }
+
+    #[test]
+    fn dynamic_only_charges_nothing() {
+        let h = HostPower::dynamic_only(PolyPower::CUBE);
+        assert_eq!(h.gap_energy(100.0), 0.0);
+        assert!(!h.sleeps_during(1e9));
+        assert_eq!(h.sleep_break_even(), None);
+    }
+
+    #[test]
+    fn idle_floor_is_linear_in_gap() {
+        let h = HostPower::with_idle(PolyPower::CUBE, 2.0);
+        assert_eq!(h.gap_energy(3.0), 6.0);
+        assert_eq!(h.gap_energy(0.0), 0.0);
+        assert_eq!(h.gap_energy(-1.0), 0.0);
+    }
+
+    #[test]
+    fn sleep_accounting_matches_hand_computation() {
+        let h = sleepy();
+        // Short gap: pure idle.
+        assert_eq!(h.gap_energy(4.0), 8.0);
+        assert!(!h.sleeps_during(4.0));
+        // Long gap: 5 idle + 7 asleep + wake.
+        // 2·5 + 0.5·7 + 3 = 16.5.
+        assert!(h.sleeps_during(12.0));
+        assert!((h.gap_energy(12.0) - 16.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn break_even_point() {
+        let h = sleepy();
+        // threshold + wake/(idle - sleep) = 5 + 3/1.5 = 7.
+        let be = h.sleep_break_even().unwrap();
+        assert!((be - 7.0).abs() < 1e-12);
+        // At the break-even gap, both accountings agree.
+        assert!((h.gap_energy(be) - h.idle_power() * be).abs() < 1e-12);
+        // Beyond it, sleeping is strictly cheaper.
+        assert!(h.gap_energy(10.0) < h.idle_power() * 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed the idle floor")]
+    fn rejects_sleep_hotter_than_idle() {
+        let _ = HostPower::with_idle(PolyPower::CUBE, 1.0).with_sleep(SleepConfig {
+            threshold: 1.0,
+            sleep_power: 2.0,
+            wake_energy: 0.0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "idle power must be finite")]
+    fn rejects_negative_idle() {
+        let _ = HostPower::with_idle(PolyPower::CUBE, -1.0);
+    }
+}

@@ -17,7 +17,13 @@
 //!   only convexity is required;
 //! * real processors with discrete speed steps (the AMD Athlon 64 table
 //!   quoted in the paper's introduction) are representable
-//!   ([`DiscreteSpeeds`]) for the §6 "future work" experiments.
+//!   ([`DiscreteSpeeds`]) for the §6 "future work" experiments —
+//!   including as a [`PowerModel`] in their own right via the two-level
+//!   emulation curve;
+//! * host-level static power (idle floors, sleep states) lives *outside*
+//!   the trait in [`HostPower`], charged per idle gap by the fleet
+//!   simulation layer, so the `P(0)=0` contract the solvers rely on
+//!   stays intact.
 //!
 //! ## The key derived quantity: energy per unit work
 //!
@@ -36,6 +42,7 @@ pub mod bounded;
 pub mod custom;
 pub mod discrete;
 pub mod exp;
+pub mod idle;
 pub mod model;
 pub mod poly;
 
@@ -43,5 +50,6 @@ pub use bounded::BoundedPower;
 pub use custom::CustomPower;
 pub use discrete::DiscreteSpeeds;
 pub use exp::ExpPower;
+pub use idle::{HostPower, SleepConfig};
 pub use model::{PowerError, PowerModel};
 pub use poly::PolyPower;

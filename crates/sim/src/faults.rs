@@ -338,6 +338,26 @@ impl FaultModel {
         self
     }
 
+    /// Derive a per-host sampling seed from a fleet-level seed.
+    ///
+    /// Fleet scenarios sample one independent [`FaultPlan`] per host from
+    /// a single scenario seed; the convention is
+    /// `model.sample(horizon, jobs, FaultModel::for_host(seed, h))`.
+    /// The mix is a splitmix64 finalizer over `seed ⊕ f(host_id)`, so
+    /// host streams are decorrelated (adjacent seeds/hosts share no
+    /// structure) yet fully reproducible: the same `(seed, host_id)`
+    /// pair always yields the same plan, independent of how many hosts
+    /// exist or in what order they are sampled — the replay-identity
+    /// property `tests/fault_model.rs` pins.
+    pub fn for_host(seed: u64, host_id: u32) -> u64 {
+        // splitmix64 finalizer (Steele–Lea–Flood) over the combined key.
+        let mut z = seed ^ (u64::from(host_id)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
     /// Sample a deterministic plan over `[0, horizon)`: each category is
     /// a Poisson process at its rate; cancellation targets are drawn
     /// from `candidate_jobs` (no cancels are generated when it is

@@ -63,6 +63,50 @@ pub fn poisson(n: usize, rate: f64, work_range: (f64, f64), seed: u64) -> Instan
     .expect("generated jobs are valid")
 }
 
+/// Poisson arrivals with **heavy-tailed** (bounded-Pareto) works: the
+/// fleet-scale workload family. Datacenter traces mix many small
+/// requests with rare huge ones; a bounded Pareto with shape
+/// `tail_index` on `[min_work, max_work]` (inverse-CDF sampled) captures
+/// that while keeping total work finite and runs reproducible.
+///
+/// # Panics
+/// If `n == 0`, `rate <= 0`, `tail_index <= 0`, or the work bounds are
+/// not `0 < min_work < max_work`.
+pub fn heavy_tailed(
+    n: usize,
+    rate: f64,
+    min_work: f64,
+    max_work: f64,
+    tail_index: f64,
+    seed: u64,
+) -> Instance {
+    assert!(n > 0, "n must be positive");
+    assert!(rate > 0.0, "rate must be positive");
+    assert!(tail_index > 0.0, "tail index must be positive");
+    assert!(
+        min_work > 0.0 && max_work > min_work,
+        "need 0 < min_work < max_work"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let u01 = Uniform::new(f64::MIN_POSITIVE, 1.0);
+    // Bounded-Pareto inverse CDF on [L, H] with shape a:
+    // x = L / (1 − u·(1 − (L/H)^a))^(1/a).
+    let (l, h, a) = (min_work, max_work, tail_index);
+    let tail = 1.0 - (l / h).powf(a);
+    let mut t = 0.0;
+    Instance::new(
+        (0..n)
+            .map(|i| {
+                t += -u01.sample(&mut rng).ln() / rate;
+                let u = u01.sample(&mut rng);
+                let work = (l / (1.0 - u * tail).powf(1.0 / a)).min(h);
+                Job::new(i as u32, t, work)
+            })
+            .collect(),
+    )
+    .expect("generated jobs are valid")
+}
+
 /// Equal-work Poisson stream: the input family for the flow algorithms
 /// (§4) and the multiprocessor algorithms (§5), which require equal work.
 pub fn equal_work_poisson(n: usize, rate: f64, work: f64, seed: u64) -> Instance {
@@ -315,6 +359,23 @@ mod tests {
         let inst = immediate(&[3.0, 1.0, 4.0]);
         assert!(inst.all_released_immediately(0.0));
         assert_eq!(inst.total_work(), 8.0);
+    }
+
+    #[test]
+    fn heavy_tailed_respects_bounds_and_is_seeded() {
+        let a = heavy_tailed(500, 2.0, 0.1, 100.0, 1.1, 7);
+        let b = heavy_tailed(500, 2.0, 0.1, 100.0, 1.1, 7);
+        assert_eq!(a, b, "same seed must reproduce the instance");
+        let c = heavy_tailed(500, 2.0, 0.1, 100.0, 1.1, 8);
+        assert_ne!(a, c, "different seeds must differ");
+        for j in a.jobs() {
+            assert!(j.work >= 0.1 && j.work <= 100.0);
+        }
+        // Heavy tail: with 500 draws at tail index 1.1, the max should
+        // dwarf the median by a wide margin.
+        let mut works: Vec<f64> = a.jobs().iter().map(|j| j.work).collect();
+        works.sort_by(f64::total_cmp);
+        assert!(works[499] > 10.0 * works[250], "tail not heavy enough");
     }
 
     #[test]

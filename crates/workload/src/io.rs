@@ -103,6 +103,25 @@ pub fn to_csv(instance: &Instance) -> String {
     out
 }
 
+/// Bit-exact `f64` encoding: the 16-hex-digit IEEE-754 bit pattern.
+///
+/// Decimal formatting is shortest-round-trip in Rust, but serialized
+/// traces that must replay **bit-identically** (the fleet event trace,
+/// the serve journal) encode raw bits instead, so no parser in any
+/// language can reintroduce rounding. Inverse: [`f64_from_hex`].
+pub fn f64_to_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Decode a [`f64_to_hex`] bit pattern; `None` for anything that is not
+/// exactly 16 hex digits.
+pub fn f64_from_hex(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +165,38 @@ mod tests {
     fn whitespace_tolerant() {
         let inst = parse_csv("  0.0 , 5.0 \n 5.0,2.0").unwrap();
         assert_eq!(inst.len(), 2);
+    }
+
+    #[test]
+    fn hex_codec_is_bit_exact() {
+        for &x in &[
+            0.0,
+            -0.0,
+            1.0,
+            0.1 + 0.2, // not representable as a short decimal
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::NEG_INFINITY,
+            1e-308 / 7.0, // subnormal
+        ] {
+            let hex = f64_to_hex(x);
+            assert_eq!(hex.len(), 16);
+            let back = f64_from_hex(&hex).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {hex}");
+        }
+        // NaN round-trips its payload bits too.
+        let nan_hex = f64_to_hex(f64::NAN);
+        assert_eq!(
+            f64_from_hex(&nan_hex).unwrap().to_bits(),
+            f64::NAN.to_bits()
+        );
+    }
+
+    #[test]
+    fn hex_codec_rejects_malformed() {
+        assert_eq!(f64_from_hex(""), None);
+        assert_eq!(f64_from_hex("3ff"), None);
+        assert_eq!(f64_from_hex("3ff0000000000000ff"), None);
+        assert_eq!(f64_from_hex("zzzzzzzzzzzzzzzz"), None);
     }
 }

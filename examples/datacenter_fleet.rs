@@ -1,129 +1,154 @@
-//! Multiprocessor scenario: a server farm with a shared energy meter.
+//! Fleet scenario: a heterogeneous server farm, simulated end to end.
 //!
 //! The paper's §1 motivates exactly this: "a server farm concerned only
 //! about total energy consumption and not the consumption of each
-//! machine separately". A burst of equal-sized requests lands on a small
-//! fleet; we schedule with the §5 algorithms — Theorem-10 cyclic
-//! assignment, equalized finish times for makespan, a shared last-job
-//! speed for flow — and show the energy/quality tradeoffs as the fleet
-//! grows. The closing sections exercise the robustness layer: a
-//! fault-injected serving run and a time-budgeted solve that returns a
-//! certified-gap incumbent instead of blocking.
+//! machine separately". This example drives the discrete-event fleet
+//! simulator (`pas_fleet`): heterogeneous hosts — continuous cubic,
+//! a discrete Athlon-style frequency ladder running qOA, an idle+sleep
+//! envelope running BKP, a speed-capped machine — serving a
+//! heavy-tailed request stream through a dispatcher, with a host
+//! joining late, one scripted mid-run failure, one planned
+//! decommission, and a background fault model on top. The closing
+//! section records the run's event trace, round-trips it through its
+//! textual serialization, and replays it bit-identically — the
+//! determinism contract the `tests/fleet_*.rs` suites pin.
 //!
 //! Run with: `cargo run --example datacenter_fleet`
 
-use std::time::Duration;
-
-use power_aware_scheduling::budget::{Budgeted, SolveBudget};
-use power_aware_scheduling::multi;
-use power_aware_scheduling::online::FractionalSpend;
-use power_aware_scheduling::prelude::*;
-use power_aware_scheduling::sim::{run_online_with_faults, FaultModel};
+use power_aware_scheduling::fleet::{
+    replay, run, DispatchPolicy, EnginePower, EventTrace, FleetEvent, FleetEventKind,
+    FleetScenario, HostConfig, HostPolicy,
+};
+use power_aware_scheduling::power::{DiscreteSpeeds, HostPower, PolyPower, SleepConfig};
+use power_aware_scheduling::sim::faults::FaultModel;
 use power_aware_scheduling::workload::generators;
 
-fn main() -> Result<(), CoreError> {
-    // 24 equal-work requests arriving in three bursts.
-    let raw = generators::bursty(3, 8, 5.0, 1.0, (1.0, 1.0), 42);
-    let releases: Vec<f64> = raw.jobs().iter().map(|j| j.release).collect();
-    let instance = Instance::equal_work(&releases, 1.0).expect("valid releases");
-    let model = PolyPower::CUBE;
-    let alpha = 3.0;
-    let budget = 40.0;
+fn main() {
+    // A heavy-tailed request stream: 60 jobs, bounded-Pareto works.
+    let workload = generators::heavy_tailed(60, 2.0, 0.2, 6.0, 1.5, 42);
+    let cube = PolyPower::CUBE;
 
-    println!("24 unit-work requests, 3 bursts, shared energy budget {budget}");
-    println!("\n== Makespan vs fleet size (Theorem 10 + Observation 1) ==");
-    for m in [1usize, 2, 4, 8] {
-        let sol = multi::makespan::laptop(&instance, &model, m, budget, 1e-10)?;
-        sol.schedule
-            .validate(&instance, 1e-6)
-            .expect("schedule validates");
+    // Four host archetypes, heterogeneous on purpose.
+    let mut hosts = vec![
+        // Host 0: bare continuous cubic, fixed speed.
+        HostConfig::new(0, HostPower::dynamic_only(EnginePower::Poly(cube))),
+        // Host 1: Athlon64-style ladder, qOA policy, small idle floor.
+        {
+            let ladder = DiscreteSpeeds::new(cube, vec![0.8, 1.8, 2.0]);
+            let mut h = HostConfig::new(1, HostPower::with_idle(EnginePower::Ladder(ladder), 0.1));
+            h.policy = HostPolicy::Qoa {
+                allowance: 4.0,
+                alpha: 3.0,
+                q: 5.0,
+            };
+            h
+        },
+        // Host 2: idle floor with a sleep state, BKP policy.
+        {
+            let mut h = HostConfig::new(
+                2,
+                HostPower::with_idle(EnginePower::Poly(cube), 0.3).with_sleep(SleepConfig {
+                    threshold: 2.0,
+                    sleep_power: 0.05,
+                    wake_energy: 1.0,
+                }),
+            );
+            h.policy = HostPolicy::Bkp { factor: 1.3 };
+            h
+        },
+        // Host 3: speed-capped, joins the fleet late.
+        {
+            let mut h = HostConfig::new(3, HostPower::dynamic_only(EnginePower::Poly(cube)));
+            h.speed_cap = Some(1.2);
+            h.available_from = 8.0;
+            h
+        },
+    ];
+    hosts[0].policy = HostPolicy::Fixed { speed: 1.4 };
+
+    let mut scenario = FleetScenario::new(hosts, workload, 60.0, 7);
+    scenario.dispatch = DispatchPolicy::LeastAssigned;
+    // Scripted operations: host 1 crashes for 4 time units at t=10;
+    // host 0 is decommissioned at t=20.
+    scenario.events = vec![
+        FleetEvent {
+            at: 10.0,
+            kind: FleetEventKind::HostFail {
+                host: 1,
+                duration: 4.0,
+            },
+        },
+        FleetEvent {
+            at: 20.0,
+            kind: FleetEventKind::HostLeave { host: 0 },
+        },
+    ];
+    // Plus a background fault stream, decorrelated per host by seed.
+    scenario.fault_model = Some(FaultModel::uniform_mix(0.1));
+    scenario.slo = Some(15.0);
+
+    let out = run(&scenario).expect("fleet run succeeds");
+
+    println!("== Fleet run: 60 heavy-tailed jobs on 4 heterogeneous hosts ==");
+    println!("  host  jobs  dyn-energy  static  sleeps  flow      digest");
+    for h in &out.hosts {
         println!(
-            "  {m:2} machines -> makespan {:8.4}  (energy used {:.3})",
-            sol.makespan, sol.energy
+            "  {:>4}  {:>4}  {:>10.3}  {:>6.3}  {:>6}  {:>8.3}  {:016x}",
+            h.host,
+            h.jobs_assigned,
+            h.dynamic_energy,
+            h.static_energy,
+            h.sleep_transitions,
+            h.total_flow,
+            h.digest
         );
     }
-
-    println!("\n== Total flow vs fleet size (Observation 2: shared σ_n) ==");
-    for m in [1usize, 2, 4, 8] {
-        let sol = multi::flow::laptop(&instance, alpha, m, budget, 1e-10)?;
-        println!(
-            "  {m:2} machines -> total flow {:8.4}  (u = σ_n^α = {:.4})",
-            sol.total_flow, sol.u
-        );
-    }
-
-    println!("\n== Unequal work is NP-hard (Theorem 11) ==");
-    // A Partition-style workload: can 2 machines hit makespan B/2 on
-    // budget B?
-    let values = [7u64, 5, 4, 4, 3, 3, 2, 2];
-    let b: u64 = values.iter().sum();
-    let witness = multi::partition::partition_witness(&values);
     println!(
-        "  works {values:?} (B = {b}): perfect split {}",
-        if witness.is_some() {
-            "EXISTS"
+        "  totals: energy {:.3} (dynamic {:.3} + static {:.3}), flow {:.3}, makespan {:.3}",
+        out.total_energy(),
+        out.dynamic_energy,
+        out.static_energy,
+        out.total_flow,
+        out.makespan
+    );
+    println!(
+        "  completed {} jobs, shed {} ({} unroutable at the frontier), fleet digest {:016x}",
+        out.completed_jobs,
+        out.shed_jobs(),
+        out.fleet_shed_jobs,
+        out.digest
+    );
+
+    println!("\n== Record -> serialize -> parse -> replay ==");
+    let text = out.trace.serialize();
+    println!(
+        "  trace: {} events, {} bytes of bit-exact hex-float text",
+        out.trace.records.len(),
+        text.len()
+    );
+    let parsed = EventTrace::parse(&text).expect("recorded trace parses");
+    let replayed = replay(&scenario, &parsed).expect("replay succeeds");
+    assert_eq!(
+        out.digest, replayed.digest,
+        "replay must reproduce the fleet digest bit-for-bit"
+    );
+    println!(
+        "  replayed fleet digest {:016x} — identical",
+        replayed.digest
+    );
+
+    // Seeds matter: a different seed shuffles same-time event ties and
+    // (under dispatch) routing, giving a genuinely different run.
+    let mut reseeded = scenario.clone();
+    reseeded.seed = 8;
+    let other = run(&reseeded).expect("reseeded run succeeds");
+    println!(
+        "  reseeded (7 -> 8) fleet digest {:016x} — {}",
+        other.digest,
+        if other.digest == out.digest {
+            "identical (ties happened not to matter)"
         } else {
-            "does not exist"
+            "different, as expected"
         }
     );
-    let works: Vec<f64> = values.iter().map(|&v| v as f64).collect();
-    let (labels, norm) = multi::partition::min_norm_assignment(&works, 2, alpha);
-    let t = multi::partition::makespan_for_loads_from_assignment(&works, &labels, alpha, b as f64);
-    println!(
-        "  exact B&B: optimal L_alpha norm {norm:.3}, makespan {t:.4} vs target {}",
-        b as f64 / 2.0
-    );
-    let (lpt_labels, lpt_norm) = multi::partition::lpt_assignment(&works, 2, alpha);
-    let (_, ls_norm) = multi::partition::local_search(&works, 2, alpha, lpt_labels);
-    println!("  LPT heuristic norm {lpt_norm:.3}; after local search {ls_norm:.3}");
-
-    println!("\n== Serving under faults (crash/cancel/throttle/burst mix) ==");
-    // One machine of the fleet, online, under a seeded fault scenario:
-    // the run replays bit-identically from the seed.
-    let ids: Vec<u32> = instance.jobs().iter().map(|j| j.id).collect();
-    let plan = FaultModel::uniform_mix(0.25)
-        .sample(30.0, &ids, 7)
-        .with_slo(12.0);
-    let mut policy = FractionalSpend::new(model, budget, 0.5);
-    let out = run_online_with_faults(&instance, &model, &mut policy, &plan)
-        .expect("faulted run completes");
-    let r = &out.resilience;
-    println!(
-        "  {} crash(es), downtime {:.2}, lost work {:.2}, wasted energy {:.3}",
-        r.crashes, r.downtime, r.lost_work, r.wasted_energy
-    );
-    println!(
-        "  {} cancelled, {} burst jobs, {} throttled decisions, worst recovery {:.2}, SLO misses {:?}",
-        r.cancelled_jobs,
-        r.burst_jobs,
-        r.throttle_clamps,
-        r.max_recovery_latency(),
-        r.deadline_misses
-    );
-    if let Some(eff) = out.effective.as_ref() {
-        out.schedule
-            .validate(eff, 1e-6)
-            .expect("surviving schedule validates against the effective instance");
-        println!("  surviving schedule validates against the effective instance");
-    }
-
-    println!("\n== Degrading the solver gracefully (SolveBudget) ==");
-    // A coarse quantized workload is adversarial for the B&B; a 10ms
-    // wall budget returns the best incumbent found plus a *certified*
-    // optimality gap instead of blocking the control plane.
-    let hard: Vec<f64> = (0..36)
-        .map(|i: usize| 0.5 + 0.75 * (((i * 2654435761) >> 7) % 4) as f64)
-        .collect();
-    let tight = SolveBudget {
-        wall: Some(Duration::from_millis(10)),
-        nodes: None,
-    };
-    match multi::partition::min_norm_assignment_budgeted(&hard, 9, alpha, &tight) {
-        Budgeted::Exact((_, norm)) => println!("  finished exactly: norm {norm:.3}"),
-        Budgeted::Degraded(d) => println!(
-            "  degraded after {} nodes / {:?}: incumbent norm {:.3}, certified gap {:.3} (lower bound {:.3})",
-            d.nodes, d.elapsed, d.value.1, d.bound_gap, d.lower_bound
-        ),
-    }
-    Ok(())
 }

@@ -2,8 +2,9 @@
 //!
 //! Provides the macro and strategy surface this workspace uses —
 //! `proptest!` with an optional `#![proptest_config(...)]` header,
-//! `prop_assert!`/`prop_assert_eq!`, range/tuple/`collection::vec`
-//! strategies, `prop_map`/`prop_flat_map` — driven by a deterministic
+//! `prop_assert!`/`prop_assert_eq!`, range/tuple (arity 2–6) /
+//! `collection::vec` strategies, element-wise `Vec<Strategy>`
+//! composition, `prop_map`/`prop_flat_map` — driven by a deterministic
 //! seeded generator. Unlike real proptest there is **no shrinking**: a
 //! failing case reports its values via the assertion message only. Runs
 //! are fully reproducible (fixed seed per test body).
@@ -104,7 +105,20 @@ pub mod strategy {
             }
         )*};
     }
-    impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
+    impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(A, B, C, D, E, F));
+
+    /// Element-wise composition: a `Vec` of strategies generates a `Vec`
+    /// of values, one per inner strategy, in order. Upstream proptest
+    /// has the same impl; the fleet determinism proptests use it to
+    /// draw one independently-configured value per host from a
+    /// runtime-sized strategy list (tuples cap out at a fixed arity).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
 }
 
 /// Collection strategies.
@@ -478,6 +492,26 @@ mod tests {
         #[test]
         fn prop_map_applies(y in (0.0..1.0f64).prop_map(|v| v + 10.0)) {
             prop_assert!((10.0..11.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_of_strategies_composes_elementwise(
+            vals in vec![0.0..1.0f64, 5.0..6.0, -2.0..-1.0]
+        ) {
+            prop_assert_eq!(vals.len(), 3);
+            prop_assert!((0.0..1.0).contains(&vals[0]));
+            prop_assert!((5.0..6.0).contains(&vals[1]));
+            prop_assert!((-2.0..-1.0).contains(&vals[2]));
+        }
+
+        #[test]
+        fn five_and_six_tuples_generate(
+            five in (0.0..1.0f64, 1u32..4, 0.0..1.0f64, 2u64..9, 0usize..3),
+            six in (0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64, 1u32..2),
+        ) {
+            prop_assert!((0.0..1.0).contains(&five.0) && (1..4).contains(&five.1));
+            prop_assert!((2..9).contains(&five.3) && five.4 < 3);
+            prop_assert!(six.5 == 1);
         }
     }
 

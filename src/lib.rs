@@ -50,6 +50,7 @@
 //! | [`power`] | `pas-power` | speed→power models ([`PolyPower`](power::PolyPower), [`ExpPower`](power::ExpPower), bounded and discrete variants) |
 //! | [`workload`] | `pas-workload` | jobs, instances, seeded generators |
 //! | [`sim`] | `pas-sim` | schedules, validation, metrics, online engine |
+//! | [`fleet`] | `pas-fleet` | deterministic discrete-event fleet simulator: dispatcher, host power envelopes, bit-exact traces |
 //! | [`makespan`] | `pas-core` | `IncMerge`, the frontier, DP/MoveRight baselines (paper §3) |
 //! | [`flow`] | `pas-core` | Theorem-1 flow solver, tradeoff curve, Theorem-8 witness (paper §4) |
 //! | [`multi`] | `pas-core` | cyclic assignment, multiprocessor makespan/flow, Partition reduction (paper §5) |
@@ -68,6 +69,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub use pas_fleet as fleet;
 pub use pas_numeric as numeric;
 pub use pas_power as power;
 pub use pas_sim as sim;

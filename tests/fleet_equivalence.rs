@@ -1,0 +1,190 @@
+//! Fleet differential equivalence: the fleet layer adds no second
+//! scheduler.
+//!
+//! Three families of evidence, all digest-level (bit-exact):
+//!
+//! 1. **Single-host collapse** — a 1-host fleet is bit-identical to the
+//!    bare `pas_sim` online engine run over the same workload, policy,
+//!    and fault plan. The fleet layer's dispatch, trace recording, and
+//!    aggregation must be exactly zero-overhead semantically.
+//! 2. **Record → serialize → parse → replay** — a recorded trace
+//!    survives its textual round trip and replaying it reproduces the
+//!    fleet digest bit-for-bit.
+//! 3. **Golden oracle** — a 3-host fixed-speed scenario small enough to
+//!    compute by hand pins the idle/sleep static-energy accounting to
+//!    closed-form values.
+
+use power_aware_scheduling::fleet::{
+    replay, run, EnginePower, EventTrace, FleetScenario, HostConfig, HostPolicy,
+};
+use power_aware_scheduling::power::discrete::ATHLON64_GHZ;
+use power_aware_scheduling::power::{DiscreteSpeeds, HostPower, PolyPower, SleepConfig};
+use power_aware_scheduling::sim::faults::FaultModel;
+use power_aware_scheduling::sim::journal::outcome_digest;
+use power_aware_scheduling::sim::online::run_online_with_faults;
+use power_aware_scheduling::workload::{Instance, Job};
+
+fn workload() -> Instance {
+    // Deliberate release ties so dispatch-order shuffling would show up
+    // in the digest if the fleet failed to canonicalize assignment
+    // order.
+    Instance::new(vec![
+        Job::new(0, 0.0, 2.0),
+        Job::new(1, 0.0, 1.0),
+        Job::new(2, 1.5, 0.5),
+        Job::new(3, 1.5, 1.5),
+        Job::new(4, 3.0, 1.0),
+    ])
+    .unwrap()
+}
+
+/// Run `scenario`'s single host through the bare engine with the
+/// identical policy and fault plan, and return the outcome digest.
+fn bare_engine_digest(scenario: &FleetScenario) -> u64 {
+    let cfg = &scenario.hosts[0];
+    let ids: Vec<u32> = scenario.workload.jobs().iter().map(|j| j.id).collect();
+    let plan = scenario.host_plan(cfg.id, &ids);
+    let model = cfg.power.model();
+    let mut policy = cfg.policy.build(model);
+    let outcome =
+        run_online_with_faults(&scenario.workload, model, policy.as_mut(), &plan).unwrap();
+    outcome_digest(&outcome)
+}
+
+#[test]
+fn single_host_fleet_collapses_to_bare_engine() {
+    let host = HostConfig::new(
+        0,
+        HostPower::dynamic_only(EnginePower::Poly(PolyPower::CUBE)),
+    );
+    let scenario = FleetScenario::new(vec![host], workload(), 20.0, 99);
+    let fleet = run(&scenario).unwrap();
+    assert_eq!(fleet.fleet_shed_jobs, 0);
+    assert_eq!(
+        fleet.hosts[0].digest,
+        bare_engine_digest(&scenario),
+        "1-host fleet must be bit-identical to the bare engine"
+    );
+}
+
+#[test]
+fn single_host_collapse_holds_with_cap_faults_and_ladder() {
+    // The hard variant: discrete-speed ladder model, qOA policy, a hard
+    // speed cap (full-horizon throttle), a background fault model, and
+    // an SLO — everything host_plan can assemble.
+    let ladder = DiscreteSpeeds::new(PolyPower::CUBE, ATHLON64_GHZ.to_vec());
+    let mut host = HostConfig::new(0, HostPower::dynamic_only(EnginePower::Ladder(ladder)));
+    host.policy = HostPolicy::Qoa {
+        allowance: 6.0,
+        alpha: 3.0,
+        q: 5.0,
+    };
+    host.speed_cap = Some(1.8);
+    let mut scenario = FleetScenario::new(vec![host], workload(), 20.0, 4242);
+    scenario.fault_model = Some(FaultModel::uniform_mix(0.4));
+    scenario.slo = Some(8.0);
+    let fleet = run(&scenario).unwrap();
+    assert_eq!(
+        fleet.hosts[0].digest,
+        bare_engine_digest(&scenario),
+        "collapse must survive caps, faults, ladders, and SLOs"
+    );
+    assert!(
+        fleet.hosts[0].throttle_clamps > 0,
+        "the 1.8 cap must clamp qOA at least once on this workload"
+    );
+}
+
+#[test]
+fn trace_survives_textual_round_trip_and_replays_bit_identically() {
+    let mut hosts: Vec<HostConfig> = (0..3)
+        .map(|id| {
+            HostConfig::new(
+                id,
+                HostPower::with_idle(EnginePower::Poly(PolyPower::CUBE), 0.25),
+            )
+        })
+        .collect();
+    hosts[1].policy = HostPolicy::Bkp { factor: 1.25 };
+    let mut scenario = FleetScenario::new(hosts, workload(), 20.0, 31337);
+    scenario.fault_model = Some(FaultModel::uniform_mix(0.3));
+    let live = run(&scenario).unwrap();
+
+    let text = live.trace.serialize();
+    let parsed = EventTrace::parse(&text).expect("recorded trace must parse");
+    assert_eq!(parsed, live.trace, "parse must invert serialize exactly");
+
+    let replayed = replay(&scenario, &parsed).unwrap();
+    assert_eq!(
+        live.digest, replayed.digest,
+        "record → text → parse → replay must reproduce the fleet digest"
+    );
+    assert_eq!(
+        live.static_energy.to_bits(),
+        replayed.static_energy.to_bits()
+    );
+    assert_eq!(
+        live.dynamic_energy.to_bits(),
+        replayed.dynamic_energy.to_bits()
+    );
+}
+
+/// The hand-computable oracle. Three hosts, round-robin, fixed speed 1,
+/// `P(σ) = σ³`, jobs (release, work) = (0,1), (1,1), (2,1) → host `i`
+/// runs its job over `[i, i+1]` at speed 1 (dynamic energy 1 each).
+/// Horizon 10. Static accounting, by hand:
+///
+/// * host 0 — dynamic-only: static = 0;
+/// * host 1 — idle floor 0.5, idle over [0,1] ∪ [2,10] = 9 time units:
+///   static = 4.5, no sleep state;
+/// * host 2 — idle 2.0 with sleep {threshold 1, sleep power 0.5, wake
+///   3}: gaps [0,2] and [3,10], both ≥ threshold so both sleep:
+///   (2·1 + 0.5·1 + 3) + (2·1 + 0.5·6 + 3) = 5.5 + 8 = 13.5, two
+///   sleep transitions.
+///
+/// Fleet totals: dynamic 3, static 18, flow 3 (each job's flow is 1),
+/// makespan 3.
+#[test]
+fn three_host_golden_oracle_pins_idle_and_sleep_energy() {
+    let cube = || EnginePower::Poly(PolyPower::CUBE);
+    let hosts = vec![
+        HostConfig::new(0, HostPower::dynamic_only(cube())),
+        HostConfig::new(1, HostPower::with_idle(cube(), 0.5)),
+        HostConfig::new(
+            2,
+            HostPower::with_idle(cube(), 2.0).with_sleep(SleepConfig {
+                threshold: 1.0,
+                sleep_power: 0.5,
+                wake_energy: 3.0,
+            }),
+        ),
+    ];
+    let workload = Instance::new(vec![
+        Job::new(0, 0.0, 1.0),
+        Job::new(1, 1.0, 1.0),
+        Job::new(2, 2.0, 1.0),
+    ])
+    .unwrap();
+    let scenario = FleetScenario::new(hosts, workload, 10.0, 5);
+    let out = run(&scenario).unwrap();
+
+    let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
+    assert_eq!(out.fleet_shed_jobs, 0);
+    assert_eq!(out.completed_jobs, 3);
+    for (i, h) in out.hosts.iter().enumerate() {
+        assert_eq!(h.jobs_assigned, 1, "round-robin: one job per host");
+        assert!(close(h.dynamic_energy, 1.0), "host {i} dynamic energy");
+        assert!(close(h.total_flow, 1.0), "host {i} flow");
+    }
+    assert!(close(out.hosts[0].static_energy, 0.0));
+    assert!(close(out.hosts[1].static_energy, 4.5));
+    assert!(close(out.hosts[2].static_energy, 13.5));
+    assert_eq!(out.hosts[0].sleep_transitions, 0);
+    assert_eq!(out.hosts[1].sleep_transitions, 0);
+    assert_eq!(out.hosts[2].sleep_transitions, 2);
+    assert!(close(out.dynamic_energy, 3.0));
+    assert!(close(out.static_energy, 18.0));
+    assert!(close(out.total_energy(), 21.0));
+    assert!(close(out.total_flow, 3.0));
+    assert!(close(out.makespan, 3.0));
+}

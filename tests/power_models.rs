@@ -1,0 +1,191 @@
+//! Discrete-speed ladders and host power envelopes through every solver
+//! entry that accepts a `PowerModel`.
+//!
+//! The load-bearing fact (proved in `pas_power::discrete` and pinned
+//! here end-to-end): a [`DiscreteSpeeds`] ladder over a base model `P`
+//! is itself a valid `PowerModel` whose curve is **sandwiched**
+//!
+//! ```text
+//! P(σ)  ≤  L(σ)  ≤  r^α · P(σ)        (r = max adjacent level ratio)
+//! ```
+//!
+//! — inside the ladder range because the interpolated chord lies above
+//! the convex base curve but below the `r^α`-scaled one, and outside it
+//! trivially (the ladder falls back to the base model). Scaling power by
+//! `c` is the same as scaling the budget by `1/c`, so every budgeted
+//! solver's optimum under the ladder is bracketed by the base model's
+//! optimum at budgets `E` and `E/c`. These tests push that bracketing
+//! through `makespan::laptop` (IncMerge), `makespan::server`,
+//! `laptop_dp`, `server_moveright`, `Frontier`, `multi::makespan::laptop`, the
+//! online engine, and `metrics::energy` — i.e. a ladder can be dropped
+//! into any solver in the workspace and lands within the predicted
+//! factor of the continuous answer.
+
+use power_aware_scheduling::fleet::FixedSpeed;
+use power_aware_scheduling::makespan::{self, Frontier};
+use power_aware_scheduling::multi;
+use power_aware_scheduling::power::{DiscreteSpeeds, PolyPower};
+use power_aware_scheduling::prelude::*;
+use power_aware_scheduling::sim::online::run_online;
+use power_aware_scheduling::workload::strategies;
+use proptest::prelude::*;
+
+const ALPHA: f64 = 3.0;
+const TOL: f64 = 1e-6;
+
+fn ladders() -> Vec<DiscreteSpeeds<PolyPower>> {
+    vec![
+        // The Athlon64 ladder from the paper's discrete-speed discussion.
+        DiscreteSpeeds::new(PolyPower::CUBE, vec![0.8, 1.8, 2.0]),
+        // A finer ladder: tighter r, tighter sandwich.
+        DiscreteSpeeds::new(PolyPower::CUBE, vec![0.5, 0.75, 1.0, 1.5, 2.0, 2.5]),
+        // A deliberately coarse two-level ladder: worst-case r.
+        DiscreteSpeeds::new(PolyPower::CUBE, vec![0.6, 2.4]),
+    ]
+}
+
+/// The sandwich factor `c = r^α` for a ladder.
+fn factor(ladder: &DiscreteSpeeds<PolyPower>) -> f64 {
+    ladder.max_adjacent_ratio().powf(ALPHA)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// IncMerge laptop: `T_P(E) ≤ T_L(E) ≤ T_P(E/c)`.
+    #[test]
+    fn laptop_makespan_is_bracketed(
+        instance in strategies::instances(8),
+        budget in 1.0f64..60.0,
+        which in 0usize..3,
+    ) {
+        let ladder = &ladders()[which];
+        let c = factor(ladder);
+        let base = makespan::laptop(&instance, &PolyPower::CUBE, budget).unwrap();
+        let lad = makespan::laptop(&instance, ladder, budget).unwrap();
+        let scaled = makespan::laptop(&instance, &PolyPower::CUBE, budget / c).unwrap();
+        prop_assert!(base.makespan() <= lad.makespan() + TOL,
+            "ladder cannot beat the continuous model on the same budget");
+        prop_assert!(lad.makespan() <= scaled.makespan() + TOL,
+            "ladder cannot lose more than the sandwich factor");
+    }
+
+    /// IncMerge server: `E_P(T) ≤ E_L(T) ≤ c · E_P(T)`.
+    #[test]
+    fn server_energy_is_bracketed(
+        instance in strategies::instances(8),
+        slack in 0.5f64..10.0,
+        which in 0usize..3,
+    ) {
+        let ladder = &ladders()[which];
+        let c = factor(ladder);
+        let deadline = instance.last_release() + slack;
+        let base = makespan::server(&instance, &PolyPower::CUBE, deadline).unwrap();
+        let lad = makespan::server(&instance, ladder, deadline).unwrap();
+        let (e_base, e_lad) = (base.energy(&PolyPower::CUBE), lad.energy(ladder));
+        prop_assert!(e_base <= e_lad + TOL);
+        prop_assert!(e_lad <= c * e_base + TOL);
+    }
+
+    /// The O(n²) DP reproduces IncMerge's answer under a ladder model —
+    /// the cross-solver differential extends to non-polynomial models.
+    #[test]
+    fn dp_agrees_with_incmerge_under_ladder(
+        instance in strategies::instances(6),
+        budget in 1.0f64..40.0,
+        which in 0usize..3,
+    ) {
+        let ladder = &ladders()[which];
+        let fast = makespan::laptop(&instance, ladder, budget).unwrap();
+        let slow = makespan::dp::laptop_dp(&instance, ladder, budget).unwrap();
+        prop_assert!((fast.makespan() - slow.makespan()).abs() < 1e-6);
+    }
+
+    /// MoveRight's block partition is model-independent; calling it with
+    /// a ladder must give the identical partition as the base model.
+    #[test]
+    fn moveright_partition_ignores_the_model(
+        instance in strategies::instances(8),
+        slack in 0.5f64..10.0,
+        which in 0usize..3,
+    ) {
+        let ladder = &ladders()[which];
+        let deadline = instance.last_release() + slack;
+        let a = makespan::moveright::server_moveright(&instance, &PolyPower::CUBE, deadline).unwrap();
+        let b = makespan::moveright::server_moveright(&instance, ladder, deadline).unwrap();
+        prop_assert!((a.makespan() - b.makespan()).abs() < 1e-12);
+    }
+
+    /// The frontier built under a ladder agrees with the direct laptop
+    /// solve under the same ladder at every queried budget.
+    #[test]
+    fn frontier_is_consistent_under_ladder(
+        instance in strategies::instances(8),
+        budget in 1.0f64..60.0,
+        which in 0usize..3,
+    ) {
+        let ladder = &ladders()[which];
+        let frontier = Frontier::build(&instance, ladder);
+        let direct = makespan::laptop(&instance, ladder, budget).unwrap();
+        let via_frontier = frontier.makespan(ladder, budget).unwrap();
+        prop_assert!((direct.makespan() - via_frontier).abs() < 1e-6);
+    }
+
+    /// Equal-work multiprocessor laptop under a ladder: bracketed by the
+    /// base model at budgets `E` and `E/c`.
+    #[test]
+    fn multi_laptop_is_bracketed(
+        n in 2usize..7,
+        m in 1usize..4,
+        budget in 2.0f64..40.0,
+        which in 0usize..3,
+    ) {
+        let instance = Instance::new(
+            (0..n).map(|i| Job::new(i as u32, i as f64 * 0.5, 1.0)).collect(),
+        ).unwrap();
+        let ladder = &ladders()[which];
+        let c = factor(ladder);
+        let base = multi::makespan::laptop(&instance, &PolyPower::CUBE, m, budget, 1e-9).unwrap();
+        let lad = multi::makespan::laptop(&instance, ladder, m, budget, 1e-9).unwrap();
+        let scaled = multi::makespan::laptop(&instance, &PolyPower::CUBE, m, budget / c, 1e-9).unwrap();
+        prop_assert!(base.makespan <= lad.makespan + 1e-5);
+        prop_assert!(lad.makespan <= scaled.makespan + 1e-5);
+    }
+
+    /// The online engine runs unmodified under a ladder, and the energy
+    /// it meters obeys the pointwise sandwich against `metrics::energy`
+    /// under the base and scaled models — for the *same* schedule.
+    #[test]
+    fn online_engine_energy_obeys_the_sandwich(
+        instance in strategies::instances(8),
+        speed in 0.3f64..2.8,
+        which in 0usize..3,
+    ) {
+        let ladder = &ladders()[which];
+        let c = factor(ladder);
+        let mut policy = FixedSpeed::new(speed);
+        let outcome = run_online(&instance, ladder, &mut policy).unwrap();
+        let e_base = metrics::energy(&outcome.schedule, &PolyPower::CUBE);
+        let e_lad = metrics::energy(&outcome.schedule, ladder);
+        prop_assert!((outcome.energy - e_lad).abs() < 1e-6,
+            "the engine's meter must agree with metrics::energy under the same model");
+        prop_assert!(e_base <= e_lad + TOL);
+        prop_assert!(e_lad <= c * e_base + TOL);
+    }
+}
+
+/// Strictness: between two levels the ladder is *strictly* dearer than
+/// a strictly convex base (chord above curve), so a fixed-speed run at
+/// an off-level speed strictly separates the two meters.
+#[test]
+fn off_level_speed_strictly_separates_ladder_from_base() {
+    let ladder = DiscreteSpeeds::new(PolyPower::CUBE, vec![0.8, 1.8, 2.0]);
+    let instance = Instance::from_pairs(&[(0.0, 2.0), (1.0, 1.0)]).unwrap();
+    let mut policy = FixedSpeed::new(1.2); // strictly between 0.8 and 1.8
+    let outcome = run_online(&instance, &ladder, &mut policy).unwrap();
+    let e_base = metrics::energy(&outcome.schedule, &PolyPower::CUBE);
+    assert!(
+        outcome.energy > e_base + 1e-9,
+        "interpolated ladder power must be strictly above σ³ off-level"
+    );
+}
