@@ -8,8 +8,8 @@
 //!   bench files `DIR/BENCH_yds.json`, `DIR/BENCH_flow.json`,
 //!   `DIR/BENCH_multi.json`, `DIR/BENCH_oa.json`,
 //!   `DIR/BENCH_faults.json`, `DIR/BENCH_serve.json`,
-//!   `DIR/BENCH_policies.json`, and `DIR/BENCH_fleet.json` (default
-//!   `.`), the perf-trajectory
+//!   `DIR/BENCH_policies.json`, `DIR/BENCH_fleet.json`, and
+//!   `DIR/BENCH_fleet_par.json` (default `.`), the perf-trajectory
 //!   records successive PRs compare against.
 //!   Expect tens of minutes: the YDS reference is `O(n⁴)` through
 //!   n=2000, the flow reference curve is ~120 cold bisection solves of
@@ -22,9 +22,9 @@
 //!   plumbing can never rot;
 //! * `--only yds` / `--only flow` / `--only multi` / `--only oa` /
 //!   `--only faults` / `--only serve` / `--only policies` /
-//!   `--only fleet` — restrict either mode to one path (the other
-//!   `BENCH_*.json` files are left untouched).
-use pas_bench::experiments::{faults, fleet, online_budget, scaling, serve};
+//!   `--only fleet` / `--only fleet-par` — restrict either mode to one
+//!   path (the other `BENCH_*.json` files are left untouched).
+use pas_bench::experiments::{faults, fleet, fleet_par, online_budget, scaling, serve};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,12 +36,20 @@ fn main() {
         .cloned();
     if let Some(o) = only.as_deref() {
         if ![
-            "yds", "flow", "multi", "oa", "faults", "serve", "policies", "fleet",
+            "yds",
+            "flow",
+            "multi",
+            "oa",
+            "faults",
+            "serve",
+            "policies",
+            "fleet",
+            "fleet-par",
         ]
         .contains(&o)
         {
             eprintln!(
-                "--only takes `yds`, `flow`, `multi`, `oa`, `faults`, `serve`, `policies`, or `fleet`, got `{o}`"
+                "--only takes `yds`, `flow`, `multi`, `oa`, `faults`, `serve`, `policies`, `fleet`, or `fleet-par`, got `{o}`"
             );
             std::process::exit(2);
         }
@@ -54,6 +62,7 @@ fn main() {
     let run_serve = only.as_deref().is_none_or(|o| o == "serve");
     let run_policies = only.as_deref().is_none_or(|o| o == "policies");
     let run_fleet = only.as_deref().is_none_or(|o| o == "fleet");
+    let run_fleet_par = only.as_deref().is_none_or(|o| o == "fleet-par");
 
     if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
         let dir = args
@@ -152,6 +161,18 @@ fn main() {
                 .expect("write BENCH json");
             eprintln!("wrote {path}");
         }
+        if run_fleet_par {
+            let (points, seed) = if smoke {
+                (fleet_par::fleet_par_smoke(), 11)
+            } else {
+                (fleet_par::fleet_par_default(), 11)
+            };
+            fleet_par::fleet_par_table(&points).print();
+            let path = format!("{dir}/BENCH_fleet_par.json");
+            std::fs::write(&path, fleet_par::fleet_par_bench_json(&points, seed))
+                .expect("write BENCH json");
+            eprintln!("wrote {path}");
+        }
         return;
     }
     for table in scaling::run() {
@@ -186,6 +207,11 @@ fn main() {
     if run_fleet {
         let points = fleet::fleet_smoke();
         fleet::fleet_table(&points).print();
+        println!();
+    }
+    if run_fleet_par {
+        let points = fleet_par::fleet_par_smoke();
+        fleet_par::fleet_par_table(&points).print();
         println!();
     }
     if run_serve {

@@ -39,6 +39,14 @@ pub struct FleetScalingPoint {
     pub seed: u64,
     /// Wall time of the full run (dispatch + every host engine).
     pub wall_ms: f64,
+    /// Phase 1 (event calendar + routing) wall time.
+    pub dispatch_ms: f64,
+    /// Grouped trace→tasks partition pass wall time.
+    pub partition_ms: f64,
+    /// Parallel per-host engine phase wall time.
+    pub execute_ms: f64,
+    /// Id-order aggregation + digest fold wall time.
+    pub reduce_ms: f64,
     /// Engine-metered dynamic energy across the fleet.
     pub dynamic_energy: f64,
     /// Idle/sleep static energy across the fleet.
@@ -58,8 +66,9 @@ pub struct FleetScalingPoint {
 }
 
 /// The four cycling host archetypes: the heterogeneity axis of the
-/// sweep.
-fn archetype(id: u32) -> HostConfig {
+/// sweep (also reused verbatim by E26 so its digests cross-check
+/// against this sweep's).
+pub fn archetype(id: u32) -> HostConfig {
     let cube = PolyPower::CUBE;
     match id % 4 {
         0 => HostConfig::new(id, HostPower::dynamic_only(EnginePower::Poly(cube))),
@@ -143,6 +152,10 @@ pub fn fleet_scaling(
                 dispatch: dispatch_name(dispatch),
                 seed,
                 wall_ms,
+                dispatch_ms: out.timings.dispatch_ms,
+                partition_ms: out.timings.partition_ms,
+                execute_ms: out.timings.execute_ms,
+                reduce_ms: out.timings.reduce_ms,
                 dynamic_energy: out.dynamic_energy,
                 static_energy: out.static_energy,
                 total_flow: out.total_flow,
@@ -201,6 +214,10 @@ pub fn fleet_table(points: &[FleetScalingPoint]) -> CsvTable {
             "dispatch",
             "seed",
             "wall_ms",
+            "dispatch_ms",
+            "partition_ms",
+            "execute_ms",
+            "reduce_ms",
             "dynamic_energy",
             "static_energy",
             "total_flow",
@@ -218,6 +235,10 @@ pub fn fleet_table(points: &[FleetScalingPoint]) -> CsvTable {
             p.dispatch.to_string(),
             p.seed.to_string(),
             fmt(p.wall_ms),
+            fmt(p.dispatch_ms),
+            fmt(p.partition_ms),
+            fmt(p.execute_ms),
+            fmt(p.reduce_ms),
             fmt(p.dynamic_energy),
             fmt(p.static_energy),
             fmt(p.total_flow),
@@ -248,12 +269,16 @@ pub fn fleet_bench_json(points: &[FleetScalingPoint], equivalence: bool) -> Stri
     ));
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"hosts\": {}, \"jobs\": {}, \"dispatch\": \"{}\", \"seed\": {}, \"wall_ms\": {:.3}, \"dynamic_energy\": {:.6}, \"static_energy\": {:.6}, \"total_flow\": {:.6}, \"makespan\": {:.6}, \"completed_jobs\": {}, \"shed_jobs\": {}, \"sleep_transitions\": {}, \"digest\": \"{:016x}\"}}{}\n",
+            "    {{\"hosts\": {}, \"jobs\": {}, \"dispatch\": \"{}\", \"seed\": {}, \"wall_ms\": {:.3}, \"dispatch_ms\": {:.3}, \"partition_ms\": {:.3}, \"execute_ms\": {:.3}, \"reduce_ms\": {:.3}, \"dynamic_energy\": {:.6}, \"static_energy\": {:.6}, \"total_flow\": {:.6}, \"makespan\": {:.6}, \"completed_jobs\": {}, \"shed_jobs\": {}, \"sleep_transitions\": {}, \"digest\": \"{:016x}\"}}{}\n",
             p.hosts,
             p.jobs,
             p.dispatch,
             p.seed,
             p.wall_ms,
+            p.dispatch_ms,
+            p.partition_ms,
+            p.execute_ms,
+            p.reduce_ms,
             p.dynamic_energy,
             p.static_energy,
             p.total_flow,
@@ -293,6 +318,11 @@ mod tests {
             assert!(p.static_energy > 0.0, "idle archetypes must charge, {p:?}");
             assert!(p.completed_jobs > 0, "{p:?}");
             assert!(p.makespan > 0.0, "{p:?}");
+            let breakdown = p.dispatch_ms + p.partition_ms + p.execute_ms + p.reduce_ms;
+            assert!(
+                breakdown <= p.wall_ms + 1.0,
+                "phase breakdown exceeds the wall it decomposes, {p:?}"
+            );
         }
     }
 

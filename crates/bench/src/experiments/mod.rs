@@ -17,6 +17,7 @@
 //! | [`faults`] | E23 | fault-rate × policy resilience sweep (`BENCH_faults.json`) |
 //! | [`serve`] | E24 | serving-layer throughput / decision latency (`BENCH_serve.json`) |
 //! | [`fleet`] | E25 | fleet-scaling sweep: host count × dispatch policy, heterogeneous power envelopes (`BENCH_fleet.json`) |
+//! | [`fleet_par`] | E26 | thread-scaling of the parallel fleet executor: fixed scenario × worker count, digest-invariance gate (`BENCH_fleet_par.json`) |
 
 pub mod bounded_speed;
 pub mod deadline_ratios;
@@ -24,6 +25,7 @@ pub mod discrete_levels;
 pub mod faults;
 pub mod figures;
 pub mod fleet;
+pub mod fleet_par;
 pub mod flowcurve;
 pub mod hardness;
 pub mod multiproc;
@@ -54,5 +56,6 @@ pub fn run_all() -> Vec<CsvTable> {
     tables.extend(faults::run());
     tables.extend(serve::run());
     tables.extend(fleet::run_experiment());
+    tables.extend(fleet_par::run_experiment());
     tables
 }

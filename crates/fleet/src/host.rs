@@ -219,6 +219,14 @@ impl HostConfig {
             None => self.power.model().speed_rating(),
         }
     }
+
+    /// Estimated engine cost *per assigned job* for the parallel
+    /// executor's LPT ordering: a slower host grinds longer over the
+    /// same assignment, so cost scales inversely with the speed rating.
+    /// Purely a scheduling heuristic — results never depend on it.
+    pub fn cost_weight(&self) -> f64 {
+        1.0 / self.speed_rating()
+    }
 }
 
 #[cfg(test)]
@@ -265,5 +273,16 @@ mod tests {
         assert_eq!(h.speed_rating(), 1.0);
         h.speed_cap = Some(0.7);
         assert_eq!(h.speed_rating(), 0.7);
+    }
+
+    #[test]
+    fn cost_weight_is_inverse_rating() {
+        let mut h = HostConfig::new(
+            0,
+            HostPower::dynamic_only(EnginePower::Poly(PolyPower::CUBE)),
+        );
+        assert_eq!(h.cost_weight(), 1.0);
+        h.speed_cap = Some(0.5);
+        assert_eq!(h.cost_weight(), 2.0, "capped-slow hosts cost more per job");
     }
 }

@@ -6,26 +6,32 @@
 //! states) and per-host power models (continuous `σ^α` or
 //! [`pas_power::DiscreteSpeeds`] ladders).
 //!
-//! The design splits a run into two deterministic phases (see
-//! [`sim`]): an event-calendar **dispatch** phase with seeded
-//! tie-breaking ([`event::EventQueue`]) that records every decision
-//! into a bit-exact [`trace::EventTrace`], and an **execute** phase
-//! that is a pure function of the resulting assignments. That split is
-//! what the differential harness leans on:
+//! The design splits a run into deterministic phases (see [`sim`]): an
+//! event-calendar **dispatch** phase with seeded tie-breaking
+//! ([`event::EventQueue`]) that records every decision into a bit-exact
+//! [`trace::EventTrace`], a grouped **partition** pass that turns the
+//! trace into per-host tasks, and an **execute** phase that is a pure
+//! function of each `(scenario, task)` pair — and therefore runs on a
+//! worker pool ([`run_with`]) with worker-local scratch, reduced in
+//! fixed host-id order. That structure is what the differential
+//! harness leans on:
 //!
-//! - same seed → bit-identical trace and fleet digest ([`run`]);
+//! - same seed → bit-identical trace and fleet digest ([`run`]), for
+//!   **every worker count including 1**;
 //! - a single-host fleet is bit-identical to the bare engine;
 //! - `record → serialize → parse → [`replay`]` reproduces the digest;
 //! - a hand-computable golden oracle pins idle/sleep energy accounting.
 //!
 //! Simulated time is advanced only by event timestamps — wall-clock
-//! time appears nowhere in this crate.
+//! time is *measured* (the [`PhaseBreakdown`] in every outcome) but is
+//! never an input to the simulation and never enters a digest.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod event;
 pub mod host;
+mod partition;
 pub mod scenario;
 pub mod sim;
 pub mod trace;
@@ -33,5 +39,8 @@ pub mod trace;
 pub use event::{EventQueue, FleetEvent, FleetEventKind};
 pub use host::{EnginePower, FixedSpeed, HostConfig, HostPolicy};
 pub use scenario::{DispatchPolicy, FleetScenario, ScenarioError};
-pub use sim::{replay, run, FleetError, FleetOutcome, HostReport};
-pub use trace::{EventTrace, TraceParseError, TraceRecord};
+pub use sim::{
+    default_workers, replay, replay_with, run, run_with, FleetError, FleetOutcome, HostReport,
+    PhaseBreakdown,
+};
+pub use trace::{ArrivalView, EventTrace, TraceParseError, TraceRecord};

@@ -212,11 +212,11 @@ impl FleetScenario {
     /// `(scenario, host_id, candidate_jobs)` — the replay path calls it
     /// with the identical inputs and must get the identical plan.
     pub fn host_plan(&self, host_id: u32, candidate_jobs: &[u32]) -> FaultPlan {
-        let mut events: Vec<FaultEvent> = Vec::new();
+        let mut scripted: Vec<FaultEvent> = Vec::new();
         for ev in &self.events {
             if let FleetEventKind::HostFail { host, duration } = &ev.kind {
                 if *host == host_id {
-                    events.push(FaultEvent {
+                    scripted.push(FaultEvent {
                         at: ev.at,
                         kind: FaultKind::Crash {
                             duration: *duration,
@@ -226,7 +226,29 @@ impl FleetScenario {
                 }
             }
         }
-        if let Some(cap) = self.host(host_id).and_then(|h| h.speed_cap) {
+        let cap = self.host(host_id).and_then(|h| h.speed_cap);
+        self.plan_from_parts(host_id, cap, &scripted, candidate_jobs, Vec::new())
+    }
+
+    /// [`Self::host_plan`] with the per-host scans hoisted out: the
+    /// scripted crash list and speed cap arrive precomputed (the
+    /// grouped partition pass gathers them in one sweep), and the event
+    /// buffer is caller-owned so worker scratch can recycle it between
+    /// hosts. Assembly order — scripted crashes, then the cap throttle,
+    /// then sampled background faults — matches `host_plan` exactly;
+    /// `FaultPlan::new` sorts stably by time, so order among time-ties
+    /// is semantic and must not drift.
+    pub(crate) fn plan_from_parts(
+        &self,
+        host_id: u32,
+        speed_cap: Option<f64>,
+        scripted: &[FaultEvent],
+        candidate_jobs: &[u32],
+        mut events: Vec<FaultEvent>,
+    ) -> FaultPlan {
+        events.clear();
+        events.extend_from_slice(scripted);
+        if let Some(cap) = speed_cap {
             events.push(FaultEvent {
                 at: 0.0,
                 kind: FaultKind::Throttle {
@@ -243,7 +265,7 @@ impl FleetScenario {
                 candidate_jobs,
                 FaultModel::for_host(self.seed, host_id),
             );
-            events.extend(sampled.events().iter().cloned());
+            events.extend(sampled.into_events());
         }
         let plan = FaultPlan::new(events).expect("scenario-derived events are validated");
         match self.slo {

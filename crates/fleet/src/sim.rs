@@ -1,6 +1,7 @@
-//! The fleet run: dispatch phase, per-host engine phase, aggregation.
+//! The fleet run: dispatch phase, parallel per-host engine phase,
+//! deterministic reduction.
 //!
-//! A run is **two deterministic phases**:
+//! A run is **three deterministic steps**:
 //!
 //! 1. **Dispatch** — the event calendar (workload arrivals, host
 //!    joins/leaves/failures) is drained in monotone, seed-tie-broken
@@ -8,17 +9,36 @@
 //!    arrival to an eligible host (joined, not departed, not down) per
 //!    the scenario's [`DispatchPolicy`]. Every processed event and
 //!    every routing decision is appended to an [`EventTrace`].
-//! 2. **Execute** — each host, in id order, runs the ordinary
-//!    `pas_sim` single-machine online engine over its assigned jobs
-//!    under its own power model, policy, and fault plan
-//!    ([`FleetScenario::host_plan`]), then static idle/sleep energy is
-//!    charged over the host's on-window gaps via
-//!    [`pas_power::HostPower::gap_energy`].
+//! 2. **Partition** — one grouped pass (the crate-private `partition`
+//!    module) turns the
+//!    trace into per-host tasks: assigned indices, leave time, scripted
+//!    crashes, and an LPT cost estimate. Both [`run`] and [`replay`]
+//!    go through it, so replay validation and live runs share a path.
+//! 3. **Execute + reduce** — host tasks are popped from a shared
+//!    deque in descending estimated-cost order (LPT) by a pool of
+//!    workers ([`run_with`] picks the count; [`default_workers`]
+//!    honours `PAS_FLEET_THREADS`). Each worker owns a reusable
+//!    scratch context — a pooled engine arena
+//!    ([`pas_sim::online::EngineScratch`]), job/id buffers, the
+//!    fault-event buffer, and idle-gap interval scratch — cleared, not
+//!    reallocated, between hosts. Per-host results land in
+//!    slot-indexed cells and the digest/aggregates are folded
+//!    **afterward in fixed host-id order**, so the FNV-1a fleet
+//!    digest, every per-host `outcome_digest`, and every f64 bit
+//!    pattern are identical for every worker count, including 1.
+//!
+//! Each host runs the ordinary `pas_sim` single-machine online engine
+//! over its assigned jobs under its own power model, policy, and fault
+//! plan ([`FleetScenario::host_plan`] semantics), then static
+//! idle/sleep energy is charged over the host's on-window gaps via
+//! [`pas_power::HostPower::gap_energy`]. Phase 2 is a pure function of
+//! `(scenario, task)` — no worker observes another's state — which is
+//! why execution order cannot leak into results.
 //!
 //! [`replay`] skips phase 1 and takes routing from a recorded trace;
-//! because phase 2 is a pure function of `(scenario, assignments)` and
-//! the fleet digest hashes the serialized trace plus the per-host
-//! outcome digests, record→replay reproduces the digest bit-for-bit.
+//! because the fleet digest hashes the serialized trace plus the
+//! per-host outcome digests, record→replay reproduces the digest
+//! bit-for-bit — under any worker count.
 //!
 //! A deliberate modelling note: hosts that were assigned **no** jobs
 //! never spin up an engine, so background-fault arrival bursts on idle
@@ -26,15 +46,17 @@
 //! crashes still subtract from the idle window, since a crashed host is
 //! off, not idling.
 
-use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use pas_sim::faults::FaultKind;
 use pas_sim::journal::outcome_digest;
 use pas_sim::metrics;
-use pas_sim::online::{run_online_gated, run_online_with_faults, OnlineOutcome, SimError};
+use pas_sim::online::{run_online_pooled, EngineScratch, OnlineOutcome, SimError};
 use pas_workload::Job;
 
 use crate::event::{EventQueue, FleetEvent, FleetEventKind};
+use crate::partition::{partition, HostTask, Partition};
 use crate::scenario::{DispatchPolicy, FleetScenario, ScenarioError};
 use crate::trace::{EventTrace, TraceRecord};
 
@@ -106,6 +128,29 @@ pub struct HostReport {
     pub outcome: Option<OnlineOutcome>,
 }
 
+/// Wall-clock time spent in each step of a fleet run, in milliseconds.
+///
+/// Measurement only: wall time is never an input to the simulation and
+/// is excluded from the fleet digest.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Phase 1: event-calendar drain + routing (0 for replays).
+    pub dispatch_ms: f64,
+    /// Grouped trace→tasks pass.
+    pub partition_ms: f64,
+    /// Parallel per-host engine runs (spawn to last join).
+    pub execute_ms: f64,
+    /// Id-order fold: aggregates + fleet digest.
+    pub reduce_ms: f64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of all phases.
+    pub fn total_ms(&self) -> f64 {
+        self.dispatch_ms + self.partition_ms + self.execute_ms + self.reduce_ms
+    }
+}
+
 /// Aggregated result of a fleet run.
 #[derive(Debug)]
 pub struct FleetOutcome {
@@ -130,8 +175,13 @@ pub struct FleetOutcome {
     /// The fleet digest: FNV-1a over the serialized trace, the per-host
     /// outcome digests and static energies, and the aggregates. Two
     /// runs agree on this iff they agree on every event, routing
-    /// decision, schedule bit, and energy bit.
+    /// decision, schedule bit, and energy bit — independent of worker
+    /// count.
     pub digest: u64,
+    /// Worker threads the execute phase actually used.
+    pub workers: usize,
+    /// Wall-clock breakdown of this run (not hashed).
+    pub timings: PhaseBreakdown,
 }
 
 impl FleetOutcome {
@@ -174,29 +224,76 @@ struct HostState {
     joined: bool,
     left: bool,
     down_until: f64,
-    assigned: Vec<usize>,
     assigned_work: f64,
     rating: f64,
 }
 
-/// Run a scenario end to end (dispatch + execute).
+fn ms(since: Instant) -> f64 {
+    since.elapsed().as_secs_f64() * 1e3
+}
+
+/// The worker count [`run`] and [`replay`] use: `PAS_FLEET_THREADS`
+/// when set to a positive integer, else the machine's available
+/// parallelism, else 1.
+pub fn default_workers() -> usize {
+    match std::env::var("PAS_FLEET_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Run a scenario end to end (dispatch + partition + execute) with
+/// [`default_workers`] workers.
 ///
 /// # Errors
 /// [`FleetError`] on an invalid scenario or a host engine failure.
 pub fn run(scenario: &FleetScenario) -> Result<FleetOutcome, FleetError> {
+    run_with(scenario, default_workers())
+}
+
+/// [`run`] with an explicit worker count. Any count ≥ 1 produces the
+/// bit-identical [`FleetOutcome::digest`]; `workers == 1` executes
+/// inline without spawning threads (the CI single-core path).
+///
+/// # Errors
+/// As [`run`].
+pub fn run_with(scenario: &FleetScenario, workers: usize) -> Result<FleetOutcome, FleetError> {
     scenario.validate()?;
-    let (trace, assignments, shed_jobs, shed_work) = dispatch(scenario);
-    execute(scenario, trace, &assignments, shed_jobs, shed_work)
+    let t = Instant::now();
+    let trace = dispatch(scenario);
+    let dispatch_ms = ms(t);
+    let t = Instant::now();
+    let part = partition(scenario, &trace)?;
+    let partition_ms = ms(t);
+    execute(scenario, trace, part, workers, dispatch_ms, partition_ms)
 }
 
 /// Replay a recorded trace against the same scenario: phase 1 is taken
-/// verbatim from the trace (routing included), phase 2 re-executes.
+/// verbatim from the trace (routing included), phases 2–3 re-execute
+/// with [`default_workers`] workers.
 ///
 /// # Errors
 /// [`FleetError::TraceMismatch`] when the trace's seed or arrival
 /// records disagree with the scenario (bit-exact comparison);
 /// otherwise as [`run`].
 pub fn replay(scenario: &FleetScenario, trace: &EventTrace) -> Result<FleetOutcome, FleetError> {
+    replay_with(scenario, trace, default_workers())
+}
+
+/// [`replay`] with an explicit worker count.
+///
+/// # Errors
+/// As [`replay`].
+pub fn replay_with(
+    scenario: &FleetScenario,
+    trace: &EventTrace,
+    workers: usize,
+) -> Result<FleetOutcome, FleetError> {
     scenario.validate()?;
     if trace.seed != scenario.seed {
         return Err(FleetError::TraceMismatch {
@@ -206,57 +303,17 @@ pub fn replay(scenario: &FleetScenario, trace: &EventTrace) -> Result<FleetOutco
             ),
         });
     }
-    let mut assignments: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
-    for h in &scenario.hosts {
-        assignments.insert(h.id, Vec::new());
-    }
-    let mut shed_jobs = 0usize;
-    let mut shed_work = 0.0f64;
-    for rec in &trace.records {
-        if let TraceRecord::Arrival {
-            index,
-            job_id,
-            release,
-            work,
-            routed,
-            ..
-        } = rec
-        {
-            if *index >= scenario.workload.len() {
-                return Err(FleetError::TraceMismatch {
-                    reason: format!("arrival index {index} out of range"),
-                });
-            }
-            let job = scenario.workload.job(*index);
-            if job.id != *job_id
-                || job.release.to_bits() != release.to_bits()
-                || job.work.to_bits() != work.to_bits()
-            {
-                return Err(FleetError::TraceMismatch {
-                    reason: format!("arrival {index} does not match the scenario workload"),
-                });
-            }
-            match routed {
-                Some(host) => match assignments.get_mut(host) {
-                    Some(list) => list.push(*index),
-                    None => {
-                        return Err(FleetError::TraceMismatch {
-                            reason: format!("arrival {index} routed to unknown host {host}"),
-                        })
-                    }
-                },
-                None => {
-                    shed_jobs += 1;
-                    shed_work += job.work;
-                }
-            }
-        }
-    }
-    execute(scenario, trace.clone(), &assignments, shed_jobs, shed_work)
+    let t = Instant::now();
+    let part = partition(scenario, trace)?;
+    let partition_ms = ms(t);
+    execute(scenario, trace.clone(), part, workers, 0.0, partition_ms)
 }
 
 /// Phase 1: drain the calendar, route arrivals, record the trace.
-fn dispatch(scenario: &FleetScenario) -> (EventTrace, BTreeMap<u32, Vec<usize>>, usize, f64) {
+/// Assignments and shed totals are *not* tracked here — the partition
+/// pass re-derives both from the trace, so dispatch and replay cannot
+/// disagree about them.
+fn dispatch(scenario: &FleetScenario) -> EventTrace {
     let mut queue = EventQueue::new(scenario.seed);
     for h in &scenario.hosts {
         queue.push(FleetEvent {
@@ -283,7 +340,6 @@ fn dispatch(scenario: &FleetScenario) -> (EventTrace, BTreeMap<u32, Vec<usize>>,
             joined: false,
             left: false,
             down_until: f64::NEG_INFINITY,
-            assigned: Vec::new(),
             assigned_work: 0.0,
             rating: h.speed_rating(),
         })
@@ -292,8 +348,6 @@ fn dispatch(scenario: &FleetScenario) -> (EventTrace, BTreeMap<u32, Vec<usize>>,
 
     let mut records = Vec::new();
     let mut rr = 0usize;
-    let mut shed_jobs = 0usize;
-    let mut shed_work = 0.0f64;
 
     while let Some(ev) = queue.pop() {
         match ev.kind {
@@ -356,14 +410,9 @@ fn dispatch(scenario: &FleetScenario) -> (EventTrace, BTreeMap<u32, Vec<usize>>,
                             })
                             .expect("non-empty"),
                     };
-                    states[pick].assigned.push(index);
                     states[pick].assigned_work += job.work;
                     Some(states[pick].id)
                 };
-                if chosen.is_none() {
-                    shed_jobs += 1;
-                    shed_work += job.work;
-                }
                 records.push(TraceRecord::Arrival {
                     at: ev.at,
                     index,
@@ -376,30 +425,28 @@ fn dispatch(scenario: &FleetScenario) -> (EventTrace, BTreeMap<u32, Vec<usize>>,
         }
     }
 
-    let assignments: BTreeMap<u32, Vec<usize>> =
-        states.into_iter().map(|s| (s.id, s.assigned)).collect();
-    let trace = EventTrace {
+    EventTrace {
         seed: scenario.seed,
         records,
-    };
-    (trace, assignments, shed_jobs, shed_work)
+    }
 }
 
-/// Merge possibly-overlapping intervals (already clipped) and return
-/// the complement gaps within `[start, end]`.
-fn idle_gaps(mut occupied: Vec<(f64, f64)>, start: f64, end: f64) -> Vec<f64> {
+/// Merge possibly-overlapping intervals (clipped to `[start, end]`)
+/// in place and write the complement gaps into `gaps`.
+fn idle_gaps_into(occupied: &mut Vec<(f64, f64)>, start: f64, end: f64, gaps: &mut Vec<f64>) {
+    gaps.clear();
     if end <= start {
-        return Vec::new();
+        return;
     }
     occupied.retain(|&(a, b)| b > start && a < end);
-    for iv in &mut occupied {
+    for iv in occupied.iter_mut() {
         iv.0 = iv.0.max(start);
         iv.1 = iv.1.min(end);
     }
+    // Stable sort: same tie order as the original allocating helper.
     occupied.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let mut gaps = Vec::new();
     let mut cursor = start;
-    for (a, b) in occupied {
+    for &(a, b) in occupied.iter() {
         if a > cursor {
             gaps.push(a - cursor);
         }
@@ -408,129 +455,261 @@ fn idle_gaps(mut occupied: Vec<(f64, f64)>, start: f64, end: f64) -> Vec<f64> {
     if end > cursor {
         gaps.push(end - cursor);
     }
+}
+
+/// Allocating wrapper over [`idle_gaps_into`], kept for the unit tests.
+#[cfg(test)]
+fn idle_gaps(mut occupied: Vec<(f64, f64)>, start: f64, end: f64) -> Vec<f64> {
+    let mut gaps = Vec::new();
+    idle_gaps_into(&mut occupied, start, end, &mut gaps);
     gaps
 }
 
-/// Phase 2: run every host's engine, charge static power, aggregate.
+/// One worker's reusable buffers, cleared — not reallocated — between
+/// hosts. The engine arena inside is recycled by `run_online_pooled`
+/// and is observationally identical to a fresh one (pinned by
+/// `pas_sim`'s recycle-equivalence tests), so pooling cannot perturb a
+/// single bit of any outcome.
+struct WorkerScratch {
+    engine: EngineScratch,
+    jobs: Vec<Job>,
+    ids: Vec<u32>,
+    fault_events: Vec<pas_sim::faults::FaultEvent>,
+    occupied: Vec<(f64, f64)>,
+    gaps: Vec<f64>,
+}
+
+impl WorkerScratch {
+    fn new() -> Self {
+        WorkerScratch {
+            engine: EngineScratch::new(),
+            jobs: Vec::new(),
+            ids: Vec::new(),
+            fault_events: Vec::new(),
+            occupied: Vec::new(),
+            gaps: Vec::new(),
+        }
+    }
+}
+
+/// Run one host task to a report. Pure in `(scenario, task)`; the
+/// scratch only lends capacity.
+fn run_host(
+    scenario: &FleetScenario,
+    task: &HostTask,
+    scratch: &mut WorkerScratch,
+) -> Result<HostReport, FleetError> {
+    let cfg = scenario.host(task.host).expect("validated host");
+
+    scratch.jobs.clear();
+    scratch.ids.clear();
+    for &i in &task.indices {
+        let job = *scenario.workload.job(i);
+        scratch.ids.push(job.id);
+        scratch.jobs.push(job);
+    }
+    let plan = scenario.plan_from_parts(
+        task.host,
+        cfg.speed_cap,
+        &task.crashes,
+        &scratch.ids,
+        std::mem::take(&mut scratch.fault_events),
+    );
+
+    let outcome = if scratch.jobs.is_empty() {
+        None
+    } else {
+        let instance = pas_workload::Instance::new(std::mem::take(&mut scratch.jobs))
+            .expect("assigned jobs form a valid instance");
+        let model = cfg.power.model();
+        let mut policy = cfg.policy.build(model);
+        let result = run_online_pooled(
+            &instance,
+            model,
+            policy.as_mut(),
+            &plan,
+            cfg.admission,
+            &mut scratch.engine,
+        );
+        scratch.jobs = instance.into_jobs();
+        match result {
+            Ok(o) => Some(o),
+            Err(error) => {
+                scratch.fault_events = plan.into_events();
+                return Err(FleetError::Host {
+                    host: task.host,
+                    error,
+                });
+            }
+        }
+    };
+
+    // --- static energy over the on-window ---
+    let sched_end = outcome
+        .as_ref()
+        .map(|o| metrics::makespan(&o.schedule))
+        .unwrap_or(0.0);
+    let window_start = cfg.available_from;
+    let window_end = match task.leave_at {
+        Some(t) => t.max(sched_end),
+        None => scenario.horizon.max(sched_end),
+    };
+    scratch.occupied.clear();
+    if let Some(o) = &outcome {
+        for machine in o.schedule.machines() {
+            for s in machine {
+                scratch.occupied.push((s.start, s.end));
+            }
+        }
+    }
+    // A crashed host is off, not idling: downtime leaves the
+    // static-power window.
+    for ev in plan.events() {
+        if let FaultKind::Crash { duration, .. } = ev.kind {
+            scratch.occupied.push((ev.at, ev.at + duration));
+        }
+    }
+    idle_gaps_into(
+        &mut scratch.occupied,
+        window_start,
+        window_end,
+        &mut scratch.gaps,
+    );
+    let mut static_energy = 0.0;
+    let mut sleeps = 0usize;
+    for &gap in &scratch.gaps {
+        static_energy += cfg.power.gap_energy(gap);
+        if cfg.power.sleeps_during(gap) {
+            sleeps += 1;
+        }
+    }
+    scratch.fault_events = plan.into_events();
+
+    let (total_flow, digest) = match &outcome {
+        Some(o) => {
+            let flow = o
+                .effective
+                .as_ref()
+                .map(|inst| metrics::total_flow(&o.schedule, inst))
+                .unwrap_or(0.0);
+            (flow, outcome_digest(o))
+        }
+        None => (0.0, 0),
+    };
+
+    Ok(HostReport {
+        host: task.host,
+        jobs_assigned: task.indices.len(),
+        dynamic_energy: outcome.as_ref().map(|o| o.energy).unwrap_or(0.0),
+        static_energy,
+        sleep_transitions: sleeps,
+        total_flow,
+        makespan: sched_end,
+        digest,
+        shed_jobs: outcome
+            .as_ref()
+            .map(|o| o.resilience.shed_jobs)
+            .unwrap_or(0),
+        throttle_clamps: outcome
+            .as_ref()
+            .map(|o| o.resilience.throttle_clamps)
+            .unwrap_or(0),
+        deadline_misses: outcome
+            .as_ref()
+            .and_then(|o| o.resilience.deadline_misses)
+            .unwrap_or(0),
+        outcome,
+    })
+}
+
+/// One worker: pop tasks off the shared cursor until the deque drains,
+/// collecting `(slot, result)` pairs locally (scattered by the caller
+/// after the join — keeps the whole pool `unsafe`-free).
+#[allow(clippy::type_complexity)]
+fn run_worker(
+    scenario: &FleetScenario,
+    tasks: &[HostTask],
+    order: &[usize],
+    cursor: &AtomicUsize,
+) -> Vec<(usize, Result<HostReport, FleetError>)> {
+    let mut scratch = WorkerScratch::new();
+    let mut out = Vec::new();
+    loop {
+        let k = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(&slot) = order.get(k) else { break };
+        out.push((slot, run_host(scenario, &tasks[slot], &mut scratch)));
+    }
+    out
+}
+
+/// Phases 2–3: run every host's engine (in parallel), then fold
+/// aggregates and the digest in fixed host-id order.
 fn execute(
     scenario: &FleetScenario,
     trace: EventTrace,
-    assignments: &BTreeMap<u32, Vec<usize>>,
-    fleet_shed_jobs: usize,
-    fleet_shed_work: f64,
+    part: Partition,
+    workers: usize,
+    dispatch_ms: f64,
+    partition_ms: f64,
 ) -> Result<FleetOutcome, FleetError> {
-    let mut reports = Vec::with_capacity(scenario.hosts.len());
+    let t_exec = Instant::now();
+    let tasks = &part.tasks;
+    let n = tasks.len();
+    let workers = workers.max(1).min(n.max(1));
 
-    let mut ids: Vec<u32> = scenario.hosts.iter().map(|h| h.id).collect();
-    ids.sort_unstable();
+    // LPT: costliest host first; ties to the lower id so the pop order
+    // itself is reproducible (results never depend on it, but a stable
+    // order keeps perf runs comparable).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        tasks[b]
+            .cost
+            .total_cmp(&tasks[a].cost)
+            .then(tasks[a].host.cmp(&tasks[b].host))
+    });
 
-    for host_id in ids {
-        let cfg = scenario.host(host_id).expect("validated host");
-        let mut indices = assignments.get(&host_id).cloned().unwrap_or_default();
-        // Dispatch appends in event-pop order, which shuffles
-        // same-release ties by seed; the workload's canonical order is
-        // by index (Instance::new stable-sorts by release, preserving
-        // insertion order on ties), so sorting by index makes a
-        // single-host fleet's sub-instance *identical* to the workload
-        // — the bare-engine equivalence the harness pins.
-        indices.sort_unstable();
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, Result<HostReport, FleetError>)>> = if workers == 1 {
+        // Inline, no threads: the 1-core CI path is the same code the
+        // pool runs, minus the spawn.
+        vec![run_worker(scenario, tasks, &order, &cursor)]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| s.spawn(|| run_worker(scenario, tasks, &order, &cursor)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fleet worker panicked"))
+                .collect()
+        })
+    };
 
-        let jobs: Vec<Job> = indices.iter().map(|&i| *scenario.workload.job(i)).collect();
-        let candidate_ids: Vec<u32> = jobs.iter().map(|j| j.id).collect();
-        let plan = scenario.host_plan(host_id, &candidate_ids);
-
-        let outcome = if jobs.is_empty() {
-            None
-        } else {
-            let instance =
-                pas_workload::Instance::new(jobs).expect("assigned jobs form a valid instance");
-            let model = cfg.power.model();
-            let mut policy = cfg.policy.build(model);
-            let result = match cfg.admission {
-                Some(adm) => run_online_gated(&instance, model, policy.as_mut(), &plan, adm),
-                None => run_online_with_faults(&instance, model, policy.as_mut(), &plan),
-            };
-            Some(result.map_err(|error| FleetError::Host {
-                host: host_id,
-                error,
-            })?)
-        };
-
-        // --- static energy over the on-window ---
-        let sched_end = outcome
-            .as_ref()
-            .map(|o| metrics::makespan(&o.schedule))
-            .unwrap_or(0.0);
-        let leave_at = scenario.events.iter().find_map(|ev| match ev.kind {
-            FleetEventKind::HostLeave { host } if host == host_id => Some(ev.at),
-            _ => None,
-        });
-        let window_start = cfg.available_from;
-        let window_end = match leave_at {
-            Some(t) => t.max(sched_end),
-            None => scenario.horizon.max(sched_end),
-        };
-        let mut occupied: Vec<(f64, f64)> = Vec::new();
-        if let Some(o) = &outcome {
-            for machine in o.schedule.machines() {
-                for s in machine {
-                    occupied.push((s.start, s.end));
-                }
-            }
+    // Scatter into id-order slots: each slot is written exactly once.
+    let mut slots: Vec<Option<Result<HostReport, FleetError>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for bucket in buckets {
+        for (slot, result) in bucket {
+            debug_assert!(slots[slot].is_none(), "task executed twice");
+            slots[slot] = Some(result);
         }
-        // A crashed host is off, not idling: downtime leaves the
-        // static-power window.
-        for ev in plan.events() {
-            if let FaultKind::Crash { duration, .. } = ev.kind {
-                occupied.push((ev.at, ev.at + duration));
-            }
-        }
-        let mut static_energy = 0.0;
-        let mut sleeps = 0usize;
-        for gap in idle_gaps(occupied, window_start, window_end) {
-            static_energy += cfg.power.gap_energy(gap);
-            if cfg.power.sleeps_during(gap) {
-                sleeps += 1;
-            }
-        }
+    }
+    let execute_ms = ms(t_exec);
 
-        let (total_flow, digest) = match &outcome {
-            Some(o) => {
-                let flow = o
-                    .effective
-                    .as_ref()
-                    .map(|inst| metrics::total_flow(&o.schedule, inst))
-                    .unwrap_or(0.0);
-                (flow, outcome_digest(o))
-            }
-            None => (0.0, 0),
-        };
-
-        reports.push(HostReport {
-            host: host_id,
-            jobs_assigned: indices.len(),
-            dynamic_energy: outcome.as_ref().map(|o| o.energy).unwrap_or(0.0),
-            static_energy,
-            sleep_transitions: sleeps,
-            total_flow,
-            makespan: sched_end,
-            digest,
-            shed_jobs: outcome
-                .as_ref()
-                .map(|o| o.resilience.shed_jobs)
-                .unwrap_or(0),
-            throttle_clamps: outcome
-                .as_ref()
-                .map(|o| o.resilience.throttle_clamps)
-                .unwrap_or(0),
-            deadline_misses: outcome
-                .as_ref()
-                .and_then(|o| o.resilience.deadline_misses)
-                .unwrap_or(0),
-            outcome,
-        });
+    let t_reduce = Instant::now();
+    // Fold in host-id order. On failure surface the lowest-id erroring
+    // host — exactly the error the old sequential first-failure-stops
+    // loop reported, whatever order the pool actually ran in.
+    let mut reports = Vec::with_capacity(n);
+    for slot in slots {
+        match slot.expect("every task executed") {
+            Ok(report) => reports.push(report),
+            Err(e) => return Err(e),
+        }
     }
 
+    let fleet_shed_jobs = part.shed_jobs;
+    let fleet_shed_work = part.shed_work;
     let dynamic_energy: f64 = reports.iter().map(|r| r.dynamic_energy).sum();
     let static_energy: f64 = reports.iter().map(|r| r.static_energy).sum();
     let total_flow: f64 = reports.iter().map(|r| r.total_flow).sum();
@@ -558,6 +737,7 @@ fn execute(
     fnv.f64(dynamic_energy);
     fnv.f64(total_flow);
     let digest = fnv.0;
+    let reduce_ms = ms(t_reduce);
 
     Ok(FleetOutcome {
         hosts: reports,
@@ -570,6 +750,13 @@ fn execute(
         makespan,
         completed_jobs,
         digest,
+        workers,
+        timings: PhaseBreakdown {
+            dispatch_ms,
+            partition_ms,
+            execute_ms,
+            reduce_ms,
+        },
     })
 }
 
@@ -578,6 +765,7 @@ mod tests {
     use super::*;
     use crate::host::{EnginePower, HostConfig};
     use pas_power::{HostPower, PolyPower};
+    use pas_sim::faults::FaultModel;
     use pas_workload::Instance;
 
     fn hosts(n: u32) -> Vec<HostConfig> {
@@ -663,5 +851,57 @@ mod tests {
             replay(&wrong_jobs, &out.trace),
             Err(FleetError::TraceMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn every_worker_count_agrees_bit_for_bit() {
+        let mut s = FleetScenario::new(hosts(5), workload(40), 40.0, 7);
+        s.fault_model = Some(FaultModel::uniform_mix(0.3));
+        s.slo = Some(25.0);
+        s.hosts[2].speed_cap = Some(0.8);
+        s.events.push(FleetEvent {
+            at: 3.0,
+            kind: FleetEventKind::HostFail {
+                host: 1,
+                duration: 2.0,
+            },
+        });
+        s.events.push(FleetEvent {
+            at: 15.0,
+            kind: FleetEventKind::HostLeave { host: 4 },
+        });
+        let base = run_with(&s, 1).unwrap();
+        assert_eq!(base.workers, 1);
+        for workers in [2, 3, 8] {
+            let out = run_with(&s, workers).unwrap();
+            assert_eq!(out.digest, base.digest, "workers={workers}");
+            assert_eq!(out.trace, base.trace);
+            for (a, b) in base.hosts.iter().zip(&out.hosts) {
+                assert_eq!(a.host, b.host);
+                assert_eq!(a.digest, b.digest);
+                assert_eq!(a.static_energy.to_bits(), b.static_energy.to_bits());
+                assert_eq!(a.total_flow.to_bits(), b.total_flow.to_bits());
+            }
+            let replayed = replay_with(&s, &base.trace, workers).unwrap();
+            assert_eq!(replayed.digest, base.digest);
+        }
+    }
+
+    #[test]
+    fn default_workers_honours_env_contract() {
+        // Can't mutate the environment safely in a threaded test
+        // runner; assert the fallback floor instead.
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn timings_are_recorded_and_excluded_from_digest() {
+        let s = FleetScenario::new(hosts(3), workload(12), 20.0, 1);
+        let out = run_with(&s, 2).unwrap();
+        assert!(out.timings.total_ms() >= 0.0);
+        assert!(out.timings.execute_ms >= 0.0);
+        let again = run_with(&s, 2).unwrap();
+        // Wall times differ run to run; digests must not.
+        assert_eq!(out.digest, again.digest);
     }
 }

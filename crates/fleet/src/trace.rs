@@ -75,6 +75,46 @@ impl TraceRecord {
             | TraceRecord::Fail { at, .. } => *at,
         }
     }
+
+    /// This record's payload as an arrival, if it is one. The grouped
+    /// partition pass matches every record against this exactly once.
+    pub fn arrival(&self) -> Option<ArrivalView> {
+        match *self {
+            TraceRecord::Arrival {
+                at,
+                index,
+                job_id,
+                release,
+                work,
+                routed,
+            } => Some(ArrivalView {
+                at,
+                index,
+                job_id,
+                release,
+                work,
+                routed,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Copied-out payload of a [`TraceRecord::Arrival`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalView {
+    /// Event time (= the job's release).
+    pub at: f64,
+    /// Index into the scenario workload.
+    pub index: usize,
+    /// The job's id.
+    pub job_id: u32,
+    /// Release time, bit-exact.
+    pub release: f64,
+    /// Work, bit-exact.
+    pub work: f64,
+    /// Chosen host, or `None` when the arrival was fleet-shed.
+    pub routed: Option<u32>,
 }
 
 /// A serialized fleet run: seed + events in pop order.

@@ -112,6 +112,17 @@ impl BandLedger {
         self.remaining[b] += done;
     }
 
+    /// Re-arm the ledger for a fresh run: new band geometry, all
+    /// aggregates zeroed, the band vectors themselves reused.
+    pub(crate) fn reset(&mut self, origin: f64, width: f64) {
+        debug_assert!(width > 0.0, "band width must be positive, got {width}");
+        self.origin = origin;
+        self.width = width;
+        self.live.iter_mut().for_each(|v| *v = 0);
+        self.remaining.iter_mut().for_each(|v| *v = 0.0);
+        self.arrived.iter_mut().for_each(|v| *v = 0.0);
+    }
+
     pub(crate) fn origin(&self) -> f64 {
         self.origin
     }
@@ -264,6 +275,38 @@ impl ShardedReadySet {
 
     pub(crate) fn bands(&self) -> &BandLedger {
         &self.bands
+    }
+
+    /// Clear the arena for a fresh run with new band geometry, keeping
+    /// every allocation: lane vectors, free list, id map, and queue all
+    /// retain their capacity. A recycled arena is observationally
+    /// identical to `with_bands(origin, width)` — same (empty) logical
+    /// state, same accumulator bits — which is what lets the fleet
+    /// executor's worker-local scratch pools reuse one arena across
+    /// hosts without perturbing any digest.
+    pub(crate) fn recycle(&mut self, origin: f64, width: f64) {
+        self.ids.clear();
+        self.releases.clear();
+        self.works.clear();
+        self.remainings.clear();
+        self.free.clear();
+        self.slot_of.clear();
+        self.queue.clear();
+        self.backlog = 0.0;
+        self.seen_work = 0.0;
+        self.first_arrival = None;
+        self.bands.reset(origin, width);
+    }
+
+    /// Pre-size every lane (and the id map / queue) for `jobs` residents
+    /// so a run admits without growing.
+    pub(crate) fn reserve_slots(&mut self, jobs: usize) {
+        self.ids.reserve(jobs);
+        self.releases.reserve(jobs);
+        self.works.reserve(jobs);
+        self.remainings.reserve(jobs);
+        self.slot_of.reserve(jobs);
+        self.queue.reserve(jobs);
     }
 
     /// Rebuild an arena from snapshot parts, bit-identical to the
@@ -533,6 +576,41 @@ mod tests {
         assert_eq!(set.band_live(2), 0);
         assert_eq!(set.band_remaining(2), 0.0);
         assert_eq!(set.band_arrived(2), 2.0, "arrived work survives removal");
+    }
+
+    #[test]
+    fn recycled_arena_is_indistinguishable_from_fresh() {
+        let mut used = ShardedReadySet::with_bands(0.0, 1.0);
+        for id in 0..6 {
+            used.admit(pj(id, 0.4 * id as f64, 1.0 + id as f64));
+        }
+        let s = used.slot(2).unwrap();
+        used.execute(s, 0.5);
+        used.remove(s);
+        used.cancel(4).unwrap();
+        used.recycle(3.0, 2.5);
+        used.reserve_slots(4);
+
+        let mut fresh = ShardedReadySet::with_bands(3.0, 2.5);
+        // Drive both through the same post-recycle history and compare
+        // every observable.
+        for set in [&mut used, &mut fresh] {
+            set.admit(pj(10, 3.5, 2.0));
+            set.admit(pj(11, 6.0, 1.0));
+            let s = set.slot(10).unwrap();
+            set.execute(s, 0.25);
+        }
+        assert_eq!(used.len(), fresh.len());
+        assert_eq!(used.backlog().to_bits(), fresh.backlog().to_bits());
+        assert_eq!(used.seen_work().to_bits(), fresh.seen_work().to_bits());
+        assert_eq!(used.first_arrival(), fresh.first_arrival());
+        assert_eq!(used.bands(), fresh.bands());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        used.for_each(&mut |p| a.push(*p));
+        fresh.for_each(&mut |p| b.push(*p));
+        assert_eq!(a, b);
+        // Slot assignment restarts from zero after a recycle.
+        assert_eq!(used.slot(10), fresh.slot(10));
     }
 
     #[test]

@@ -237,6 +237,13 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+
+    /// Consume the plan, returning its (time-sorted) event vector, so
+    /// allocation-pooling callers can reclaim the buffer they fed to
+    /// [`FaultPlan::new`] between back-to-back runs.
+    pub fn into_events(self) -> Vec<FaultEvent> {
+        self.events
+    }
 }
 
 /// Configuration for the seeded fault-plan generator: independent

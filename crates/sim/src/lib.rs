@@ -53,8 +53,9 @@ pub use faults::{
 pub use journal::{outcome_digest, Journal, JournalError};
 pub use metrics::Metrics;
 pub use online::{
-    run_online, run_online_gated, run_online_with_faults, AdmissionConfig, Decision, OnlineOutcome,
-    OnlinePolicy, PendingJob, ReadySet, ReadyView, ShedPolicy, SimError,
+    run_online, run_online_gated, run_online_pooled, run_online_with_faults, AdmissionConfig,
+    Decision, EngineScratch, OnlineOutcome, OnlinePolicy, PendingJob, ReadySet, ReadyView,
+    ShedPolicy, SimError,
 };
 pub use reference::{
     run_online_gated_reference, run_online_reference, run_online_with_faults_reference,

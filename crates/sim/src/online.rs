@@ -614,7 +614,23 @@ pub fn run_online_with_faults<M: pas_power::PowerModel>(
 /// the serving layer (which must rebuild the identical stream when
 /// restoring from a journal).
 pub(crate) fn materialize_arrivals(instance: &Instance, plan: &FaultPlan) -> (Vec<Job>, usize) {
-    let mut arrivals: Vec<Job> = instance.jobs().to_vec();
+    let mut arrivals = Vec::new();
+    let burst_jobs = materialize_arrivals_into(instance, plan, &mut arrivals);
+    (arrivals, burst_jobs)
+}
+
+/// [`materialize_arrivals`] into a caller-owned buffer (cleared first),
+/// so pooling callers reuse one allocation across runs. Returns the
+/// burst-job count. The fill sequence — base jobs, then bursts in plan
+/// order, then one stable sort by release — is byte-for-byte the
+/// allocating path's.
+pub(crate) fn materialize_arrivals_into(
+    instance: &Instance,
+    plan: &FaultPlan,
+    arrivals: &mut Vec<Job>,
+) -> usize {
+    arrivals.clear();
+    arrivals.extend_from_slice(instance.jobs());
     let mut next_id = arrivals.iter().map(|j| j.id).max().map_or(0, |m| m + 1);
     let mut burst_jobs = 0usize;
     for ev in plan.events() {
@@ -627,7 +643,7 @@ pub(crate) fn materialize_arrivals(instance: &Instance, plan: &FaultPlan) -> (Ve
         }
     }
     arrivals.sort_by(|a, b| a.release.total_cmp(&b.release));
-    (arrivals, burst_jobs)
+    burst_jobs
 }
 
 /// [`run_online_with_faults`] behind a bounded admission queue: the
@@ -649,6 +665,86 @@ pub fn run_online_gated<M: pas_power::PowerModel>(
 ) -> Result<OnlineOutcome, SimError> {
     let (arrivals, burst_jobs) = materialize_arrivals(instance, plan);
     run_engine_in::<ShardedReadySet, M>(&arrivals, model, policy, plan, burst_jobs, Some(admission))
+}
+
+/// Reusable allocation pool for back-to-back engine runs.
+///
+/// Holds the two big per-run allocations — the materialized arrival
+/// buffer and the [`ShardedReadySet`] arena (whose lane vectors, free
+/// list, id map, and queue all keep their capacity) — so a caller
+/// executing many instances in sequence (the fleet executor's
+/// worker-local scratch, one pool per worker thread) clears rather than
+/// reallocates between runs. [`run_online_pooled`] is the entry point;
+/// its outcome is bit-identical to [`run_online_with_faults`] /
+/// [`run_online_gated`] because a recycled arena is observationally
+/// identical to a fresh one.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    arrivals: Vec<Job>,
+    ready: ShardedReadySet,
+}
+
+impl EngineScratch {
+    /// An empty pool; buffers grow on first use.
+    pub fn new() -> EngineScratch {
+        EngineScratch::default()
+    }
+
+    /// A pool pre-sized for runs of up to `jobs` arrivals, so even the
+    /// first run admits without growing.
+    pub fn with_capacity(jobs: usize) -> EngineScratch {
+        let mut scratch = EngineScratch::default();
+        scratch.arrivals.reserve(jobs);
+        scratch.ready.reserve_slots(jobs);
+        scratch
+    }
+}
+
+/// [`run_online_with_faults`] (or, with `admission`,
+/// [`run_online_gated`]) drawing its big allocations from `scratch`
+/// instead of the heap: bit-identical outcome, no per-run arrival or
+/// arena allocation. The scratch is reclaimed after the run — including
+/// most error paths — and may be reused immediately.
+///
+/// # Errors
+/// As [`run_online`].
+pub fn run_online_pooled<M: pas_power::PowerModel>(
+    instance: &Instance,
+    model: &M,
+    policy: &mut dyn OnlinePolicy,
+    plan: &FaultPlan,
+    admission: Option<AdmissionConfig>,
+    scratch: &mut EngineScratch,
+) -> Result<OnlineOutcome, SimError> {
+    let burst_jobs = materialize_arrivals_into(instance, plan, &mut scratch.arrivals);
+    let arrivals = std::mem::take(&mut scratch.arrivals);
+    let ready_pool = &mut scratch.ready;
+    let mut engine = EngineState::<ShardedReadySet>::new_with_store(
+        arrivals,
+        plan,
+        burst_jobs,
+        admission,
+        |origin, width| {
+            let mut ready = std::mem::take(ready_pool);
+            ready.recycle(origin, width);
+            ready
+        },
+    )?;
+    let mut stepped = Ok(());
+    while !engine.done() {
+        if let Err(e) = engine.step(model, policy) {
+            stepped = Err(e);
+            break;
+        }
+    }
+    let outcome = match stepped {
+        Ok(()) => engine.seal(),
+        Err(e) => Err(e),
+    };
+    // Reclaim the buffers whether or not the run succeeded.
+    scratch.arrivals = std::mem::take(&mut engine.arrivals);
+    scratch.ready = std::mem::take(&mut engine.ready);
+    outcome
 }
 
 /// The engine proper, over a release-sorted arrival list (base jobs +
@@ -811,6 +907,23 @@ impl<R: ReadyStore> EngineState<R> {
         burst_jobs: usize,
         admission: Option<AdmissionConfig>,
     ) -> Result<EngineState<R>, SimError> {
+        EngineState::new_with_store(arrivals, plan, burst_jobs, admission, R::with_bands)
+    }
+
+    /// [`EngineState::new`] with the ready store supplied by `make_ready`
+    /// (called with the derived band origin/width). This is the
+    /// allocation-pooling hook: [`EngineScratch`] passes a recycled
+    /// arena whose lanes keep their capacity across runs; the default
+    /// path passes [`ReadyStore::with_bands`]. A recycled store must be
+    /// observationally identical to a fresh one, so the choice can never
+    /// reach a digest.
+    pub(crate) fn new_with_store(
+        arrivals: Vec<Job>,
+        plan: &FaultPlan,
+        burst_jobs: usize,
+        admission: Option<AdmissionConfig>,
+        make_ready: impl FnOnce(f64, f64) -> R,
+    ) -> Result<EngineState<R>, SimError> {
         let n = arrivals.len();
         if n == 0 {
             return Err(SimError::EmptyInstance);
@@ -845,7 +958,7 @@ impl<R: ReadyStore> EngineState<R> {
                 ..ResilienceReport::default()
             },
             next_arrival: 0,
-            ready: R::with_bands(origin, width),
+            ready: make_ready(origin, width),
             finished: 0,
             schedule: Schedule::single(),
             energy: 0.0,
@@ -1188,6 +1301,14 @@ impl<R: ReadyStore> EngineState<R> {
     /// Seal the run: coalesce the schedule, resolve dangling recovery
     /// latencies, build the effective instance, and count SLO misses.
     pub(crate) fn finish(mut self) -> Result<OnlineOutcome, SimError> {
+        self.seal()
+    }
+
+    /// [`EngineState::finish`] by mutable reference: the sealed outcome
+    /// moves out (schedule, report), but the state value survives so
+    /// pooling callers can reclaim its buffers afterwards. Sealing
+    /// twice would return an empty outcome — callers seal exactly once.
+    pub(crate) fn seal(&mut self) -> Result<OnlineOutcome, SimError> {
         self.schedule.coalesce(1e-9);
 
         // Crashes whose recovery never saw another slice: latency runs
@@ -1234,9 +1355,9 @@ impl<R: ReadyStore> EngineState<R> {
         }
 
         Ok(OnlineOutcome {
-            schedule: self.schedule,
+            schedule: std::mem::replace(&mut self.schedule, Schedule::single()),
             energy: self.energy,
-            resilience: self.report,
+            resilience: std::mem::take(&mut self.report),
             effective,
         })
     }
@@ -1322,6 +1443,52 @@ mod tests {
         let out = run_online(&inst, &PolyPower::CUBE, &mut policy).unwrap();
         out.schedule.validate(&inst, 1e-6).unwrap();
         assert!((policy.max_seen - 8.0).abs() < 1e-9, "{}", policy.max_seen);
+    }
+
+    #[test]
+    fn pooled_runs_are_bit_identical_across_reuse() {
+        use crate::journal::outcome_digest;
+        let model = PolyPower::CUBE;
+        let plan = FaultModel::uniform_mix(0.4).sample(12.0, &[0, 1, 2], 9);
+        let gate = AdmissionConfig {
+            capacity: 2,
+            shed: ShedPolicy::RejectNewest,
+        };
+        // One scratch reused across differently-shaped runs, each
+        // compared to the allocating entry point at digest level.
+        let mut scratch = EngineScratch::with_capacity(4);
+        let instances = [
+            paper_instance(),
+            Instance::from_pairs(&[(0.0, 1.0), (0.0, 2.0), (2.5, 0.5), (3.0, 4.0)]).unwrap(),
+            Instance::from_pairs(&[(1.0, 3.0)]).unwrap(),
+        ];
+        for inst in &instances {
+            let fresh = run_online_with_faults(inst, &model, &mut FixedSpeed(2.0), &plan).unwrap();
+            let pooled = run_online_pooled(
+                inst,
+                &model,
+                &mut FixedSpeed(2.0),
+                &plan,
+                None,
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(outcome_digest(&fresh), outcome_digest(&pooled));
+            assert_eq!(fresh.energy.to_bits(), pooled.energy.to_bits());
+
+            let fresh_gated =
+                run_online_gated(inst, &model, &mut FixedSpeed(2.0), &plan, gate).unwrap();
+            let pooled_gated = run_online_pooled(
+                inst,
+                &model,
+                &mut FixedSpeed(2.0),
+                &plan,
+                Some(gate),
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(outcome_digest(&fresh_gated), outcome_digest(&pooled_gated));
+        }
     }
 
     #[test]

@@ -167,6 +167,13 @@ impl Instance {
         &self.jobs
     }
 
+    /// Consume the instance, returning the job vector (sorted by
+    /// release). Lets allocation-pooling callers reclaim the buffer they
+    /// handed to [`Instance::new`] instead of dropping it per run.
+    pub fn into_jobs(self) -> Vec<Job> {
+        self.jobs
+    }
+
     /// Job at sorted position `i`.
     ///
     /// # Panics

@@ -90,7 +90,7 @@ pub mod strategy {
             }
         )*};
     }
-    impl_int_range_strategy!(u32, u64, usize, i32);
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i32);
 
     macro_rules! impl_tuple_strategy {
         ($(($($name:ident),+))*) => {$(
@@ -482,6 +482,12 @@ mod tests {
         fn ranges_stay_in_bounds(x in 1.0..5.0f64, k in 2u32..9) {
             prop_assert!((1.0..5.0).contains(&x));
             prop_assert!((2..9).contains(&k));
+        }
+
+        #[test]
+        fn narrow_int_ranges_stay_in_bounds(w in 1u8..9, s in 10u16..1000) {
+            prop_assert!((1..9).contains(&w));
+            prop_assert!((10..1000).contains(&s));
         }
 
         #[test]

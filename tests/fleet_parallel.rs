@@ -1,0 +1,173 @@
+//! Thread-count invariance: the parallel fleet executor is a perf
+//! lever, never a semantics lever.
+//!
+//! The executor's contract is that the worker count is unobservable in
+//! every output bit: the fleet digest, each host's `outcome_digest`,
+//! and every aggregated f64 bit pattern must match across any worker
+//! count — including 1, which runs inline without spawning threads.
+//! These properties drive randomized workloads × seeds × dispatch
+//! policies through `run_with(workers ∈ {1, 2, 3, 8})` and through
+//! replay under the parallel executor, asserting byte/bit equality
+//! throughout. Worker counts are drawn with the shim's `u8` range
+//! strategy so the pool size itself is fuzzed too.
+
+use power_aware_scheduling::fleet::{
+    replay_with, run_with, DispatchPolicy, EnginePower, FleetEvent, FleetEventKind, FleetScenario,
+    HostConfig, HostPolicy,
+};
+use power_aware_scheduling::power::{HostPower, PolyPower};
+use power_aware_scheduling::sim::faults::FaultModel;
+use power_aware_scheduling::workload::{Instance, Job};
+use proptest::prelude::*;
+
+fn hosts(n: u32) -> Vec<HostConfig> {
+    (0..n)
+        .map(|id| {
+            HostConfig::new(
+                id,
+                HostPower::dynamic_only(EnginePower::Poly(PolyPower::CUBE)),
+            )
+        })
+        .collect()
+}
+
+fn policy_for(idx: u32) -> DispatchPolicy {
+    match idx % 3 {
+        0 => DispatchPolicy::RoundRobin,
+        1 => DispatchPolicy::LeastAssigned,
+        _ => DispatchPolicy::WeightedFastest,
+    }
+}
+
+#[test]
+fn worker_count_is_unobservable_in_a_faulty_scenario() {
+    let mut hs = hosts(6);
+    hs[1].policy = HostPolicy::Qoa {
+        allowance: 4.0,
+        alpha: 3.0,
+        q: 5.0,
+    };
+    hs[3].policy = HostPolicy::Bkp { factor: 1.5 };
+    hs[4].speed_cap = Some(0.75);
+    let workload = Instance::new(
+        (0..48)
+            .map(|i| Job::new(i, f64::from(i % 7) * 0.5, 0.5 + f64::from(i % 5) * 0.4))
+            .collect(),
+    )
+    .unwrap();
+    let mut scenario = FleetScenario::new(hs, workload, 60.0, 0xabcd);
+    scenario.fault_model = Some(FaultModel::uniform_mix(0.4));
+    scenario.slo = Some(30.0);
+    scenario.events.push(FleetEvent {
+        at: 5.0,
+        kind: FleetEventKind::HostFail {
+            host: 2,
+            duration: 3.0,
+        },
+    });
+    scenario.events.push(FleetEvent {
+        at: 40.0,
+        kind: FleetEventKind::HostLeave { host: 5 },
+    });
+
+    let base = run_with(&scenario, 1).unwrap();
+    for workers in [2, 3, 8] {
+        let out = run_with(&scenario, workers).unwrap();
+        assert_eq!(
+            out.digest, base.digest,
+            "digest drifted at {workers} workers"
+        );
+        assert_eq!(out.trace.serialize(), base.trace.serialize());
+        assert_eq!(out.hosts.len(), base.hosts.len());
+        for (a, b) in base.hosts.iter().zip(&out.hosts) {
+            assert_eq!(a.host, b.host, "host-id fold order drifted");
+            assert_eq!(a.digest, b.digest, "host {} outcome drifted", a.host);
+            assert_eq!(a.static_energy.to_bits(), b.static_energy.to_bits());
+            assert_eq!(a.dynamic_energy.to_bits(), b.dynamic_energy.to_bits());
+            assert_eq!(a.total_flow.to_bits(), b.total_flow.to_bits());
+            assert_eq!(a.sleep_transitions, b.sleep_transitions);
+            assert_eq!(a.deadline_misses, b.deadline_misses);
+        }
+        assert_eq!(out.total_energy().to_bits(), base.total_energy().to_bits());
+        assert_eq!(out.makespan.to_bits(), base.makespan.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fleet digests and per-host outcome digests are byte-equal for
+    /// every worker count, over random workloads × seeds × dispatch
+    /// policies. The worker counts themselves come from the shim's
+    /// `u8` range strategy.
+    #[test]
+    fn digests_are_invariant_across_worker_counts(
+        releases in vec![0u32..6; 12],
+        works in vec![0.2f64..3.0; 12],
+        seed in 0u64..1_000,
+        nhosts in 1u32..6,
+        policy_idx in 0u32..3,
+        extra_workers in 1u8..9,
+    ) {
+        let jobs: Vec<Job> = releases
+            .iter()
+            .zip(&works)
+            .enumerate()
+            .map(|(i, (&r, &w))| Job::new(i as u32, f64::from(r) * 0.5, w))
+            .collect();
+        let workload = Instance::new(jobs).unwrap();
+        let mut scenario = FleetScenario::new(hosts(nhosts), workload, 30.0, seed);
+        scenario.dispatch = policy_for(policy_idx);
+        scenario.fault_model = Some(FaultModel::uniform_mix(0.2));
+
+        let base = run_with(&scenario, 1).unwrap();
+        for workers in [2usize, 3, 8, usize::from(extra_workers)] {
+            let out = run_with(&scenario, workers).unwrap();
+            prop_assert_eq!(out.digest, base.digest);
+            prop_assert_eq!(out.trace.serialize(), base.trace.serialize());
+            for (a, b) in base.hosts.iter().zip(&out.hosts) {
+                prop_assert_eq!(a.host, b.host);
+                prop_assert_eq!(a.digest, b.digest);
+                prop_assert_eq!(
+                    a.static_energy.to_bits(),
+                    b.static_energy.to_bits()
+                );
+            }
+        }
+    }
+
+    /// Record → replay stays bit-exact when both sides run on the
+    /// parallel executor, at independently-drawn worker counts.
+    #[test]
+    fn replay_is_bit_exact_under_the_parallel_executor(
+        releases in vec![0u32..5; 10],
+        works in vec![0.3f64..2.5; 10],
+        seed in 0u64..1_000,
+        nhosts in 1u32..5,
+        run_workers in 1u8..9,
+        replay_workers in 1u8..9,
+    ) {
+        let jobs: Vec<Job> = releases
+            .iter()
+            .zip(&works)
+            .enumerate()
+            .map(|(i, (&r, &w))| Job::new(i as u32, f64::from(r) * 0.5, w))
+            .collect();
+        let workload = Instance::new(jobs).unwrap();
+        let mut scenario = FleetScenario::new(hosts(nhosts), workload, 25.0, seed);
+        scenario.fault_model = Some(FaultModel::uniform_mix(0.25));
+
+        let live = run_with(&scenario, usize::from(run_workers)).unwrap();
+        let replayed =
+            replay_with(&scenario, &live.trace, usize::from(replay_workers)).unwrap();
+        prop_assert_eq!(live.digest, replayed.digest);
+        prop_assert_eq!(live.trace.serialize(), replayed.trace.serialize());
+        prop_assert_eq!(
+            live.total_energy().to_bits(),
+            replayed.total_energy().to_bits()
+        );
+        for (a, b) in live.hosts.iter().zip(&replayed.hosts) {
+            prop_assert_eq!(a.digest, b.digest);
+        }
+    }
+}
